@@ -1,0 +1,92 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace amac::bench {
+
+void BenchArgs::Define(int default_scale_log2) {
+  flags.DefineInt("scale_log2", default_scale_log2,
+                  "log2 of the probe/input cardinality (paper used 27)");
+  flags.DefineInt("reps", 2, "repetitions per point (min is reported)");
+  flags.DefineInt("inflight", 10,
+                  "in-flight lookups per thread (paper's M; 10 matches the "
+                  "Xeon's L1-D MSHR count)");
+}
+
+void BenchArgs::Parse(int argc, char** argv) {
+  flags.Parse(argc, argv);
+  scale = uint64_t{1} << flags.GetInt("scale_log2");
+  reps = static_cast<uint32_t>(flags.GetInt("reps"));
+  inflight = static_cast<uint32_t>(flags.GetInt("inflight"));
+}
+
+PreparedJoin PrepareJoin(uint64_t r_size, uint64_t s_size, double zr,
+                         double zs, uint64_t seed,
+                         double target_nodes_per_bucket, HashKind hash_kind) {
+  PreparedJoin prepared;
+  prepared.r = zr == 0.0 ? MakeDenseUniqueRelation(r_size, seed)
+                         : MakeZipfRelation(r_size, r_size, zr, seed);
+  prepared.s = zs == 0.0 ? MakeForeignKeyRelation(s_size, r_size, seed + 1)
+                         : MakeZipfRelation(s_size, r_size, zs, seed + 1);
+  ChainedHashTable::Options options;
+  options.target_nodes_per_bucket = target_nodes_per_bucket;
+  options.hash_kind = hash_kind;
+  prepared.table = std::make_unique<ChainedHashTable>(r_size, options);
+  BuildTableUnsync(prepared.r, prepared.table.get());
+  return prepared;
+}
+
+JoinStats MeasureProbe(const PreparedJoin& prepared, const JoinConfig& config,
+                       uint32_t reps) {
+  JoinStats best;
+  for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
+    JoinStats stats;
+    ProbePhase(*prepared.table, prepared.s, config, &stats);
+    if (rep == 0 || stats.probe_cycles < best.probe_cycles) best = stats;
+  }
+  return best;
+}
+
+JoinStats MeasureJoin(const PreparedJoin& prepared, const JoinConfig& config,
+                      uint32_t reps) {
+  JoinStats best;
+  for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
+    ChainedHashTable::Options options;
+    options.target_nodes_per_bucket = config.target_nodes_per_bucket;
+    options.hash_kind = config.hash_kind;
+    ChainedHashTable table(prepared.r.size(), options);
+    JoinStats stats;
+    BuildPhase(prepared.r, config, &table, &stats);
+    ProbePhase(table, prepared.s, config, &stats);
+    if (rep == 0 ||
+        stats.build_cycles + stats.probe_cycles <
+            best.build_cycles + best.probe_cycles) {
+      best = stats;
+    }
+  }
+  return best;
+}
+
+std::string SkewLabel(double zr, double zs) {
+  char buf[32];
+  auto one = [](double z) {
+    char b[8];
+    if (z == 0.0) return std::string("0");
+    if (z == 1.0) return std::string("1");
+    std::snprintf(b, sizeof(b), "%.2g", z);
+    return std::string(b);
+  };
+  std::snprintf(buf, sizeof(buf), "[%s, %s]", one(zr).c_str(),
+                one(zs).c_str());
+  return buf;
+}
+
+void PrintHeader(const std::string& artifact, const std::string& notes) {
+  std::printf("\n########################################################\n");
+  std::printf("# Reproduces: %s\n", artifact.c_str());
+  if (!notes.empty()) std::printf("# %s\n", notes.c_str());
+  std::printf("########################################################\n");
+}
+
+}  // namespace amac::bench

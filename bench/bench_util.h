@@ -1,0 +1,73 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Conventions (see EXPERIMENTS.md):
+//  * every binary prints the paper table/figure it regenerates, the scale it
+//    ran at, and one TablePrinter block whose rows mirror the paper's
+//    series;
+//  * dataset sizes default to laptop scale (2^20-class instead of the
+//    paper's 2^27) and are adjustable via --scale_log2;
+//  * each measured point is the minimum over --reps repetitions (the paper
+//    reports best-configuration numbers; min-of-reps removes timer noise).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "hashtable/chained_table.h"
+#include "join/hash_join.h"
+#include "relation/relation.h"
+
+namespace amac::bench {
+
+inline constexpr Engine kAllEngines[] = {Engine::kBaseline, Engine::kGP,
+                                         Engine::kSPP, Engine::kAMAC};
+
+/// Standard flags shared by the figure benches; individual benches may add
+/// their own before calling Parse.
+struct BenchArgs {
+  Flags flags;
+  uint64_t scale = 0;   ///< |S| (probe/input cardinality)
+  uint32_t reps = 0;
+  uint32_t inflight = 0;
+
+  /// Define the common flags with a bench-specific default scale.
+  void Define(int default_scale_log2);
+  void Parse(int argc, char** argv);
+};
+
+/// A built join input: relations plus the populated hash table.
+struct PreparedJoin {
+  Relation r;
+  Relation s;
+  std::unique_ptr<ChainedHashTable> table;
+};
+
+/// Build R (optionally Zipf-skewed with factor `zr`), S (skew `zs`, keys in
+/// R's key range), and the hash table.  zr == 0 gives the dense unique R /
+/// FK-constrained S of the paper's uniform workloads.
+PreparedJoin PrepareJoin(uint64_t r_size, uint64_t s_size, double zr,
+                         double zs, uint64_t seed,
+                         double target_nodes_per_bucket = 1.0,
+                         HashKind hash_kind = HashKind::kMurmur);
+
+/// Probe `prepared` with `config`, `reps` times; returns the repetition
+/// with the fewest probe cycles.
+JoinStats MeasureProbe(const PreparedJoin& prepared, const JoinConfig& config,
+                       uint32_t reps);
+
+/// Full build+probe measurement (fresh table per repetition); returns the
+/// repetition with the fewest total cycles.
+JoinStats MeasureJoin(const PreparedJoin& prepared, const JoinConfig& config,
+                      uint32_t reps);
+
+/// "[ZR, ZS]" labels used by Figs. 5/7/8.
+std::string SkewLabel(double zr, double zs);
+
+/// Banner naming the paper artifact this binary regenerates.
+void PrintHeader(const std::string& artifact, const std::string& notes);
+
+}  // namespace amac::bench

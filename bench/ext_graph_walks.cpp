@@ -1,0 +1,98 @@
+// Extension (paper §8 future work): random walks over a CSR graph, run
+// through the generic engine under all four schedules plus the coroutine
+// interleaver.  Dependent chain per hop: adjacency row bounds -> random
+// edge -> next vertex.  Target skew (power-law in-degree) supplies the
+// irregularity knob.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cycle_timer.h"
+#include "common/table_printer.h"
+#include "graph/csr.h"
+#include "graph/random_walk.h"
+
+namespace amac::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchArgs args;
+  args.flags.DefineInt("hops", 8, "steps per walker");
+  args.flags.DefineInt("walkers_log2", 18, "number of walkers (log2)");
+  args.Define(/*default_scale_log2=*/23);  // vertices
+  args.Parse(argc, argv);
+  const uint32_t hops = static_cast<uint32_t>(args.flags.GetInt("hops"));
+  const uint64_t walkers = uint64_t{1}
+                           << args.flags.GetInt("walkers_log2");
+
+  PrintHeader("Extension: graph random walks (paper §8 future work)",
+              "CSR graph 2^" + std::to_string(args.flags.GetInt("scale_log2")) +
+                  " vertices, out-degree 8; all schedules via the generic "
+                  "engine");
+
+  TablePrinter table("graph random walks: cycles per hop",
+                     {"target skew", "Sequential", "GP", "SPP", "AMAC",
+                      "coroutines"});
+  for (double theta : {0.0, 0.99}) {
+    CsrGraph::Options opt;
+    opt.num_vertices = args.scale;
+    opt.out_degree = 8;
+    opt.target_theta = theta;
+    const CsrGraph graph(opt);
+    const double total_hops =
+        static_cast<double>(walkers) * static_cast<double>(hops);
+
+    auto measure = [&](auto&& run) {
+      uint64_t best = UINT64_MAX;
+      for (uint32_t rep = 0; rep < args.reps; ++rep) {
+        WalkSink sink;
+        CycleTimer timer;
+        run(sink);
+        best = std::min(best, timer.Elapsed());
+      }
+      return static_cast<double>(best) / total_hops;
+    };
+
+    const double seq = measure([&](WalkSink& sink) {
+      RandomWalkOp op(graph, hops, 7, sink);
+      RunSequential(op, walkers);
+    });
+    const double gp = measure([&](WalkSink& sink) {
+      RandomWalkOp op(graph, hops, 7, sink);
+      RunGroupPrefetch(op, walkers, args.inflight, 2 * hops);
+    });
+    const double spp = measure([&](WalkSink& sink) {
+      RandomWalkOp op(graph, hops, 7, sink);
+      RunSoftwarePipelined(op, walkers, 2 * hops,
+                           std::max(1u, args.inflight / (2 * hops) + 1));
+    });
+    const double amac = measure([&](WalkSink& sink) {
+      RandomWalkOp op(graph, hops, 7, sink);
+      RunAmac(op, walkers, args.inflight);
+    });
+    const double coro_cyc = measure([&](WalkSink& sink) {
+      coro::Interleave(
+          [&](uint64_t w) {
+            return RandomWalkTask(graph, w, hops, 7, sink);
+          },
+          walkers, args.inflight);
+    });
+    table.AddRow({theta == 0.0 ? "uniform" : "Zipf(0.99)",
+                  TablePrinter::Fmt(seq, 1), TablePrinter::Fmt(gp, 1),
+                  TablePrinter::Fmt(spp, 1), TablePrinter::Fmt(amac, 1),
+                  TablePrinter::Fmt(coro_cyc, 1)});
+  }
+  table.Print();
+  std::printf(
+      "reading: every walker chases two dependent accesses per hop; the "
+      "AMAC schedule overlaps walkers exactly as it overlaps DB lookups — "
+      "the §8 hypothesis that AMAC generalizes beyond relational operators."
+      "\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace amac::bench
+
+int main(int argc, char** argv) { return amac::bench::Run(argc, argv); }

@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks for the substrate primitives used on
+// the hot paths: hashing, RNG, Zipf generation, latch operations, and
+// single chain-node visits.  These bound the per-stage bookkeeping costs
+// that the paper's Table 3 instruction profile aggregates.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/latch.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "hashtable/chained_table.h"
+#include "join/probe_kernels.h"
+#include "join/sink.h"
+#include "relation/relation.h"
+
+namespace amac {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngNextBounded(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBounded(1000003));
+  }
+}
+BENCHMARK(BM_RngNextBounded);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(1 << 20, 0.75, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_LatchUncontended(benchmark::State& state) {
+  Latch latch;
+  for (auto _ : state) {
+    latch.Acquire();
+    latch.Release();
+  }
+}
+BENCHMARK(BM_LatchUncontended);
+
+void BM_LatchTryAcquire(benchmark::State& state) {
+  Latch latch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latch.TryAcquire());
+    latch.Release();
+  }
+}
+BENCHMARK(BM_LatchTryAcquire);
+
+void BM_VisitNodeHit(benchmark::State& state) {
+  BucketNode node;
+  node.count = 2;
+  node.tuples[0] = Tuple{1, 10};
+  node.tuples[1] = Tuple{2, 20};
+  CountChecksumSink sink;
+  for (auto _ : state) {
+    const BucketNode* next = nullptr;
+    benchmark::DoNotOptimize(VisitNode<true>(&node, 2, 0, sink, &next));
+  }
+}
+BENCHMARK(BM_VisitNodeHit);
+
+void BM_BucketIndexMurmur(benchmark::State& state) {
+  ChainedHashTable table(1 << 16, ChainedHashTable::Options{});
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.BucketIndex(++key));
+  }
+}
+BENCHMARK(BM_BucketIndexMurmur);
+
+void BM_CacheResidentProbeAmac(benchmark::State& state) {
+  // Upper bound on AMAC bookkeeping: probe a table that fits in L1/L2 so
+  // the measured cost is the state machine, not DRAM.
+  const uint64_t n = 1 << 10;
+  const Relation build = MakeDenseUniqueRelation(n, 71);
+  const Relation probe = MakeForeignKeyRelation(n, n, 72);
+  ChainedHashTable table(n, ChainedHashTable::Options{});
+  BuildTableUnsync(build, &table);
+  for (auto _ : state) {
+    CountChecksumSink sink;
+    ProbeAmac<true>(table, probe, 0, n, 10, sink);
+    benchmark::DoNotOptimize(sink.checksum());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CacheResidentProbeAmac);
+
+void BM_CacheResidentProbeBaseline(benchmark::State& state) {
+  const uint64_t n = 1 << 10;
+  const Relation build = MakeDenseUniqueRelation(n, 73);
+  const Relation probe = MakeForeignKeyRelation(n, n, 74);
+  ChainedHashTable table(n, ChainedHashTable::Options{});
+  BuildTableUnsync(build, &table);
+  for (auto _ : state) {
+    CountChecksumSink sink;
+    ProbeBaseline<true>(table, probe, 0, n, sink);
+    benchmark::DoNotOptimize(sink.checksum());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CacheResidentProbeBaseline);
+
+}  // namespace
+}  // namespace amac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+#include "bst/bst.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace amac {
+
+BinarySearchTree::BinarySearchTree(uint64_t capacity) : pool_(capacity) {}
+
+bool BinarySearchTree::Insert(int64_t key, int64_t payload) {
+  AMAC_CHECK_MSG(used_ < pool_.size(), "BST pool exhausted");
+  BstNode** link = &root_;
+  while (*link != nullptr) {
+    BstNode* node = *link;
+    if (key == node->key) return false;
+    link = key < node->key ? &node->left : &node->right;
+  }
+  BstNode* fresh = &pool_[used_++];
+  fresh->key = key;
+  fresh->payload = payload;
+  fresh->left = fresh->right = nullptr;
+  *link = fresh;
+  return true;
+}
+
+const BstNode* BinarySearchTree::Find(int64_t key) const {
+  const BstNode* node = root_;
+  while (node != nullptr) {
+    if (key == node->key) return node;
+    node = key < node->key ? node->left : node->right;
+  }
+  return nullptr;
+}
+
+BstStats BinarySearchTree::ComputeStats() const {
+  BstStats stats;
+  stats.num_nodes = used_;
+  if (root_ == nullptr) return stats;
+  // Iterative DFS with explicit (node, depth) stack; trees are unbalanced
+  // so recursion depth could get large.
+  std::vector<std::pair<const BstNode*, uint64_t>> stack = {{root_, 1}};
+  uint64_t depth_sum = 0;
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    depth_sum += depth;
+    stats.height = std::max(stats.height, depth);
+    if (node->left != nullptr) stack.emplace_back(node->left, depth + 1);
+    if (node->right != nullptr) stack.emplace_back(node->right, depth + 1);
+  }
+  stats.avg_depth =
+      static_cast<double>(depth_sum) / static_cast<double>(used_);
+  return stats;
+}
+
+BinarySearchTree BuildBst(const Relation& rel) {
+  BinarySearchTree tree(rel.size());
+  for (const Tuple& t : rel) tree.Insert(t.key, t.payload);
+  return tree;
+}
+
+}  // namespace amac

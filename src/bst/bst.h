@@ -1,0 +1,59 @@
+// Canonical (unbalanced) binary search tree, paper §4:
+//
+//   "Each binary tree node contains an 8-byte key, an 8-byte payload and
+//    two 8-byte child pointers (i.e., left and right)."
+//
+// Nodes are bump-allocated from a contiguous pool in insertion order and
+// padded to a cache line, so a random-key build produces the cache-hostile
+// pointer topology the paper measures (low locality across levels).
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned.h"
+#include "common/macros.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+struct AMAC_CACHE_ALIGNED BstNode {
+  int64_t key;
+  int64_t payload;
+  BstNode* left = nullptr;
+  BstNode* right = nullptr;
+};
+static_assert(sizeof(BstNode) == kCacheLineSize);
+
+struct BstStats {
+  uint64_t num_nodes = 0;
+  uint64_t height = 0;
+  double avg_depth = 0;  ///< average node depth (root = 1)
+};
+
+class BinarySearchTree {
+ public:
+  /// `capacity` bounds the number of inserts (pool is preallocated).
+  explicit BinarySearchTree(uint64_t capacity);
+
+  /// Insert (single-threaded); duplicate keys are rejected (returns false).
+  bool Insert(int64_t key, int64_t payload);
+
+  /// Reference search used by tests.
+  const BstNode* Find(int64_t key) const;
+
+  const BstNode* root() const { return root_; }
+  uint64_t size() const { return used_; }
+
+  /// Walk the tree to gather height/depth statistics (not a hot path).
+  BstStats ComputeStats() const;
+
+ private:
+  AlignedBuffer<BstNode> pool_;
+  BstNode* root_ = nullptr;
+  uint64_t used_ = 0;
+};
+
+/// Build a tree from a relation's tuples in relation order.
+BinarySearchTree BuildBst(const Relation& rel);
+
+}  // namespace amac

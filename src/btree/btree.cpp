@@ -1,0 +1,107 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace amac {
+
+BTreeNode* BTree::AllocNode() {
+  AMAC_CHECK_MSG(used_ < pool_.size(), "btree pool exhausted");
+  return &pool_[used_++];
+}
+
+BTree::BTree(const Relation& rel) {
+  num_keys_ = rel.size();
+  // Worst-case node count for a bottom-up bulk load: n/1 leaves plus a
+  // ~1/15 geometric tail of inner nodes.
+  const uint64_t max_nodes =
+      rel.size() / (BTreeNode::kMaxKeys / 2 + 1) + rel.size() / 64 + 16;
+  pool_ = AlignedBuffer<BTreeNode>(max_nodes);
+
+  std::vector<Tuple> sorted(rel.begin(), rel.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Tuple& a, const Tuple& b) { return a.key < b.key; });
+
+  if (sorted.empty()) {
+    root_ = AllocNode();
+    root_->is_leaf = 1;
+    first_leaf_ = root_;
+    height_ = 1;
+    num_leaves_ = 1;
+    return;
+  }
+
+  // Level 0: pack leaves.
+  struct Entry {
+    BTreeNode* node;
+    int64_t min_key;
+  };
+  std::vector<Entry> level;
+  BTreeNode* prev_leaf = nullptr;
+  for (uint64_t base = 0; base < sorted.size();
+       base += BTreeNode::kMaxKeys) {
+    BTreeNode* leaf = AllocNode();
+    leaf->is_leaf = 1;
+    const uint32_t in_leaf = static_cast<uint32_t>(std::min<uint64_t>(
+        BTreeNode::kMaxKeys, sorted.size() - base));
+    for (uint32_t i = 0; i < in_leaf; ++i) {
+      leaf->keys[i] = sorted[base + i].key;
+      leaf->leaf.payloads[i] = sorted[base + i].payload;
+    }
+    leaf->count = static_cast<uint16_t>(in_leaf);
+    leaf->leaf.next_leaf = nullptr;
+    if (prev_leaf != nullptr) prev_leaf->leaf.next_leaf = leaf;
+    if (first_leaf_ == nullptr) first_leaf_ = leaf;
+    prev_leaf = leaf;
+    level.push_back(Entry{leaf, leaf->keys[0]});
+    ++num_leaves_;
+  }
+  height_ = 1;
+
+  // Build inner levels bottom-up: each inner takes up to kMaxKeys+1
+  // children; separator keys[j] is the minimum key of child j+1.
+  while (level.size() > 1) {
+    std::vector<Entry> next;
+    for (std::size_t base = 0; base < level.size();
+         base += BTreeNode::kMaxKeys + 1) {
+      BTreeNode* inner = AllocNode();
+      inner->is_leaf = 0;
+      const uint32_t in_node = static_cast<uint32_t>(std::min<std::size_t>(
+          BTreeNode::kMaxKeys + 1, level.size() - base));
+      for (uint32_t c = 0; c < in_node; ++c) {
+        inner->children[c] = level[base + c].node;
+        if (c > 0) inner->keys[c - 1] = level[base + c].min_key;
+      }
+      inner->count = static_cast<uint16_t>(in_node - 1);
+      next.push_back(Entry{inner, level[base].min_key});
+    }
+    level.swap(next);
+    ++height_;
+  }
+  root_ = level[0].node;
+}
+
+const int64_t* BTree::Find(int64_t key) const {
+  const BTreeNode* node = root_;
+  while (!node->is_leaf) {
+    uint32_t i = 0;
+    while (i < node->count && key >= node->keys[i]) ++i;
+    node = node->children[i];
+  }
+  const uint32_t i = node->LowerBound(key);
+  if (i < node->count && node->keys[i] == key) {
+    return &node->leaf.payloads[i];
+  }
+  return nullptr;
+}
+
+BTreeStats BTree::ComputeStats() const {
+  BTreeStats stats;
+  stats.num_keys = num_keys_;
+  stats.num_leaves = num_leaves_;
+  stats.num_inner = used_ - num_leaves_;
+  stats.height = height_;
+  return stats;
+}
+
+}  // namespace amac

@@ -1,0 +1,100 @@
+#include "common/aligned.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace amac {
+
+namespace {
+
+#if defined(__linux__)
+constexpr std::size_t kHugePageBytes = 2ull << 20;
+// Below this size page-table pressure is negligible; use the heap.
+constexpr std::size_t kMmapThreshold = 4ull << 20;
+
+// Large blocks come from mmap (hugetlb when the pool allows); their sizes
+// must be remembered for munmap.  Allocations are rare and off the hot
+// path, so a mutex-guarded map is fine.
+std::mutex g_mmap_mutex;
+std::unordered_map<void*, std::size_t>& MmapSizes() {
+  static auto* sizes = new std::unordered_map<void*, std::size_t>();
+  return *sizes;
+}
+
+void* TryMmapLarge(std::size_t bytes) {
+  const std::size_t rounded =
+      (bytes + kHugePageBytes - 1) / kHugePageBytes * kHugePageBytes;
+  // Preferred: explicit 2 MB pages (the paper's methodology: "In all
+  // measurements, we use large VM pages, 2 MB on x86").  Prefetches are
+  // dropped on TLB misses, so large pages materially affect the results.
+  void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+  if (p == MAP_FAILED) {
+    // Fallback: normal pages with a THP hint.
+    p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+             MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) return nullptr;
+#if defined(MADV_HUGEPAGE)
+    (void)madvise(p, rounded, MADV_HUGEPAGE);
+#endif
+  }
+  std::lock_guard<std::mutex> lock(g_mmap_mutex);
+  MmapSizes().emplace(p, rounded);
+  return p;
+}
+#endif  // __linux__
+
+}  // namespace
+
+void* AlignedAlloc(std::size_t bytes, std::size_t alignment) {
+  AMAC_CHECK(alignment >= sizeof(void*) &&
+             (alignment & (alignment - 1)) == 0);
+#if defined(__linux__)
+  if (bytes >= kMmapThreshold && alignment <= kHugePageBytes) {
+    if (void* p = TryMmapLarge(bytes)) return p;
+  }
+#endif
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded == 0 ? alignment : padded);
+  AMAC_CHECK_MSG(p != nullptr, "out of memory");
+  return p;
+}
+
+void AlignedFree(void* p) {
+  if (p == nullptr) return;
+#if defined(__linux__)
+  {
+    std::lock_guard<std::mutex> lock(g_mmap_mutex);
+    auto& sizes = MmapSizes();
+    const auto it = sizes.find(p);
+    if (it != sizes.end()) {
+      munmap(p, it->second);
+      sizes.erase(it);
+      return;
+    }
+  }
+#endif
+  std::free(p);
+}
+
+void AdviseHugePages(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  // Best effort: madvise needs page-aligned addresses; round inward.
+  constexpr std::size_t kPage = 4096;
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t aligned = (addr + kPage - 1) & ~(kPage - 1);
+  if (aligned - addr >= bytes) return;
+  const std::size_t len = (bytes - (aligned - addr)) & ~(kPage - 1);
+  if (len > 0) (void)madvise(reinterpret_cast<void*>(aligned), len, MADV_HUGEPAGE);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace amac

@@ -1,0 +1,40 @@
+// Sense-reversing spin barrier for multi-threaded benchmark phases.
+//
+// The scalability experiments (Fig. 7/8) time the probe phase only; threads
+// rendezvous on this barrier so the timed region starts and stops together.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/latch.h"
+#include "common/macros.h"
+
+namespace amac {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties) : parties_(parties) {
+    AMAC_CHECK(parties > 0);
+  }
+
+  /// Block (spinning) until all parties arrive. Reusable across phases.
+  void Wait() {
+    const uint32_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        Latch::CpuRelax();
+      }
+    }
+  }
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> arrived_{0};
+  std::atomic<uint32_t> generation_{0};
+};
+
+}  // namespace amac

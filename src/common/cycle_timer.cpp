@@ -1,0 +1,22 @@
+#include "common/cycle_timer.h"
+
+#include <thread>
+
+namespace amac {
+
+double EstimateTscHz() {
+  // Calibrate once; a 20 ms spin gives < 1% error which is plenty for
+  // converting cycles to approximate wall time in reports.
+  static const double hz = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = ReadTscSerialized();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const uint64_t c1 = ReadTscSerialized();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(c1 - c0) / secs;
+  }();
+  return hz;
+}
+
+}  // namespace amac

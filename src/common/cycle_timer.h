@@ -1,0 +1,77 @@
+// Cycle-accurate timing.
+//
+// The paper reports "cycles per tuple" measured with hardware timestamp
+// counters.  On x86-64 we read TSC directly; elsewhere we fall back to
+// steady_clock nanoseconds scaled by a calibrated frequency so that the unit
+// stays "reference cycles".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace amac {
+
+/// Read the timestamp counter (reference cycles on x86; calibrated
+/// nanosecond-derived ticks elsewhere).
+inline uint64_t ReadTsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Serializing TSC read: prevents the measured region from leaking across
+/// the timer boundary on out-of-order cores.
+inline uint64_t ReadTscSerialized() {
+#if defined(__x86_64__)
+  unsigned aux;
+  return __rdtscp(&aux);
+#else
+  return ReadTsc();
+#endif
+}
+
+/// Scoped stopwatch accumulating elapsed TSC ticks into a counter.
+class CycleTimer {
+ public:
+  CycleTimer() : start_(ReadTscSerialized()) {}
+
+  /// Ticks elapsed since construction or the last Restart().
+  uint64_t Elapsed() const { return ReadTscSerialized() - start_; }
+
+  void Restart() { start_ = ReadTscSerialized(); }
+
+ private:
+  uint64_t start_;
+};
+
+/// Wall-clock stopwatch (seconds) for throughput numbers
+/// (paper Fig. 7/8 report tuples/second).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Estimate the TSC frequency in Hz by spinning for a short interval.
+/// Used only for converting cycle counts to human-readable time in reports.
+double EstimateTscHz();
+
+}  // namespace amac

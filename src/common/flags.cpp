@@ -1,0 +1,145 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/macros.h"
+
+namespace amac {
+
+namespace {
+
+std::string TypeName(int t) {
+  switch (t) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "bool";
+    default: return "string";
+  }
+}
+
+}  // namespace
+
+void Flags::DefineInt(const std::string& name, int64_t default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{Type::kInt, help, std::to_string(default_value)};
+}
+
+void Flags::DefineDouble(const std::string& name, double default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, help, std::to_string(default_value)};
+}
+
+void Flags::DefineBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kBool, help, default_value ? "true" : "false"};
+}
+
+void Flags::DefineString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Type::kString, help, default_value};
+}
+
+void Flags::Set(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                 Usage().c_str());
+    std::exit(2);
+  }
+  // Validate numeric forms eagerly so typos fail at startup.
+  try {
+    switch (it->second.type) {
+      case Type::kInt:
+        (void)std::stoll(value);
+        break;
+      case Type::kDouble:
+        (void)std::stod(value);
+        break;
+      case Type::kBool:
+        if (value != "true" && value != "false" && value != "1" &&
+            value != "0") {
+          throw std::invalid_argument(value);
+        }
+        break;
+      case Type::kString:
+        break;
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad value for --%s (%s): '%s'\n", name.c_str(),
+                 TypeName(static_cast<int>(it->second.type)).c_str(),
+                 value.c_str());
+    std::exit(2);
+  }
+  it->second.value = value;
+}
+
+void Flags::Parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n%s", arg.c_str(),
+                   Usage().c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      Set(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      it->second.value = "true";  // bare boolean flag
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag --%s expects a value\n%s", arg.c_str(),
+                   Usage().c_str());
+      std::exit(2);
+    }
+    Set(arg, argv[++i]);
+  }
+}
+
+const Flags::Flag& Flags::Find(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  AMAC_CHECK_MSG(it != flags_.end(), name.c_str());
+  AMAC_CHECK_MSG(it->second.type == type, "flag type mismatch");
+  return it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::stoll(Find(name, Type::kInt).value);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::stod(Find(name, Type::kDouble).value);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  const std::string& v = Find(name, Type::kBool).value;
+  return v == "true" || v == "1";
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  return Find(name, Type::kString).value;
+}
+
+std::string Flags::Usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (" + TypeName(static_cast<int>(flag.type)) +
+           ", default " + flag.value + "): " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace amac

@@ -1,0 +1,53 @@
+// Tiny command-line flag parser for benchmark/example binaries.
+//
+// Supports --name=value and --name value forms plus bare --flag booleans.
+// Unknown flags abort with a usage listing so benchmark sweeps fail loudly
+// rather than silently measuring the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amac {
+
+class Flags {
+ public:
+  /// Register flags before Parse(). `help` is printed by Usage().
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  /// Parse argv; aborts (with usage) on unknown or malformed flags.
+  /// Recognizes --help.
+  void Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Flag& Find(const std::string& name, Type type) const;
+  void Set(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::string program_;
+};
+
+}  // namespace amac

@@ -1,0 +1,52 @@
+// Hash functions and bit utilities.
+//
+// The join literature this paper builds on (Balkesen et al.) uses masked
+// multiplicative / radix hashing over dense integer keys; we provide that
+// plus a finalizer-strength mixer for skewed keys, selectable per table.
+#pragma once
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace amac {
+
+/// Round up to the next power of two (returns 1 for 0).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t{1} << (64 - __builtin_clzll(v - 1));
+}
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+inline uint32_t Log2Floor(uint64_t v) {
+  AMAC_DCHECK(v != 0);
+  return 63 - __builtin_clzll(v);
+}
+
+/// MurmurHash3 finalizer: full-avalanche 64-bit mixer.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash a key into [0, num_buckets) where num_buckets is a power of two.
+/// `kRadix` reproduces the Balkesen-style masked hash used for dense keys;
+/// `kMurmur` applies Mix64 first (required for Zipf-skewed key spaces where
+/// low bits are badly distributed).
+enum class HashKind { kRadix, kMurmur };
+
+template <HashKind Kind>
+inline uint64_t HashToBucket(uint64_t key, uint64_t bucket_mask) {
+  if constexpr (Kind == HashKind::kRadix) {
+    return key & bucket_mask;
+  } else {
+    return Mix64(key) & bucket_mask;
+  }
+}
+
+}  // namespace amac

@@ -1,0 +1,49 @@
+// Core macros and build-time constants shared by every AMAC module.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace amac {
+
+/// Cache line size assumed throughout: data-structure nodes are padded and
+/// aligned to this boundary (paper §4: "nodes are aligned to 64-byte cache
+/// block boundary").
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace amac
+
+#define AMAC_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define AMAC_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+#define AMAC_CACHE_ALIGNED alignas(::amac::kCacheLineSize)
+
+/// Always-on assertion (used for invariants that must hold in Release
+/// benchmarking builds too; cost is negligible off the hot path).
+#define AMAC_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (AMAC_UNLIKELY(!(cond))) {                                           \
+      std::fprintf(stderr, "AMAC_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define AMAC_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (AMAC_UNLIKELY(!(cond))) {                                           \
+      std::fprintf(stderr, "AMAC_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define AMAC_DCHECK(cond) ((void)0)
+#else
+#define AMAC_DCHECK(cond) assert(cond)
+#endif

@@ -1,0 +1,41 @@
+// Software prefetch wrappers.
+//
+// The paper issues PREFETCHNTA on x86 (via gcc builtins) and "strong"
+// prefetches on SPARC.  We expose the locality hint as a template parameter
+// so benchmarks can ablate NTA vs. T0 behaviour.
+#pragma once
+
+#include "common/macros.h"
+
+namespace amac {
+
+/// Prefetch locality hints, mirroring __builtin_prefetch's third argument.
+enum class PrefetchLocality : int {
+  kNTA = 0,  ///< non-temporal (paper's choice: PREFETCHNTA)
+  kT2 = 1,
+  kT1 = 2,
+  kT0 = 3,
+};
+
+/// Issue a read prefetch for the cache line containing `p`.
+template <PrefetchLocality Locality = PrefetchLocality::kNTA>
+inline void Prefetch(const void* p) {
+  __builtin_prefetch(p, /*rw=*/0, static_cast<int>(Locality));
+}
+
+/// Issue a write-intent prefetch (used before latched updates).
+template <PrefetchLocality Locality = PrefetchLocality::kNTA>
+inline void PrefetchWrite(const void* p) {
+  __builtin_prefetch(p, /*rw=*/1, static_cast<int>(Locality));
+}
+
+/// Prefetch `bytes` worth of lines starting at `p` (for nodes that span
+/// multiple cache lines, e.g. skip-list towers).
+inline void PrefetchRange(const void* p, std::size_t bytes) {
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t off = 0; off < bytes; off += kCacheLineSize) {
+    __builtin_prefetch(c + off, 0, 0);
+  }
+}
+
+}  // namespace amac

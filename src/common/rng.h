@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generators take explicit seeds so every experiment is
+// reproducible bit-for-bit.  splitmix64 seeds xoshiro256** (Blackman &
+// Vigna), which is fast enough to sit inside data-generation loops.
+#pragma once
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace amac {
+
+/// splitmix64: used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x8badf00ddeadbeefull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    for (auto& word : s_) word = SplitMix64(seed);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) {
+    AMAC_DCHECK(bound > 0);
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Fair coin.
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace amac

@@ -1,0 +1,22 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace amac {
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] == 0) continue;
+    const double pct =
+        100.0 * static_cast<double>(counts_[v]) / static_cast<double>(total_);
+    std::snprintf(line, sizeof(line), "%s%zu: %llu (%.2f%%)\n",
+                  v + 1 == counts_.size() ? ">=" : "", v,
+                  static_cast<unsigned long long>(counts_[v]), pct);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace amac

@@ -1,0 +1,114 @@
+// Streaming statistics and histograms for benchmark reporting and for
+// validating workload generators (e.g. Zipf frequency shape, bucket chain
+// length distributions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace amac {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    const double new_mean =
+        mean_ + delta * static_cast<double>(other.n_) / total;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ = new_mean;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket integer histogram with exact counts for small values and a
+/// single overflow bucket; enough for chain-length / tower-height shapes.
+class Histogram {
+ public:
+  explicit Histogram(uint64_t max_tracked = 64) : counts_(max_tracked + 1, 0) {}
+
+  void Add(uint64_t value) {
+    const uint64_t idx =
+        std::min<uint64_t>(value, counts_.size() - 1);
+    ++counts_[idx];
+    ++total_;
+    sum_ += value;
+    max_seen_ = std::max(max_seen_, value);
+  }
+
+  uint64_t Count(uint64_t value) const {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+  uint64_t OverflowCount() const { return counts_.back(); }
+  uint64_t total() const { return total_; }
+  uint64_t max_seen() const { return max_seen_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Smallest value v such that at least `q` (0..1] of samples are <= v.
+  /// Overflowed samples count at the last tracked bucket.
+  uint64_t Quantile(double q) const {
+    AMAC_CHECK(q > 0 && q <= 1.0);
+    const uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    uint64_t cum = 0;
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+      cum += counts_[v];
+      if (cum >= target) return v;
+    }
+    return counts_.size() - 1;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_seen_ = 0;
+};
+
+}  // namespace amac

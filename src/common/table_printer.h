@@ -1,0 +1,37 @@
+// Column-aligned table output for benchmark binaries.
+//
+// Every bench prints the same rows/series the paper's tables and figures
+// report; this helper keeps that output consistent and machine-grepable
+// (a leading marker column makes rows easy to extract with standard tools).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amac {
+
+class TablePrinter {
+ public:
+  /// `title` is printed as a banner; `columns` become the header row.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Append one row; cell count must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric-heavy rows.
+  static std::string Fmt(double v, int precision = 1);
+  static std::string Fmt(uint64_t v);
+
+  /// Render to stdout.
+  void Print() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amac

@@ -1,0 +1,30 @@
+#include "common/thread_pool.h"
+
+namespace amac {
+
+void ParallelFor(uint32_t num_threads,
+                 const std::function<void(uint32_t)>& fn) {
+  AMAC_CHECK(num_threads > 0);
+  if (num_threads == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&fn, t] { fn(t); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+Range PartitionRange(uint64_t total, uint32_t parts, uint32_t index) {
+  AMAC_CHECK(parts > 0 && index < parts);
+  const uint64_t base = total / parts;
+  const uint64_t extra = total % parts;
+  const uint64_t begin =
+      static_cast<uint64_t>(index) * base + (index < extra ? index : extra);
+  const uint64_t len = base + (index < extra ? 1 : 0);
+  return Range{begin, begin + len};
+}
+
+}  // namespace amac

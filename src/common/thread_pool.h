@@ -1,0 +1,32 @@
+// Minimal fork-join helper used by multi-threaded build/probe phases.
+//
+// Benchmarks need "run this closure on T threads, each knowing its id, and
+// join" — nothing more.  Threads are spawned per call; the scalability
+// benches time only the region between barrier waits inside the closure, so
+// spawn cost is off the measured path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace amac {
+
+/// Run `fn(thread_id)` on `num_threads` std::threads and join them all.
+void ParallelFor(uint32_t num_threads,
+                 const std::function<void(uint32_t)>& fn);
+
+/// Split [0, total) into `parts` contiguous ranges; returns [begin, end) of
+/// range `index`. Remainder elements go to the leading ranges so sizes
+/// differ by at most one.
+struct Range {
+  uint64_t begin;
+  uint64_t end;
+  uint64_t size() const { return end - begin; }
+};
+Range PartitionRange(uint64_t total, uint32_t parts, uint32_t index);
+
+}  // namespace amac

@@ -1,0 +1,72 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace amac {
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  // Direct summation; generators are constructed once per workload so this
+  // O(n) cost is off every measured path. For very large n the sum converges
+  // slowly but remains exact.
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  AMAC_CHECK(n >= 1);
+  AMAC_CHECK(theta >= 0);
+  if (theta_ == 0) return;  // uniform fast path
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  // Gray et al. constants. theta == 1 makes alpha blow up; the generator
+  // below only uses alpha on the tail branch where (1 - theta) != 0 matters,
+  // so clamp theta slightly away from 1 for the constant computation.
+  if (theta_ == 1.0) {
+    const double t = 1.0 - 1e-9;
+    alpha_ = 1.0 / (1.0 - t);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - t)) /
+           (1.0 - zeta2 / zetan_);
+  } else {
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ == 0) return rng_.NextBounded(n_) + 1;
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < half_pow_theta_) return 2;
+  const uint64_t v = 1 + static_cast<uint64_t>(
+                             static_cast<double>(n_) *
+                             std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min<uint64_t>(v, n_);
+}
+
+ExactZipfSampler::ExactZipfSampler(uint64_t n, double theta, uint64_t seed)
+    : rng_(seed) {
+  AMAC_CHECK(n >= 1);
+  cdf_.resize(n);
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_[i - 1] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+uint64_t ExactZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace amac

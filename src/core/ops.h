@@ -1,0 +1,170 @@
+// Ready-made operations for the generic engine (core/engine.h).
+//
+// These mirror the hand-written kernels in src/join and src/bst so that (a)
+// tests can verify the engine schedules them to identical results and (b)
+// the ablation bench can price the abstraction against hand-written AMAC.
+// HashBuildOp additionally demonstrates the full Table 1 "Hash Join Build"
+// stage machine with chain walking and latch retry — the generic form the
+// paper tabulates.
+#pragma once
+
+#include <cstdint>
+
+#include "bst/bst.h"
+#include "common/prefetch.h"
+#include "core/engine.h"
+#include "hashtable/chained_table.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+/// Hash table probe as an engine operation (unique or multi-match).
+template <bool kEarlyExit, typename Sink>
+class HashProbeOp {
+ public:
+  struct State {
+    const BucketNode* ptr;
+    int64_t key;
+    uint64_t rid;
+  };
+
+  HashProbeOp(const ChainedHashTable& table, const Relation& probe,
+              Sink& sink)
+      : table_(table), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.key = probe_[idx].key;
+    st.rid = idx;
+    st.ptr = table_.BucketForKey(st.key);
+    Prefetch(st.ptr);
+  }
+
+  StepStatus Step(State& st) {
+    const BucketNode* node = st.ptr;
+    for (uint32_t i = 0; i < node->count; ++i) {
+      if (node->tuples[i].key == st.key) {
+        sink_.Emit(st.rid, node->tuples[i].payload);
+        if constexpr (kEarlyExit) return StepStatus::kDone;
+      }
+    }
+    if (node->next == nullptr) return StepStatus::kDone;
+    Prefetch(node->next);
+    st.ptr = node->next;
+    return StepStatus::kParked;
+  }
+
+ private:
+  const ChainedHashTable& table_;
+  const Relation& probe_;
+  Sink& sink_;
+};
+
+/// BST search as an engine operation.
+template <typename Sink>
+class BstSearchOp {
+ public:
+  struct State {
+    const BstNode* ptr;
+    int64_t key;
+    uint64_t rid;
+  };
+
+  BstSearchOp(const BinarySearchTree& tree, const Relation& probe, Sink& sink)
+      : tree_(tree), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.key = probe_[idx].key;
+    st.rid = idx;
+    st.ptr = tree_.root();
+    Prefetch(st.ptr);
+  }
+
+  StepStatus Step(State& st) {
+    const BstNode* node = st.ptr;
+    if (node == nullptr) return StepStatus::kDone;
+    if (node->key == st.key) {
+      sink_.Emit(st.rid, node->payload);
+      return StepStatus::kDone;
+    }
+    const BstNode* child = st.key < node->key ? node->left : node->right;
+    if (child == nullptr) return StepStatus::kDone;
+    Prefetch(child);
+    st.ptr = child;
+    return StepStatus::kParked;
+  }
+
+ private:
+  const BinarySearchTree& tree_;
+  const Relation& probe_;
+  Sink& sink_;
+};
+
+/// Hash join build as the *generic* Table 1 stage machine: walk the chain
+/// to its tail and append (allocating a node when the tail is full), with a
+/// try-latch on the bucket header that parks the insert on conflict.  This
+/// is the textbook form from the paper's Table 1 — the production kernels
+/// in src/join use the O(1) header-eviction discipline instead (see
+/// DESIGN.md), so this op exists to exercise kRetry and multi-stage builds.
+template <bool kSync>
+class HashBuildOp {
+ public:
+  struct State {
+    BucketNode* head;  ///< latch owner
+    BucketNode* ptr;   ///< chain walk position (latch held once walking)
+    Tuple tuple;
+    bool latched;
+  };
+
+  HashBuildOp(ChainedHashTable& table, const Relation& build)
+      : table_(table), build_(build) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.tuple = build_[idx];
+    st.head = table_.BucketForKey(st.tuple.key);
+    st.ptr = st.head;
+    st.latched = false;
+    PrefetchWrite(st.head);
+  }
+
+  StepStatus Step(State& st) {
+    if (!st.latched) {
+      const bool ok = kSync ? st.head->latch.TryAcquire()
+                            : st.head->latch.TryAcquireUnsync();
+      if (!ok) return StepStatus::kRetry;
+      st.latched = true;
+      st.ptr = st.head;
+    }
+    BucketNode* node = st.ptr;
+    if (node->count < BucketNode::kTuplesPerNode) {
+      node->tuples[node->count++] = st.tuple;
+      Unlatch(st);
+      return StepStatus::kDone;
+    }
+    if (node->next != nullptr) {
+      PrefetchWrite(node->next);
+      st.ptr = node->next;  // tail walk continues, latch held
+      return StepStatus::kParked;
+    }
+    BucketNode* fresh = table_.AllocOverflowNode();
+    fresh->tuples[0] = st.tuple;
+    fresh->count = 1;
+    node->next = fresh;
+    Unlatch(st);
+    return StepStatus::kDone;
+  }
+
+ private:
+  void Unlatch(State& st) {
+    if constexpr (kSync) {
+      st.head->latch.Release();
+    } else {
+      st.head->latch.ReleaseUnsync();
+    }
+    st.latched = false;
+  }
+
+  ChainedHashTable& table_;
+  const Relation& build_;
+};
+
+}  // namespace amac

@@ -1,0 +1,46 @@
+// Round-robin interleaver: the AMAC circular buffer where each slot holds a
+// coroutine frame instead of a hand-packed state struct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "coro/task.h"
+
+namespace amac::coro {
+
+/// Runs `num_inputs` lookups produced by `factory(idx)` with `width`
+/// in-flight coroutines.  `factory` must return a lazily-started Task.
+/// Mirrors AMAC: a finishing lookup's slot is immediately refilled with the
+/// next input (terminal/initial merge) and the cursor rolls without modulo.
+template <typename Factory>
+void Interleave(Factory&& factory, uint64_t num_inputs, uint32_t width) {
+  AMAC_CHECK(width >= 1);
+  if (num_inputs == 0) return;
+  std::vector<Task> slots(width);
+  uint64_t next_input = 0;
+  uint32_t num_active = 0;
+  for (uint32_t k = 0; k < width && next_input < num_inputs; ++k) {
+    slots[k] = factory(next_input++);
+    ++num_active;
+  }
+  uint32_t k = 0;
+  while (num_active > 0) {
+    Task& task = slots[k];
+    if (task.Valid()) {
+      if (task.Resume()) {
+        if (next_input < num_inputs) {
+          slots[k] = factory(next_input++);
+        } else {
+          task.Destroy();
+          --num_active;
+        }
+      }
+    }
+    ++k;
+    if (k == width) k = 0;
+  }
+}
+
+}  // namespace amac::coro

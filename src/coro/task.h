@@ -1,0 +1,105 @@
+// Minimal C++20 coroutine task for AMAC-style interleaving.
+//
+// The paper's §6 suggests that "event-driven programming language concepts
+// such as coroutines that allow for cooperative multitasking within a
+// thread (e.g., escape-and-reenter loops) can help creating a generalized
+// software model and framework for AMAC-style execution" — the direction
+// later explored by the interleaving-with-coroutines line of work.  Here a
+// lookup is written as straight-line code; `co_await PrefetchAwait(p)`
+// issues the prefetch and suspends, and the Interleaver (interleaver.h)
+// round-robins across suspended lookups exactly like AMAC's circular
+// buffer.  The coroutine frame *is* the state slot; the compiler performs
+// the state save/restore AMAC writes by hand.  The paper predicts a cost —
+// "the user-land threads' state maintenance and space overhead" — which
+// bench/ablation_engines measures.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/prefetch.h"
+
+namespace amac::coro {
+
+/// A resumable lookup. Lazily started; destroyed by the owner.
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { Destroy(); }
+
+  /// Resume the lookup; returns true when it ran to completion.
+  bool Resume() {
+    AMAC_DCHECK(handle_ && !handle_.done());
+    handle_.resume();
+    return handle_.done();
+  }
+
+  bool Valid() const { return static_cast<bool>(handle_); }
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// `co_await PrefetchAwait{p}` — issue a read prefetch for `p`'s line and
+/// yield to the interleaver until the data had time to arrive.
+struct PrefetchAwait {
+  const void* addr;
+  bool await_ready() const noexcept {
+    Prefetch(addr);
+    return false;  // always yield after issuing the prefetch
+  }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+/// Same with write intent (latched updates).
+struct PrefetchWriteAwait {
+  const void* addr;
+  bool await_ready() const noexcept {
+    PrefetchWrite(addr);
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+/// Plain cooperative yield (latch busy: park and retry later).
+struct YieldAwait {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace amac::coro

@@ -1,0 +1,49 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace amac {
+
+CsrGraph::CsrGraph(const Options& options)
+    : num_vertices_(options.num_vertices),
+      offsets_(options.num_vertices + 1),
+      edges_(options.num_vertices * options.out_degree) {
+  AMAC_CHECK(options.num_vertices > 0);
+  Rng rng(options.seed);
+  ZipfGenerator zipf(options.num_vertices,
+                     options.target_theta > 0 ? options.target_theta : 0.0,
+                     options.seed + 1);
+  uint64_t edge = 0;
+  for (uint64_t v = 0; v < num_vertices_; ++v) {
+    offsets_[v] = edge;
+    for (uint32_t d = 0; d < options.out_degree; ++d) {
+      uint64_t target;
+      if (options.target_theta > 0) {
+        // Popular ranks mapped through a mixer so hubs spread over the
+        // vertex id space (same device as the Zipf relations).
+        target = Mix64(zipf.Next()) % num_vertices_;
+      } else {
+        target = rng.NextBounded(num_vertices_);
+      }
+      edges_[edge++] = static_cast<uint32_t>(target);
+    }
+  }
+  offsets_[num_vertices_] = edge;
+}
+
+uint64_t CsrGraph::MaxInDegree() const {
+  std::vector<uint64_t> in(num_vertices_, 0);
+  for (uint64_t e = 0; e < num_edges(); ++e) ++in[edges_[e]];
+  uint64_t max_in = 0;
+  for (uint64_t v = 0; v < num_vertices_; ++v) {
+    max_in = std::max(max_in, in[v]);
+  }
+  return max_in;
+}
+
+}  // namespace amac

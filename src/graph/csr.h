@@ -1,0 +1,52 @@
+// Compressed-sparse-row graph substrate.
+//
+// Paper §8: "Our future work will examine the efficacy of AMAC on graph
+// workloads and operations over unstructured data."  This module provides
+// that extension: a CSR graph plus random-walk operations whose access
+// pattern is the dependent chain AMAC targets (vertex -> adjacency row ->
+// random neighbor -> ...), with optional power-law target skew so the
+// irregularity knob matches the database experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned.h"
+#include "common/macros.h"
+
+namespace amac {
+
+class CsrGraph {
+ public:
+  struct Options {
+    uint64_t num_vertices = 1 << 20;
+    uint32_t out_degree = 8;   ///< exact out-degree per vertex
+    double target_theta = 0;   ///< Zipf skew of edge targets (0 = uniform)
+    uint64_t seed = 99;
+  };
+
+  /// Generate a random graph per `options`.
+  explicit CsrGraph(const Options& options);
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return offsets_[num_vertices_]; }
+
+  /// Adjacency row of `v` as [begin, end) into edges().
+  uint64_t RowBegin(uint64_t v) const { return offsets_[v]; }
+  uint64_t RowEnd(uint64_t v) const { return offsets_[v + 1]; }
+  uint32_t OutDegree(uint64_t v) const {
+    return static_cast<uint32_t>(RowEnd(v) - RowBegin(v));
+  }
+
+  const uint64_t* offsets() const { return offsets_.data(); }
+  const uint32_t* edges() const { return edges_.data(); }
+
+  /// In-degree distribution support for tests (O(m)).
+  uint64_t MaxInDegree() const;
+
+ private:
+  uint64_t num_vertices_;
+  AlignedBuffer<uint64_t> offsets_;  ///< num_vertices + 1
+  AlignedBuffer<uint32_t> edges_;
+};
+
+}  // namespace amac

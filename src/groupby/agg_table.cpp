@@ -1,0 +1,70 @@
+#include "groupby/agg_table.h"
+
+namespace amac {
+
+AggregateTable::AggregateTable(uint64_t expected_groups, Options options)
+    : hash_kind_(options.hash_kind) {
+  AMAC_CHECK(expected_groups > 0);
+  uint64_t nbuckets = NextPow2(static_cast<uint64_t>(
+      static_cast<double>(expected_groups) / options.target_nodes_per_bucket +
+      0.5));
+  nbuckets = std::max<uint64_t>(nbuckets, 1);
+  buckets_ = AlignedBuffer<GroupNode>(nbuckets);
+  bucket_mask_ = nbuckets - 1;
+  // Worst case: every group in an overflow node.
+  pool_ = AlignedBuffer<GroupNode>(expected_groups + 1);
+}
+
+GroupNode* AggregateTable::AllocNode() {
+  const uint64_t idx = pool_next_.fetch_add(1, std::memory_order_relaxed);
+  AMAC_CHECK_MSG(idx < pool_.size(), "group node pool exhausted");
+  GroupNode* node = &pool_[idx];
+  node->used = 0;
+  node->count = 0;
+  node->sum = 0;
+  node->sumsq = 0;
+  node->next = nullptr;
+  return node;
+}
+
+void AggregateTable::Clear() {
+  for (GroupNode& b : buckets_) {
+    b.used = 0;
+    b.count = 0;
+    b.sum = 0;
+    b.sumsq = 0;
+    b.next = nullptr;
+  }
+  pool_next_.store(0, std::memory_order_relaxed);
+}
+
+void AggregateTable::ForEachGroup(
+    const std::function<void(const GroupNode&)>& fn) const {
+  for (const GroupNode& head : buckets_) {
+    for (const GroupNode* n = &head; n != nullptr; n = n->next) {
+      if (n->used) fn(*n);
+    }
+  }
+}
+
+uint64_t AggregateTable::CountGroups() const {
+  uint64_t groups = 0;
+  ForEachGroup([&](const GroupNode&) { ++groups; });
+  return groups;
+}
+
+uint64_t AggregateTable::Checksum() const {
+  uint64_t sum = 0;
+  ForEachGroup([&](const GroupNode& g) {
+    uint64_t h = Mix64(static_cast<uint64_t>(g.key));
+    h = Mix64(h ^ static_cast<uint64_t>(g.count));
+    h = Mix64(h ^ static_cast<uint64_t>(g.sum));
+    h = Mix64(h ^ static_cast<uint64_t>(g.min));
+    h = Mix64(h ^ static_cast<uint64_t>(g.max));
+    h = Mix64(h ^ g.sumsq);
+    sum += h;
+  });
+  return sum;
+}
+
+}  // namespace amac

@@ -1,0 +1,104 @@
+// Aggregation hash table for the group-by operator.
+//
+// Paper §4: "we extend the hash table used in hash join with an additional
+// aggregation field ... We aggregate the values with six aggregation
+// functions (avg, count, min, max, sum and sum squared), which are applied
+// upon a match in the hash table."
+//
+// One group per 64-byte node: the running state of all six aggregates
+// (avg = sum/count is derived) plus the chain pointer.  The first node of
+// each chain is clustered with the bucket header, like the join table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/aligned.h"
+#include "common/hash.h"
+#include "common/latch.h"
+#include "common/macros.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+struct AMAC_CACHE_ALIGNED GroupNode {
+  Latch latch;        ///< bucket-level latch (meaningful on headers)
+  uint8_t used = 0;   ///< 0 = empty header slot
+  uint8_t pad[6] = {};
+  int64_t key = 0;
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  uint64_t sumsq = 0;
+  GroupNode* next = nullptr;
+
+  /// Fold one payload into all aggregates.
+  void Accumulate(int64_t payload) {
+    if (used && count > 0) {
+      min = payload < min ? payload : min;
+      max = payload > max ? payload : max;
+    } else {
+      min = max = payload;
+    }
+    ++count;
+    sum += payload;
+    sumsq += static_cast<uint64_t>(payload) * static_cast<uint64_t>(payload);
+  }
+
+  double Avg() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+static_assert(sizeof(GroupNode) == kCacheLineSize);
+
+class AggregateTable {
+ public:
+  struct Options {
+    HashKind hash_kind = HashKind::kMurmur;
+    /// Expected chain nodes per bucket for `expected_groups` distinct keys.
+    double target_nodes_per_bucket = 1.0;
+  };
+
+  AggregateTable(uint64_t expected_groups, Options options);
+
+  uint64_t BucketIndex(int64_t key) const {
+    return hash_kind_ == HashKind::kMurmur
+               ? HashToBucket<HashKind::kMurmur>(static_cast<uint64_t>(key),
+                                                 bucket_mask_)
+               : HashToBucket<HashKind::kRadix>(static_cast<uint64_t>(key),
+                                                bucket_mask_);
+  }
+  GroupNode* HeadForKey(int64_t key) { return &buckets_[BucketIndex(key)]; }
+
+  /// Thread-safe bump allocation of an overflow node.
+  GroupNode* AllocNode();
+
+  uint64_t num_buckets() const { return buckets_.size(); }
+  GroupNode* buckets() { return buckets_.data(); }
+  const GroupNode* buckets() const { return buckets_.data(); }
+
+  void Clear();
+
+  /// Visit every group (headers + overflow chains); not a hot path.
+  void ForEachGroup(const std::function<void(const GroupNode&)>& fn) const;
+
+  /// Number of distinct groups currently stored.
+  uint64_t CountGroups() const;
+
+  /// Order-independent checksum over the full aggregate state of every
+  /// group; engines that compute the same aggregation agree on this value.
+  uint64_t Checksum() const;
+
+ private:
+  AlignedBuffer<GroupNode> buckets_;
+  AlignedBuffer<GroupNode> pool_;
+  std::atomic<uint64_t> pool_next_{0};
+  uint64_t bucket_mask_ = 0;
+  HashKind hash_kind_;
+};
+
+}  // namespace amac

@@ -1,0 +1,66 @@
+#include "groupby/groupby.h"
+
+#include "common/barrier.h"
+#include "common/cycle_timer.h"
+#include "common/thread_pool.h"
+#include "groupby/groupby_kernels.h"
+
+namespace amac {
+
+namespace {
+
+template <bool kSync>
+void RunKernel(const Relation& input, uint64_t begin, uint64_t end,
+               const GroupByConfig& config, AggregateTable& table) {
+  switch (config.engine) {
+    case Engine::kBaseline:
+      GroupByBaseline<kSync>(input, begin, end, table);
+      break;
+    case Engine::kGP:
+      GroupByGroupPrefetch<kSync>(input, begin, end, config.inflight, table);
+      break;
+    case Engine::kSPP:
+      GroupBySoftwarePipelined<kSync>(input, begin, end, config.inflight,
+                                      table);
+      break;
+    case Engine::kAMAC:
+      GroupByAmac<kSync>(input, begin, end, config.inflight, table);
+      break;
+  }
+}
+
+}  // namespace
+
+GroupByStats RunGroupBy(const Relation& input, const GroupByConfig& config,
+                        AggregateTable* table) {
+  GroupByStats stats;
+  stats.input_tuples = input.size();
+  WallTimer wall;
+  CycleTimer cycles;
+  if (config.num_threads <= 1) {
+    RunKernel<false>(input, 0, input.size(), config, *table);
+  } else {
+    SpinBarrier barrier(config.num_threads);
+    ParallelFor(config.num_threads, [&](uint32_t tid) {
+      const Range r = PartitionRange(input.size(), config.num_threads, tid);
+      barrier.Wait();
+      RunKernel<true>(input, r.begin, r.end, config, *table);
+      barrier.Wait();
+    });
+  }
+  stats.cycles = cycles.Elapsed();
+  stats.seconds = wall.ElapsedSeconds();
+  stats.groups = table->CountGroups();
+  stats.checksum = table->Checksum();
+  return stats;
+}
+
+GroupByStats RunGroupBy(const Relation& input, uint64_t expected_groups,
+                        const GroupByConfig& config) {
+  AggregateTable::Options options;
+  options.hash_kind = config.hash_kind;
+  AggregateTable table(expected_groups, options);
+  return RunGroupBy(input, config, &table);
+}
+
+}  // namespace amac

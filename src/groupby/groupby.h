@@ -1,0 +1,43 @@
+// Group-by driver: aggregates an input relation into an AggregateTable with
+// a selected execution engine, single- or multi-threaded.
+#pragma once
+
+#include <cstdint>
+
+#include "groupby/agg_table.h"
+#include "join/hash_join.h"  // Engine enum
+#include "relation/relation.h"
+
+namespace amac {
+
+struct GroupByConfig {
+  Engine engine = Engine::kAMAC;
+  uint32_t inflight = 10;  ///< M: AMAC slots / GP group / SPP distance
+  uint32_t num_threads = 1;
+  HashKind hash_kind = HashKind::kMurmur;
+};
+
+struct GroupByStats {
+  uint64_t input_tuples = 0;
+  uint64_t groups = 0;
+  uint64_t checksum = 0;
+  uint64_t cycles = 0;
+  double seconds = 0;
+
+  double CyclesPerTuple() const {
+    return input_tuples ? static_cast<double>(cycles) /
+                              static_cast<double>(input_tuples)
+                        : 0;
+  }
+};
+
+/// Aggregate `input` into `table` (which must be empty and sized for the
+/// expected number of groups).
+GroupByStats RunGroupBy(const Relation& input, const GroupByConfig& config,
+                        AggregateTable* table);
+
+/// Convenience: allocates a table for `expected_groups` and runs.
+GroupByStats RunGroupBy(const Relation& input, uint64_t expected_groups,
+                        const GroupByConfig& config);
+
+}  // namespace amac

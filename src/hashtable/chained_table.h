@@ -1,0 +1,137 @@
+// Chained hash table with cache-line buckets, reproducing the layout the
+// paper adopts from Balkesen et al. [4, 5]:
+//
+//   "Each hash table bucket contains a 1-byte latch for synchronization,
+//    two 16-byte tuples and an 8-byte pointer to the next hash table node
+//    to be used in the case of collisions."
+//   "The first hash table node is clustered with the bucket header."
+//
+// The bucket header array and all overflow nodes are 64-byte aligned; a
+// bucket header and an overflow node share the same BucketNode layout so a
+// chain walk is uniform.  The execution engines (baseline / GP / SPP / AMAC)
+// operate directly on this layout, so it is deliberately an open struct with
+// documented invariants rather than an encapsulated container.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/hash.h"
+#include "common/latch.h"
+#include "common/macros.h"
+#include "common/stats.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+/// One cache line of the chain: up to two tuples plus the next pointer.
+struct AMAC_CACHE_ALIGNED BucketNode {
+  static constexpr uint32_t kTuplesPerNode = 2;
+
+  Latch latch;            ///< 1-byte latch (meaningful on bucket headers)
+  uint8_t count = 0;      ///< tuples used in this node (0..2)
+  uint8_t pad[6] = {};    ///< explicit padding for layout clarity
+  Tuple tuples[kTuplesPerNode] = {};
+  BucketNode* next = nullptr;  ///< overflow chain
+};
+static_assert(sizeof(BucketNode) == kCacheLineSize,
+              "bucket must occupy exactly one cache line");
+
+/// Aggregate shape of the chains, used by tests and to report workload
+/// irregularity (paper §2.2.2: "1% of the hash table buckets ... contain
+/// 19% of the total build tuples" at Zipf 0.75).
+struct ChainStats {
+  uint64_t num_buckets = 0;
+  uint64_t used_buckets = 0;
+  uint64_t total_tuples = 0;
+  uint64_t total_nodes = 0;    ///< used headers + overflow nodes
+  uint64_t max_chain_nodes = 0;
+  double avg_nodes_per_used_bucket = 0;
+  Histogram chain_length_hist{256};
+  /// Fraction of all tuples living in the 1% most populated buckets.
+  double top1pct_tuple_share = 0;
+};
+
+/// The chained table: bucket header array + bump-allocated overflow pool.
+class ChainedHashTable {
+ public:
+  struct Options {
+    /// Buckets are sized so the *expected* number of chain nodes per used
+    /// bucket under a uniform dense key distribution equals this value.
+    /// 1.0 gives the Balkesen no-partitioning layout (2 tuple slots per
+    /// key-pair); 2.0 (= 4 tuples/bucket) reproduces the Fig. 3 motivation
+    /// setup of "exactly four nodes per bucket" when combined with
+    /// `target_nodes_per_bucket = 2` and key duplication.
+    double target_nodes_per_bucket = 1.0;
+    HashKind hash_kind = HashKind::kMurmur;
+    /// Overflow pool capacity in nodes; 0 = auto (worst case: all tuples
+    /// collide into one chain).
+    uint64_t overflow_capacity = 0;
+  };
+
+  ChainedHashTable(uint64_t expected_tuples, Options options);
+
+  /// Non-synchronized insert (single-threaded build).
+  void InsertUnsync(const Tuple& t);
+
+  /// Latched insert (multi-threaded build); spins on the bucket latch.
+  void InsertSync(const Tuple& t);
+
+  /// Reset to empty (keeps the allocations).
+  void Clear();
+
+  uint64_t BucketIndex(int64_t key) const {
+    return hash_kind_ == HashKind::kMurmur
+               ? HashToBucket<HashKind::kMurmur>(static_cast<uint64_t>(key),
+                                                 bucket_mask_)
+               : HashToBucket<HashKind::kRadix>(static_cast<uint64_t>(key),
+                                                bucket_mask_);
+  }
+
+  BucketNode* BucketForKey(int64_t key) {
+    return &buckets_[BucketIndex(key)];
+  }
+  const BucketNode* BucketForKey(int64_t key) const {
+    return &buckets_[BucketIndex(key)];
+  }
+
+  /// Allocate one overflow node (thread-safe bump allocation).
+  BucketNode* AllocOverflowNode();
+
+  uint64_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_mask() const { return bucket_mask_; }
+  HashKind hash_kind() const { return hash_kind_; }
+  BucketNode* buckets() { return buckets_.data(); }
+  const BucketNode* buckets() const { return buckets_.data(); }
+  uint64_t overflow_nodes_used() const {
+    return pool_next_.load(std::memory_order_relaxed);
+  }
+
+  /// Walk every chain and gather shape statistics (not a hot path).
+  ChainStats ComputeStats() const;
+
+  /// Reference probe used by tests: returns payloads of all tuples whose
+  /// key matches, in chain order.
+  void FindAll(int64_t key, std::vector<int64_t>* payloads) const;
+
+ private:
+  void InsertInto(BucketNode* head, const Tuple& t);
+
+  AlignedBuffer<BucketNode> buckets_;
+  AlignedBuffer<BucketNode> overflow_pool_;
+  std::atomic<uint64_t> pool_next_{0};
+  uint64_t bucket_mask_ = 0;
+  HashKind hash_kind_;
+};
+
+/// Build the table from a relation, single-threaded (the baseline build;
+/// the staged build variants live in src/join/build_*).
+void BuildTableUnsync(const Relation& build, ChainedHashTable* table);
+
+/// Latched parallel build on `num_threads` threads.
+void BuildTableParallel(const Relation& build, uint32_t num_threads,
+                        ChainedHashTable* table);
+
+}  // namespace amac

@@ -1,0 +1,139 @@
+#include "join/hash_join.h"
+
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/cycle_timer.h"
+#include "common/thread_pool.h"
+#include "join/build_kernels.h"
+#include "join/probe_kernels.h"
+
+namespace amac {
+
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kBaseline: return "Baseline";
+    case Engine::kGP: return "GP";
+    case Engine::kSPP: return "SPP";
+    case Engine::kAMAC: return "AMAC";
+  }
+  return "?";
+}
+
+namespace {
+
+uint32_t SppDistance(const JoinConfig& config) {
+  return std::max<uint32_t>(1, config.inflight / std::max(1u, config.stages));
+}
+
+template <bool kSync>
+void RunBuildKernel(const Relation& r, uint64_t begin, uint64_t end,
+                    const JoinConfig& config, ChainedHashTable& table) {
+  switch (config.engine) {
+    case Engine::kBaseline:
+      BuildBaseline<kSync>(r, begin, end, table);
+      break;
+    case Engine::kGP:
+      BuildGroupPrefetch<kSync>(r, begin, end, config.inflight, table);
+      break;
+    case Engine::kSPP:
+      BuildSoftwarePipelined<kSync>(r, begin, end, config.inflight, table);
+      break;
+    case Engine::kAMAC:
+      BuildAmac<kSync>(r, begin, end, config.inflight, table);
+      break;
+  }
+}
+
+template <bool kEarlyExit>
+void RunProbeKernel(const ChainedHashTable& table, const Relation& s,
+                    uint64_t begin, uint64_t end, const JoinConfig& config,
+                    CountChecksumSink& sink) {
+  switch (config.engine) {
+    case Engine::kBaseline:
+      ProbeBaseline<kEarlyExit>(table, s, begin, end, sink);
+      break;
+    case Engine::kGP:
+      ProbeGroupPrefetch<kEarlyExit>(table, s, begin, end, config.inflight,
+                                     config.stages, sink);
+      break;
+    case Engine::kSPP:
+      ProbeSoftwarePipelined<kEarlyExit>(table, s, begin, end, config.stages,
+                                         SppDistance(config), sink);
+      break;
+    case Engine::kAMAC:
+      ProbeAmac<kEarlyExit>(table, s, begin, end, config.inflight, sink);
+      break;
+  }
+}
+
+}  // namespace
+
+void BuildPhase(const Relation& r, const JoinConfig& config,
+                ChainedHashTable* table, JoinStats* stats) {
+  stats->build_tuples = r.size();
+  WallTimer wall;
+  CycleTimer cycles;
+  if (config.num_threads <= 1) {
+    RunBuildKernel<false>(r, 0, r.size(), config, *table);
+  } else {
+    SpinBarrier barrier(config.num_threads);
+    ParallelFor(config.num_threads, [&](uint32_t tid) {
+      const Range range = PartitionRange(r.size(), config.num_threads, tid);
+      barrier.Wait();
+      RunBuildKernel<true>(r, range.begin, range.end, config, *table);
+      barrier.Wait();
+    });
+  }
+  stats->build_cycles = cycles.Elapsed();
+  stats->build_seconds = wall.ElapsedSeconds();
+}
+
+void ProbePhase(const ChainedHashTable& table, const Relation& s,
+                const JoinConfig& config, JoinStats* stats) {
+  stats->probe_tuples = s.size();
+  std::vector<CountChecksumSink> sinks(config.num_threads);
+  WallTimer wall;
+  CycleTimer cycles;
+  if (config.num_threads <= 1) {
+    if (config.early_exit) {
+      RunProbeKernel<true>(table, s, 0, s.size(), config, sinks[0]);
+    } else {
+      RunProbeKernel<false>(table, s, 0, s.size(), config, sinks[0]);
+    }
+  } else {
+    SpinBarrier barrier(config.num_threads);
+    ParallelFor(config.num_threads, [&](uint32_t tid) {
+      const Range range = PartitionRange(s.size(), config.num_threads, tid);
+      barrier.Wait();
+      if (config.early_exit) {
+        RunProbeKernel<true>(table, s, range.begin, range.end, config,
+                             sinks[tid]);
+      } else {
+        RunProbeKernel<false>(table, s, range.begin, range.end, config,
+                              sinks[tid]);
+      }
+      barrier.Wait();
+    });
+  }
+  stats->probe_cycles = cycles.Elapsed();
+  stats->probe_seconds = wall.ElapsedSeconds();
+  CountChecksumSink total;
+  for (const auto& sink : sinks) total.Merge(sink);
+  stats->matches = total.matches();
+  stats->checksum = total.checksum();
+}
+
+JoinStats RunHashJoin(const Relation& r, const Relation& s,
+                      const JoinConfig& config) {
+  ChainedHashTable::Options options;
+  options.target_nodes_per_bucket = config.target_nodes_per_bucket;
+  options.hash_kind = config.hash_kind;
+  ChainedHashTable table(r.size(), options);
+  JoinStats stats;
+  BuildPhase(r, config, &table, &stats);
+  ProbePhase(table, s, config, &stats);
+  return stats;
+}
+
+}  // namespace amac

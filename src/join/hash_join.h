@@ -1,0 +1,84 @@
+// High-level hash join driver: builds the table from R and probes it with S
+// using a selected execution engine, reporting the cycle/throughput metrics
+// the paper's tables and figures use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "hashtable/chained_table.h"
+#include "join/sink.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+/// The four execution engines compared throughout the paper.
+enum class Engine { kBaseline, kGP, kSPP, kAMAC };
+
+const char* EngineName(Engine e);
+
+struct JoinConfig {
+  Engine engine = Engine::kAMAC;
+  /// Number of parallel in-flight lookups per thread (paper's M): AMAC
+  /// circular-buffer size, GP group size, SPP total pipeline window.
+  uint32_t inflight = 10;
+  /// Provisioned node-visit stages for GP/SPP (paper's N).  SPP's prefetch
+  /// distance is derived as max(1, inflight / stages).
+  uint32_t stages = 1;
+  uint32_t num_threads = 1;
+  /// Stop a lookup at its first match (valid for unique build keys).
+  bool early_exit = true;
+  /// Bucket sizing: expected chain nodes per bucket under uniform keys.
+  double target_nodes_per_bucket = 1.0;
+  HashKind hash_kind = HashKind::kMurmur;
+};
+
+struct JoinStats {
+  uint64_t build_tuples = 0;
+  uint64_t probe_tuples = 0;
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  uint64_t build_cycles = 0;
+  uint64_t probe_cycles = 0;
+  double build_seconds = 0;
+  double probe_seconds = 0;
+
+  double BuildCyclesPerTuple() const {
+    return build_tuples ? static_cast<double>(build_cycles) /
+                              static_cast<double>(build_tuples)
+                        : 0;
+  }
+  double ProbeCyclesPerTuple() const {
+    return probe_tuples ? static_cast<double>(probe_cycles) /
+                              static_cast<double>(probe_tuples)
+                        : 0;
+  }
+  /// Paper Fig. 5: cycles per *output* tuple, build+probe stacked.
+  double CyclesPerOutputTuple() const {
+    return matches ? static_cast<double>(build_cycles + probe_cycles) /
+                         static_cast<double>(matches)
+                   : 0;
+  }
+  /// Paper Fig. 7/8: probe throughput in tuples/second.
+  double ProbeThroughput() const {
+    return probe_seconds > 0
+               ? static_cast<double>(probe_tuples) / probe_seconds
+               : 0;
+  }
+};
+
+/// Build `table` from R with the configured engine (timed into *stats).
+/// The table must be empty and sized for R.
+void BuildPhase(const Relation& r, const JoinConfig& config,
+                ChainedHashTable* table, JoinStats* stats);
+
+/// Probe `table` with S using the configured engine (timed into *stats).
+void ProbePhase(const ChainedHashTable& table, const Relation& s,
+                const JoinConfig& config, JoinStats* stats);
+
+/// Convenience: build + probe with checksum sink.
+JoinStats RunHashJoin(const Relation& r, const Relation& s,
+                      const JoinConfig& config);
+
+}  // namespace amac

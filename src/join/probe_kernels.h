@@ -1,0 +1,253 @@
+// Hash table probe kernels: Baseline, Group Prefetching (GP),
+// Software-Pipelined Prefetching (SPP), and AMAC.
+//
+// All four kernels implement the same contract:
+//
+//   for every probe tuple t in [begin, end): walk the chain of t.key's
+//   bucket; for every stored tuple with a matching key call
+//   sink.Emit(rid, payload).  With kEarlyExit the walk stops at the first
+//   match (unique build keys, paper's "non-uniform" traversal); without it
+//   the full chain is always visited (paper's "uniform" traversal and the
+//   correct semantics for skewed, non-unique build keys).
+//
+// GP and SPP are implemented faithfully to Chen et al. [8] — including the
+// structural weaknesses the paper analyzes: per-lookup status checks,
+// no-op stages after early termination, and sequential bailout for chains
+// longer than the provisioned stage count.  AMAC follows Listing 1 of the
+// paper, with the terminal/initial stage merge (§3.1 optimization 1) and a
+// rolling (non-modulo) circular-buffer cursor.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/prefetch.h"
+#include "hashtable/chained_table.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+/// Visit one chain node: compare stored keys, emit matches.
+/// Returns true if the lookup is finished at this node (match found under
+/// early-exit, or end of chain); otherwise *next is the follow-on node.
+template <bool kEarlyExit, typename Sink>
+inline bool VisitNode(const BucketNode* node, int64_t key, uint64_t rid,
+                      Sink& sink, const BucketNode** next) {
+  for (uint32_t i = 0; i < node->count; ++i) {
+    if (node->tuples[i].key == key) {
+      sink.Emit(rid, node->tuples[i].payload);
+      if constexpr (kEarlyExit) return true;
+    }
+  }
+  if (node->next == nullptr) return true;
+  *next = node->next;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: plain dependent pointer chase, no software prefetching. MLP is
+// whatever the core's out-of-order window extracts on its own.
+// ---------------------------------------------------------------------------
+template <bool kEarlyExit, typename Sink>
+void ProbeBaseline(const ChainedHashTable& ht, const Relation& probe,
+                   uint64_t begin, uint64_t end, Sink& sink) {
+  for (uint64_t i = begin; i < end; ++i) {
+    const int64_t key = probe[i].key;
+    const BucketNode* node = ht.BucketForKey(key);
+    const BucketNode* next = nullptr;
+    while (!VisitNode<kEarlyExit>(node, key, i, sink, &next)) node = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group Prefetching (Chen et al.): process `group_size` lookups stage by
+// stage.  Stage 0 hashes and prefetches every bucket header; each of the
+// `num_stages` node-visit stages advances every still-active lookup by one
+// node and prefetches the next.  Lookups whose chains outlive the staged
+// visits are finished in a sequential cleanup pass (the "bailout").
+// ---------------------------------------------------------------------------
+template <bool kEarlyExit, typename Sink>
+void ProbeGroupPrefetch(const ChainedHashTable& ht, const Relation& probe,
+                        uint64_t begin, uint64_t end, uint32_t group_size,
+                        uint32_t num_stages, Sink& sink) {
+  AMAC_CHECK(group_size >= 1 && num_stages >= 1);
+  struct GpState {
+    const BucketNode* ptr;
+    int64_t key;
+    uint64_t rid;
+    bool active;
+  };
+  std::vector<GpState> g(group_size);
+
+  for (uint64_t base = begin; base < end; base += group_size) {
+    const uint32_t n_in_group =
+        static_cast<uint32_t>(std::min<uint64_t>(group_size, end - base));
+    // Code stage 0: hash, record state, prefetch bucket header.
+    for (uint32_t j = 0; j < n_in_group; ++j) {
+      const int64_t key = probe[base + j].key;
+      const BucketNode* bucket = ht.BucketForKey(key);
+      Prefetch(bucket);
+      g[j] = GpState{bucket, key, base + j, true};
+    }
+    // Node-visit code stages 1..N: every lookup advances one node per
+    // stage.  Early-terminated lookups burn a status check per remaining
+    // stage (the overhead the paper measures as wasted instructions).
+    for (uint32_t stage = 0; stage < num_stages; ++stage) {
+      for (uint32_t j = 0; j < n_in_group; ++j) {
+        if (!g[j].active) continue;
+        const BucketNode* next = nullptr;
+        if (VisitNode<kEarlyExit>(g[j].ptr, g[j].key, g[j].rid, sink,
+                                  &next)) {
+          g[j].active = false;
+        } else {
+          Prefetch(next);
+          g[j].ptr = next;
+        }
+      }
+    }
+    // Cleanup pass (bailout): chains longer than the provisioned stages
+    // finish synchronously, with no overlap across lookups.
+    for (uint32_t j = 0; j < n_in_group; ++j) {
+      if (!g[j].active) continue;
+      const BucketNode* node = g[j].ptr;
+      const BucketNode* next = nullptr;
+      while (!VisitNode<kEarlyExit>(node, g[j].key, g[j].rid, sink, &next)) {
+        node = next;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Software-Pipelined Prefetching (Chen et al.): lookup i executes its
+// stage-k code `distance` iterations after stage k-1, so at steady state
+// `num_stages * distance` lookups are in flight, each at a different
+// pipeline depth.  The schedule is static: a lookup that finishes early
+// still occupies its pipeline slot (no-op stages); a lookup whose chain is
+// longer than the pipeline bails out sequentially in its final stage.
+// ---------------------------------------------------------------------------
+template <bool kEarlyExit, typename Sink>
+void ProbeSoftwarePipelined(const ChainedHashTable& ht, const Relation& probe,
+                            uint64_t begin, uint64_t end, uint32_t num_stages,
+                            uint32_t distance, Sink& sink) {
+  AMAC_CHECK(num_stages >= 1 && distance >= 1);
+  const uint64_t n = end - begin;
+  const uint64_t window = static_cast<uint64_t>(num_stages) * distance;
+  struct SppState {
+    const BucketNode* ptr;
+    int64_t key;
+    bool active;
+  };
+  std::vector<SppState> pipe(window);
+
+  // Iteration i: stage 0 for lookup i, stage s for lookup i - s*distance.
+  // Runs (n + window) iterations so the epilogue drains the pipeline.
+  for (uint64_t i = 0; i < n + window; ++i) {
+    // Deepest stage first (matches the loop order of Chen et al., which
+    // consumes the oldest prefetch before issuing new ones).
+    for (uint32_t s = num_stages; s >= 1; --s) {
+      const uint64_t delay = static_cast<uint64_t>(s) * distance;
+      if (i < delay) continue;  // this pipeline depth not yet filled
+      const uint64_t t = i - delay;
+      if (t >= n) continue;
+      SppState& st = pipe[t % window];
+      if (!st.active) continue;  // no-op stage: lookup already finished
+      const BucketNode* next = nullptr;
+      const uint64_t rid = begin + t;
+      if (VisitNode<kEarlyExit>(st.ptr, st.key, rid, sink, &next)) {
+        st.active = false;
+      } else if (s == num_stages) {
+        // Final scheduled stage but the chain continues: bailout.
+        const BucketNode* node = next;
+        while (!VisitNode<kEarlyExit>(node, st.key, rid, sink, &next)) {
+          node = next;
+        }
+        st.active = false;
+      } else {
+        Prefetch(next);
+        st.ptr = next;
+      }
+    }
+    // Stage 0 for the newest lookup.
+    if (i < n) {
+      const int64_t key = probe[begin + i].key;
+      const BucketNode* bucket = ht.BucketForKey(key);
+      Prefetch(bucket);
+      pipe[i % window] = SppState{bucket, key, true};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AMAC (paper Listing 1): every in-flight lookup owns a slot in a
+// software-managed circular buffer holding its full state.  Slots advance
+// independently; when a lookup finishes, the same stage execution
+// immediately initiates the next lookup (terminal/initial merge, §3.1),
+// keeping the number of in-flight memory accesses constant.  The cursor is
+// a rolling counter, not a modulo (§3.1), so any in-flight count works.
+// ---------------------------------------------------------------------------
+template <bool kEarlyExit, typename Sink>
+void ProbeAmac(const ChainedHashTable& ht, const Relation& probe,
+               uint64_t begin, uint64_t end, uint32_t num_inflight,
+               Sink& sink) {
+  AMAC_CHECK(num_inflight >= 1);
+  // The five state fields of Figure 4: rid(idx), key, payload (carried by
+  // the sink here), ptr, stage.  For the probe the stage collapses to
+  // active/empty because stage 0 is merged into lookup completion.
+  struct AmacState {
+    const BucketNode* ptr;
+    int64_t key;
+    uint64_t rid;
+    bool active;
+  };
+  std::vector<AmacState> s(num_inflight);
+
+  uint64_t next_input = begin;
+  uint32_t num_active = 0;
+
+  // Prologue: fill the circular buffer (code stage 0 for the first W
+  // lookups, prefetching their bucket headers).
+  for (uint32_t k = 0; k < num_inflight; ++k) {
+    if (next_input < end) {
+      const int64_t key = probe[next_input].key;
+      const BucketNode* bucket = ht.BucketForKey(key);
+      Prefetch(bucket);
+      s[k] = AmacState{bucket, key, next_input, true};
+      ++next_input;
+      ++num_active;
+    } else {
+      s[k].active = false;
+    }
+  }
+
+  // Main loop: rolling cursor over the circular buffer.
+  uint32_t k = 0;
+  while (num_active > 0) {
+    AmacState& st = s[k];
+    if (st.active) {
+      const BucketNode* next = nullptr;
+      if (!VisitNode<kEarlyExit>(st.ptr, st.key, st.rid, sink, &next)) {
+        Prefetch(next);
+        st.ptr = next;
+      } else if (next_input < end) {
+        // Terminal stage merged with the next lookup's initial stage: the
+        // slot is refilled and a new prefetch issued immediately.
+        const int64_t key = probe[next_input].key;
+        const BucketNode* bucket = ht.BucketForKey(key);
+        Prefetch(bucket);
+        st = AmacState{bucket, key, next_input, true};
+        ++next_input;
+      } else {
+        st.active = false;
+        --num_active;
+      }
+    }
+    // Rolling counter instead of modulo (§3.1): supports arbitrary W.
+    ++k;
+    if (k == num_inflight) k = 0;
+  }
+}
+
+}  // namespace amac

@@ -1,0 +1,61 @@
+// Output sinks for probe kernels.
+//
+// Probe engines are templated on a Sink so benchmarks can choose between
+// full materialization (the paper materializes results: "out[s[k].idx] =
+// n->pload") and a checksum-only sink used by tests to compare engines.
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned.h"
+#include "common/hash.h"
+#include "common/macros.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+/// Counts matches and folds (rid, payload) into an order-independent
+/// checksum; engines that produce identical join results produce identical
+/// checksums regardless of emission order.
+class CountChecksumSink {
+ public:
+  void Emit(uint64_t rid, int64_t payload) {
+    ++matches_;
+    checksum_ += Mix64(rid * 0x9e3779b97f4a7c15ull +
+                       static_cast<uint64_t>(payload));
+  }
+
+  uint64_t matches() const { return matches_; }
+  uint64_t checksum() const { return checksum_; }
+
+  void Merge(const CountChecksumSink& other) {
+    matches_ += other.matches_;
+    checksum_ += other.checksum_;
+  }
+
+ private:
+  uint64_t matches_ = 0;
+  uint64_t checksum_ = 0;
+};
+
+/// Materializes (rid, payload) pairs into a preallocated buffer, preserving
+/// nothing about arrival order (rid carries the input order, per the paper's
+/// "output order" discussion in §3.1).
+class MaterializeSink {
+ public:
+  explicit MaterializeSink(uint64_t capacity) : out_(capacity) {}
+
+  void Emit(uint64_t rid, int64_t payload) {
+    AMAC_DCHECK(used_ < out_.size());
+    out_[used_++] = Tuple{static_cast<int64_t>(rid), payload};
+  }
+
+  uint64_t size() const { return used_; }
+  const Tuple* data() const { return out_.data(); }
+
+ private:
+  AlignedBuffer<Tuple> out_;
+  uint64_t used_ = 0;
+};
+
+}  // namespace amac

@@ -1,0 +1,113 @@
+// Discrete-event model of the memory-system bottlenecks the paper measures
+// on real hardware (§5.1.1): per-core L1-D MSHRs and the shared LLC miss
+// queue ("Global Queue" on Nehalem, 32 entries for loads).
+//
+// Why this exists: Figures 7/8 and Table 4 require a 6-core Xeon X5670 and
+// a 64-thread SPARC T4.  This container has one core, so those experiments
+// are reproduced on a model that contains exactly (and only) the mechanism
+// the paper identifies as the bottleneck:
+//
+//   * each in-flight memory access holds one of the issuing core's
+//     `mshrs_per_core` L1-D MSHRs from issue to fill;
+//   * every off-chip access also needs one of the socket's
+//     `gq_entries` LLC queue slots; when the queue is full the request
+//     waits (holding its MSHR — the backpressure that shows up as "L1-D
+//     MSHR hits" in Table 4);
+//   * SMT threads share their core's execution bandwidth and MSHRs.
+//
+// Threads replay the same lookup work the real kernels perform (chains of
+// dependent accesses with per-stage instruction cost), under one of four
+// scheduling disciplines that abstract the engines:
+//
+//   Baseline : one lookup at a time, synchronous accesses.
+//   GP       : groups of M; stage s consumes lookups in fixed order, so the
+//              thread blocks on the first unready lookup (the coupling).
+//   SPP      : rolling window; the *scheduled* slot must be ready, else the
+//              thread blocks (static pipeline order).
+//   AMAC     : work-conserving; any ready slot may run, the thread sleeps
+//              only when no in-flight access has completed.
+//
+// The model makes no absolute-performance claims; it is used for the
+// *shape* of thread scaling and the Table 4 counters (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "join/hash_join.h"  // Engine enum
+
+namespace amac::memsim {
+
+/// Machine description (modeled, parameters documented in DESIGN.md).
+struct MachineConfig {
+  std::string name;
+  uint32_t sockets = 1;
+  uint32_t cores_per_socket = 6;
+  uint32_t smt_per_core = 2;
+  uint32_t mshrs_per_core = 10;   ///< outstanding L1-D misses per core
+  uint32_t gq_entries = 32;       ///< LLC load-miss queue per socket
+  uint32_t mem_latency = 200;     ///< cycles, LLC miss -> fill
+  uint32_t issue_width = 4;       ///< instructions per cycle when not stalled
+
+  static MachineConfig XeonX5670();
+  static MachineConfig SparcT4();
+};
+
+/// Per-engine instruction cost of one code stage (defaults derived from the
+/// paper's Table 3 instruction-per-tuple profile at ~4 accesses/tuple).
+struct EngineCosts {
+  double baseline_instr = 9.0;
+  double gp_instr = 22.0;
+  double spp_instr = 17.0;
+  double amac_instr = 14.0;
+  double noop_instr = 3.0;  ///< GP/SPP status check on a finished lookup
+
+  double StageInstr(Engine e) const {
+    switch (e) {
+      case Engine::kBaseline: return baseline_instr;
+      case Engine::kGP: return gp_instr;
+      case Engine::kSPP: return spp_instr;
+      case Engine::kAMAC: return amac_instr;
+    }
+    return 0;
+  }
+};
+
+struct SimConfig {
+  Engine engine = Engine::kAMAC;
+  uint32_t inflight = 10;          ///< M per thread (1 forced for baseline)
+  uint32_t stages = 1;             ///< provisioned N for the GP schedule
+  uint32_t num_threads = 1;
+  uint64_t lookups_per_thread = 20000;
+  EngineCosts costs;
+  /// Chain lengths (dependent accesses per lookup); threads draw from this
+  /// vector round-robin.  Produce it from real ChainedHashTable stats or a
+  /// synthetic distribution (workload.h).
+  const std::vector<uint32_t>* chain_lengths = nullptr;
+  /// Thread placement: spread threads across sockets round-robin instead of
+  /// filling socket 0 first (Table 4's "2+2" configuration).
+  bool scatter_sockets = false;
+};
+
+struct SimResult {
+  uint64_t cycles = 0;            ///< makespan
+  uint64_t lookups = 0;
+  uint64_t accesses = 0;
+  double instructions = 0;
+  double ipc = 0;                 ///< per-thread average IPC
+  double mshr_hits_per_kinstr = 0;///< LLC-queue-delayed fills per k-inst
+                                  ///< (hardware-observable as MSHR hits)
+  double avg_outstanding = 0;     ///< mean in-flight accesses (achieved MLP)
+  uint64_t gq_full_waits = 0;     ///< accesses that queued for an LLC slot
+  double ThroughputPerKilocycle() const {
+    return cycles ? static_cast<double>(lookups) * 1000.0 /
+                        static_cast<double>(cycles)
+                  : 0;
+  }
+};
+
+/// Run the model.  Deterministic for a given configuration.
+SimResult Simulate(const MachineConfig& machine, const SimConfig& config);
+
+}  // namespace amac::memsim

@@ -1,0 +1,97 @@
+#include "memsim/workload.h"
+
+#include "bst/bst.h"
+#include "groupby/agg_table.h"
+#include "skiplist/skiplist.h"
+
+namespace amac::memsim {
+
+std::vector<uint32_t> CollectWalkLengths(const ChainedHashTable& table,
+                                         const Relation& probe,
+                                         bool early_exit) {
+  std::vector<uint32_t> lengths;
+  lengths.reserve(probe.size());
+  for (const Tuple& t : probe) {
+    uint32_t visited = 0;
+    for (const BucketNode* n = table.BucketForKey(t.key); n != nullptr;
+         n = n->next) {
+      ++visited;
+      if (early_exit) {
+        bool matched = false;
+        for (uint32_t i = 0; i < n->count; ++i) {
+          if (n->tuples[i].key == t.key) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) break;
+      }
+    }
+    lengths.push_back(visited == 0 ? 1 : visited);
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> FixedWalkLengths(uint64_t lookups, uint32_t nodes) {
+  return std::vector<uint32_t>(lookups, nodes);
+}
+
+std::vector<uint32_t> CollectBstWalkLengths(const BinarySearchTree& tree,
+                                            const Relation& probe) {
+  std::vector<uint32_t> lengths;
+  lengths.reserve(probe.size());
+  for (const Tuple& t : probe) {
+    uint32_t visited = 0;
+    const BstNode* node = tree.root();
+    while (node != nullptr) {
+      ++visited;
+      if (node->key == t.key) break;
+      node = t.key < node->key ? node->left : node->right;
+    }
+    lengths.push_back(visited == 0 ? 1 : visited);
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> CollectSkipWalkLengths(const SkipList& list,
+                                             const Relation& probe) {
+  std::vector<uint32_t> lengths;
+  lengths.reserve(probe.size());
+  for (const Tuple& t : probe) {
+    uint32_t visited = 0;
+    const SkipNode* cur = list.head();
+    for (int32_t level = SkipList::kMaxLevel - 1; level >= 0; --level) {
+      const SkipNode* cand = cur->next[level];
+      while (cand != nullptr && cand->key < t.key) {
+        ++visited;
+        cur = cand;
+        cand = cur->next[level];
+      }
+      if (cand != nullptr && cand->key == t.key) {
+        ++visited;
+        break;
+      }
+    }
+    lengths.push_back(visited == 0 ? 1 : visited);
+  }
+  return lengths;
+}
+
+std::vector<uint32_t> CollectGroupByWalkLengths(const AggregateTable& table,
+                                                const Relation& input) {
+  std::vector<uint32_t> lengths;
+  lengths.reserve(input.size());
+  for (const Tuple& t : input) {
+    uint32_t visited = 0;
+    for (const GroupNode* n =
+             const_cast<AggregateTable&>(table).HeadForKey(t.key);
+         n != nullptr; n = n->next) {
+      ++visited;
+      if (n->used && n->key == t.key) break;
+    }
+    lengths.push_back(visited == 0 ? 1 : visited);
+  }
+  return lengths;
+}
+
+}  // namespace amac::memsim

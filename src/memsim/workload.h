@@ -1,0 +1,50 @@
+// Chain-length trace extraction for the memory-system model.
+//
+// The model replays the *actual* dependent-access counts the real operators
+// perform: we walk the real chained hash table with the real probe relation
+// and record how many nodes each lookup visits.  This ties the simulated
+// scalability curves (Fig 7/8, Table 4) to the same workload irregularity
+// the measured single-core experiments use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hashtable/chained_table.h"
+#include "relation/relation.h"
+
+namespace amac::memsim {
+
+/// Nodes visited per probe lookup (early_exit stops at the first match).
+std::vector<uint32_t> CollectWalkLengths(const ChainedHashTable& table,
+                                         const Relation& probe,
+                                         bool early_exit);
+
+/// Synthetic traces for tests: every lookup visits exactly `nodes` nodes.
+std::vector<uint32_t> FixedWalkLengths(uint64_t lookups, uint32_t nodes);
+
+}  // namespace amac::memsim
+
+// Extractors for the other operators (declared in amac:: to keep their
+// dependencies one-directional).
+namespace amac {
+class BinarySearchTree;
+class SkipList;
+class AggregateTable;
+}  // namespace amac
+
+namespace amac::memsim {
+
+/// Nodes visited per BST search (path length to match or leaf).
+std::vector<uint32_t> CollectBstWalkLengths(const BinarySearchTree& tree,
+                                            const Relation& probe);
+
+/// Candidate nodes visited per skip list search.
+std::vector<uint32_t> CollectSkipWalkLengths(const SkipList& list,
+                                             const Relation& probe);
+
+/// Chain nodes visited per group-by tuple against a populated table.
+std::vector<uint32_t> CollectGroupByWalkLengths(const AggregateTable& table,
+                                                const Relation& input);
+
+}  // namespace amac::memsim

@@ -1,0 +1,87 @@
+#include "metrics/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace amac {
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenCounter(uint32_t type, uint64_t config_value) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config_value;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+uint64_t ReadCounter(int fd) {
+  uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) value = 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  instructions_.fd =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  cycles_.fd = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  l1d_misses_.fd = OpenCounter(
+      PERF_TYPE_HW_CACHE,
+      PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+          (PERF_COUNT_HW_CACHE_RESULT_MISS << 16));
+  available_ = instructions_.fd >= 0;
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : {instructions_.fd, cycles_.fd, l1d_misses_.fd}) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounters::Start() {
+  for (Fd* c : {&instructions_, &cycles_, &l1d_misses_}) {
+    if (c->fd < 0) continue;
+    ioctl(c->fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(c->fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounters::Sample PerfCounters::Stop() {
+  Sample s;
+  for (Fd* c : {&instructions_, &cycles_, &l1d_misses_}) {
+    if (c->fd < 0) continue;
+    ioctl(c->fd, PERF_EVENT_IOC_DISABLE, 0);
+    c->value = ReadCounter(c->fd);
+  }
+  s.valid = available_;
+  s.instructions = instructions_.value;
+  s.cycles = cycles_.value;
+  s.l1d_misses = l1d_misses_.value;
+  return s;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {}
+PerfCounters::Sample PerfCounters::Stop() { return Sample{}; }
+
+#endif
+
+}  // namespace amac

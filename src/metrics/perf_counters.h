@@ -1,0 +1,48 @@
+// Hardware performance counters via perf_event_open, with graceful
+// degradation: containers and locked-down kernels often forbid the syscall,
+// in which case counters report unavailable and callers fall back to
+// documented estimates (see bench/table3_profile).
+//
+// Used to reproduce Table 3 (instructions/cycles per tuple).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amac {
+
+/// A group of core PMU counters read together.
+class PerfCounters {
+ public:
+  struct Sample {
+    bool valid = false;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t l1d_misses = 0;
+  };
+
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if the kernel admitted at least the instruction counter.
+  bool available() const { return available_; }
+
+  void Start();
+  /// Stop and return deltas since Start().
+  Sample Stop();
+
+ private:
+  struct Fd {
+    int fd = -1;
+    uint64_t value = 0;
+  };
+  Fd instructions_;
+  Fd cycles_;
+  Fd l1d_misses_;
+  bool available_ = false;
+};
+
+}  // namespace amac

@@ -1,0 +1,95 @@
+#include "relation/relation.h"
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/zipf.h"
+
+namespace amac {
+
+void ShuffleRelation(Relation* rel, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t n = rel->size();
+  for (uint64_t i = n; i > 1; --i) {
+    const uint64_t j = rng.NextBounded(i);
+    std::swap((*rel)[i - 1], (*rel)[j]);
+  }
+}
+
+Relation MakeDenseUniqueRelation(uint64_t n, uint64_t seed) {
+  Relation rel(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t key = static_cast<int64_t>(i + 1);
+    rel[i] = Tuple{key, PayloadForKey(key)};
+  }
+  ShuffleRelation(&rel, seed);
+  return rel;
+}
+
+Relation MakeForeignKeyRelation(uint64_t n, uint64_t fk_range, uint64_t seed) {
+  AMAC_CHECK(fk_range >= 1);
+  Relation rel(n);
+  if (n == fk_range) {
+    // Equal sizes: permutation, every build key probed exactly once.
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t key = static_cast<int64_t>(i + 1);
+      rel[i] = Tuple{key, static_cast<int64_t>(i)};
+    }
+    ShuffleRelation(&rel, seed);
+  } else {
+    Rng rng(seed);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t key = static_cast<int64_t>(rng.NextBounded(fk_range) + 1);
+      rel[i] = Tuple{key, static_cast<int64_t>(i)};
+    }
+  }
+  return rel;
+}
+
+Relation MakeZipfRelation(uint64_t n, uint64_t key_range, double theta,
+                          uint64_t seed) {
+  Relation rel(n);
+  if (theta == 0.0) {
+    Rng rng(seed);
+    for (uint64_t i = 0; i < n; ++i) {
+      rel[i] = Tuple{static_cast<int64_t>(rng.NextBounded(key_range) + 1),
+                     static_cast<int64_t>(i)};
+    }
+    return rel;
+  }
+  ZipfGenerator zipf(key_range, theta, seed);
+  // Zipf ranks map to key values through a mixer so that the hot keys are
+  // spread across the hash space (as they would be for real skewed
+  // attributes) rather than clustered at small integers.
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t rank = zipf.Next();
+    const uint64_t key = (Mix64(rank) % key_range) + 1;
+    rel[i] = Tuple{static_cast<int64_t>(key), static_cast<int64_t>(i)};
+  }
+  return rel;
+}
+
+Relation MakeGroupByInput(uint64_t num_groups, uint32_t repeats,
+                          uint64_t seed) {
+  Relation rel(num_groups * repeats);
+  uint64_t pos = 0;
+  for (uint64_t g = 1; g <= num_groups; ++g) {
+    for (uint32_t r = 0; r < repeats; ++r) {
+      rel[pos] = Tuple{static_cast<int64_t>(g), static_cast<int64_t>(pos + 1)};
+      ++pos;
+    }
+  }
+  ShuffleRelation(&rel, seed);
+  return rel;
+}
+
+uint64_t RelationChecksum(const Relation& rel) {
+  // Commutative combine (sum of mixed pairs) -> order independent.
+  uint64_t sum = 0;
+  for (const Tuple& t : rel) {
+    sum += Mix64(static_cast<uint64_t>(t.key) * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(t.payload));
+  }
+  return sum;
+}
+
+}  // namespace amac

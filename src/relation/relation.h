@@ -1,0 +1,74 @@
+// In-memory relations: 16-byte tuples of (key, payload), as in the paper's
+// methodology ("16-byte tuples containing an 8-byte integer key and an
+// 8-byte integer payload, representative of an in-memory columnar database
+// storage representation").
+//
+// All generators are deterministic in their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+
+namespace amac {
+
+struct Tuple {
+  int64_t key;
+  int64_t payload;
+};
+static_assert(sizeof(Tuple) == 16);
+
+/// A flat, cache-line aligned array of tuples.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(uint64_t num_tuples) : tuples_(num_tuples) {}
+
+  uint64_t size() const { return tuples_.size(); }
+  Tuple* data() { return tuples_.data(); }
+  const Tuple* data() const { return tuples_.data(); }
+  Tuple& operator[](uint64_t i) { return tuples_[i]; }
+  const Tuple& operator[](uint64_t i) const { return tuples_[i]; }
+  const Tuple* begin() const { return tuples_.begin(); }
+  const Tuple* end() const { return tuples_.end(); }
+
+ private:
+  AlignedBuffer<Tuple> tuples_;
+};
+
+/// Fisher-Yates shuffle of the tuple order.
+void ShuffleRelation(Relation* rel, uint64_t seed);
+
+/// Build relation R for the uniform joins: keys are a random permutation of
+/// the dense range [1, n] (unique), payload(k) = PayloadForKey(k) so joins
+/// can be validated without a reference table.
+Relation MakeDenseUniqueRelation(uint64_t n, uint64_t seed);
+
+/// Probe relation S with a foreign-key relationship into a dense build key
+/// range [1, fk_range]: every S key hits exactly one R bucket entry. When
+/// n == fk_range the keys are a permutation (each R key matched exactly
+/// once, the paper's equal-size join); otherwise keys are drawn uniformly
+/// at random from the range.
+Relation MakeForeignKeyRelation(uint64_t n, uint64_t fk_range, uint64_t seed);
+
+/// Zipf-skewed relation: keys drawn from [1, key_range] with exponent
+/// `theta` (theta = 0 -> uniform random, duplicates possible).
+Relation MakeZipfRelation(uint64_t n, uint64_t key_range, double theta,
+                          uint64_t seed);
+
+/// Group-by input: `num_groups` distinct dense keys, each repeated
+/// `repeats` times (paper: "each key appears three times"), shuffled;
+/// payloads are distinct values.
+Relation MakeGroupByInput(uint64_t num_groups, uint32_t repeats,
+                          uint64_t seed);
+
+/// Deterministic payload for a dense build key; lets probes validate
+/// matches without consulting R.
+inline int64_t PayloadForKey(int64_t key) { return key ^ 0x5a5a5a5a5a5a5a5all; }
+
+/// Order-independent checksum over (key, payload) pairs, used to compare
+/// the output of different execution engines.
+uint64_t RelationChecksum(const Relation& rel);
+
+}  // namespace amac

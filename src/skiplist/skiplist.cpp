@@ -1,0 +1,152 @@
+#include "skiplist/skiplist.h"
+
+#include <limits>
+
+#include "common/hash.h"
+
+namespace amac {
+
+SkipList::SkipList(uint64_t expected_elems) {
+  AMAC_CHECK(expected_elems > 0);
+  // Expected node footprint at p = 1/2 is ~66 bytes (64-byte aligned,
+  // geometric tower); 96 bytes/element leaves ample slack, and allocation
+  // is checked so exhaustion is loud, never silent corruption.
+  const uint64_t slab_bytes =
+      expected_elems * 96 + (kMaxLevel + 2) * kCacheLineSize + (1 << 16);
+  slab_ = AlignedBuffer<uint8_t>(slab_bytes);
+  head_ = AllocNode(kMaxLevel, std::numeric_limits<int64_t>::min(), 0);
+  num_elems_.store(0, std::memory_order_relaxed);  // head is not an element
+}
+
+uint32_t SkipList::RandomHeight(Rng& rng) {
+  uint32_t h = 1;
+  while (h < kMaxLevel && rng.NextBool()) ++h;
+  return h;
+}
+
+SkipNode* SkipList::AllocNode(uint32_t height, int64_t key, int64_t payload) {
+  AMAC_CHECK(height >= 1 && height <= kMaxLevel);
+  const std::size_t bytes = SkipNode::BytesForHeight(height);
+  const uint64_t offset =
+      slab_used_.fetch_add(bytes, std::memory_order_relaxed);
+  AMAC_CHECK_MSG(offset + bytes <= slab_.size(), "skip list slab exhausted");
+  auto* node = reinterpret_cast<SkipNode*>(slab_.data() + offset);
+  node->key = key;
+  node->payload = payload;
+  new (&node->latch) Latch();
+  node->height = static_cast<uint8_t>(height);
+  for (uint32_t l = 0; l < height; ++l) node->next[l] = nullptr;
+  return node;
+}
+
+void FindPredecessors(SkipList& list, int64_t key,
+                      SkipNode* preds[SkipList::kMaxLevel],
+                      SkipNode* succs[SkipList::kMaxLevel]) {
+  SkipNode* cur = list.head();
+  for (int32_t level = SkipList::kMaxLevel - 1; level >= 0; --level) {
+    SkipNode* cand = LoadNextAcquire(cur, level);
+    while (cand != nullptr && cand->key < key) {
+      cur = cand;
+      cand = LoadNextAcquire(cur, level);
+    }
+    preds[level] = cur;
+    succs[level] = cand;
+  }
+}
+
+bool SkipList::InsertUnsync(int64_t key, int64_t payload, Rng& rng) {
+  SkipNode* preds[kMaxLevel];
+  SkipNode* succs[kMaxLevel];
+  FindPredecessors(*this, key, preds, succs);
+  if (succs[0] != nullptr && succs[0]->key == key) return false;
+  const uint32_t height = RandomHeight(rng);
+  SkipNode* node = AllocNode(height, key, payload);
+  for (uint32_t l = 0; l < height; ++l) {
+    node->next[l] = succs[l];
+    preds[l]->next[l] = node;
+  }
+  num_elems_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SkipList::InsertSync(int64_t key, int64_t payload, Rng& rng) {
+  SkipNode* preds[kMaxLevel];
+  SkipNode* succs[kMaxLevel];
+  FindPredecessors(*this, key, preds, succs);
+  if (succs[0] != nullptr && succs[0]->key == key) return false;
+  const uint32_t height = RandomHeight(rng);
+  SkipNode* node = AllocNode(height, key, payload);
+  // Pugh splice, bottom-up.  For each level: lock the candidate
+  // predecessor, re-validate under the lock (concurrent inserts may have
+  // linked new nodes), advancing rightward as needed.
+  for (uint32_t l = 0; l < height; ++l) {
+    SkipNode* pred = preds[l];
+    while (true) {
+      pred->latch.Acquire();
+      SkipNode* succ = LoadNextAcquire(pred, l);
+      if (succ != nullptr && succ->key < key) {
+        pred->latch.Release();  // stale: advance and retry the lock
+        pred = succ;
+        continue;
+      }
+      if (l == 0 && succ != nullptr && succ->key == key) {
+        // Concurrent duplicate won the race; abandon (node stays unlinked).
+        pred->latch.Release();
+        return false;
+      }
+      node->next[l] = succ;
+      StoreNextRelease(pred, l, node);
+      pred->latch.Release();
+      break;
+    }
+  }
+  num_elems_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+const SkipNode* SkipList::Find(int64_t key) const {
+  const SkipNode* cur = head_;
+  for (int32_t level = kMaxLevel - 1; level >= 0; --level) {
+    const SkipNode* cand = cur->next[level];
+    while (cand != nullptr && cand->key < key) {
+      cur = cand;
+      cand = cur->next[level];
+    }
+    if (cand != nullptr && cand->key == key) return cand;
+  }
+  return nullptr;
+}
+
+void SkipList::ForEach(
+    const std::function<void(const SkipNode&)>& fn) const {
+  for (const SkipNode* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    fn(*n);
+  }
+}
+
+uint64_t SkipList::Checksum() const {
+  uint64_t sum = 0;
+  ForEach([&](const SkipNode& n) {
+    sum += Mix64(static_cast<uint64_t>(n.key) * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(n.payload));
+  });
+  return sum;
+}
+
+SkipList::Stats SkipList::ComputeStats() const {
+  Stats stats;
+  stats.slab_bytes_used = slab_used_.load(std::memory_order_relaxed);
+  uint64_t height_sum = 0;
+  ForEach([&](const SkipNode& n) {
+    ++stats.num_elems;
+    height_sum += n.height;
+    stats.max_height = std::max<uint32_t>(stats.max_height, n.height);
+  });
+  if (stats.num_elems > 0) {
+    stats.avg_height = static_cast<double>(height_sum) /
+                       static_cast<double>(stats.num_elems);
+  }
+  return stats;
+}
+
+}  // namespace amac

@@ -1,0 +1,122 @@
+// Pugh-style concurrent skip list (paper §4: "we adopt the concurrent pugh
+// skip list implementation from ASCYLIB [11]").
+//
+// Nodes have a geometric tower height (p = 1/2, capped at kMaxLevel) and a
+// per-node latch guarding updates to that node's forward pointers.  Inserts
+// follow Pugh's lock-validate-advance protocol level by level, bottom-up;
+// the list supports concurrent inserts.  Searches are wait-free against a
+// quiesced list; search-during-insert linearizability is *not* claimed
+// (benchmarks never mix the phases, matching the paper's methodology).
+//
+// Nodes are variable-size (24-byte header + 8 bytes per level), each padded
+// to a 64-byte boundary, bump-allocated from one slab: the "larger memory
+// space" §4 mentions versus the other structures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/latch.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+struct SkipNode {
+  int64_t key;
+  int64_t payload;
+  Latch latch;      ///< guards this node's next[] entries
+  uint8_t height;   ///< tower height, 1..kMaxLevel
+  uint8_t pad[6] = {};
+  SkipNode* next[1];  ///< flexible tail: `height` forward pointers
+
+  static constexpr std::size_t HeaderBytes() { return 24; }
+  static std::size_t BytesForHeight(uint32_t h) {
+    const std::size_t raw = HeaderBytes() + sizeof(SkipNode*) * h;
+    return (raw + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+  }
+};
+
+/// Publication store for a splice: later acquire-loads of this pointer see
+/// the fully initialized node (its own next[] entries were written first).
+inline void StoreNextRelease(SkipNode* pred, uint32_t level, SkipNode* node) {
+  std::atomic_ref<SkipNode*>(pred->next[level])
+      .store(node, std::memory_order_release);
+}
+
+/// Acquire-load used by insert-phase searches that run concurrently with
+/// splices.  (Read-only search kernels on a quiesced list use plain loads.)
+inline SkipNode* LoadNextAcquire(const SkipNode* n, uint32_t level) {
+  return std::atomic_ref<SkipNode*>(const_cast<SkipNode*>(n)->next[level])
+      .load(std::memory_order_acquire);
+}
+
+class SkipList {
+ public:
+  static constexpr uint32_t kMaxLevel = 20;
+
+  /// `expected_elems` sizes the node slab (checked at allocation time).
+  explicit SkipList(uint64_t expected_elems);
+
+  SkipNode* head() { return head_; }
+  const SkipNode* head() const { return head_; }
+
+  /// Geometric tower height: P(h >= k) = 2^-(k-1), capped at kMaxLevel.
+  static uint32_t RandomHeight(Rng& rng);
+
+  /// Bump-allocate and initialize a node (thread-safe).
+  SkipNode* AllocNode(uint32_t height, int64_t key, int64_t payload);
+
+  /// Reference single-threaded insert. Returns false on duplicate key.
+  bool InsertUnsync(int64_t key, int64_t payload, Rng& rng);
+
+  /// Reference concurrent insert (Pugh latched splice, spinning).
+  /// Returns false on duplicate key.
+  bool InsertSync(int64_t key, int64_t payload, Rng& rng);
+
+  /// Reference search.
+  const SkipNode* Find(int64_t key) const;
+
+  /// Level-0 traversal (keys ascend). Not safe during concurrent inserts.
+  void ForEach(const std::function<void(const SkipNode&)>& fn) const;
+
+  uint64_t size() const { return num_elems_.load(std::memory_order_relaxed); }
+
+  /// Bump the element count after a successful kernel-level splice
+  /// (the staged insert kernels link nodes directly).
+  void AddElems(uint64_t n) {
+    num_elems_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Order-independent checksum over (key, payload); equal contents =>
+  /// equal checksum regardless of tower heights.
+  uint64_t Checksum() const;
+
+  struct Stats {
+    uint64_t num_elems = 0;
+    uint64_t slab_bytes_used = 0;
+    double avg_height = 0;
+    uint32_t max_height = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  friend class SkipListTestPeer;
+
+  AlignedBuffer<uint8_t> slab_;
+  std::atomic<uint64_t> slab_used_{0};
+  std::atomic<uint64_t> num_elems_{0};
+  SkipNode* head_ = nullptr;
+};
+
+/// Fill preds/succs for `key` (search-phase of an insert): preds[l] is the
+/// rightmost node at level l with key < `key`; succs[l] = preds[l]->next[l].
+void FindPredecessors(SkipList& list, int64_t key,
+                      SkipNode* preds[SkipList::kMaxLevel],
+                      SkipNode* succs[SkipList::kMaxLevel]);
+
+}  // namespace amac

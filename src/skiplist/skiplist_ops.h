@@ -1,0 +1,43 @@
+// Skip list operation drivers: dispatch search/insert over the four
+// execution engines with timing, single- or multi-threaded.
+#pragma once
+
+#include <cstdint>
+
+#include "join/hash_join.h"  // Engine enum + stats helpers
+#include "relation/relation.h"
+#include "skiplist/skiplist.h"
+
+namespace amac {
+
+struct SkipListConfig {
+  Engine engine = Engine::kAMAC;
+  uint32_t inflight = 10;  ///< M (AMAC slots / GP group / SPP window)
+  uint32_t stages = 8;     ///< N for GP/SPP (search steps before bailout)
+  uint32_t num_threads = 1;
+  uint64_t seed = 7;
+};
+
+struct SkipListStats {
+  uint64_t tuples = 0;
+  uint64_t matches = 0;   ///< search: emitted matches; insert: new elements
+  uint64_t checksum = 0;  ///< search only
+  uint64_t cycles = 0;
+  double seconds = 0;
+
+  double CyclesPerTuple() const {
+    return tuples ? static_cast<double>(cycles) / static_cast<double>(tuples)
+                  : 0;
+  }
+};
+
+/// Probe `list` with every key of `probe`.
+SkipListStats RunSkipListSearch(const SkipList& list, const Relation& probe,
+                                const SkipListConfig& config);
+
+/// Insert every tuple of `input` into `list` (which is typically empty:
+/// the paper's insert workload "builds a skip list from scratch").
+SkipListStats RunSkipListInsert(SkipList* list, const Relation& input,
+                                const SkipListConfig& config);
+
+}  // namespace amac

@@ -1,0 +1,93 @@
+#include "common/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace amac {
+namespace {
+
+TEST(AlignedAllocTest, ReturnsAlignedPointers) {
+  for (std::size_t alignment : {64ul, 128ul, 4096ul}) {
+    void* p = AlignedAlloc(1000, alignment);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignment, 0u);
+    AlignedFree(p);
+  }
+}
+
+TEST(AlignedAllocTest, ZeroBytesStillValid) {
+  void* p = AlignedAlloc(0);
+  EXPECT_NE(p, nullptr);
+  AlignedFree(p);
+}
+
+TEST(AlignedBufferTest, SizeAndIndexing) {
+  AlignedBuffer<uint64_t> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_FALSE(buf.empty());
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = i * i;
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], i * i);
+}
+
+TEST(AlignedBufferTest, DefaultIsEmpty) {
+  AlignedBuffer<int> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, DataIsCacheLineAligned) {
+  AlignedBuffer<char> buf(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[3] = 42;
+  int* raw = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.size(), 0u);
+
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), raw);
+  EXPECT_EQ(c[3], 42);
+}
+
+TEST(AlignedBufferTest, ZeroFillClears) {
+  AlignedBuffer<uint32_t> buf(64);
+  for (auto& v : buf) v = 0xffffffffu;
+  buf.ZeroFill();
+  for (const auto& v : buf) EXPECT_EQ(v, 0u);
+}
+
+struct Counted {
+  static int live;
+  Counted() { ++live; }
+  ~Counted() { --live; }
+};
+int Counted::live = 0;
+
+TEST(AlignedBufferTest, ConstructsAndDestroysNonTrivialElements) {
+  {
+    AlignedBuffer<Counted> buf(17);
+    EXPECT_EQ(Counted::live, 17);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(AlignedBufferTest, RangeForIteration) {
+  AlignedBuffer<int> buf(5);
+  int v = 0;
+  for (auto& x : buf) x = ++v;
+  int sum = 0;
+  for (const auto& x : buf) sum += x;
+  EXPECT_EQ(sum, 15);
+}
+
+}  // namespace
+}  // namespace amac

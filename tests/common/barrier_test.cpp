@@ -1,0 +1,62 @@
+#include "common/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace amac {
+namespace {
+
+TEST(SpinBarrierTest, SinglePartyNeverBlocks) {
+  SpinBarrier barrier(1);
+  barrier.Wait();
+  barrier.Wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrierTest, AllThreadsSeePriorPhaseWrites) {
+  constexpr uint32_t kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::vector<int> phase_data(kThreads, 0);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int phase = 1; phase <= kPhases; ++phase) {
+        phase_data[t] = phase;
+        barrier.Wait();
+        // After the barrier every thread must observe every other thread's
+        // write for this phase.
+        for (uint32_t o = 0; o < kThreads; ++o) {
+          if (phase_data[o] < phase) ok = false;
+        }
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(SpinBarrierTest, ReusableAcrossManyPhases) {
+  constexpr uint32_t kThreads = 3;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        counter.fetch_add(1);
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.load(), 300);
+}
+
+}  // namespace
+}  // namespace amac

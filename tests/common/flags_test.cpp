@@ -1,0 +1,109 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amac {
+namespace {
+
+Flags MakeFlags() {
+  Flags flags;
+  flags.DefineInt("count", 10, "a count");
+  flags.DefineDouble("ratio", 0.5, "a ratio");
+  flags.DefineBool("verbose", false, "verbosity");
+  flags.DefineString("name", "default", "a name");
+  return flags;
+}
+
+void Parse(Flags& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  flags.Parse(static_cast<int>(args.size()),
+              const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  Flags flags = MakeFlags();
+  Parse(flags, {});
+  EXPECT_EQ(flags.GetInt("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetString("name"), "default");
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags flags = MakeFlags();
+  Parse(flags, {"--count=42", "--ratio=1.25", "--name=zipf"});
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 1.25);
+  EXPECT_EQ(flags.GetString("name"), "zipf");
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  Flags flags = MakeFlags();
+  Parse(flags, {"--count", "7", "--name", "probe"});
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_EQ(flags.GetString("name"), "probe");
+}
+
+TEST(FlagsTest, BareBooleanSetsTrue) {
+  Flags flags = MakeFlags();
+  Parse(flags, {"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  Flags flags = MakeFlags();
+  Parse(flags, {"--verbose=true"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  Flags flags2 = MakeFlags();
+  Parse(flags2, {"--verbose=0"});
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  Flags flags = MakeFlags();
+  Parse(flags, {"--count=-3", "--ratio=-0.75"});
+  EXPECT_EQ(flags.GetInt("count"), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), -0.75);
+}
+
+TEST(FlagsTest, UsageListsAllFlags) {
+  Flags flags = MakeFlags();
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--ratio"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("a count"), std::string::npos);
+}
+
+TEST(FlagsDeathTest, UnknownFlagExits) {
+  EXPECT_EXIT(
+      {
+        Flags flags = MakeFlags();
+        Parse(flags, {"--nope=1"});
+      },
+      testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(FlagsDeathTest, BadIntValueExits) {
+  EXPECT_EXIT(
+      {
+        Flags flags = MakeFlags();
+        Parse(flags, {"--count=abc"});
+      },
+      testing::ExitedWithCode(2), "bad value");
+}
+
+TEST(FlagsDeathTest, MissingValueExits) {
+  EXPECT_EXIT(
+      {
+        Flags flags = MakeFlags();
+        Parse(flags, {"--count"});
+      },
+      testing::ExitedWithCode(2), "expects a value");
+}
+
+}  // namespace
+}  // namespace amac

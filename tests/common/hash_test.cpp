@@ -1,0 +1,77 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace amac {
+namespace {
+
+TEST(NextPow2Test, KnownValues) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(4), 4u);
+  EXPECT_EQ(NextPow2(5), 8u);
+  EXPECT_EQ(NextPow2(1023), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+  EXPECT_EQ(NextPow2(uint64_t{1} << 40), uint64_t{1} << 40);
+}
+
+TEST(IsPow2Test, Classification) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(uint64_t{1} << 50));
+  EXPECT_FALSE(IsPow2((uint64_t{1} << 50) + 1));
+}
+
+TEST(Log2FloorTest, KnownValues) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(4), 2u);
+  EXPECT_EQ(Log2Floor(1024), 10u);
+  EXPECT_EQ(Log2Floor(1025), 10u);
+}
+
+TEST(Mix64Test, InjectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalancheSpreadsLowBits) {
+  // Sequential inputs should produce well-spread high bits.
+  std::set<uint64_t> high_bytes;
+  for (uint64_t i = 0; i < 4096; ++i) high_bytes.insert(Mix64(i) >> 56);
+  EXPECT_GT(high_bytes.size(), 200u);  // out of 256 possible
+}
+
+TEST(HashToBucketTest, StaysInRange) {
+  const uint64_t mask = 1023;
+  for (uint64_t k = 0; k < 100000; k += 13) {
+    EXPECT_LE(HashToBucket<HashKind::kRadix>(k, mask), mask);
+    EXPECT_LE(HashToBucket<HashKind::kMurmur>(k, mask), mask);
+  }
+}
+
+TEST(HashToBucketTest, RadixIsIdentityModulo) {
+  EXPECT_EQ((HashToBucket<HashKind::kRadix>(0x12345, 0xff)), 0x45u);
+}
+
+TEST(HashToBucketTest, MurmurSpreadsDenseKeys) {
+  // Dense keys must spread across buckets (needed for Zipf key spaces).
+  const uint64_t mask = 255;
+  std::set<uint64_t> buckets;
+  for (uint64_t k = 0; k < 256; ++k) {
+    buckets.insert(HashToBucket<HashKind::kMurmur>(k, mask));
+  }
+  EXPECT_GT(buckets.size(), 150u);
+}
+
+}  // namespace
+}  // namespace amac

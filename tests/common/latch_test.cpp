@@ -1,0 +1,104 @@
+#include "common/latch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amac {
+namespace {
+
+TEST(LatchTest, SingleByteFootprint) {
+  EXPECT_EQ(sizeof(Latch), 1u);
+}
+
+TEST(LatchTest, TryAcquireSucceedsWhenFree) {
+  Latch latch;
+  EXPECT_FALSE(latch.IsHeld());
+  EXPECT_TRUE(latch.TryAcquire());
+  EXPECT_TRUE(latch.IsHeld());
+}
+
+TEST(LatchTest, TryAcquireFailsWhenHeld) {
+  Latch latch;
+  ASSERT_TRUE(latch.TryAcquire());
+  EXPECT_FALSE(latch.TryAcquire());
+  latch.Release();
+  EXPECT_TRUE(latch.TryAcquire());
+}
+
+TEST(LatchTest, ReleaseFreesLatch) {
+  Latch latch;
+  latch.Acquire();
+  latch.Release();
+  EXPECT_FALSE(latch.IsHeld());
+}
+
+TEST(LatchTest, UnsyncVariantsMirrorSemantics) {
+  Latch latch;
+  EXPECT_TRUE(latch.TryAcquireUnsync());
+  EXPECT_FALSE(latch.TryAcquireUnsync());
+  latch.ReleaseUnsync();
+  EXPECT_TRUE(latch.TryAcquireUnsync());
+  latch.ReleaseUnsync();
+}
+
+TEST(LatchTest, SyncAndUnsyncShareState) {
+  Latch latch;
+  ASSERT_TRUE(latch.TryAcquire());
+  EXPECT_FALSE(latch.TryAcquireUnsync());
+  latch.ReleaseUnsync();
+  EXPECT_TRUE(latch.TryAcquire());
+  latch.Release();
+}
+
+TEST(LatchTest, GuardReleasesOnScopeExit) {
+  Latch latch;
+  {
+    LatchGuard guard(latch);
+    EXPECT_TRUE(latch.IsHeld());
+  }
+  EXPECT_FALSE(latch.IsHeld());
+}
+
+TEST(LatchTest, MutualExclusionUnderContention) {
+  Latch latch;
+  int64_t counter = 0;  // deliberately non-atomic: the latch protects it
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        LatchGuard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIncrements);
+}
+
+TEST(LatchTest, TryAcquireNeverBothSucceed) {
+  // Two threads repeatedly try-acquire; at most one may hold it at a time.
+  Latch latch;
+  std::atomic<int> holders{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50000; ++i) {
+        if (latch.TryAcquire()) {
+          if (holders.fetch_add(1) != 0) violation = true;
+          holders.fetch_sub(1);
+          latch.Release();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace amac

@@ -1,0 +1,94 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace amac {
+namespace {
+
+TEST(SplitMix64Test, AdvancesStateDeterministically) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 42u);  // state advanced
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  uint64_t a = 1, b = 2;
+  EXPECT_NE(SplitMix64(a), SplitMix64(b));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsProduceDistinctStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const uint64_t first = a.Next();
+  a.Next();
+  a.Seed(7);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(13);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolIsFair) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool();
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+}  // namespace
+}  // namespace amac

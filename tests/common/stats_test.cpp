@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amac {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.Merge(a_copy);  // empty absorbs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(HistogramTest, CountsAndMean) {
+  Histogram h(16);
+  h.Add(1);
+  h.Add(1);
+  h.Add(4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.Count(1), 2u);
+  EXPECT_EQ(h.Count(4), 1u);
+  EXPECT_EQ(h.Count(2), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_EQ(h.max_seen(), 4u);
+}
+
+TEST(HistogramTest, OverflowBucketAggregates) {
+  Histogram h(8);
+  h.Add(100);
+  h.Add(200);
+  EXPECT_EQ(h.OverflowCount(), 2u);
+  EXPECT_EQ(h.max_seen(), 200u);
+  // Mean still uses true values.
+  EXPECT_DOUBLE_EQ(h.mean(), 150.0);
+}
+
+TEST(HistogramTest, QuantilesOnKnownDistribution) {
+  Histogram h(64);
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v % 10);  // 0..9 uniform
+  EXPECT_EQ(h.Quantile(0.1), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 4u);
+  EXPECT_EQ(h.Quantile(1.0), 9u);
+}
+
+TEST(HistogramTest, ToStringListsNonZeroBuckets) {
+  Histogram h(8);
+  h.Add(2);
+  h.Add(2);
+  h.Add(5);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("2: 2"), std::string::npos);
+  EXPECT_NE(s.find("5: 1"), std::string::npos);
+  EXPECT_EQ(s.find("3:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amac

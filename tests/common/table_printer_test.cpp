@@ -1,0 +1,60 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace amac {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table("demo", {"engine", "cycles"});
+  table.AddRow({"AMAC", "22"});
+  table.AddRow({"Baseline", "95"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("engine"), std::string::npos);
+  EXPECT_NE(out.find("AMAC"), std::string::npos);
+  EXPECT_NE(out.find("Baseline"), std::string::npos);
+  EXPECT_NE(out.find("95"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter table("t", {"a", "b"});
+  table.AddRow({"xxxxxxxx", "1"});
+  table.AddRow({"y", "22"});
+  const std::string out = table.ToString();
+  // Every data line has the same length when columns are padded.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  std::size_t row_len = 0;
+  for (const auto& line : lines) {
+    if (line.empty() || line[0] != '|') continue;
+    if (row_len == 0) row_len = line.size();
+    EXPECT_EQ(line.size(), row_len) << line;
+  }
+}
+
+TEST(TablePrinterTest, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{123456}), "123456");
+}
+
+TEST(TablePrinterDeathTest, ArityMismatchAborts) {
+  EXPECT_DEATH(
+      {
+        TablePrinter table("t", {"a", "b"});
+        table.AddRow({"only-one"});
+      },
+      "row arity mismatch");
+}
+
+}  // namespace
+}  // namespace amac

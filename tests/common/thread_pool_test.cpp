@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace amac {
+namespace {
+
+TEST(ParallelForTest, RunsEveryThreadIdExactlyOnce) {
+  std::set<uint32_t> seen;
+  std::mutex mu;
+  ParallelFor(6, [&](uint32_t tid) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(tid).second);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id worker;
+  ParallelFor(1, [&](uint32_t) { worker = std::this_thread::get_id(); });
+  EXPECT_EQ(worker, caller);
+}
+
+TEST(PartitionRangeTest, CoversWholeRangeWithoutOverlap) {
+  for (uint64_t total : {0ull, 1ull, 7ull, 100ull, 101ull, 1024ull}) {
+    for (uint32_t parts : {1u, 2u, 3u, 7u, 16u}) {
+      uint64_t covered = 0;
+      uint64_t prev_end = 0;
+      for (uint32_t p = 0; p < parts; ++p) {
+        const Range r = PartitionRange(total, parts, p);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_LE(r.begin, r.end);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(prev_end, total);
+    }
+  }
+}
+
+TEST(PartitionRangeTest, SizesDifferByAtMostOne) {
+  for (uint64_t total : {10ull, 97ull, 1000ull}) {
+    for (uint32_t parts : {3u, 7u, 11u}) {
+      uint64_t min_size = UINT64_MAX, max_size = 0;
+      for (uint32_t p = 0; p < parts; ++p) {
+        const Range r = PartitionRange(total, parts, p);
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amac

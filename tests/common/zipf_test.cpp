@@ -1,0 +1,116 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace amac {
+namespace {
+
+TEST(ZipfTest, RangeIsRespected) {
+  ZipfGenerator zipf(100, 0.75, 1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 2);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 * 0.15) << "value " << value;
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  for (double theta : {0.5, 0.75, 1.0}) {
+    ZipfGenerator zipf(1000, theta, 3);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 200000; ++i) ++counts[zipf.Next()];
+    int max_count = 0;
+    uint64_t max_value = 0;
+    for (const auto& [value, count] : counts) {
+      if (count > max_count) {
+        max_count = count;
+        max_value = value;
+      }
+    }
+    EXPECT_EQ(max_value, 1u) << "theta " << theta;
+  }
+}
+
+TEST(ZipfTest, FrequencyDecreasesWithRank) {
+  ZipfGenerator zipf(1000, 1.0, 4);
+  std::vector<int> counts(1001, 0);
+  for (int i = 0; i < 500000; ++i) ++counts[zipf.Next()];
+  // Compare coarse rank bands; exact per-rank monotonicity is noisy.
+  int band1 = 0, band2 = 0, band3 = 0;
+  for (int r = 1; r <= 10; ++r) band1 += counts[r];
+  for (int r = 11; r <= 100; ++r) band2 += counts[r];
+  for (int r = 101; r <= 1000; ++r) band3 += counts[r];
+  EXPECT_GT(band1, band2 / 2);  // heavy head
+  EXPECT_GT(band2, band3 / 4);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  // At theta=0.75 over many values, the head of the distribution holds a
+  // disproportionate share (paper §2.2.2: 1% of buckets hold 19% of
+  // tuples at Zipf .75).
+  ZipfGenerator zipf(100000, 0.75, 5);
+  constexpr int kDraws = 300000;
+  int head = 0;  // values in the top 1% of ranks
+  for (int i = 0; i < kDraws; ++i) head += (zipf.Next() <= 1000);
+  const double share = static_cast<double>(head) / kDraws;
+  EXPECT_GT(share, 0.12);
+  EXPECT_LT(share, 0.45);
+}
+
+TEST(ZipfTest, DeterministicForSeed) {
+  ZipfGenerator a(500, 0.9, 42), b(500, 0.9, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfTest, SingleValueDomain) {
+  ZipfGenerator zipf(1, 0.99, 6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(), 1u);
+}
+
+TEST(ExactZipfSamplerTest, MatchesGeneratorShape) {
+  constexpr uint64_t kN = 200;
+  constexpr double kTheta = 0.75;
+  ZipfGenerator gen(kN, kTheta, 7);
+  ExactZipfSampler exact(kN, kTheta, 8);
+  constexpr int kDraws = 200000;
+  std::vector<int> gen_counts(kN + 1, 0), exact_counts(kN + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++gen_counts[gen.Next()];
+    ++exact_counts[exact.Next()];
+  }
+  // Head mass within a few percent of each other.
+  double gen_head = 0, exact_head = 0;
+  for (int r = 1; r <= 10; ++r) {
+    gen_head += gen_counts[r];
+    exact_head += exact_counts[r];
+  }
+  EXPECT_NEAR(gen_head / kDraws, exact_head / kDraws, 0.05);
+}
+
+TEST(ExactZipfSamplerTest, RangeAndDeterminism) {
+  ExactZipfSampler a(50, 1.0, 9), b(50, 1.0, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = a.Next();
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 50u);
+    EXPECT_EQ(v, b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace amac

@@ -1,0 +1,229 @@
+// Generic-engine tests: all four schedules over the same operations must
+// produce identical results, the scheduling statistics must reflect each
+// schedule's character, and the latch-retry path (HashBuildOp) must be
+// deadlock-free on every schedule.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ops.h"
+#include "join/probe_kernels.h"
+#include "join/sink.h"
+#include "relation/relation.h"
+
+namespace amac {
+namespace {
+
+/// Toy operation for schedule-level tests: walks `lengths[idx]` virtual
+/// steps, recording the completion order.
+class CountdownOp {
+ public:
+  struct State {
+    uint64_t idx;
+    uint32_t remaining;
+  };
+
+  explicit CountdownOp(std::vector<uint32_t> lengths)
+      : lengths_(std::move(lengths)) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.idx = idx;
+    st.remaining = lengths_[idx];
+  }
+
+  StepStatus Step(State& st) {
+    if (--st.remaining == 0) {
+      completion_order.push_back(st.idx);
+      return StepStatus::kDone;
+    }
+    return StepStatus::kParked;
+  }
+
+  std::vector<uint64_t> completion_order;
+
+ private:
+  std::vector<uint32_t> lengths_;
+};
+
+TEST(EngineTest, SequentialCompletesInInputOrder) {
+  CountdownOp op({3, 1, 2, 5, 1});
+  const EngineStats stats = RunSequential(op, 5);
+  EXPECT_EQ(op.completion_order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(stats.lookups, 5u);
+  EXPECT_EQ(stats.steps, 3u + 1 + 2 + 5 + 1);
+}
+
+TEST(EngineTest, AmacCompletesShortLookupsFirst) {
+  // With all lookups in flight, shorter chains finish earlier regardless
+  // of input position — the asynchrony AMAC is named for.
+  CountdownOp op({5, 1, 5, 1, 5});
+  RunAmac(op, 5, 5);
+  ASSERT_EQ(op.completion_order.size(), 5u);
+  EXPECT_EQ(op.completion_order[0], 1u);
+  EXPECT_EQ(op.completion_order[1], 3u);
+}
+
+TEST(EngineTest, AmacRefillsFinishedSlots) {
+  // Window of 2 over 6 lookups: every lookup must complete exactly once.
+  CountdownOp op({2, 4, 1, 1, 3, 2});
+  const EngineStats stats = RunAmac(op, 6, 2);
+  std::vector<uint64_t> sorted = op.completion_order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(stats.steps, 2u + 4 + 1 + 1 + 3 + 2);
+}
+
+TEST(EngineTest, GpBurnsNoopsOnIrregularLengths) {
+  // Group of 4 with 3 staged passes over very unequal chains: the early
+  // finishers burn no-op slots, the long chain needs cleanup.
+  CountdownOp op({1, 1, 1, 6, 1, 1, 1, 6});
+  const EngineStats stats = RunGroupPrefetch(op, 8, 4, 3);
+  EXPECT_EQ(op.completion_order.size(), 8u);
+  EXPECT_GT(stats.noops, 0u);
+  EXPECT_EQ(stats.steps, 1u + 1 + 1 + 6 + 1 + 1 + 1 + 6);
+}
+
+TEST(EngineTest, SppHandlesWindowLargerThanInput) {
+  CountdownOp op({2, 2});
+  const EngineStats stats = RunSoftwarePipelined(op, 2, 4, 4);
+  EXPECT_EQ(op.completion_order.size(), 2u);
+  EXPECT_EQ(stats.lookups, 2u);
+}
+
+TEST(EngineTest, AllSchedulesCompleteEveryLookup) {
+  std::vector<uint32_t> lengths;
+  for (uint32_t i = 0; i < 500; ++i) lengths.push_back(i % 7 + 1);
+  for (int schedule = 0; schedule < 4; ++schedule) {
+    CountdownOp op(lengths);
+    switch (schedule) {
+      case 0: RunSequential(op, lengths.size()); break;
+      case 1: RunAmac(op, lengths.size(), 10); break;
+      case 2: RunGroupPrefetch(op, lengths.size(), 10, 4); break;
+      case 3: RunSoftwarePipelined(op, lengths.size(), 4, 3); break;
+    }
+    std::vector<uint64_t> sorted = op.completion_order;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), lengths.size()) << "schedule " << schedule;
+    for (uint64_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+// --- engine-driven operations vs hand-written kernels ----------------------
+
+TEST(EngineOpsTest, HashProbeOpMatchesHandWrittenAmac) {
+  const uint64_t n = 4000;
+  const Relation build = MakeZipfRelation(n, n, 0.75, 111);
+  const Relation probe = MakeZipfRelation(n, n, 0.75, 112);
+  ChainedHashTable table(build.size(), ChainedHashTable::Options{});
+  BuildTableUnsync(build, &table);
+
+  CountChecksumSink hand;
+  ProbeAmac<false>(table, probe, 0, probe.size(), 10, hand);
+
+  CountChecksumSink engine_sink;
+  HashProbeOp<false, CountChecksumSink> op(table, probe, engine_sink);
+  const EngineStats stats = RunAmac(op, probe.size(), 10);
+  EXPECT_EQ(engine_sink.matches(), hand.matches());
+  EXPECT_EQ(engine_sink.checksum(), hand.checksum());
+  EXPECT_EQ(stats.lookups, probe.size());
+  EXPECT_GE(stats.steps, probe.size());  // >= one node visit per lookup
+}
+
+TEST(EngineOpsTest, HashProbeOpIdenticalAcrossSchedules) {
+  const uint64_t n = 3000;
+  const Relation build = MakeDenseUniqueRelation(n, 113);
+  const Relation probe = MakeForeignKeyRelation(n, n, 114);
+  ChainedHashTable table(build.size(), ChainedHashTable::Options{});
+  BuildTableUnsync(build, &table);
+
+  uint64_t expected_checksum = 0;
+  for (int schedule = 0; schedule < 4; ++schedule) {
+    CountChecksumSink sink;
+    HashProbeOp<true, CountChecksumSink> op(table, probe, sink);
+    switch (schedule) {
+      case 0: RunSequential(op, n); break;
+      case 1: RunAmac(op, n, 8); break;
+      case 2: RunGroupPrefetch(op, n, 8, 2); break;
+      case 3: RunSoftwarePipelined(op, n, 2, 4); break;
+    }
+    EXPECT_EQ(sink.matches(), n) << "schedule " << schedule;
+    if (schedule == 0) {
+      expected_checksum = sink.checksum();
+    } else {
+      EXPECT_EQ(sink.checksum(), expected_checksum)
+          << "schedule " << schedule;
+    }
+  }
+}
+
+TEST(EngineOpsTest, BstSearchOpMatchesBaseline) {
+  const uint64_t n = 2000;
+  const Relation rel = MakeDenseUniqueRelation(n, 115);
+  const BinarySearchTree tree = BuildBst(rel);
+  const Relation probe = MakeForeignKeyRelation(n, n, 116);
+  CountChecksumSink sink;
+  BstSearchOp<CountChecksumSink> op(tree, probe, sink);
+  RunAmac(op, n, 10);
+  EXPECT_EQ(sink.matches(), n);
+}
+
+TEST(EngineOpsTest, HashBuildOpAllSchedulesBuildIdenticalTables) {
+  const Relation rel = MakeZipfRelation(5000, 1500, 0.5, 117);
+  std::vector<uint64_t> totals;
+  for (int schedule = 0; schedule < 4; ++schedule) {
+    ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
+    HashBuildOp<false> op(table, rel);
+    switch (schedule) {
+      case 0: RunSequential(op, rel.size()); break;
+      case 1: RunAmac(op, rel.size(), 8); break;
+      case 2: RunGroupPrefetch(op, rel.size(), 8, 2); break;
+      case 3: RunSoftwarePipelined(op, rel.size(), 2, 4); break;
+    }
+    EXPECT_EQ(table.ComputeStats().total_tuples, rel.size())
+        << "schedule " << schedule;
+    std::vector<int64_t> payloads;
+    table.FindAll(rel[0].key, &payloads);
+    EXPECT_FALSE(payloads.empty());
+    totals.push_back(table.ComputeStats().total_tuples);
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0], totals[2]);
+  EXPECT_EQ(totals[0], totals[3]);
+}
+
+TEST(EngineOpsTest, HashBuildOpSingleHotBucketNoDeadlock) {
+  // Every insert targets one bucket; the latch is held across parks while
+  // the chain walk proceeds.  All schedules must drain without deadlock.
+  Relation rel(400);
+  for (uint64_t i = 0; i < rel.size(); ++i) {
+    rel[i] = Tuple{5, static_cast<int64_t>(i)};
+  }
+  for (int schedule = 0; schedule < 4; ++schedule) {
+    ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
+    HashBuildOp<false> op(table, rel);
+    switch (schedule) {
+      case 0: RunSequential(op, rel.size()); break;
+      case 1: RunAmac(op, rel.size(), 6); break;
+      case 2: RunGroupPrefetch(op, rel.size(), 6, 3); break;
+      case 3: RunSoftwarePipelined(op, rel.size(), 3, 2); break;
+    }
+    std::vector<int64_t> payloads;
+    table.FindAll(5, &payloads);
+    EXPECT_EQ(payloads.size(), rel.size()) << "schedule " << schedule;
+  }
+}
+
+TEST(EngineStatsTest, StepsPerLookupComputed) {
+  EngineStats stats;
+  stats.lookups = 10;
+  stats.steps = 45;
+  EXPECT_DOUBLE_EQ(stats.StepsPerLookup(), 4.5);
+  EngineStats empty;
+  EXPECT_EQ(empty.StepsPerLookup(), 0.0);
+}
+
+}  // namespace
+}  // namespace amac

@@ -1,0 +1,161 @@
+// Group-by correctness: every engine must produce exactly the aggregates a
+// std::map reference computes, across distributions, window sizes, and
+// thread counts.
+#include "groupby/groupby.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "groupby/groupby_kernels.h"
+
+namespace amac {
+namespace {
+
+struct RefAgg {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  uint64_t sumsq = 0;
+};
+
+std::map<int64_t, RefAgg> Reference(const Relation& input) {
+  std::map<int64_t, RefAgg> ref;
+  for (const Tuple& t : input) {
+    RefAgg& agg = ref[t.key];
+    if (agg.count == 0) {
+      agg.min = agg.max = t.payload;
+    } else {
+      agg.min = std::min(agg.min, t.payload);
+      agg.max = std::max(agg.max, t.payload);
+    }
+    ++agg.count;
+    agg.sum += t.payload;
+    agg.sumsq += static_cast<uint64_t>(t.payload) *
+                 static_cast<uint64_t>(t.payload);
+  }
+  return ref;
+}
+
+void ExpectMatchesReference(const AggregateTable& table,
+                            const std::map<int64_t, RefAgg>& ref) {
+  uint64_t seen = 0;
+  table.ForEachGroup([&](const GroupNode& g) {
+    ++seen;
+    auto it = ref.find(g.key);
+    ASSERT_NE(it, ref.end()) << "unexpected group " << g.key;
+    EXPECT_EQ(g.count, it->second.count) << "key " << g.key;
+    EXPECT_EQ(g.sum, it->second.sum) << "key " << g.key;
+    EXPECT_EQ(g.min, it->second.min) << "key " << g.key;
+    EXPECT_EQ(g.max, it->second.max) << "key " << g.key;
+    EXPECT_EQ(g.sumsq, it->second.sumsq) << "key " << g.key;
+    EXPECT_DOUBLE_EQ(g.Avg(), static_cast<double>(it->second.sum) /
+                                  static_cast<double>(it->second.count));
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+class GroupByEngineTest
+    : public ::testing::TestWithParam<std::tuple<Engine, double, uint32_t>> {
+};
+
+TEST_P(GroupByEngineTest, MatchesReferenceAggregates) {
+  const auto [engine, theta, threads] = GetParam();
+  const uint64_t groups = 2000;
+  const Relation input =
+      theta == 0.0 ? MakeGroupByInput(groups, 3, 71)
+                   : MakeZipfRelation(groups * 3, groups, theta, 72);
+  AggregateTable table(groups * 2, AggregateTable::Options{});
+  const GroupByConfig config{
+      .engine = engine, .inflight = 8, .num_threads = threads};
+  const GroupByStats stats = RunGroupBy(input, config, &table);
+  const auto ref = Reference(input);
+  EXPECT_EQ(stats.groups, ref.size());
+  ExpectMatchesReference(table, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesByDistributionAndThreads, GroupByEngineTest,
+    ::testing::Combine(::testing::Values(Engine::kBaseline, Engine::kGP,
+                                         Engine::kSPP, Engine::kAMAC),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(1u, 4u)),
+    [](const auto& info) {
+      return std::string(EngineName(std::get<0>(info.param))) + "_z" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_t" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GroupByTest, EnginesAgreeOnChecksum) {
+  const Relation input = MakeZipfRelation(6000, 2000, 1.0, 73);
+  GroupByConfig config;
+  config.engine = Engine::kBaseline;
+  const GroupByStats base = RunGroupBy(input, 4000, config);
+  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
+    config.engine = engine;
+    const GroupByStats stats = RunGroupBy(input, 4000, config);
+    EXPECT_EQ(stats.groups, base.groups) << EngineName(engine);
+    EXPECT_EQ(stats.checksum, base.checksum) << EngineName(engine);
+  }
+}
+
+TEST(GroupByTest, SingleHotKeyFullContention) {
+  // Every tuple updates the same group: worst-case latch behavior.
+  Relation input(5000);
+  for (uint64_t i = 0; i < input.size(); ++i) {
+    input[i] = Tuple{7, static_cast<int64_t>(i + 1)};
+  }
+  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
+    AggregateTable table(16, AggregateTable::Options{});
+    const GroupByConfig config{
+        .engine = engine, .inflight = 10, .num_threads = 4};
+    const GroupByStats stats = RunGroupBy(input, config, &table);
+    EXPECT_EQ(stats.groups, 1u) << EngineName(engine);
+    table.ForEachGroup([&](const GroupNode& g) {
+      EXPECT_EQ(g.count, 5000);
+      EXPECT_EQ(g.min, 1);
+      EXPECT_EQ(g.max, 5000);
+      EXPECT_EQ(g.sum, 5000ll * 5001 / 2);
+    });
+  }
+}
+
+TEST(GroupByTest, AmacTinyWindow) {
+  const Relation input = MakeGroupByInput(300, 3, 74);
+  AggregateTable table(600, AggregateTable::Options{});
+  GroupByAmac<false>(input, 0, input.size(), 1, table);
+  EXPECT_EQ(table.CountGroups(), 300u);
+}
+
+TEST(GroupByTest, EmptyInput) {
+  Relation input(0);
+  AggregateTable table(16, AggregateTable::Options{});
+  const GroupByStats stats = RunGroupBy(input, GroupByConfig{}, &table);
+  EXPECT_EQ(stats.groups, 0u);
+  EXPECT_EQ(stats.input_tuples, 0u);
+}
+
+TEST(GroupNodeTest, AccumulateTracksAllSixAggregates) {
+  GroupNode node;
+  node.used = 1;
+  node.Accumulate(4);
+  node.Accumulate(-2);
+  node.Accumulate(10);
+  EXPECT_EQ(node.count, 3);
+  EXPECT_EQ(node.sum, 12);
+  EXPECT_EQ(node.min, -2);
+  EXPECT_EQ(node.max, 10);
+  EXPECT_EQ(node.sumsq, 16u + 4u + 100u);
+  EXPECT_DOUBLE_EQ(node.Avg(), 4.0);
+}
+
+TEST(GroupNodeTest, FitsOneCacheLine) {
+  EXPECT_EQ(sizeof(GroupNode), kCacheLineSize);
+}
+
+}  // namespace
+}  // namespace amac

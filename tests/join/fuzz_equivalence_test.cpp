@@ -1,0 +1,96 @@
+// Randomized cross-engine equivalence: random workload shapes (sizes,
+// skews, duplicate densities, miss rates) and random tuning parameters must
+// never produce a result divergence between engines.  Seeds are the test
+// parameter, so failures are reproducible by name.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "groupby/groupby.h"
+#include "join/hash_join.h"
+#include "join/probe_kernels.h"
+#include "join/sink.h"
+#include "relation/relation.h"
+
+namespace amac {
+namespace {
+
+class JoinFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinFuzzTest, RandomWorkloadAllEnginesAgree) {
+  Rng rng(GetParam());
+  const uint64_t r_size = 64 + rng.NextBounded(4000);
+  const uint64_t s_size = 64 + rng.NextBounded(6000);
+  const uint64_t key_range = 1 + rng.NextBounded(2 * r_size);
+  const double zr = static_cast<double>(rng.NextBounded(120)) / 100.0;
+  const double zs = static_cast<double>(rng.NextBounded(120)) / 100.0;
+  const bool early_exit = rng.NextBool();
+
+  const Relation r = MakeZipfRelation(r_size, key_range, zr, GetParam() + 1);
+  const Relation s = MakeZipfRelation(s_size, key_range, zs, GetParam() + 2);
+  ChainedHashTable::Options opt;
+  opt.target_nodes_per_bucket = 1.0 + rng.NextBounded(4);
+  ChainedHashTable table(r.size(), opt);
+  BuildTableUnsync(r, &table);
+
+  CountChecksumSink base;
+  if (early_exit) {
+    ProbeBaseline<true>(table, s, 0, s.size(), base);
+  } else {
+    ProbeBaseline<false>(table, s, 0, s.size(), base);
+  }
+
+  const uint32_t m = 1 + static_cast<uint32_t>(rng.NextBounded(20));
+  const uint32_t stages = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+  const uint32_t dist = std::max<uint32_t>(1, m / stages);
+  for (int engine = 0; engine < 3; ++engine) {
+    CountChecksumSink sink;
+    if (early_exit) {
+      switch (engine) {
+        case 0: ProbeGroupPrefetch<true>(table, s, 0, s.size(), m, stages, sink); break;
+        case 1: ProbeSoftwarePipelined<true>(table, s, 0, s.size(), stages, dist, sink); break;
+        case 2: ProbeAmac<true>(table, s, 0, s.size(), m, sink); break;
+      }
+    } else {
+      switch (engine) {
+        case 0: ProbeGroupPrefetch<false>(table, s, 0, s.size(), m, stages, sink); break;
+        case 1: ProbeSoftwarePipelined<false>(table, s, 0, s.size(), stages, dist, sink); break;
+        case 2: ProbeAmac<false>(table, s, 0, s.size(), m, sink); break;
+      }
+    }
+    EXPECT_EQ(sink.matches(), base.matches())
+        << "engine " << engine << " m=" << m << " stages=" << stages
+        << " early=" << early_exit;
+    EXPECT_EQ(sink.checksum(), base.checksum())
+        << "engine " << engine << " m=" << m << " stages=" << stages
+        << " early=" << early_exit;
+  }
+}
+
+TEST_P(JoinFuzzTest, RandomGroupByAllEnginesAgree) {
+  Rng rng(GetParam() * 31 + 7);
+  const uint64_t tuples = 256 + rng.NextBounded(5000);
+  const uint64_t groups = 1 + rng.NextBounded(tuples);
+  const double theta = static_cast<double>(rng.NextBounded(110)) / 100.0;
+  const Relation input =
+      MakeZipfRelation(tuples, groups, theta, GetParam() + 5);
+
+  GroupByConfig config;
+  config.engine = Engine::kBaseline;
+  const GroupByStats base = RunGroupBy(input, groups * 2, config);
+  config.inflight = 1 + static_cast<uint32_t>(rng.NextBounded(16));
+  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
+    config.engine = engine;
+    const GroupByStats stats = RunGroupBy(input, groups * 2, config);
+    EXPECT_EQ(stats.groups, base.groups) << EngineName(engine);
+    EXPECT_EQ(stats.checksum, base.checksum)
+        << EngineName(engine) << " inflight=" << config.inflight;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinFuzzTest,
+                         ::testing::Range<uint64_t>(1000, 1025));
+
+}  // namespace
+}  // namespace amac

@@ -1,0 +1,92 @@
+// End-to-end hash join driver tests.
+#include "join/hash_join.h"
+
+#include <gtest/gtest.h>
+
+namespace amac {
+namespace {
+
+TEST(HashJoinTest, EqualSizedUniformJoinMatchesEveryProbe) {
+  const uint64_t n = 1 << 13;
+  const Relation r = MakeDenseUniqueRelation(n, 61);
+  const Relation s = MakeForeignKeyRelation(n, n, 62);
+  for (Engine engine : {Engine::kBaseline, Engine::kGP, Engine::kSPP,
+                        Engine::kAMAC}) {
+    const JoinStats stats =
+        RunHashJoin(r, s, JoinConfig{.engine = engine, .inflight = 10});
+    EXPECT_EQ(stats.matches, n) << EngineName(engine);
+    EXPECT_EQ(stats.probe_tuples, n);
+    EXPECT_EQ(stats.build_tuples, n);
+    EXPECT_GT(stats.probe_cycles, 0u);
+    EXPECT_GT(stats.build_cycles, 0u);
+  }
+}
+
+TEST(HashJoinTest, AllEnginesAgreeOnChecksum) {
+  const uint64_t n = 1 << 13;
+  const Relation r = MakeZipfRelation(n, n, 0.75, 63);
+  const Relation s = MakeZipfRelation(n, n, 0.75, 64);
+  JoinConfig config{.engine = Engine::kBaseline, .early_exit = false};
+  const JoinStats base = RunHashJoin(r, s, config);
+  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
+    config.engine = engine;
+    const JoinStats stats = RunHashJoin(r, s, config);
+    EXPECT_EQ(stats.matches, base.matches) << EngineName(engine);
+    EXPECT_EQ(stats.checksum, base.checksum) << EngineName(engine);
+  }
+}
+
+TEST(HashJoinTest, SmallBuildLargeProbe) {
+  const uint64_t small = 1 << 8, large = 1 << 14;
+  const Relation r = MakeDenseUniqueRelation(small, 65);
+  const Relation s = MakeForeignKeyRelation(large, small, 66);
+  const JoinStats stats = RunHashJoin(
+      r, s, JoinConfig{.engine = Engine::kAMAC, .inflight = 10});
+  EXPECT_EQ(stats.matches, large);  // every probe hits exactly one build key
+}
+
+TEST(HashJoinTest, MultiThreadedProbeMatchesSingle) {
+  const uint64_t n = 1 << 14;
+  const Relation r = MakeDenseUniqueRelation(n, 67);
+  const Relation s = MakeForeignKeyRelation(n, n, 68);
+  JoinConfig config{.engine = Engine::kAMAC, .inflight = 8};
+  const JoinStats single = RunHashJoin(r, s, config);
+  config.num_threads = 4;
+  const JoinStats multi = RunHashJoin(r, s, config);
+  EXPECT_EQ(multi.matches, single.matches);
+  EXPECT_EQ(multi.checksum, single.checksum);
+}
+
+TEST(HashJoinTest, StatsDeriveSaneRates) {
+  const uint64_t n = 1 << 12;
+  const Relation r = MakeDenseUniqueRelation(n, 69);
+  const Relation s = MakeForeignKeyRelation(n, n, 70);
+  const JoinStats stats = RunHashJoin(r, s, JoinConfig{});
+  EXPECT_GT(stats.ProbeCyclesPerTuple(), 0.0);
+  EXPECT_GT(stats.BuildCyclesPerTuple(), 0.0);
+  EXPECT_GT(stats.CyclesPerOutputTuple(), 0.0);
+  EXPECT_GT(stats.ProbeThroughput(), 0.0);
+}
+
+TEST(HashJoinTest, DisjointKeysProduceNoMatches) {
+  Relation r(100), s(100);
+  for (uint64_t i = 0; i < 100; ++i) {
+    r[i] = Tuple{static_cast<int64_t>(i + 1), 0};
+    s[i] = Tuple{static_cast<int64_t>(i + 1000), 0};
+  }
+  for (Engine engine : {Engine::kBaseline, Engine::kGP, Engine::kSPP,
+                        Engine::kAMAC}) {
+    const JoinStats stats = RunHashJoin(r, s, JoinConfig{.engine = engine});
+    EXPECT_EQ(stats.matches, 0u) << EngineName(engine);
+  }
+}
+
+TEST(HashJoinTest, EngineNamesAreStable) {
+  EXPECT_STREQ(EngineName(Engine::kBaseline), "Baseline");
+  EXPECT_STREQ(EngineName(Engine::kGP), "GP");
+  EXPECT_STREQ(EngineName(Engine::kSPP), "SPP");
+  EXPECT_STREQ(EngineName(Engine::kAMAC), "AMAC");
+}
+
+}  // namespace
+}  // namespace amac

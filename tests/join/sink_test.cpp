@@ -1,0 +1,71 @@
+#include "join/sink.h"
+
+#include <gtest/gtest.h>
+
+namespace amac {
+namespace {
+
+TEST(CountChecksumSinkTest, EmptySink) {
+  CountChecksumSink sink;
+  EXPECT_EQ(sink.matches(), 0u);
+  EXPECT_EQ(sink.checksum(), 0u);
+}
+
+TEST(CountChecksumSinkTest, OrderIndependentChecksum) {
+  CountChecksumSink a, b;
+  a.Emit(1, 10);
+  a.Emit(2, 20);
+  a.Emit(3, 30);
+  b.Emit(3, 30);
+  b.Emit(1, 10);
+  b.Emit(2, 20);
+  EXPECT_EQ(a.matches(), b.matches());
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(CountChecksumSinkTest, SensitiveToRidAndPayload) {
+  CountChecksumSink a, b, c;
+  a.Emit(1, 10);
+  b.Emit(2, 10);  // different rid
+  c.Emit(1, 11);  // different payload
+  EXPECT_NE(a.checksum(), b.checksum());
+  EXPECT_NE(a.checksum(), c.checksum());
+}
+
+TEST(CountChecksumSinkTest, MergeEqualsSequential) {
+  CountChecksumSink whole, part1, part2;
+  for (uint64_t i = 0; i < 100; ++i) {
+    whole.Emit(i, static_cast<int64_t>(i * 7));
+    (i % 2 ? part1 : part2).Emit(i, static_cast<int64_t>(i * 7));
+  }
+  part1.Merge(part2);
+  EXPECT_EQ(part1.matches(), whole.matches());
+  EXPECT_EQ(part1.checksum(), whole.checksum());
+}
+
+TEST(CountChecksumSinkTest, DuplicateEmitsCount) {
+  CountChecksumSink sink;
+  sink.Emit(5, 50);
+  sink.Emit(5, 50);
+  EXPECT_EQ(sink.matches(), 2u);
+}
+
+TEST(MaterializeSinkTest, StoresRidPayloadPairs) {
+  MaterializeSink sink(4);
+  sink.Emit(7, 70);
+  sink.Emit(3, 30);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.data()[0].key, 7);
+  EXPECT_EQ(sink.data()[0].payload, 70);
+  EXPECT_EQ(sink.data()[1].key, 3);
+  EXPECT_EQ(sink.data()[1].payload, 30);
+}
+
+TEST(MaterializeSinkTest, FillsToCapacity) {
+  MaterializeSink sink(3);
+  for (int i = 0; i < 3; ++i) sink.Emit(i, i);
+  EXPECT_EQ(sink.size(), 3u);
+}
+
+}  // namespace
+}  // namespace amac

@@ -1,0 +1,68 @@
+// Walk-length trace extractors for the non-hash operators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bst/bst.h"
+#include "common/rng.h"
+#include "groupby/groupby.h"
+#include "memsim/workload.h"
+#include "relation/relation.h"
+#include "skiplist/skiplist.h"
+
+namespace amac::memsim {
+namespace {
+
+TEST(TraceTest, BstWalkLengthsMatchTreeDepths) {
+  const uint64_t n = 2048;
+  const Relation rel = MakeDenseUniqueRelation(n, 141);
+  const BinarySearchTree tree = BuildBst(rel);
+  const Relation probe = MakeForeignKeyRelation(n, n, 142);
+  const auto lengths = CollectBstWalkLengths(tree, probe);
+  ASSERT_EQ(lengths.size(), probe.size());
+  const BstStats stats = tree.ComputeStats();
+  double sum = 0;
+  for (uint32_t l : lengths) {
+    EXPECT_GE(l, 1u);
+    EXPECT_LE(l, stats.height);
+    sum += l;
+  }
+  // Probing every key once samples every node depth once, so the average
+  // walk equals the tree's average depth.
+  EXPECT_NEAR(sum / static_cast<double>(n), stats.avg_depth, 1e-9);
+}
+
+TEST(TraceTest, SkipWalkLengthsScaleLogarithmically) {
+  Rng rng(143);
+  SkipList small(1 << 8), large(1 << 12);
+  for (int64_t k = 1; k <= (1 << 8); ++k) small.InsertUnsync(k, k, rng);
+  for (int64_t k = 1; k <= (1 << 12); ++k) large.InsertUnsync(k, k, rng);
+  const Relation probe_small = MakeForeignKeyRelation(1 << 8, 1 << 8, 144);
+  const Relation probe_large = MakeForeignKeyRelation(1 << 12, 1 << 12, 145);
+  const auto len_small = CollectSkipWalkLengths(small, probe_small);
+  const auto len_large = CollectSkipWalkLengths(large, probe_large);
+  auto avg = [](const std::vector<uint32_t>& v) {
+    double s = 0;
+    for (uint32_t x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  EXPECT_GT(avg(len_large), avg(len_small));        // deeper list, longer walks
+  EXPECT_LT(avg(len_large), 3.0 * avg(len_small));  // but only ~log growth
+}
+
+TEST(TraceTest, GroupByWalksAreShortWithHealthyTable) {
+  const uint64_t groups = 1024;
+  const Relation input = MakeGroupByInput(groups, 3, 146);
+  AggregateTable table(groups * 2, AggregateTable::Options{});
+  GroupByConfig config;
+  config.engine = Engine::kBaseline;
+  RunGroupBy(input, config, &table);
+  const auto lengths = CollectGroupByWalkLengths(table, input);
+  ASSERT_EQ(lengths.size(), input.size());
+  const uint32_t max_len = *std::max_element(lengths.begin(), lengths.end());
+  EXPECT_GE(max_len, 1u);
+  EXPECT_LE(max_len, 16u);  // near-1 chains at 0.5 load factor
+}
+
+}  // namespace
+}  // namespace amac::memsim

@@ -1,0 +1,148 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace amac {
+namespace {
+
+TEST(RelationTest, SizeAndLayout) {
+  Relation rel(100);
+  EXPECT_EQ(rel.size(), 100u);
+  EXPECT_EQ(sizeof(Tuple), 16u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(rel.data()) % kCacheLineSize,
+            0u);
+}
+
+TEST(DenseUniqueRelationTest, IsPermutationOfDenseRange) {
+  const Relation rel = MakeDenseUniqueRelation(1000, 1);
+  std::set<int64_t> keys;
+  for (const Tuple& t : rel) {
+    EXPECT_GE(t.key, 1);
+    EXPECT_LE(t.key, 1000);
+    EXPECT_TRUE(keys.insert(t.key).second) << "duplicate key " << t.key;
+    EXPECT_EQ(t.payload, PayloadForKey(t.key));
+  }
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(DenseUniqueRelationTest, ShuffledNotSorted) {
+  const Relation rel = MakeDenseUniqueRelation(1000, 2);
+  bool sorted = true;
+  for (uint64_t i = 1; i < rel.size(); ++i) {
+    if (rel[i].key < rel[i - 1].key) sorted = false;
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(DenseUniqueRelationTest, SeedChangesOrderNotContent) {
+  const Relation a = MakeDenseUniqueRelation(500, 1);
+  const Relation b = MakeDenseUniqueRelation(500, 99);
+  EXPECT_EQ(RelationChecksum(a), RelationChecksum(b));
+  bool same_order = true;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key) same_order = false;
+  }
+  EXPECT_FALSE(same_order);
+}
+
+TEST(ForeignKeyRelationTest, EqualSizesIsPermutation) {
+  const Relation rel = MakeForeignKeyRelation(256, 256, 3);
+  std::set<int64_t> keys;
+  for (const Tuple& t : rel) keys.insert(t.key);
+  EXPECT_EQ(keys.size(), 256u);
+  EXPECT_EQ(*keys.begin(), 1);
+  EXPECT_EQ(*keys.rbegin(), 256);
+}
+
+TEST(ForeignKeyRelationTest, LargerProbeStaysInRange) {
+  const Relation rel = MakeForeignKeyRelation(10000, 64, 4);
+  for (const Tuple& t : rel) {
+    EXPECT_GE(t.key, 1);
+    EXPECT_LE(t.key, 64);
+  }
+}
+
+TEST(ForeignKeyRelationTest, LargerProbeHitsMostKeys) {
+  const Relation rel = MakeForeignKeyRelation(10000, 64, 5);
+  std::set<int64_t> keys;
+  for (const Tuple& t : rel) keys.insert(t.key);
+  EXPECT_GT(keys.size(), 60u);
+}
+
+TEST(ZipfRelationTest, UniformThetaUsesWholeRange) {
+  const Relation rel = MakeZipfRelation(20000, 1000, 0.0, 6);
+  std::set<int64_t> keys;
+  for (const Tuple& t : rel) {
+    ASSERT_GE(t.key, 1);
+    ASSERT_LE(t.key, 1000);
+    keys.insert(t.key);
+  }
+  EXPECT_GT(keys.size(), 900u);
+}
+
+TEST(ZipfRelationTest, SkewProducesHeavyHitters) {
+  const Relation rel = MakeZipfRelation(50000, 50000, 1.0, 7);
+  std::map<int64_t, int> counts;
+  for (const Tuple& t : rel) ++counts[t.key];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Under Zipf 1 the hottest key should appear far more than average.
+  EXPECT_GT(max_count, 100);
+  // And far fewer distinct keys than tuples.
+  EXPECT_LT(counts.size(), 45000u);
+}
+
+TEST(ZipfRelationTest, KeysStayInRange) {
+  const Relation rel = MakeZipfRelation(10000, 512, 0.75, 8);
+  for (const Tuple& t : rel) {
+    ASSERT_GE(t.key, 1);
+    ASSERT_LE(t.key, 512);
+  }
+}
+
+TEST(GroupByInputTest, EveryKeyAppearsExactlyRepeatTimes) {
+  const Relation rel = MakeGroupByInput(500, 3, 9);
+  EXPECT_EQ(rel.size(), 1500u);
+  std::map<int64_t, int> counts;
+  for (const Tuple& t : rel) ++counts[t.key];
+  EXPECT_EQ(counts.size(), 500u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_EQ(c, 3) << "key " << k;
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 500);
+  }
+}
+
+TEST(GroupByInputTest, PayloadsDistinct) {
+  const Relation rel = MakeGroupByInput(100, 3, 10);
+  std::set<int64_t> payloads;
+  for (const Tuple& t : rel) EXPECT_TRUE(payloads.insert(t.payload).second);
+}
+
+TEST(RelationChecksumTest, OrderIndependent) {
+  Relation a = MakeDenseUniqueRelation(128, 11);
+  Relation b = MakeDenseUniqueRelation(128, 11);
+  ShuffleRelation(&b, 999);
+  EXPECT_EQ(RelationChecksum(a), RelationChecksum(b));
+}
+
+TEST(RelationChecksumTest, SensitiveToContent) {
+  Relation a = MakeDenseUniqueRelation(128, 12);
+  Relation b = MakeDenseUniqueRelation(128, 12);
+  b[0].payload ^= 1;
+  EXPECT_NE(RelationChecksum(a), RelationChecksum(b));
+}
+
+TEST(ShuffleRelationTest, DeterministicForSeed) {
+  Relation a = MakeDenseUniqueRelation(64, 13);
+  Relation b = MakeDenseUniqueRelation(64, 13);
+  for (uint64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].key, b[i].key);
+}
+
+}  // namespace
+}  // namespace amac
