@@ -17,6 +17,7 @@
 
 #include "common/flags.h"
 #include "common/table_printer.h"
+#include "core/scheduler.h"
 #include "hashtable/chained_table.h"
 #include "join/hash_join.h"
 #include "relation/relation.h"
@@ -25,6 +26,18 @@ namespace amac::bench {
 
 inline constexpr Engine kAllEngines[] = {Engine::kBaseline, Engine::kGP,
                                          Engine::kSPP, Engine::kAMAC};
+
+/// Map the paper's Engine enum (the figures' series) onto the unified
+/// runtime's ExecPolicy so figure benches dispatch through Run(policy, …).
+inline ExecPolicy PolicyForEngine(Engine e) {
+  switch (e) {
+    case Engine::kBaseline: return ExecPolicy::kSequential;
+    case Engine::kGP: return ExecPolicy::kGroupPrefetch;
+    case Engine::kSPP: return ExecPolicy::kSoftwarePipelined;
+    case Engine::kAMAC: return ExecPolicy::kAmac;
+  }
+  return ExecPolicy::kSequential;
+}
 
 /// Standard flags shared by the figure benches; individual benches may add
 /// their own before calling Parse.

@@ -10,9 +10,11 @@
 
 #include "bench_util.h"
 #include "btree/btree.h"
+#include "btree/btree_ops.h"
 #include "btree/btree_search.h"
 #include "common/cycle_timer.h"
 #include "common/table_printer.h"
+#include "core/scheduler.h"
 #include "join/sink.h"
 
 namespace amac::bench {
@@ -20,26 +22,18 @@ namespace {
 
 uint64_t Measure(const BTree& tree, const Relation& probe, Engine engine,
                  uint32_t m, uint32_t reps) {
-  const uint32_t stages = tree.height();
+  const SchedulerParams params{m, tree.height()};
   uint64_t best = UINT64_MAX;
   for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
     CountChecksumSink sink;
     CycleTimer timer;
-    switch (engine) {
-      case Engine::kBaseline:
-        BTreeSearchBaseline(tree, probe, 0, probe.size(), sink);
-        break;
-      case Engine::kGP:
-        BTreeSearchGroupPrefetch(tree, probe, 0, probe.size(), m, stages,
-                                 sink);
-        break;
-      case Engine::kSPP:
-        BTreeSearchSoftwarePipelined(tree, probe, 0, probe.size(), stages,
-                                     std::max(1u, m / stages), sink);
-        break;
-      case Engine::kAMAC:
-        BTreeSearchAmac(tree, probe, 0, probe.size(), m, sink);
-        break;
+    if (engine == Engine::kBaseline) {
+      // No-prefetch pointer chase: the anchor the speedups are measured
+      // against, kept hand-written like the paper's baseline.
+      BTreeSearchBaseline(tree, probe, 0, probe.size(), sink);
+    } else {
+      BTreeSearchOp<CountChecksumSink> op(tree, probe, sink);
+      amac::Run(PolicyForEngine(engine), params, op, probe.size());
     }
     best = std::min(best, timer.Elapsed());
   }

@@ -1,0 +1,52 @@
+// B+-tree search as a generic-engine operation (core/scheduler.h).
+//
+// One Step() is one node visit — the same stage boundary as the hand
+// kernels in btree_search.h — so every ExecPolicy (and the parallel
+// driver) runs it without btree-specific scheduling code.
+#pragma once
+
+#include <cstdint>
+
+#include "btree/btree.h"
+#include "btree/btree_search.h"
+#include "core/engine.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+template <typename Sink>
+class BTreeSearchOp {
+ public:
+  struct State {
+    const BTreeNode* ptr;
+    int64_t key;
+    uint64_t rid;
+  };
+
+  BTreeSearchOp(const BTree& tree, const Relation& probe, Sink& sink)
+      : tree_(tree), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.key = probe_[idx].key;
+    st.rid = idx;
+    st.ptr = tree_.root();
+    PrefetchBTreeNode(st.ptr);
+  }
+
+  StepStatus Step(State& st) {
+    const BTreeNode* next = nullptr;
+    if (VisitBTreeNode(st.ptr, st.key, st.rid, sink_, &next)) {
+      return StepStatus::kDone;
+    }
+    PrefetchBTreeNode(next);
+    st.ptr = next;
+    return StepStatus::kParked;
+  }
+
+ private:
+  const BTree& tree_;
+  const Relation& probe_;
+  Sink& sink_;
+};
+
+}  // namespace amac

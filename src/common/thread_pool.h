@@ -6,6 +6,8 @@
 // spawn cost is off the measured path.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -28,5 +30,35 @@ struct Range {
   uint64_t size() const { return end - begin; }
 };
 Range PartitionRange(uint64_t total, uint32_t parts, uint32_t index);
+
+/// Atomic work-stealing cursor over [0, total): threads claim fixed-size
+/// morsels until the input is exhausted.  Unlike PartitionRange's static
+/// split, stragglers (skewed chains, latch contention) cannot leave other
+/// threads idle — the morsel-driven parallelism the parallel driver uses.
+class MorselCursor {
+ public:
+  MorselCursor(uint64_t total, uint64_t morsel_size)
+      : total_(total), morsel_(morsel_size) {
+    AMAC_CHECK(morsel_size >= 1);
+  }
+
+  /// Claim the next unclaimed morsel; false once the input is exhausted.
+  bool Next(Range* out) {
+    const uint64_t begin =
+        next_.fetch_add(morsel_, std::memory_order_relaxed);
+    if (begin >= total_) return false;
+    out->begin = begin;
+    out->end = std::min(total_, begin + morsel_);
+    return true;
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t morsel_size() const { return morsel_; }
+
+ private:
+  std::atomic<uint64_t> next_{0};
+  const uint64_t total_;
+  const uint64_t morsel_;
+};
 
 }  // namespace amac

@@ -58,6 +58,15 @@ struct EngineStats {
     return lookups ? static_cast<double>(steps) / static_cast<double>(lookups)
                    : 0;
   }
+
+  /// Fold another engine's counters in (per-thread stats -> run totals).
+  void Merge(const EngineStats& other) {
+    lookups += other.lookups;
+    steps += other.steps;
+    parks += other.parks;
+    retries += other.retries;
+    noops += other.noops;
+  }
 };
 
 /// AMAC schedule: W independent slots, rolling cursor, terminal/initial
@@ -166,6 +175,7 @@ EngineStats RunGroupPrefetch(Op& op, uint64_t num_inputs, uint32_t group_size,
         if (!group[j].active) continue;
         ++stats.steps;
         const StepStatus st = op.Step(group[j].state);
+        if (st == StepStatus::kParked) ++stats.parks;
         if (st == StepStatus::kRetry) ++stats.retries;
         if (st == StepStatus::kDone) {
           group[j].active = false;
@@ -225,6 +235,7 @@ EngineStats RunSoftwarePipelined(Op& op, uint64_t num_inputs,
             slot.active = false;
             break;
           }
+          if (fin == StepStatus::kParked) ++stats.parks;
           if (fin == StepStatus::kRetry) {
             ++stats.retries;
             for (auto& other : pipe) {
@@ -232,6 +243,7 @@ EngineStats RunSoftwarePipelined(Op& op, uint64_t num_inputs,
               ++stats.steps;
               const StepStatus os = op.Step(other.state);
               if (os == StepStatus::kDone) other.active = false;
+              if (os == StepStatus::kParked) ++stats.parks;
               if (os == StepStatus::kRetry) ++stats.retries;
             }
           }
@@ -260,6 +272,7 @@ EngineStats RunSequential(Op& op, uint64_t num_inputs) {
     do {
       ++stats.steps;
       st = op.Step(state);
+      if (st == StepStatus::kParked) ++stats.parks;
       if (st == StepStatus::kRetry) ++stats.retries;
     } while (st != StepStatus::kDone);
   }

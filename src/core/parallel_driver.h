@@ -1,0 +1,123 @@
+// Morsel-driven parallel driver for the unified execution runtime.
+//
+// RunParallel shards `num_inputs` across a thread team: each thread builds
+// its own operation instance (per-thread sinks, no shared mutable state in
+// the op itself), then repeatedly claims a morsel from an atomic cursor and
+// runs it through the policy dispatcher (core/scheduler.h) with one engine
+// instance per claim.  Dynamic claiming instead of a static split means a
+// thread stuck on long chains or latch conflicts cannot strand work on its
+// neighbours — the morsel-driven discipline of modern query engines.
+//
+// Per-thread EngineStats are merged into one ParallelDriverStats, so the
+// scheduling counters stay comparable between the single-threaded and the
+// parallel paths.
+//
+//   auto factory = [&](uint32_t tid) {
+//     return HashProbeOp<true, CountChecksumSink>(table, probe, sinks[tid]);
+//   };
+//   ParallelDriverStats stats = RunParallel(config, probe.size(), factory);
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/cycle_timer.h"
+#include "common/thread_pool.h"
+#include "core/scheduler.h"
+
+namespace amac {
+
+struct ParallelDriverConfig {
+  ExecPolicy policy = ExecPolicy::kAmac;
+  SchedulerParams params;
+  uint32_t num_threads = 1;
+  /// Inputs per morsel; 0 derives a size from the input count and thread
+  /// count (see ResolveMorselSize).
+  uint64_t morsel_size = 0;
+};
+
+struct ParallelDriverStats {
+  EngineStats engine;    ///< merged across every thread and morsel
+  uint64_t morsels = 0;  ///< total morsels claimed
+  uint32_t threads = 0;
+  /// Cycles between the barrier after every thread is up and the barrier
+  /// after the last morsel drains — thread spawn/join cost excluded, the
+  /// same discipline the phase drivers use (see common/thread_pool.h).
+  uint64_t cycles = 0;
+};
+
+/// Morsel sizing: `requested` wins when nonzero; otherwise aim for several
+/// morsels per thread (load balance) without dropping below a floor that
+/// keeps the in-flight window busy inside each morsel.
+uint64_t ResolveMorselSize(uint64_t num_inputs, uint32_t num_threads,
+                           uint64_t requested, uint32_t inflight);
+
+namespace detail {
+
+/// Re-bases a morsel's local [0, n) indices onto the global input range so
+/// unmodified operations (which index the full input) run per-morsel.
+template <typename Op>
+class OffsetOp {
+ public:
+  using State = typename Op::State;
+
+  OffsetOp(Op& op, uint64_t base) : op_(op), base_(base) {}
+
+  void Start(State& st, uint64_t idx) { op_.Start(st, base_ + idx); }
+  StepStatus Step(State& st) { return op_.Step(st); }
+
+ private:
+  Op& op_;
+  uint64_t base_;
+};
+
+}  // namespace detail
+
+/// Run `num_inputs` inputs under `config`.  `make_op(thread_id)` must
+/// return a fresh operation for that thread; operations on different
+/// threads may share read-only structures but must not share sinks (merge
+/// per-thread sinks afterwards) and must use synchronized latches when they
+/// mutate shared state.
+template <typename OpFactory>
+ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
+                                uint64_t num_inputs, OpFactory&& make_op) {
+  const uint32_t threads = std::max(1u, config.num_threads);
+  const uint64_t morsel_size = ResolveMorselSize(
+      num_inputs, threads, config.morsel_size, config.params.inflight);
+  MorselCursor cursor(num_inputs, morsel_size);
+  std::vector<EngineStats> per_thread(threads);
+  std::vector<uint64_t> claimed(threads, 0);
+  SpinBarrier barrier(threads);
+  std::vector<uint64_t> elapsed(threads, 0);
+  ParallelFor(threads, [&](uint32_t tid) {
+    auto op = make_op(tid);
+    using OpType = std::decay_t<decltype(op)>;
+    barrier.Wait();
+    CycleTimer timer;
+    Range morsel;
+    while (cursor.Next(&morsel)) {
+      detail::OffsetOp<OpType> rebased(op, morsel.begin);
+      per_thread[tid].Merge(
+          Run(config.policy, config.params, rebased, morsel.size()));
+      ++claimed[tid];
+    }
+    barrier.Wait();
+    // Each thread's span ends when the last thread reaches the barrier;
+    // the max is robust to a thread whose timer started late because it
+    // was preempted right after the release (oversubscribed machines).
+    elapsed[tid] = timer.Elapsed();
+  });
+  ParallelDriverStats stats;
+  stats.threads = threads;
+  for (uint32_t t = 0; t < threads; ++t) {
+    stats.engine.Merge(per_thread[t]);
+    stats.morsels += claimed[t];
+    stats.cycles = std::max(stats.cycles, elapsed[t]);
+  }
+  return stats;
+}
+
+}  // namespace amac

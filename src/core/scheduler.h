@@ -1,0 +1,138 @@
+// Unified policy-based execution runtime.
+//
+// The engine schedules in core/engine.h (sequential, GP, SPP, AMAC) and the
+// coroutine interleaver in coro/ are the same abstraction — "run N inputs
+// through a resumable operation, differing only in when each input's next
+// stage executes" — but historically were five disconnected entry points
+// that every bench wired up by hand.  This header collapses them behind one
+// runtime-selectable dispatcher:
+//
+//   SchedulerParams params{.inflight = 10, .stages = 4};
+//   EngineStats stats = Run(ExecPolicy::kAmac, params, op, num_inputs);
+//
+// Any operation satisfying the engine.h Operation concept works with every
+// policy, including kCoroutine: a generic adapter wraps the stage machine in
+// a C++20 coroutine frame and lets the interleaver do the scheduling, so
+// layers get the §6 "coroutine framework" for free without writing co_await
+// code.  The parallel driver (core/parallel_driver.h) shards any policy
+// across threads with morsel-driven work stealing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/engine.h"
+#include "coro/interleaver.h"
+#include "coro/task.h"
+
+namespace amac {
+
+/// The five schedules a workload can be executed with, selectable at
+/// runtime.  kSequential..kAmac map onto the engine.h schedules (and onto
+/// the paper's Baseline/GP/SPP/AMAC); kCoroutine runs the same operation
+/// through the coro/ interleaver (§6's framework direction).
+enum class ExecPolicy : uint8_t {
+  kSequential,
+  kGroupPrefetch,
+  kSoftwarePipelined,
+  kAmac,
+  kCoroutine,
+};
+
+inline constexpr ExecPolicy kAllExecPolicies[] = {
+    ExecPolicy::kSequential,        ExecPolicy::kGroupPrefetch,
+    ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac,
+    ExecPolicy::kCoroutine,
+};
+
+inline const char* ExecPolicyName(ExecPolicy policy) {
+  switch (policy) {
+    case ExecPolicy::kSequential: return "Sequential";
+    case ExecPolicy::kGroupPrefetch: return "GP";
+    case ExecPolicy::kSoftwarePipelined: return "SPP";
+    case ExecPolicy::kAmac: return "AMAC";
+    case ExecPolicy::kCoroutine: return "Coroutine";
+  }
+  return "?";
+}
+
+/// Tuning knobs shared by every policy.  `inflight` is the paper's M (AMAC
+/// slot count, GP group size, SPP window, coroutine width); `stages` is the
+/// paper's N (provisioned staged passes for GP, pipeline stages for SPP;
+/// ignored by the dynamic schedules).
+struct SchedulerParams {
+  uint32_t inflight = 10;
+  uint32_t stages = 1;
+  /// Explicit SPP prefetch distance; 0 derives it from inflight/stages.
+  uint32_t spp_distance = 0;
+
+  /// SPP prefetch distance: the override when set, otherwise derived the
+  /// way every driver in the repo does.
+  uint32_t SppDistance() const {
+    if (spp_distance > 0) return spp_distance;
+    return std::max<uint32_t>(1, inflight / std::max(1u, stages));
+  }
+};
+
+namespace detail {
+
+/// Generic coroutine adapter: the operation's stage machine driven from
+/// inside a coroutine frame.  Start()'s prefetch is followed by one
+/// suspension, then each Step() suspends on kParked/kRetry — exactly the
+/// schedule the hand-written coroutine kernels implement, but derived
+/// mechanically from the same Op the other four policies run.
+template <typename Op>
+coro::Task OpTask(Op& op, uint64_t idx, EngineStats& stats) {
+  typename Op::State state;
+  op.Start(state, idx);
+  co_await coro::YieldAwait{};
+  while (true) {
+    ++stats.steps;
+    const StepStatus st = op.Step(state);
+    if (st == StepStatus::kDone) co_return;
+    if (st == StepStatus::kRetry) {
+      ++stats.retries;
+    } else {
+      ++stats.parks;
+    }
+    co_await coro::YieldAwait{};
+  }
+}
+
+template <typename Op>
+EngineStats RunCoroutineSchedule(Op& op, uint64_t num_inputs,
+                                 uint32_t width) {
+  EngineStats stats;
+  stats.lookups = num_inputs;
+  coro::Interleave(
+      [&](uint64_t idx) { return OpTask(op, idx, stats); }, num_inputs,
+      width);
+  return stats;
+}
+
+}  // namespace detail
+
+/// Single entry point subsuming RunSequential / RunGroupPrefetch /
+/// RunSoftwarePipelined / RunAmac / coro::Interleave.
+template <typename Op>
+EngineStats Run(ExecPolicy policy, const SchedulerParams& params, Op& op,
+                uint64_t num_inputs) {
+  switch (policy) {
+    case ExecPolicy::kSequential:
+      return RunSequential(op, num_inputs);
+    case ExecPolicy::kGroupPrefetch:
+      return RunGroupPrefetch(op, num_inputs, params.inflight,
+                              params.stages);
+    case ExecPolicy::kSoftwarePipelined:
+      return RunSoftwarePipelined(op, num_inputs, params.stages,
+                                  params.SppDistance());
+    case ExecPolicy::kAmac:
+      return RunAmac(op, num_inputs, params.inflight);
+    case ExecPolicy::kCoroutine:
+      return detail::RunCoroutineSchedule(op, num_inputs, params.inflight);
+  }
+  AMAC_CHECK(false);
+  return EngineStats{};
+}
+
+}  // namespace amac

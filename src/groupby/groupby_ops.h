@@ -1,0 +1,94 @@
+// Group-by aggregation as a generic-engine operation (core/scheduler.h).
+//
+// The stage machine mirrors GroupByAmac (groupby_kernels.h): a try-latch
+// stage that parks with kRetry on conflict, then a latched chain walk with
+// one node visit per Step — the §3.1 "extra intermediate stage" that keeps
+// a parked lookup from re-acquiring its own latch.  With kSync = true the
+// same op runs under the morsel-driven parallel driver against a shared
+// AggregateTable; aggregation is order-independent, so any policy × thread
+// count combination produces an identical table.
+#pragma once
+
+#include <cstdint>
+
+#include "common/prefetch.h"
+#include "core/engine.h"
+#include "groupby/agg_table.h"
+#include "groupby/groupby_kernels.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+template <bool kSync>
+class GroupByOp {
+ public:
+  struct State {
+    GroupNode* head;  ///< bucket header (owns the latch)
+    GroupNode* ptr;   ///< chain walk position while the latch is held
+    int64_t key;
+    int64_t payload;
+    bool latched;
+  };
+
+  GroupByOp(AggregateTable& table, const Relation& input)
+      : table_(table), input_(input) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.key = input_[idx].key;
+    st.payload = input_[idx].payload;
+    st.head = table_.HeadForKey(st.key);
+    st.ptr = nullptr;
+    st.latched = false;
+    PrefetchWrite(st.head);
+  }
+
+  StepStatus Step(State& st) {
+    if (!st.latched) {
+      // Single try-acquire; on failure the scheduler parks the lookup and
+      // tours the other in-flight slots (§3.2: no per-lookup spinning).
+      if (!detail::GroupTryLatch<kSync>(st.head)) return StepStatus::kRetry;
+      st.latched = true;
+      st.ptr = st.head;
+    }
+    GroupNode* node = st.ptr;
+    if (node->used && node->key == st.key) {
+      node->Accumulate(st.payload);
+      Unlatch(st);
+      return StepStatus::kDone;
+    }
+    if (node->used && node->next != nullptr) {
+      Prefetch(node->next);
+      st.ptr = node->next;  // stay in the walk stage, latch held
+      return StepStatus::kParked;
+    }
+    // End of chain: create the group (only a header can be unused).
+    if (!node->used) {
+      AMAC_DCHECK(node == st.head);
+      node->used = 1;
+      node->key = st.key;
+      node->count = 0;
+      node->Accumulate(st.payload);
+    } else {
+      GroupNode* fresh = table_.AllocNode();
+      fresh->used = 1;
+      fresh->key = st.key;
+      fresh->count = 0;
+      fresh->Accumulate(st.payload);
+      fresh->next = st.head->next;
+      st.head->next = fresh;
+    }
+    Unlatch(st);
+    return StepStatus::kDone;
+  }
+
+ private:
+  void Unlatch(State& st) {
+    detail::GroupUnlatch<kSync>(st.head);
+    st.latched = false;
+  }
+
+  AggregateTable& table_;
+  const Relation& input_;
+};
+
+}  // namespace amac

@@ -4,9 +4,11 @@
 
 #include <cstdint>
 
+#include "core/engine.h"
 #include "join/hash_join.h"  // Engine enum + stats helpers
 #include "relation/relation.h"
 #include "skiplist/skiplist.h"
+#include "skiplist/skiplist_search.h"
 
 namespace amac {
 
@@ -39,5 +41,39 @@ SkipListStats RunSkipListSearch(const SkipList& list, const Relation& probe,
 /// the paper's insert workload "builds a skip list from scratch").
 SkipListStats RunSkipListInsert(SkipList* list, const Relation& input,
                                 const SkipListConfig& config);
+
+/// Skip list search as a generic-engine operation: one Step() is one
+/// candidate-node visit (SkipSearchStep), so every ExecPolicy in
+/// core/scheduler.h — and the morsel-driven parallel driver — can run
+/// searches without skiplist-specific scheduling code.
+template <typename Sink>
+class SkipSearchOp {
+ public:
+  struct State {
+    SkipCursor cursor;
+    int64_t key;
+    uint64_t rid;
+  };
+
+  SkipSearchOp(const SkipList& list, const Relation& probe, Sink& sink)
+      : list_(list), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.cursor = SkipStartCursor(list_);
+    st.key = probe_[idx].key;
+    st.rid = idx;
+  }
+
+  StepStatus Step(State& st) {
+    return SkipSearchStep(st.cursor, st.key, st.rid, sink_)
+               ? StepStatus::kDone
+               : StepStatus::kParked;
+  }
+
+ private:
+  const SkipList& list_;
+  const Relation& probe_;
+  Sink& sink_;
+};
 
 }  // namespace amac

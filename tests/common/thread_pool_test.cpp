@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <vector>
 
 namespace amac {
 namespace {
@@ -60,6 +61,50 @@ TEST(PartitionRangeTest, SizesDifferByAtMostOne) {
       EXPECT_LE(max_size - min_size, 1u);
     }
   }
+}
+
+TEST(MorselCursorTest, CoversEveryIndexExactlyOnce) {
+  MorselCursor cursor(1000, 64);
+  std::vector<uint32_t> seen(1000, 0);
+  Range r;
+  uint64_t morsels = 0;
+  while (cursor.Next(&r)) {
+    ++morsels;
+    for (uint64_t i = r.begin; i < r.end; ++i) ++seen[i];
+  }
+  EXPECT_EQ(morsels, (1000 + 63) / 64u);
+  for (uint32_t count : seen) EXPECT_EQ(count, 1u);
+}
+
+TEST(MorselCursorTest, LastMorselIsTruncated) {
+  MorselCursor cursor(100, 64);
+  Range r;
+  ASSERT_TRUE(cursor.Next(&r));
+  EXPECT_EQ(r.size(), 64u);
+  ASSERT_TRUE(cursor.Next(&r));
+  EXPECT_EQ(r.begin, 64u);
+  EXPECT_EQ(r.end, 100u);
+  EXPECT_FALSE(cursor.Next(&r));
+}
+
+TEST(MorselCursorTest, ZeroTotalYieldsNothing) {
+  MorselCursor cursor(0, 16);
+  Range r;
+  EXPECT_FALSE(cursor.Next(&r));
+}
+
+TEST(MorselCursorTest, ConcurrentClaimsPartitionTheInput) {
+  const uint64_t total = 1 << 18;
+  MorselCursor cursor(total, 512);
+  constexpr uint32_t kThreads = 8;
+  std::vector<uint64_t> claimed(kThreads, 0);
+  ParallelFor(kThreads, [&](uint32_t tid) {
+    Range r;
+    while (cursor.Next(&r)) claimed[tid] += r.size();
+  });
+  uint64_t sum = 0;
+  for (uint64_t c : claimed) sum += c;
+  EXPECT_EQ(sum, total);
 }
 
 }  // namespace

@@ -54,6 +54,59 @@ TEST(EngineTest, SequentialCompletesInInputOrder) {
   EXPECT_EQ(op.completion_order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
   EXPECT_EQ(stats.lookups, 5u);
   EXPECT_EQ(stats.steps, 3u + 1 + 2 + 5 + 1);
+  EXPECT_EQ(stats.parks, stats.steps - stats.lookups);
+}
+
+TEST(EngineTest, AllSchedulesCountParksConsistently) {
+  // CountdownOp never retries, so for every schedule each lookup's steps
+  // are (length - 1) parks plus one done: parks == steps - lookups, and
+  // the counters are comparable between the sequential and scheduled runs.
+  const std::vector<uint32_t> lengths{3, 1, 4, 1, 5, 9, 2, 6};
+  uint64_t total = 0;
+  for (uint32_t len : lengths) total += len;
+  std::vector<EngineStats> all;
+  {
+    CountdownOp op(lengths);
+    all.push_back(RunSequential(op, lengths.size()));
+  }
+  {
+    CountdownOp op(lengths);
+    all.push_back(RunAmac(op, lengths.size(), 4));
+  }
+  {
+    CountdownOp op(lengths);
+    all.push_back(RunGroupPrefetch(op, lengths.size(), 4, 2));
+  }
+  {
+    CountdownOp op(lengths);
+    all.push_back(RunSoftwarePipelined(op, lengths.size(), 2, 2));
+  }
+  for (const EngineStats& stats : all) {
+    EXPECT_EQ(stats.steps, total);
+    EXPECT_EQ(stats.parks, total - lengths.size());
+    EXPECT_EQ(stats.retries, 0u);
+  }
+}
+
+TEST(EngineStatsTest, MergeSumsEveryCounter) {
+  EngineStats a;
+  a.lookups = 10;
+  a.steps = 30;
+  a.parks = 15;
+  a.retries = 5;
+  a.noops = 2;
+  EngineStats b;
+  b.lookups = 1;
+  b.steps = 2;
+  b.parks = 1;
+  b.retries = 0;
+  b.noops = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.lookups, 11u);
+  EXPECT_EQ(a.steps, 32u);
+  EXPECT_EQ(a.parks, 16u);
+  EXPECT_EQ(a.retries, 5u);
+  EXPECT_EQ(a.noops, 5u);
 }
 
 TEST(EngineTest, AmacCompletesShortLookupsFirst) {

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "common/rng.h"
+#include "core/ops.h"
+#include "core/parallel_driver.h"
+#include "core/scheduler.h"
 #include "groupby/groupby.h"
 #include "join/hash_join.h"
 #include "join/probe_kernels.h"
@@ -86,6 +90,69 @@ TEST_P(JoinFuzzTest, RandomGroupByAllEnginesAgree) {
     EXPECT_EQ(stats.groups, base.groups) << EngineName(engine);
     EXPECT_EQ(stats.checksum, base.checksum)
         << EngineName(engine) << " inflight=" << config.inflight;
+  }
+}
+
+TEST_P(JoinFuzzTest, RandomWorkloadUnifiedRuntimeAgrees) {
+  // The same random workloads, but probed through the unified runtime:
+  // every ExecPolicy x in-flight width x thread count must reproduce the
+  // baseline join output bitwise (matches and checksum).
+  Rng rng(GetParam() * 17 + 3);
+  const uint64_t r_size = 64 + rng.NextBounded(4000);
+  const uint64_t s_size = 64 + rng.NextBounded(6000);
+  const uint64_t key_range = 1 + rng.NextBounded(2 * r_size);
+  const double zr = static_cast<double>(rng.NextBounded(120)) / 100.0;
+  const double zs = static_cast<double>(rng.NextBounded(120)) / 100.0;
+  const bool early_exit = rng.NextBool();
+
+  const Relation r = MakeZipfRelation(r_size, key_range, zr, GetParam() + 3);
+  const Relation s = MakeZipfRelation(s_size, key_range, zs, GetParam() + 4);
+  ChainedHashTable table(r.size(), ChainedHashTable::Options{});
+  BuildTableUnsync(r, &table);
+
+  CountChecksumSink base;
+  if (early_exit) {
+    ProbeBaseline<true>(table, s, 0, s.size(), base);
+  } else {
+    ProbeBaseline<false>(table, s, 0, s.size(), base);
+  }
+
+  const uint32_t stages = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+  for (ExecPolicy policy : kAllExecPolicies) {
+    for (uint32_t width : {1u, 4u, 10u}) {
+      for (uint32_t threads : {1u, 4u}) {
+        ParallelDriverConfig config;
+        config.policy = policy;
+        config.params = SchedulerParams{width, stages};
+        config.num_threads = threads;
+        // Small morsels so multi-thread runs really interleave claims.
+        config.morsel_size = 256;
+        std::vector<CountChecksumSink> sinks(threads);
+        ParallelDriverStats stats;
+        if (early_exit) {
+          stats = RunParallel(config, s.size(), [&](uint32_t tid) {
+            return HashProbeOp<true, CountChecksumSink>(table, s,
+                                                        sinks[tid]);
+          });
+        } else {
+          stats = RunParallel(config, s.size(), [&](uint32_t tid) {
+            return HashProbeOp<false, CountChecksumSink>(table, s,
+                                                         sinks[tid]);
+          });
+        }
+        CountChecksumSink merged;
+        for (const auto& sink : sinks) merged.Merge(sink);
+        EXPECT_EQ(merged.matches(), base.matches())
+            << ExecPolicyName(policy) << " width=" << width
+            << " threads=" << threads << " early=" << early_exit;
+        EXPECT_EQ(merged.checksum(), base.checksum())
+            << ExecPolicyName(policy) << " width=" << width
+            << " threads=" << threads << " early=" << early_exit;
+        EXPECT_EQ(stats.engine.lookups, s.size())
+            << ExecPolicyName(policy) << " width=" << width
+            << " threads=" << threads;
+      }
+    }
   }
 }
 
