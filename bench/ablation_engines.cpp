@@ -16,6 +16,7 @@
 #include "common/cycle_timer.h"
 #include "common/table_printer.h"
 #include "core/ops.h"
+#include "join/join_ops.h"
 #include "core/scheduler.h"
 #include "coro/coro_ops.h"
 #include "join/probe_kernels.h"
@@ -64,7 +65,7 @@ int Run(int argc, char** argv) {
       });
       const uint64_t generic = MinCycles(args.reps, [&] {
         CountChecksumSink sink;
-        HashProbeOp<kEarly, CountChecksumSink> op(*prepared.table,
+        ProbeOp<kEarly, CountChecksumSink> op(*prepared.table,
                                                   prepared.s, sink);
         amac::Run(ExecPolicy::kAmac, params, op, prepared.s.size());
       });
@@ -75,7 +76,7 @@ int Run(int argc, char** argv) {
       });
       const uint64_t generic_coro = MinCycles(args.reps, [&] {
         CountChecksumSink sink;
-        HashProbeOp<kEarly, CountChecksumSink> op(*prepared.table,
+        ProbeOp<kEarly, CountChecksumSink> op(*prepared.table,
                                                   prepared.s, sink);
         amac::Run(ExecPolicy::kCoroutine, params, op,
                   prepared.s.size());
@@ -87,7 +88,7 @@ int Run(int argc, char** argv) {
       });
       const uint64_t generic_gp = MinCycles(args.reps, [&] {
         CountChecksumSink sink;
-        HashProbeOp<kEarly, CountChecksumSink> op(*prepared.table,
+        ProbeOp<kEarly, CountChecksumSink> op(*prepared.table,
                                                   prepared.s, sink);
         amac::Run(ExecPolicy::kGroupPrefetch, params, op,
                   prepared.s.size());

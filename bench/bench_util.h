@@ -24,19 +24,16 @@
 
 namespace amac::bench {
 
-inline constexpr Engine kAllEngines[] = {Engine::kBaseline, Engine::kGP,
-                                         Engine::kSPP, Engine::kAMAC};
+/// The four schedules the paper's figures compare, as unified-runtime
+/// policies (the legacy Engine enum's Baseline/GP/SPP/AMAC series).
+inline constexpr ExecPolicy kPaperPolicies[] = {
+    ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+    ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac};
 
-/// Map the paper's Engine enum (the figures' series) onto the unified
-/// runtime's ExecPolicy so figure benches dispatch through Run(policy, …).
-inline ExecPolicy PolicyForEngine(Engine e) {
-  switch (e) {
-    case Engine::kBaseline: return ExecPolicy::kSequential;
-    case Engine::kGP: return ExecPolicy::kGroupPrefetch;
-    case Engine::kSPP: return ExecPolicy::kSoftwarePipelined;
-    case Engine::kAMAC: return ExecPolicy::kAmac;
-  }
-  return ExecPolicy::kSequential;
+/// Figure-series label: the paper calls kSequential "Baseline"; the other
+/// policies keep their runtime names (GP/SPP/AMAC/Coroutine).
+inline const char* SeriesName(ExecPolicy p) {
+  return p == ExecPolicy::kSequential ? "Baseline" : ExecPolicyName(p);
 }
 
 /// Standard flags shared by the figure benches; individual benches may add

@@ -20,20 +20,20 @@
 namespace amac::bench {
 namespace {
 
-uint64_t Measure(const BTree& tree, const Relation& probe, Engine engine,
+uint64_t Measure(const BTree& tree, const Relation& probe, ExecPolicy policy,
                  uint32_t m, uint32_t reps) {
   const SchedulerParams params{m, tree.height()};
   uint64_t best = UINT64_MAX;
   for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
     CountChecksumSink sink;
     CycleTimer timer;
-    if (engine == Engine::kBaseline) {
+    if (policy == ExecPolicy::kSequential) {
       // No-prefetch pointer chase: the anchor the speedups are measured
       // against, kept hand-written like the paper's baseline.
       BTreeSearchBaseline(tree, probe, 0, probe.size(), sink);
     } else {
       BTreeSearchOp<CountChecksumSink> op(tree, probe, sink);
-      amac::Run(PolicyForEngine(engine), params, op, probe.size());
+      amac::Run(policy, params, op, probe.size());
     }
     best = std::min(best, timer.Elapsed());
   }
@@ -59,9 +59,9 @@ int Run(int argc, char** argv) {
     const Relation probe = MakeForeignKeyRelation(n, n, 212);
     std::vector<std::string> row{std::to_string(log2),
                                  std::to_string(tree.height())};
-    for (Engine engine : kAllEngines) {
+    for (ExecPolicy policy : kPaperPolicies) {
       const uint64_t cycles =
-          Measure(tree, probe, engine, args.inflight, args.reps);
+          Measure(tree, probe, policy, args.inflight, args.reps);
       row.push_back(TablePrinter::Fmt(
           static_cast<double>(cycles) / static_cast<double>(n), 1));
     }

@@ -65,7 +65,7 @@ int Run(int argc, char** argv) {
     std::vector<std::string> par_row{label};
     for (ExecPolicy policy : kAllExecPolicies) {
       uint64_t best = UINT64_MAX;
-      for (uint32_t rep = 0; rep < args.reps; ++rep) {
+      for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
         WalkSink sink;
         RandomWalkOp op(graph, hops, 7, sink);
         CycleTimer timer;
@@ -80,7 +80,7 @@ int Run(int argc, char** argv) {
       config.params = params;
       config.num_threads = threads;
       uint64_t par_best = UINT64_MAX;
-      for (uint32_t rep = 0; rep < args.reps; ++rep) {
+      for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
         // Cache-line padding keeps concurrent sink updates off shared
         // lines; the driver's own cycle counter excludes thread spawn.
         struct AMAC_CACHE_ALIGNED PaddedSink {

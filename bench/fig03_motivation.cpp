@@ -55,9 +55,9 @@ int Run(int argc, char** argv) {
       {"engine", "uniform", "non-uniform", "skewed"});
 
   double norm = 0;
-  for (Engine engine : kAllEngines) {
+  for (ExecPolicy policy : kPaperPolicies) {
     JoinConfig config;
-    config.engine = engine;
+    config.policy = policy;
     config.inflight = args.inflight;
     config.stages = stages;
     config.target_nodes_per_bucket = 4.0;
@@ -71,8 +71,8 @@ int Run(int argc, char** argv) {
     config.hash_kind = HashKind::kMurmur;
     const JoinStats sk = MeasureProbe(skewed, config, args.reps);
 
-    if (engine == Engine::kBaseline) norm = u.ProbeCyclesPerTuple();
-    table.AddRow({EngineName(engine),
+    if (policy == ExecPolicy::kSequential) norm = u.ProbeCyclesPerTuple();
+    table.AddRow({SeriesName(policy),
                   TablePrinter::Fmt(u.ProbeCyclesPerTuple() / norm, 2),
                   TablePrinter::Fmt(nu.ProbeCyclesPerTuple() / norm, 2),
                   TablePrinter::Fmt(sk.ProbeCyclesPerTuple() / norm, 2)});

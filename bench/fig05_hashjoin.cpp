@@ -31,9 +31,9 @@ void RunOne(const char* title, uint64_t r_size, uint64_t s_size,
     std::vector<std::string> build_row{SkewLabel(zr, zs)};
     std::vector<std::string> probe_row{SkewLabel(zr, zs)};
     std::vector<std::string> total_row{SkewLabel(zr, zs)};
-    for (Engine engine : kAllEngines) {
+    for (ExecPolicy policy : kPaperPolicies) {
       JoinConfig config;
-      config.engine = engine;
+      config.policy = policy;
       config.inflight = args.inflight;
       config.stages = 1;  // NPO layout: ~1 chain node in the uniform case
       // First-match semantics throughout, as in the paper's Listing 1

@@ -34,9 +34,9 @@ int Run(int argc, char** argv) {
         {"M", "GP", "SPP", "AMAC"});
     for (uint32_t m : kWindows) {
       std::vector<std::string> row{std::to_string(m)};
-      for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
+      for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
         JoinConfig config;
-        config.engine = engine;
+        config.policy = policy;
         config.inflight = m;
         config.stages = 1;
         config.early_exit = true;  // first-match semantics (Listing 1)

@@ -1,21 +1,64 @@
 // Figure 7: hash join probe throughput vs hardware threads on the Xeon
 // x5670, for [0,0], [.5,.5] and [1,1] key skews.
 //
-// Hardware substitution (see DESIGN.md): this container has one core, so
-// the multi-core run is reproduced on the memsim model (per-core L1-D
-// MSHRs + shared 32-entry LLC Global Queue).  The model replays walk-length
-// traces collected from the *real* hash table built at the configured
-// scale, so workload irregularity is identical to the measured benches.
+// Two sections:
+//  * MEASURED — the real parallel probe on this machine's hardware threads,
+//    morsel-driven through core/parallel_driver.h (per-thread sinks, atomic
+//    morsel cursor).  Thread counts are capped at hardware concurrency.
+//  * MODELED — the paper's 6-core Xeon reproduced on the memsim model
+//    (per-core L1-D MSHRs + shared 32-entry LLC Global Queue), replaying
+//    walk-length traces collected from the *real* hash table built at the
+//    configured scale, so workload irregularity matches the measured runs.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "join/hash_join.h"
 #include "memsim/memsim.h"
 #include "memsim/workload.h"
 
 namespace amac::bench {
 namespace {
+
+void MeasuredSection(const BenchArgs& args) {
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<uint32_t> thread_counts;
+  for (uint32_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    if (t <= hw) thread_counts.push_back(t);
+  }
+  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+
+  const double kSkews[][2] = {{0, 0}, {0.5, 0.5}, {1, 1}};
+  for (const auto& skew : kSkews) {
+    const double zr = skew[0], zs = skew[1];
+    const PreparedJoin prepared = PrepareJoin(
+        args.scale, args.scale, zr, zs,
+        static_cast<uint64_t>(53 + zr * 10 + zs * 100));
+    TablePrinter table(
+        "Fig 7 " + SkewLabel(zr, zs) +
+            ": MEASURED probe throughput (Mtuples/s, morsel driver, " +
+            std::to_string(hw) + " hw threads)",
+        {"threads", "Baseline", "GP", "SPP", "AMAC"});
+    for (uint32_t threads : thread_counts) {
+      std::vector<std::string> row{std::to_string(threads)};
+      for (ExecPolicy policy : kPaperPolicies) {
+        JoinConfig config;
+        config.policy = policy;
+        config.inflight = args.inflight;
+        config.stages = zr == 0.0 ? 1 : 2;
+        config.num_threads = threads;
+        config.early_exit = true;
+        const JoinStats stats = MeasureProbe(prepared, config, args.reps);
+        row.push_back(TablePrinter::Fmt(stats.ProbeThroughput() / 1e6, 1));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+}
 
 int Run(int argc, char** argv) {
   BenchArgs args;
@@ -25,8 +68,10 @@ int Run(int argc, char** argv) {
   args.Parse(argc, argv);
 
   PrintHeader("Figure 7 (probe throughput vs threads, Xeon x5670)",
-              "MODELED on memsim (1-core container); traces from the real "
-              "chained table");
+              "MEASURED morsel-driven parallel probe on this machine, then "
+              "MODELED on memsim with traces from the real chained table");
+
+  MeasuredSection(args);
 
   const memsim::MachineConfig machine = memsim::MachineConfig::XeonX5670();
   const double kSkews[][2] = {{0, 0}, {0.5, 0.5}, {1, 1}};
@@ -46,9 +91,9 @@ int Run(int argc, char** argv) {
         {"threads", "Baseline", "GP", "SPP", "AMAC"});
     for (uint32_t threads : kThreads) {
       std::vector<std::string> row{std::to_string(threads)};
-      for (Engine engine : kAllEngines) {
+      for (ExecPolicy policy : kPaperPolicies) {
         memsim::SimConfig config;
-        config.engine = engine;
+        config.policy = policy;
         config.inflight = args.inflight;
         config.stages = zr == 0.0 ? 1 : 2;
         config.num_threads = threads;

@@ -40,9 +40,9 @@ int Run(int argc, char** argv) {
         {"threads", "Baseline", "GP", "SPP", "AMAC"});
     for (uint32_t threads : kThreads) {
       std::vector<std::string> row{std::to_string(threads)};
-      for (Engine engine : kAllEngines) {
+      for (ExecPolicy policy : kPaperPolicies) {
         memsim::SimConfig config;
-        config.engine = engine;
+        config.policy = policy;
         config.inflight = args.inflight;
         config.stages = zr == 0.0 ? 1 : 2;
         config.num_threads = threads;

@@ -30,9 +30,9 @@ void RunOne(const char* title, uint64_t tuples, const BenchArgs& args) {
         theta == 0.0 ? "uniform" : ("Zipf(" + TablePrinter::Fmt(theta, 1) +
                                     ")")};
     uint64_t groups = 0;
-    for (Engine engine : kAllEngines) {
+    for (ExecPolicy policy : kPaperPolicies) {
       GroupByConfig config;
-      config.engine = engine;
+      config.policy = policy;
       config.inflight = args.inflight;
       GroupByStats best;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {

@@ -20,20 +20,20 @@ namespace amac::bench {
 namespace {
 
 uint64_t MeasureBst(const BinarySearchTree& tree, const Relation& probe,
-                    Engine engine, uint32_t m, uint32_t stages,
+                    ExecPolicy policy, uint32_t m, uint32_t stages,
                     uint32_t reps) {
   const SchedulerParams params{m, stages};
   uint64_t best = UINT64_MAX;
   for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
     CountChecksumSink sink;
     CycleTimer timer;
-    if (engine == Engine::kBaseline) {
+    if (policy == ExecPolicy::kSequential) {
       // The paper's baseline is a plain pointer chase with no prefetches;
       // keep the hand kernel so the speedup ratios stay comparable.
       BstSearchBaseline(tree, probe, 0, probe.size(), sink);
     } else {
       BstSearchOp<CountChecksumSink> op(tree, probe, sink);
-      amac::Run(PolicyForEngine(engine), params, op, probe.size());
+      amac::Run(policy, params, op, probe.size());
     }
     best = std::min(best, timer.Elapsed());
   }
@@ -73,9 +73,9 @@ int Run(int argc, char** argv) {
     const BstStats stats = tree.ComputeStats();
     std::vector<std::string> row{std::to_string(log2),
                                  TablePrinter::Fmt(stats.avg_depth, 1)};
-    for (Engine engine : kAllEngines) {
+    for (ExecPolicy policy : kPaperPolicies) {
       const uint64_t cycles =
-          MeasureBst(tree, probe, engine, args.inflight, stages, args.reps);
+          MeasureBst(tree, probe, policy, args.inflight, stages, args.reps);
       row.push_back(TablePrinter::Fmt(
           static_cast<double>(cycles) / static_cast<double>(n), 1));
     }

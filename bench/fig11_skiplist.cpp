@@ -51,9 +51,9 @@ int Run(int argc, char** argv) {
     }
     std::vector<std::string> search_row{std::to_string(log2)};
     std::vector<std::string> insert_row{std::to_string(log2)};
-    for (Engine engine : kAllEngines) {
+    for (ExecPolicy policy : kPaperPolicies) {
       SkipListConfig config;
-      config.engine = engine;
+      config.policy = policy;
       config.inflight = args.inflight;
       config.stages = stages;
       SkipListStats best;

@@ -20,9 +20,9 @@ void SimRow(TablePrinter* table, const std::string& label,
             uint32_t stages) {
   const memsim::MachineConfig machine = memsim::MachineConfig::SparcT4();
   std::vector<std::string> row{label};
-  for (Engine engine : kAllEngines) {
+  for (ExecPolicy policy : kPaperPolicies) {
     memsim::SimConfig config;
-    config.engine = engine;
+    config.policy = policy;
     config.inflight = inflight;
     config.stages = stages;
     config.num_threads = 1;
@@ -75,7 +75,7 @@ int Run(int argc, char** argv) {
             : MakeZipfRelation(tuples, tuples / 3, theta, 42);
     AggregateTable agg(tuples / 3 * 2, AggregateTable::Options{});
     GroupByConfig config;
-    config.engine = Engine::kBaseline;
+    config.policy = ExecPolicy::kSequential;
     RunGroupBy(input, config, &agg);
     const auto lengths = memsim::CollectGroupByWalkLengths(agg, input);
     SimRow(&gb, theta == 0.0 ? "uniform"

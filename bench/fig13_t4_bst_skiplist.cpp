@@ -20,9 +20,9 @@ void SimRow(TablePrinter* table, const std::string& label,
             uint32_t stages) {
   const memsim::MachineConfig machine = memsim::MachineConfig::SparcT4();
   std::vector<std::string> row{label};
-  for (Engine engine : kAllEngines) {
+  for (ExecPolicy policy : kPaperPolicies) {
     memsim::SimConfig config;
-    config.engine = engine;
+    config.policy = policy;
     config.inflight = inflight;
     config.stages = stages;
     config.num_threads = 1;

@@ -18,12 +18,13 @@ namespace {
 /// Static instruction estimates per probe tuple at ~1 node visited, from
 /// inspection of the compiled kernels (documented in EXPERIMENTS.md).
 /// The paper's measured values at ~4 nodes were 36/90/67/55.
-double EstimatedInstrPerTuple(Engine engine) {
-  switch (engine) {
-    case Engine::kBaseline: return 14;
-    case Engine::kGP: return 34;
-    case Engine::kSPP: return 27;
-    case Engine::kAMAC: return 22;
+double EstimatedInstrPerTuple(ExecPolicy policy) {
+  switch (policy) {
+    case ExecPolicy::kSequential: return 14;
+    case ExecPolicy::kGroupPrefetch: return 34;
+    case ExecPolicy::kSoftwarePipelined: return 27;
+    case ExecPolicy::kAmac: return 22;
+    case ExecPolicy::kCoroutine: return 25;  // AMAC + frame resume overhead
   }
   return 0;
 }
@@ -53,9 +54,9 @@ int Run(int argc, char** argv) {
                      {"metric", "Baseline", "GP", "SPP", "AMAC"});
   std::vector<std::string> instr_row{"Instructions per Tuple"};
   std::vector<std::string> cycle_row{"Cycles per Tuple"};
-  for (Engine engine : kAllEngines) {
+  for (ExecPolicy policy : kPaperPolicies) {
     JoinConfig config;
-    config.engine = engine;
+    config.policy = policy;
     config.inflight = args.inflight;
     config.stages = 1;
     config.early_exit = true;
@@ -73,7 +74,7 @@ int Run(int argc, char** argv) {
             sample.valid
                 ? static_cast<double>(sample.instructions) /
                       static_cast<double>(stats.probe_tuples)
-                : EstimatedInstrPerTuple(engine);
+                : EstimatedInstrPerTuple(policy);
       }
     }
     instr_row.push_back(TablePrinter::Fmt(instr_per_tuple, 0) +

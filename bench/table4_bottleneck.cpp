@@ -43,7 +43,7 @@ int Run(int argc, char** argv) {
   };
   for (const Config& c : kConfigs) {
     memsim::SimConfig config;
-    config.engine = Engine::kAMAC;
+    config.policy = ExecPolicy::kAmac;
     config.inflight = args.inflight;
     config.num_threads = c.threads;
     config.lookups_per_thread = 20000;

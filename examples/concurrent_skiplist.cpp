@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   SkipList list(n);
 
   SkipListConfig config;
-  config.engine = Engine::kAMAC;
+  config.policy = ExecPolicy::kAmac;
   config.inflight = static_cast<uint32_t>(flags.GetInt("inflight"));
   config.num_threads = static_cast<uint32_t>(flags.GetInt("threads"));
 

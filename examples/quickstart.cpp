@@ -18,7 +18,7 @@ int main() {
   // Configure the AMAC engine: 10 in-flight lookups covers one L1-D MSHR
   // file's worth of outstanding misses on most x86 cores.
   JoinConfig config;
-  config.engine = Engine::kAMAC;
+  config.policy = ExecPolicy::kAmac;
   config.inflight = 10;
 
   const JoinStats stats = RunHashJoin(r, s, config);
@@ -30,7 +30,7 @@ int main() {
               stats.BuildCyclesPerTuple(), stats.ProbeCyclesPerTuple());
 
   // Compare with the no-prefetch baseline.
-  config.engine = Engine::kBaseline;
+  config.policy = ExecPolicy::kSequential;
   const JoinStats base = RunHashJoin(r, s, config);
   std::printf("baseline probe: %.1f cycles/tuple (AMAC speedup: %.2fx)\n",
               base.ProbeCyclesPerTuple(),

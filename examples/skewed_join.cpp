@@ -37,20 +37,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chains.max_chain_nodes),
               chains.top1pct_tuple_share * 100);
 
-  std::printf("%-10s %14s %14s\n", "engine", "probe cyc/tup", "speedup");
+  std::printf("%-10s %14s %14s\n", "policy", "probe cyc/tup", "speedup");
   double baseline_cycles = 0;
-  for (Engine engine : {Engine::kBaseline, Engine::kGP, Engine::kSPP,
-                        Engine::kAMAC}) {
+  for (ExecPolicy policy :
+       {ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+        ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac,
+        ExecPolicy::kCoroutine}) {
     JoinConfig config;
-    config.engine = engine;
+    config.policy = policy;
     config.inflight = static_cast<uint32_t>(flags.GetInt("inflight"));
     config.early_exit = true;
     JoinStats stats;
     ProbePhase(table, s, config, &stats);
-    if (engine == Engine::kBaseline) {
+    if (policy == ExecPolicy::kSequential) {
       baseline_cycles = stats.ProbeCyclesPerTuple();
     }
-    std::printf("%-10s %14.1f %13.2fx\n", EngineName(engine),
+    std::printf("%-10s %14.1f %13.2fx\n", ExecPolicyName(policy),
                 stats.ProbeCyclesPerTuple(),
                 baseline_cycles / stats.ProbeCyclesPerTuple());
   }

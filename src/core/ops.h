@@ -18,46 +18,8 @@
 
 namespace amac {
 
-/// Hash table probe as an engine operation (unique or multi-match).
-template <bool kEarlyExit, typename Sink>
-class HashProbeOp {
- public:
-  struct State {
-    const BucketNode* ptr;
-    int64_t key;
-    uint64_t rid;
-  };
-
-  HashProbeOp(const ChainedHashTable& table, const Relation& probe,
-              Sink& sink)
-      : table_(table), probe_(probe), sink_(sink) {}
-
-  void Start(State& st, uint64_t idx) {
-    st.key = probe_[idx].key;
-    st.rid = idx;
-    st.ptr = table_.BucketForKey(st.key);
-    Prefetch(st.ptr);
-  }
-
-  StepStatus Step(State& st) {
-    const BucketNode* node = st.ptr;
-    for (uint32_t i = 0; i < node->count; ++i) {
-      if (node->tuples[i].key == st.key) {
-        sink_.Emit(st.rid, node->tuples[i].payload);
-        if constexpr (kEarlyExit) return StepStatus::kDone;
-      }
-    }
-    if (node->next == nullptr) return StepStatus::kDone;
-    Prefetch(node->next);
-    st.ptr = node->next;
-    return StepStatus::kParked;
-  }
-
- private:
-  const ChainedHashTable& table_;
-  const Relation& probe_;
-  Sink& sink_;
-};
+// The production hash probe op lives with the join layer: ProbeOp in
+// join/join_ops.h (core stays independent of join).
 
 /// BST search as an engine operation.
 template <typename Sink>

@@ -13,7 +13,7 @@
 // parallel paths.
 //
 //   auto factory = [&](uint32_t tid) {
-//     return HashProbeOp<true, CountChecksumSink>(table, probe, sinks[tid]);
+//     return ProbeOp<true, CountChecksumSink>(table, probe, sinks[tid]);
 //   };
 //   ParallelDriverStats stats = RunParallel(config, probe.size(), factory);
 #pragma once
@@ -47,6 +47,9 @@ struct ParallelDriverStats {
   /// after the last morsel drains — thread spawn/join cost excluded, the
   /// same discipline the phase drivers use (see common/thread_pool.h).
   uint64_t cycles = 0;
+  /// Wall seconds over the same barrier-to-barrier region (throughput
+  /// numbers, paper Fig. 7/8).
+  double seconds = 0;
 };
 
 /// Morsel sizing: `requested` wins when nonzero; otherwise aim for several
@@ -54,27 +57,6 @@ struct ParallelDriverStats {
 /// keeps the in-flight window busy inside each morsel.
 uint64_t ResolveMorselSize(uint64_t num_inputs, uint32_t num_threads,
                            uint64_t requested, uint32_t inflight);
-
-namespace detail {
-
-/// Re-bases a morsel's local [0, n) indices onto the global input range so
-/// unmodified operations (which index the full input) run per-morsel.
-template <typename Op>
-class OffsetOp {
- public:
-  using State = typename Op::State;
-
-  OffsetOp(Op& op, uint64_t base) : op_(op), base_(base) {}
-
-  void Start(State& st, uint64_t idx) { op_.Start(st, base_ + idx); }
-  StepStatus Step(State& st) { return op_.Step(st); }
-
- private:
-  Op& op_;
-  uint64_t base_;
-};
-
-}  // namespace detail
 
 /// Run `num_inputs` inputs under `config`.  `make_op(thread_id)` must
 /// return a fresh operation for that thread; operations on different
@@ -92,14 +74,16 @@ ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
   std::vector<uint64_t> claimed(threads, 0);
   SpinBarrier barrier(threads);
   std::vector<uint64_t> elapsed(threads, 0);
+  std::vector<double> elapsed_seconds(threads, 0);
   ParallelFor(threads, [&](uint32_t tid) {
     auto op = make_op(tid);
     using OpType = std::decay_t<decltype(op)>;
     barrier.Wait();
     CycleTimer timer;
+    WallTimer wall;
     Range morsel;
     while (cursor.Next(&morsel)) {
-      detail::OffsetOp<OpType> rebased(op, morsel.begin);
+      OffsetOp<OpType> rebased(op, morsel.begin);
       per_thread[tid].Merge(
           Run(config.policy, config.params, rebased, morsel.size()));
       ++claimed[tid];
@@ -109,6 +93,7 @@ ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
     // the max is robust to a thread whose timer started late because it
     // was preempted right after the release (oversubscribed machines).
     elapsed[tid] = timer.Elapsed();
+    elapsed_seconds[tid] = wall.ElapsedSeconds();
   });
   ParallelDriverStats stats;
   stats.threads = threads;
@@ -116,6 +101,7 @@ ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
     stats.engine.Merge(per_thread[t]);
     stats.morsels += claimed[t];
     stats.cycles = std::max(stats.cycles, elapsed[t]);
+    stats.seconds = std::max(stats.seconds, elapsed_seconds[t]);
   }
   return stats;
 }

@@ -74,6 +74,25 @@ struct SchedulerParams {
   }
 };
 
+/// Re-bases an operation's [0, n) input indices onto a global range, so an
+/// unmodified op (which indexes the full input) can run over a sub-range —
+/// a morsel in the parallel driver, or a thread's static partition in the
+/// phase drivers.  Part of the runtime's public contract.
+template <typename Op>
+class OffsetOp {
+ public:
+  using State = typename Op::State;
+
+  OffsetOp(Op& op, uint64_t base) : op_(op), base_(base) {}
+
+  void Start(State& st, uint64_t idx) { op_.Start(st, base_ + idx); }
+  StepStatus Step(State& st) { return op_.Step(st); }
+
+ private:
+  Op& op_;
+  uint64_t base_;
+};
+
 namespace detail {
 
 /// Generic coroutine adapter: the operation's stage machine driven from
@@ -113,23 +132,26 @@ EngineStats RunCoroutineSchedule(Op& op, uint64_t num_inputs,
 }  // namespace detail
 
 /// Single entry point subsuming RunSequential / RunGroupPrefetch /
-/// RunSoftwarePipelined / RunAmac / coro::Interleave.
+/// RunSoftwarePipelined / RunAmac / coro::Interleave.  Zero inflight/stages
+/// are tolerated degenerate values (clamped to 1, matching SppDistance()'s
+/// guards) rather than aborting in the schedule preconditions.
 template <typename Op>
 EngineStats Run(ExecPolicy policy, const SchedulerParams& params, Op& op,
                 uint64_t num_inputs) {
+  const uint32_t inflight = std::max(1u, params.inflight);
+  const uint32_t stages = std::max(1u, params.stages);
   switch (policy) {
     case ExecPolicy::kSequential:
       return RunSequential(op, num_inputs);
     case ExecPolicy::kGroupPrefetch:
-      return RunGroupPrefetch(op, num_inputs, params.inflight,
-                              params.stages);
+      return RunGroupPrefetch(op, num_inputs, inflight, stages);
     case ExecPolicy::kSoftwarePipelined:
-      return RunSoftwarePipelined(op, num_inputs, params.stages,
+      return RunSoftwarePipelined(op, num_inputs, stages,
                                   params.SppDistance());
     case ExecPolicy::kAmac:
-      return RunAmac(op, num_inputs, params.inflight);
+      return RunAmac(op, num_inputs, inflight);
     case ExecPolicy::kCoroutine:
-      return detail::RunCoroutineSchedule(op, num_inputs, params.inflight);
+      return detail::RunCoroutineSchedule(op, num_inputs, inflight);
   }
   AMAC_CHECK(false);
   return EngineStats{};

@@ -3,7 +3,9 @@
 #include "common/barrier.h"
 #include "common/cycle_timer.h"
 #include "common/thread_pool.h"
+#include "core/scheduler.h"
 #include "groupby/groupby_kernels.h"
+#include "groupby/groupby_ops.h"
 
 namespace amac {
 
@@ -12,20 +14,29 @@ namespace {
 template <bool kSync>
 void RunKernel(const Relation& input, uint64_t begin, uint64_t end,
                const GroupByConfig& config, AggregateTable& table) {
-  switch (config.engine) {
-    case Engine::kBaseline:
+  switch (config.policy) {
+    case ExecPolicy::kSequential:
       GroupByBaseline<kSync>(input, begin, end, table);
       break;
-    case Engine::kGP:
+    case ExecPolicy::kGroupPrefetch:
       GroupByGroupPrefetch<kSync>(input, begin, end, config.inflight, table);
       break;
-    case Engine::kSPP:
+    case ExecPolicy::kSoftwarePipelined:
       GroupBySoftwarePipelined<kSync>(input, begin, end, config.inflight,
                                       table);
       break;
-    case Engine::kAMAC:
+    case ExecPolicy::kAmac:
       GroupByAmac<kSync>(input, begin, end, config.inflight, table);
       break;
+    case ExecPolicy::kCoroutine: {
+      // No hand-written coroutine kernel: drive the generic GroupByOp stage
+      // machine through the unified runtime's coroutine schedule.
+      GroupByOp<kSync> op(table, input);
+      OffsetOp<GroupByOp<kSync>> rebased(op, begin);
+      Run(ExecPolicy::kCoroutine, SchedulerParams{config.inflight, 1, 0},
+          rebased, end - begin);
+      break;
+    }
   }
 }
 

@@ -1,17 +1,17 @@
 // Group-by driver: aggregates an input relation into an AggregateTable with
-// a selected execution engine, single- or multi-threaded.
+// a selected execution policy, single- or multi-threaded.
 #pragma once
 
 #include <cstdint>
 
+#include "core/scheduler.h"
 #include "groupby/agg_table.h"
-#include "join/hash_join.h"  // Engine enum
 #include "relation/relation.h"
 
 namespace amac {
 
 struct GroupByConfig {
-  Engine engine = Engine::kAMAC;
+  ExecPolicy policy = ExecPolicy::kAmac;
   uint32_t inflight = 10;  ///< M: AMAC slots / GP group / SPP distance
   uint32_t num_threads = 1;
   HashKind hash_kind = HashKind::kMurmur;

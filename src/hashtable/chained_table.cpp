@@ -117,6 +117,15 @@ void ChainedHashTable::FindAll(int64_t key,
   }
 }
 
+void ChainedHashTable::CollectChain(uint64_t bucket_index,
+                                    std::vector<Tuple>* out) const {
+  AMAC_CHECK(bucket_index < buckets_.size());
+  for (const BucketNode* n = &buckets_[bucket_index]; n != nullptr;
+       n = n->next) {
+    for (uint32_t i = 0; i < n->count; ++i) out->push_back(n->tuples[i]);
+  }
+}
+
 void BuildTableUnsync(const Relation& build, ChainedHashTable* table) {
   for (const Tuple& t : build) table->InsertUnsync(t);
 }

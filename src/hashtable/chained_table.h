@@ -116,6 +116,11 @@ class ChainedHashTable {
   /// key matches, in chain order.
   void FindAll(int64_t key, std::vector<int64_t>* payloads) const;
 
+  /// Walk bucket `bucket_index`'s chain in probe order, appending every
+  /// stored tuple.  Used by tests to assert that the partitioned parallel
+  /// build produces bit-identical chains to a sequential build.
+  void CollectChain(uint64_t bucket_index, std::vector<Tuple>* out) const;
+
  private:
   void InsertInto(BucketNode* head, const Tuple& t);
 

@@ -1,69 +1,83 @@
 #include "join/hash_join.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/barrier.h"
 #include "common/cycle_timer.h"
 #include "common/thread_pool.h"
-#include "join/build_kernels.h"
-#include "join/probe_kernels.h"
+#include "core/parallel_driver.h"
+#include "join/join_ops.h"
 
 namespace amac {
 
-const char* EngineName(Engine e) {
-  switch (e) {
-    case Engine::kBaseline: return "Baseline";
-    case Engine::kGP: return "GP";
-    case Engine::kSPP: return "SPP";
-    case Engine::kAMAC: return "AMAC";
-  }
-  return "?";
-}
-
 namespace {
 
-uint32_t SppDistance(const JoinConfig& config) {
-  return std::max<uint32_t>(1, config.inflight / std::max(1u, config.stages));
+/// Bucket-range partition: the thread that owns a bucket index.  Contiguous
+/// monotone ranges so a thread's buckets share cache lines.
+inline uint32_t BucketOwner(uint64_t bucket_index, uint64_t num_buckets,
+                            uint32_t threads) {
+  return static_cast<uint32_t>(bucket_index * threads / num_buckets);
 }
 
-template <bool kSync>
-void RunBuildKernel(const Relation& r, uint64_t begin, uint64_t end,
-                    const JoinConfig& config, ChainedHashTable& table) {
-  switch (config.engine) {
-    case Engine::kBaseline:
-      BuildBaseline<kSync>(r, begin, end, table);
-      break;
-    case Engine::kGP:
-      BuildGroupPrefetch<kSync>(r, begin, end, config.inflight, table);
-      break;
-    case Engine::kSPP:
-      BuildSoftwarePipelined<kSync>(r, begin, end, config.inflight, table);
-      break;
-    case Engine::kAMAC:
-      BuildAmac<kSync>(r, begin, end, config.inflight, table);
-      break;
-  }
-}
-
-template <bool kEarlyExit>
-void RunProbeKernel(const ChainedHashTable& table, const Relation& s,
-                    uint64_t begin, uint64_t end, const JoinConfig& config,
-                    CountChecksumSink& sink) {
-  switch (config.engine) {
-    case Engine::kBaseline:
-      ProbeBaseline<kEarlyExit>(table, s, begin, end, sink);
-      break;
-    case Engine::kGP:
-      ProbeGroupPrefetch<kEarlyExit>(table, s, begin, end, config.inflight,
-                                     config.stages, sink);
-      break;
-    case Engine::kSPP:
-      ProbeSoftwarePipelined<kEarlyExit>(table, s, begin, end, config.stages,
-                                         SppDistance(config), sink);
-      break;
-    case Engine::kAMAC:
-      ProbeAmac<kEarlyExit>(table, s, begin, end, config.inflight, sink);
-      break;
+/// Partitioned parallel build (race-free, deterministic):
+///
+///  phase 1 — every thread scans a static slice of R and scatters each
+///            tuple index into cell[scanner][owner], owner = the thread
+///            whose bucket range the tuple hashes into;
+///  phase 2 — every owner concatenates cell[0..T-1][owner] in scanner
+///            order (slices are contiguous, so the list is in R order) and
+///            inserts its list through the configured policy, *unlatched*:
+///            no other thread touches its buckets.
+///
+/// Per-bucket insertion order equals the sequential build's (R order), so
+/// chain contents are bit-identical for any thread count and policy — the
+/// property the differential tests pin.
+void BuildParallel(const Relation& r, const JoinConfig& config,
+                   uint32_t threads, ChainedHashTable* table,
+                   JoinStats* stats) {
+  const uint64_t num_buckets = table->num_buckets();
+  std::vector<std::vector<std::vector<uint64_t>>> cells(
+      threads, std::vector<std::vector<uint64_t>>(threads));
+  std::vector<EngineStats> per_thread(threads);
+  std::vector<uint64_t> elapsed(threads, 0);
+  std::vector<double> elapsed_seconds(threads, 0);
+  SpinBarrier barrier(threads);
+  ParallelFor(threads, [&](uint32_t tid) {
+    barrier.Wait();
+    CycleTimer timer;
+    WallTimer wall;
+    const Range slice = PartitionRange(r.size(), threads, tid);
+    auto& mine = cells[tid];
+    for (auto& cell : mine) {
+      cell.reserve((slice.size() / threads) + 1);
+    }
+    for (uint64_t i = slice.begin; i < slice.end; ++i) {
+      const uint32_t owner =
+          BucketOwner(table->BucketIndex(r[i].key), num_buckets, threads);
+      mine[owner].push_back(i);
+    }
+    barrier.Wait();  // publishes every scanner's cells to every owner
+    uint64_t owned_count = 0;
+    for (uint32_t scanner = 0; scanner < threads; ++scanner) {
+      owned_count += cells[scanner][tid].size();
+    }
+    std::vector<uint64_t> ids;
+    ids.reserve(owned_count);
+    for (uint32_t scanner = 0; scanner < threads; ++scanner) {
+      const auto& cell = cells[scanner][tid];
+      ids.insert(ids.end(), cell.begin(), cell.end());
+    }
+    BuildOp<false> op(*table, r, ids.data());
+    per_thread[tid] = Run(config.policy, config.Params(), op, ids.size());
+    barrier.Wait();
+    elapsed[tid] = timer.Elapsed();
+    elapsed_seconds[tid] = wall.ElapsedSeconds();
+  });
+  for (uint32_t t = 0; t < threads; ++t) {
+    stats->build_engine.Merge(per_thread[t]);
+    stats->build_cycles = std::max(stats->build_cycles, elapsed[t]);
+    stats->build_seconds = std::max(stats->build_seconds, elapsed_seconds[t]);
   }
 }
 
@@ -72,52 +86,57 @@ void RunProbeKernel(const ChainedHashTable& table, const Relation& s,
 void BuildPhase(const Relation& r, const JoinConfig& config,
                 ChainedHashTable* table, JoinStats* stats) {
   stats->build_tuples = r.size();
-  WallTimer wall;
-  CycleTimer cycles;
-  if (config.num_threads <= 1) {
-    RunBuildKernel<false>(r, 0, r.size(), config, *table);
+  const uint32_t threads = std::max(1u, config.num_threads);
+  if (threads == 1) {
+    WallTimer wall;
+    CycleTimer cycles;
+    BuildOp<false> op(*table, r);
+    stats->build_engine = Run(config.policy, config.Params(), op, r.size());
+    stats->build_cycles = cycles.Elapsed();
+    stats->build_seconds = wall.ElapsedSeconds();
   } else {
-    SpinBarrier barrier(config.num_threads);
-    ParallelFor(config.num_threads, [&](uint32_t tid) {
-      const Range range = PartitionRange(r.size(), config.num_threads, tid);
-      barrier.Wait();
-      RunBuildKernel<true>(r, range.begin, range.end, config, *table);
-      barrier.Wait();
-    });
+    BuildParallel(r, config, threads, table, stats);
   }
-  stats->build_cycles = cycles.Elapsed();
-  stats->build_seconds = wall.ElapsedSeconds();
 }
 
 void ProbePhase(const ChainedHashTable& table, const Relation& s,
                 const JoinConfig& config, JoinStats* stats) {
   stats->probe_tuples = s.size();
-  std::vector<CountChecksumSink> sinks(config.num_threads);
-  WallTimer wall;
-  CycleTimer cycles;
-  if (config.num_threads <= 1) {
+  const uint32_t threads = std::max(1u, config.num_threads);
+  std::vector<CountChecksumSink> sinks(threads);
+  if (threads == 1) {
+    WallTimer wall;
+    CycleTimer cycles;
     if (config.early_exit) {
-      RunProbeKernel<true>(table, s, 0, s.size(), config, sinks[0]);
+      ProbeOp<true, CountChecksumSink> op(table, s, sinks[0]);
+      stats->probe_engine = Run(config.policy, config.Params(), op, s.size());
     } else {
-      RunProbeKernel<false>(table, s, 0, s.size(), config, sinks[0]);
+      ProbeOp<false, CountChecksumSink> op(table, s, sinks[0]);
+      stats->probe_engine = Run(config.policy, config.Params(), op, s.size());
     }
+    stats->probe_cycles = cycles.Elapsed();
+    stats->probe_seconds = wall.ElapsedSeconds();
   } else {
-    SpinBarrier barrier(config.num_threads);
-    ParallelFor(config.num_threads, [&](uint32_t tid) {
-      const Range range = PartitionRange(s.size(), config.num_threads, tid);
-      barrier.Wait();
-      if (config.early_exit) {
-        RunProbeKernel<true>(table, s, range.begin, range.end, config,
-                             sinks[tid]);
-      } else {
-        RunProbeKernel<false>(table, s, range.begin, range.end, config,
-                              sinks[tid]);
-      }
-      barrier.Wait();
-    });
+    ParallelDriverConfig driver;
+    driver.policy = config.policy;
+    driver.params = config.Params();
+    driver.num_threads = threads;
+    driver.morsel_size = config.morsel_size;
+    ParallelDriverStats driven;
+    if (config.early_exit) {
+      driven = RunParallel(driver, s.size(), [&](uint32_t tid) {
+        return ProbeOp<true, CountChecksumSink>(table, s, sinks[tid]);
+      });
+    } else {
+      driven = RunParallel(driver, s.size(), [&](uint32_t tid) {
+        return ProbeOp<false, CountChecksumSink>(table, s, sinks[tid]);
+      });
+    }
+    stats->probe_engine = driven.engine;
+    stats->probe_cycles = driven.cycles;
+    stats->probe_seconds = driven.seconds;
+    stats->probe_morsels = driven.morsels;
   }
-  stats->probe_cycles = cycles.Elapsed();
-  stats->probe_seconds = wall.ElapsedSeconds();
   CountChecksumSink total;
   for (const auto& sink : sinks) total.Merge(sink);
   stats->matches = total.matches();
@@ -129,7 +148,7 @@ JoinStats RunHashJoin(const Relation& r, const Relation& s,
   ChainedHashTable::Options options;
   options.target_nodes_per_bucket = config.target_nodes_per_bucket;
   options.hash_kind = config.hash_kind;
-  ChainedHashTable table(r.size(), options);
+  ChainedHashTable table(std::max<uint64_t>(1, r.size()), options);
   JoinStats stats;
   BuildPhase(r, config, &table, &stats);
   ProbePhase(table, s, config, &stats);

@@ -1,37 +1,53 @@
-// High-level hash join driver: builds the table from R and probes it with S
-// using a selected execution engine, reporting the cycle/throughput metrics
-// the paper's tables and figures use.
+// High-level hash join driver on the unified execution runtime: builds the
+// table from R with a partitioned parallel build and probes it with S
+// through the morsel-driven parallel driver, reporting the cycle/throughput
+// metrics the paper's tables and figures use.
+//
+// Execution is selected with core/scheduler.h's ExecPolicy — the paper's
+// Baseline/GP/SPP/AMAC map onto kSequential/kGroupPrefetch/
+// kSoftwarePipelined/kAmac, and kCoroutine (§6's framework direction) comes
+// for free.  The join-private `Engine` enum this header used to define is
+// gone; a deprecated alias remains for source compatibility.
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "common/hash.h"
+#include "core/scheduler.h"
 #include "hashtable/chained_table.h"
 #include "join/sink.h"
 #include "relation/relation.h"
 
 namespace amac {
 
-/// The four execution engines compared throughout the paper.
-enum class Engine { kBaseline, kGP, kSPP, kAMAC };
-
-const char* EngineName(Engine e);
+/// Deprecated: the join layer's legacy engine enum collapsed into the
+/// unified runtime's ExecPolicy (kBaseline -> kSequential, kGP ->
+/// kGroupPrefetch, kSPP -> kSoftwarePipelined, kAMAC -> kAmac).
+using Engine [[deprecated("use ExecPolicy from core/scheduler.h")]] =
+    ExecPolicy;
 
 struct JoinConfig {
-  Engine engine = Engine::kAMAC;
+  ExecPolicy policy = ExecPolicy::kAmac;
   /// Number of parallel in-flight lookups per thread (paper's M): AMAC
-  /// circular-buffer size, GP group size, SPP total pipeline window.
+  /// circular-buffer size, GP group size, SPP total pipeline window,
+  /// coroutine width.
   uint32_t inflight = 10;
   /// Provisioned node-visit stages for GP/SPP (paper's N).  SPP's prefetch
   /// distance is derived as max(1, inflight / stages).
   uint32_t stages = 1;
   uint32_t num_threads = 1;
+  /// Probe morsel size for the parallel driver; 0 derives one from the
+  /// input and thread count (see ResolveMorselSize).
+  uint64_t morsel_size = 0;
   /// Stop a lookup at its first match (valid for unique build keys).
   bool early_exit = true;
   /// Bucket sizing: expected chain nodes per bucket under uniform keys.
   double target_nodes_per_bucket = 1.0;
   HashKind hash_kind = HashKind::kMurmur;
+
+  SchedulerParams Params() const {
+    return SchedulerParams{inflight, stages, 0};
+  }
 };
 
 struct JoinStats {
@@ -43,7 +59,15 @@ struct JoinStats {
   uint64_t probe_cycles = 0;
   double build_seconds = 0;
   double probe_seconds = 0;
+  /// Morsels claimed by the parallel probe (0 on the 1-thread path).
+  uint64_t probe_morsels = 0;
+  /// Scheduling counters merged across threads/morsels (observability).
+  EngineStats build_engine;
+  EngineStats probe_engine;
 
+  /// All rate accessors return 0 (not NaN/inf) on empty inputs, so bench
+  /// tables and tests can rely on a well-defined value for degenerate
+  /// workloads (pinned by JoinStatsTest).
   double BuildCyclesPerTuple() const {
     return build_tuples ? static_cast<double>(build_cycles) /
                               static_cast<double>(build_tuples)
@@ -68,12 +92,17 @@ struct JoinStats {
   }
 };
 
-/// Build `table` from R with the configured engine (timed into *stats).
-/// The table must be empty and sized for R.
+/// Build `table` from R with the configured policy (timed into *stats).
+/// The table must be empty and sized for R.  With num_threads > 1 the build
+/// is partitioned by bucket range: tuples are scattered to the thread that
+/// owns their bucket, so insertion is race-free (no latches) and every
+/// bucket's chain is bit-identical to a 1-thread build's.
 void BuildPhase(const Relation& r, const JoinConfig& config,
                 ChainedHashTable* table, JoinStats* stats);
 
-/// Probe `table` with S using the configured engine (timed into *stats).
+/// Probe `table` with S using the configured policy (timed into *stats).
+/// With num_threads > 1 the probe is morsel-driven through
+/// core/parallel_driver.h with one sink per thread, merged afterwards.
 void ProbePhase(const ChainedHashTable& table, const Relation& s,
                 const JoinConfig& config, JoinStats* stats);
 

@@ -1,0 +1,113 @@
+// Hash join build and probe as unified-runtime operations.
+//
+// These are the production stage machines the join driver (hash_join.cpp)
+// feeds to Run(ExecPolicy, ...) and the morsel-driven parallel driver — the
+// same lookup logic as the hand-written kernels in probe_kernels.h /
+// build_kernels.h, but expressed once against the core/engine.h Operation
+// concept so every schedule (sequential, GP, SPP, AMAC, coroutine) and any
+// thread count run them without join-specific scheduling code.
+//
+// The hand-written kernels remain for the ablation bench (they price the
+// abstraction) and for kernel-level tests; the drivers no longer use them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/prefetch.h"
+#include "core/engine.h"
+#include "hashtable/chained_table.h"
+#include "join/build_kernels.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+/// Chained-table probe: Start hashes and prefetches the bucket header, each
+/// Step visits one chain node (emit matches, prefetch the next node).  With
+/// kEarlyExit the walk stops at the first match (unique build keys).
+template <bool kEarlyExit, typename Sink>
+class ProbeOp {
+ public:
+  struct State {
+    const BucketNode* ptr;
+    int64_t key;
+    uint64_t rid;
+  };
+
+  ProbeOp(const ChainedHashTable& table, const Relation& probe, Sink& sink)
+      : table_(table), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.key = probe_[idx].key;
+    st.rid = idx;
+    st.ptr = table_.BucketForKey(st.key);
+    Prefetch(st.ptr);
+  }
+
+  StepStatus Step(State& st) {
+    const BucketNode* node = st.ptr;
+    for (uint32_t i = 0; i < node->count; ++i) {
+      if (node->tuples[i].key == st.key) {
+        sink_.Emit(st.rid, node->tuples[i].payload);
+        if constexpr (kEarlyExit) return StepStatus::kDone;
+      }
+    }
+    if (node->next == nullptr) return StepStatus::kDone;
+    Prefetch(node->next);
+    st.ptr = node->next;
+    return StepStatus::kParked;
+  }
+
+ private:
+  const ChainedHashTable& table_;
+  const Relation& probe_;
+  Sink& sink_;
+};
+
+/// Build-side insert with the production O(1) header-eviction discipline:
+/// Start hashes and prefetches the bucket header with write intent; Step
+/// performs the insert.  With kSync the latch is try-acquired — a held
+/// latch parks the insert with kRetry and the scheduler tours the other
+/// in-flight slots (§3.2's coarse-grained latch spin).
+///
+/// `ids` (optional) indirects input index -> tuple index, so the
+/// partitioned parallel build can run a thread's owned-tuple list through
+/// any policy without copying tuples.  Because the insert is a single Step,
+/// every schedule (including the coroutine interleaver) completes inserts
+/// in input order, which makes the partitioned build's per-bucket chains
+/// bitwise-identical to a sequential build.
+template <bool kSync>
+class BuildOp {
+ public:
+  struct State {
+    BucketNode* head;
+    Tuple tuple;
+  };
+
+  BuildOp(ChainedHashTable& table, const Relation& build,
+          const uint64_t* ids = nullptr)
+      : table_(table), build_(build), ids_(ids) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.tuple = build_[ids_ != nullptr ? ids_[idx] : idx];
+    st.head = table_.BucketForKey(st.tuple.key);
+    PrefetchWrite(st.head);
+  }
+
+  StepStatus Step(State& st) {
+    if constexpr (kSync) {
+      if (!st.head->latch.TryAcquire()) return StepStatus::kRetry;
+      detail::InsertLocked(table_, st.head, st.tuple);
+      st.head->latch.Release();
+    } else {
+      detail::InsertLocked(table_, st.head, st.tuple);
+    }
+    return StepStatus::kDone;
+  }
+
+ private:
+  ChainedHashTable& table_;
+  const Relation& build_;
+  const uint64_t* ids_;
+};
+
+}  // namespace amac

@@ -109,7 +109,9 @@ class Sim {
         m_.smt_per_core;
     AMAC_CHECK_MSG(c_.num_threads <= max_threads,
                    "more threads than hardware contexts");
-    inflight_ = c_.engine == Engine::kBaseline ? 1 : std::max(1u, c_.inflight);
+    inflight_ = c_.policy == ExecPolicy::kSequential
+                    ? 1
+                    : std::max(1u, c_.inflight);
     stages_ = std::max<uint32_t>(1, c_.stages);
 
     cores_.resize(total_cores);
@@ -309,7 +311,7 @@ class Sim {
     Slot& slot = th.slots[slot_idx];
     AMAC_CHECK_MSG(slot.state == SlotState::kReady && slot.remaining > 0,
                    "slot executed out of protocol");
-    const uint64_t end = ChargeStage(th, c_.costs.StageInstr(c_.engine));
+    const uint64_t end = ChargeStage(th, c_.costs.StageInstr(c_.policy));
     --slot.remaining;
     if (slot.remaining > 0) {
       slot.needs_issue = true;
@@ -334,15 +336,16 @@ class Sim {
         return;  // woken when an MSHR frees
       }
     }
-    switch (c_.engine) {
-      case Engine::kBaseline:
-      case Engine::kAMAC:
+    switch (c_.policy) {
+      case ExecPolicy::kSequential:
+      case ExecPolicy::kAmac:
+      case ExecPolicy::kCoroutine:  // work-conserving, coroutine-frame cost
         StepWorkConserving(th);
         break;
-      case Engine::kSPP:
+      case ExecPolicy::kSoftwarePipelined:
         StepPipelined(th);
         break;
-      case Engine::kGP:
+      case ExecPolicy::kGroupPrefetch:
         StepGrouped(th);
         break;
     }
@@ -432,7 +435,7 @@ class Sim {
         if (th.gp_pos < th.slots.size()) {
           if (HasInput(th)) {
             const bool issued = StartLookup(th, th.gp_pos, now_);
-            ChargeStage(th, c_.costs.StageInstr(c_.engine));
+            ChargeStage(th, c_.costs.StageInstr(c_.policy));
             // Advance regardless of issue success: the pending issue is
             // retried by StepThread's entry loop.  (Re-running StartLookup
             // on the same slot would orphan its outstanding access.)

@@ -35,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "join/hash_join.h"  // Engine enum
+#include "core/scheduler.h"  // ExecPolicy
 
 namespace amac::memsim {
 
@@ -61,21 +61,28 @@ struct EngineCosts {
   double gp_instr = 22.0;
   double spp_instr = 17.0;
   double amac_instr = 14.0;
+  /// AMAC schedule driven through a coroutine frame: ~15% resume/frame
+  /// overhead on top of the hand-packed state machine (ablation bench).
+  double coro_instr = 16.0;
   double noop_instr = 3.0;  ///< GP/SPP status check on a finished lookup
 
-  double StageInstr(Engine e) const {
-    switch (e) {
-      case Engine::kBaseline: return baseline_instr;
-      case Engine::kGP: return gp_instr;
-      case Engine::kSPP: return spp_instr;
-      case Engine::kAMAC: return amac_instr;
+  double StageInstr(ExecPolicy p) const {
+    switch (p) {
+      case ExecPolicy::kSequential: return baseline_instr;
+      case ExecPolicy::kGroupPrefetch: return gp_instr;
+      case ExecPolicy::kSoftwarePipelined: return spp_instr;
+      case ExecPolicy::kAmac: return amac_instr;
+      case ExecPolicy::kCoroutine: return coro_instr;
     }
     return 0;
   }
 };
 
 struct SimConfig {
-  Engine engine = Engine::kAMAC;
+  /// kSequential/kGP/kSPP/kAmac model the paper's engines; kCoroutine is
+  /// modeled as the work-conserving (AMAC) discipline at coroutine-frame
+  /// instruction cost.
+  ExecPolicy policy = ExecPolicy::kAmac;
   uint32_t inflight = 10;          ///< M per thread (1 forced for baseline)
   uint32_t stages = 1;             ///< provisioned N for the GP schedule
   uint32_t num_threads = 1;

@@ -16,6 +16,10 @@ namespace amac {
 struct Tuple {
   int64_t key;
   int64_t payload;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.key == b.key && a.payload == b.payload;
+  }
 };
 static_assert(sizeof(Tuple) == 16);
 

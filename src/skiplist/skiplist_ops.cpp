@@ -5,6 +5,7 @@
 #include "common/barrier.h"
 #include "common/cycle_timer.h"
 #include "common/thread_pool.h"
+#include "core/scheduler.h"
 #include "join/sink.h"
 #include "skiplist/skiplist_insert.h"
 #include "skiplist/skiplist_search.h"
@@ -14,27 +15,36 @@ namespace amac {
 namespace {
 
 uint32_t SppDistance(const SkipListConfig& config) {
-  return std::max<uint32_t>(1, config.inflight / std::max(1u, config.stages));
+  return SchedulerParams{config.inflight, config.stages, 0}.SppDistance();
 }
 
 void RunSearchKernel(const SkipList& list, const Relation& probe,
                      uint64_t begin, uint64_t end,
                      const SkipListConfig& config, CountChecksumSink& sink) {
-  switch (config.engine) {
-    case Engine::kBaseline:
+  switch (config.policy) {
+    case ExecPolicy::kSequential:
       SkipSearchBaseline(list, probe, begin, end, sink);
       break;
-    case Engine::kGP:
+    case ExecPolicy::kGroupPrefetch:
       SkipSearchGroupPrefetch(list, probe, begin, end, config.inflight,
                               config.stages, sink);
       break;
-    case Engine::kSPP:
+    case ExecPolicy::kSoftwarePipelined:
       SkipSearchSoftwarePipelined(list, probe, begin, end, config.stages,
                                   SppDistance(config), sink);
       break;
-    case Engine::kAMAC:
+    case ExecPolicy::kAmac:
       SkipSearchAmac(list, probe, begin, end, config.inflight, sink);
       break;
+    case ExecPolicy::kCoroutine: {
+      // No hand-written coroutine kernel: drive the generic SkipSearchOp
+      // through the unified runtime's coroutine schedule.
+      SkipSearchOp<CountChecksumSink> op(list, probe, sink);
+      OffsetOp<SkipSearchOp<CountChecksumSink>> rebased(op, begin);
+      Run(ExecPolicy::kCoroutine, SchedulerParams{config.inflight, 1, 0},
+          rebased, end - begin);
+      break;
+    }
   }
 }
 
@@ -42,17 +52,21 @@ template <bool kSync>
 uint64_t RunInsertKernel(SkipList& list, const Relation& input,
                          uint64_t begin, uint64_t end,
                          const SkipListConfig& config, uint64_t seed) {
-  switch (config.engine) {
-    case Engine::kBaseline:
+  switch (config.policy) {
+    case ExecPolicy::kSequential:
       return SkipInsertBaseline<kSync>(list, input, begin, end, seed);
-    case Engine::kGP:
+    case ExecPolicy::kGroupPrefetch:
       return SkipInsertGroupPrefetch<kSync>(list, input, begin, end,
                                             config.inflight, config.stages,
                                             seed);
-    case Engine::kSPP:
+    case ExecPolicy::kSoftwarePipelined:
       return SkipInsertSoftwarePipelined<kSync>(
           list, input, begin, end, config.stages, SppDistance(config), seed);
-    case Engine::kAMAC:
+    case ExecPolicy::kAmac:
+    case ExecPolicy::kCoroutine:
+      // The insert has no generic op (each in-flight insert carries a
+      // ~0.5KB pred/succ vector); kCoroutine runs the scheduling-equivalent
+      // dynamic schedule, the AMAC kernel.
       return SkipInsertAmac<kSync>(list, input, begin, end, config.inflight,
                                    seed);
   }
@@ -113,7 +127,7 @@ SkipListStats RunSkipListInsert(SkipList* list, const Relation& input,
   uint64_t total = 0;
   for (uint64_t v : inserted) total += v;
   // Baseline inserts bump the count inside the list; staged kernels do not.
-  if (config.engine != Engine::kBaseline) list->AddElems(total);
+  if (config.policy != ExecPolicy::kSequential) list->AddElems(total);
   stats.matches = total;
   return stats;
 }

@@ -1,11 +1,11 @@
-// Skip list operation drivers: dispatch search/insert over the four
-// execution engines with timing, single- or multi-threaded.
+// Skip list operation drivers: dispatch search/insert over the unified
+// runtime's execution policies with timing, single- or multi-threaded.
 #pragma once
 
 #include <cstdint>
 
 #include "core/engine.h"
-#include "join/hash_join.h"  // Engine enum + stats helpers
+#include "core/scheduler.h"
 #include "relation/relation.h"
 #include "skiplist/skiplist.h"
 #include "skiplist/skiplist_search.h"
@@ -13,7 +13,7 @@
 namespace amac {
 
 struct SkipListConfig {
-  Engine engine = Engine::kAMAC;
+  ExecPolicy policy = ExecPolicy::kAmac;
   uint32_t inflight = 10;  ///< M (AMAC slots / GP group / SPP window)
   uint32_t stages = 8;     ///< N for GP/SPP (search steps before bailout)
   uint32_t num_threads = 1;

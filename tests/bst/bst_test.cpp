@@ -73,10 +73,10 @@ TEST(BstTest, DegenerateSortedInsertBecomesList) {
 }
 
 class BstSearchEngineTest
-    : public ::testing::TestWithParam<std::tuple<Engine, uint32_t>> {};
+    : public ::testing::TestWithParam<std::tuple<ExecPolicy, uint32_t>> {};
 
 TEST_P(BstSearchEngineTest, FindsEveryKeyAndMatchesBaseline) {
-  const auto [engine, m] = GetParam();
+  const auto [policy, m] = GetParam();
   const uint64_t n = 4000;
   const Relation rel = MakeDenseUniqueRelation(n, 83);
   const BinarySearchTree tree = BuildBst(rel);
@@ -88,18 +88,18 @@ TEST_P(BstSearchEngineTest, FindsEveryKeyAndMatchesBaseline) {
 
   CountChecksumSink sink;
   const uint32_t stages = 8;
-  switch (engine) {
-    case Engine::kBaseline:
+  switch (policy) {
+    case ExecPolicy::kSequential:
       BstSearchBaseline(tree, probe, 0, probe.size(), sink);
       break;
-    case Engine::kGP:
+    case ExecPolicy::kGroupPrefetch:
       BstSearchGroupPrefetch(tree, probe, 0, probe.size(), m, stages, sink);
       break;
-    case Engine::kSPP:
+    case ExecPolicy::kSoftwarePipelined:
       BstSearchSoftwarePipelined(tree, probe, 0, probe.size(), stages,
                                  std::max(1u, m / stages), sink);
       break;
-    case Engine::kAMAC:
+    case ExecPolicy::kAmac:
       BstSearchAmac(tree, probe, 0, probe.size(), m, sink);
       break;
   }
@@ -109,11 +109,11 @@ TEST_P(BstSearchEngineTest, FindsEveryKeyAndMatchesBaseline) {
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesByWindow, BstSearchEngineTest,
-    ::testing::Combine(::testing::Values(Engine::kBaseline, Engine::kGP,
-                                         Engine::kSPP, Engine::kAMAC),
+    ::testing::Combine(::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                         ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                        ::testing::Values(1u, 5u, 10u, 16u)),
     [](const auto& info) {
-      return std::string(EngineName(std::get<0>(info.param))) + "_m" +
+      return std::string(ExecPolicyName(std::get<0>(info.param))) + "_m" +
              std::to_string(std::get<1>(info.param));
     });
 

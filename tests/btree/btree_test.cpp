@@ -106,10 +106,10 @@ TEST(BTreeTest, BoundaryKeysAcrossLeaves) {
 }
 
 class BTreeSearchEngineTest
-    : public ::testing::TestWithParam<std::tuple<Engine, uint32_t>> {};
+    : public ::testing::TestWithParam<std::tuple<ExecPolicy, uint32_t>> {};
 
 TEST_P(BTreeSearchEngineTest, MatchesBaseline) {
-  const auto [engine, m] = GetParam();
+  const auto [policy, m] = GetParam();
   const uint64_t n = 50000;
   const Relation rel = MakeDenseUniqueRelation(n, 203);
   const BTree tree(rel);
@@ -118,33 +118,33 @@ TEST_P(BTreeSearchEngineTest, MatchesBaseline) {
   CountChecksumSink baseline, sink;
   BTreeSearchBaseline(tree, probe, 0, probe.size(), baseline);
   const uint32_t stages = tree.height();
-  switch (engine) {
-    case Engine::kBaseline:
+  switch (policy) {
+    case ExecPolicy::kSequential:
       BTreeSearchBaseline(tree, probe, 0, probe.size(), sink);
       break;
-    case Engine::kGP:
+    case ExecPolicy::kGroupPrefetch:
       BTreeSearchGroupPrefetch(tree, probe, 0, probe.size(), m, stages,
                                sink);
       break;
-    case Engine::kSPP:
+    case ExecPolicy::kSoftwarePipelined:
       BTreeSearchSoftwarePipelined(tree, probe, 0, probe.size(), stages,
                                    std::max(1u, m / stages), sink);
       break;
-    case Engine::kAMAC:
+    case ExecPolicy::kAmac:
       BTreeSearchAmac(tree, probe, 0, probe.size(), m, sink);
       break;
   }
-  EXPECT_EQ(sink.matches(), baseline.matches()) << EngineName(engine);
-  EXPECT_EQ(sink.checksum(), baseline.checksum()) << EngineName(engine);
+  EXPECT_EQ(sink.matches(), baseline.matches()) << ExecPolicyName(policy);
+  EXPECT_EQ(sink.checksum(), baseline.checksum()) << ExecPolicyName(policy);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesByWindow, BTreeSearchEngineTest,
-    ::testing::Combine(::testing::Values(Engine::kBaseline, Engine::kGP,
-                                         Engine::kSPP, Engine::kAMAC),
+    ::testing::Combine(::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                         ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                        ::testing::Values(1u, 6u, 10u, 16u)),
     [](const auto& info) {
-      return std::string(EngineName(std::get<0>(info.param))) + "_m" +
+      return std::string(ExecPolicyName(std::get<0>(info.param))) + "_m" +
              std::to_string(std::get<1>(info.param));
     });
 

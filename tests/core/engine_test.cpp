@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/ops.h"
+#include "join/join_ops.h"
 #include "join/probe_kernels.h"
 #include "join/sink.h"
 #include "relation/relation.h"
@@ -177,7 +178,7 @@ TEST(EngineOpsTest, HashProbeOpMatchesHandWrittenAmac) {
   ProbeAmac<false>(table, probe, 0, probe.size(), 10, hand);
 
   CountChecksumSink engine_sink;
-  HashProbeOp<false, CountChecksumSink> op(table, probe, engine_sink);
+  ProbeOp<false, CountChecksumSink> op(table, probe, engine_sink);
   const EngineStats stats = RunAmac(op, probe.size(), 10);
   EXPECT_EQ(engine_sink.matches(), hand.matches());
   EXPECT_EQ(engine_sink.checksum(), hand.checksum());
@@ -195,7 +196,7 @@ TEST(EngineOpsTest, HashProbeOpIdenticalAcrossSchedules) {
   uint64_t expected_checksum = 0;
   for (int schedule = 0; schedule < 4; ++schedule) {
     CountChecksumSink sink;
-    HashProbeOp<true, CountChecksumSink> op(table, probe, sink);
+    ProbeOp<true, CountChecksumSink> op(table, probe, sink);
     switch (schedule) {
       case 0: RunSequential(op, n); break;
       case 1: RunAmac(op, n, 8); break;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/ops.h"
+#include "join/join_ops.h"
 #include "graph/csr.h"
 #include "graph/graph_ops.h"
 #include "groupby/groupby_kernels.h"
@@ -57,7 +58,7 @@ TEST(ParallelDriverTest, JoinProbeMatchesSingleThreadEverywhere) {
       std::vector<CountChecksumSink> sinks(threads);
       const ParallelDriverStats stats =
           RunParallel(config, probe.size(), [&](uint32_t tid) {
-            return HashProbeOp<false, CountChecksumSink>(table, probe,
+            return ProbeOp<false, CountChecksumSink>(table, probe,
                                                          sinks[tid]);
           });
       CountChecksumSink merged;
@@ -145,7 +146,7 @@ TEST(ParallelDriverTest, ZeroInputs) {
   ChainedHashTable table(1, ChainedHashTable::Options{});
   const ParallelDriverStats stats =
       RunParallel(config, 0, [&](uint32_t tid) {
-        return HashProbeOp<false, CountChecksumSink>(table, empty,
+        return ProbeOp<false, CountChecksumSink>(table, empty,
                                                      sinks[tid]);
       });
   EXPECT_EQ(stats.engine.lookups, 0u);

@@ -15,6 +15,7 @@
 #include "btree/btree_ops.h"
 #include "common/rng.h"
 #include "core/ops.h"
+#include "join/join_ops.h"
 #include "graph/csr.h"
 #include "graph/graph_ops.h"
 #include "groupby/groupby_kernels.h"
@@ -108,7 +109,7 @@ TEST(SchedulerTest, HashProbeAllPoliciesMatchBaseline) {
 
   for (ExecPolicy policy : kAllExecPolicies) {
     CountChecksumSink sink;
-    HashProbeOp<false, CountChecksumSink> op(table, probe, sink);
+    ProbeOp<false, CountChecksumSink> op(table, probe, sink);
     const EngineStats stats = amac::Run(policy, kParams, op, probe.size());
     EXPECT_EQ(sink.matches(), base.matches()) << ExecPolicyName(policy);
     EXPECT_EQ(sink.checksum(), base.checksum()) << ExecPolicyName(policy);

@@ -60,18 +60,18 @@ void ExpectMatchesReference(const AggregateTable& table,
 }
 
 class GroupByEngineTest
-    : public ::testing::TestWithParam<std::tuple<Engine, double, uint32_t>> {
+    : public ::testing::TestWithParam<std::tuple<ExecPolicy, double, uint32_t>> {
 };
 
 TEST_P(GroupByEngineTest, MatchesReferenceAggregates) {
-  const auto [engine, theta, threads] = GetParam();
+  const auto [policy, theta, threads] = GetParam();
   const uint64_t groups = 2000;
   const Relation input =
       theta == 0.0 ? MakeGroupByInput(groups, 3, 71)
                    : MakeZipfRelation(groups * 3, groups, theta, 72);
   AggregateTable table(groups * 2, AggregateTable::Options{});
   const GroupByConfig config{
-      .engine = engine, .inflight = 8, .num_threads = threads};
+      .policy = policy, .inflight = 8, .num_threads = threads};
   const GroupByStats stats = RunGroupBy(input, config, &table);
   const auto ref = Reference(input);
   EXPECT_EQ(stats.groups, ref.size());
@@ -80,12 +80,12 @@ TEST_P(GroupByEngineTest, MatchesReferenceAggregates) {
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesByDistributionAndThreads, GroupByEngineTest,
-    ::testing::Combine(::testing::Values(Engine::kBaseline, Engine::kGP,
-                                         Engine::kSPP, Engine::kAMAC),
+    ::testing::Combine(::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                         ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                        ::testing::Values(0.0, 0.5, 1.0),
                        ::testing::Values(1u, 4u)),
     [](const auto& info) {
-      return std::string(EngineName(std::get<0>(info.param))) + "_z" +
+      return std::string(ExecPolicyName(std::get<0>(info.param))) + "_z" +
              std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
              "_t" + std::to_string(std::get<2>(info.param));
     });
@@ -93,13 +93,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GroupByTest, EnginesAgreeOnChecksum) {
   const Relation input = MakeZipfRelation(6000, 2000, 1.0, 73);
   GroupByConfig config;
-  config.engine = Engine::kBaseline;
+  config.policy = ExecPolicy::kSequential;
   const GroupByStats base = RunGroupBy(input, 4000, config);
-  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
-    config.engine = engine;
+  for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
+    config.policy = policy;
     const GroupByStats stats = RunGroupBy(input, 4000, config);
-    EXPECT_EQ(stats.groups, base.groups) << EngineName(engine);
-    EXPECT_EQ(stats.checksum, base.checksum) << EngineName(engine);
+    EXPECT_EQ(stats.groups, base.groups) << ExecPolicyName(policy);
+    EXPECT_EQ(stats.checksum, base.checksum) << ExecPolicyName(policy);
   }
 }
 
@@ -109,12 +109,12 @@ TEST(GroupByTest, SingleHotKeyFullContention) {
   for (uint64_t i = 0; i < input.size(); ++i) {
     input[i] = Tuple{7, static_cast<int64_t>(i + 1)};
   }
-  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
+  for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
     AggregateTable table(16, AggregateTable::Options{});
     const GroupByConfig config{
-        .engine = engine, .inflight = 10, .num_threads = 4};
+        .policy = policy, .inflight = 10, .num_threads = 4};
     const GroupByStats stats = RunGroupBy(input, config, &table);
-    EXPECT_EQ(stats.groups, 1u) << EngineName(engine);
+    EXPECT_EQ(stats.groups, 1u) << ExecPolicyName(policy);
     table.ForEachGroup([&](const GroupNode& g) {
       EXPECT_EQ(g.count, 5000);
       EXPECT_EQ(g.min, 1);

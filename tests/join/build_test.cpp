@@ -27,10 +27,10 @@ std::map<int64_t, std::vector<int64_t>> TableContents(
   return contents;
 }
 
-class BuildEngineTest : public ::testing::TestWithParam<Engine> {};
+class BuildEngineTest : public ::testing::TestWithParam<ExecPolicy> {};
 
 TEST_P(BuildEngineTest, SingleThreadMatchesReference) {
-  const Engine engine = GetParam();
+  const ExecPolicy policy = GetParam();
   for (double theta : {0.0, 0.75}) {
     const Relation rel =
         theta == 0.0 ? MakeDenseUniqueRelation(5000, 51)
@@ -39,40 +39,40 @@ TEST_P(BuildEngineTest, SingleThreadMatchesReference) {
     BuildTableUnsync(rel, &reference);
 
     ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-    const JoinConfig config{.engine = engine, .inflight = 8};
+    const JoinConfig config{.policy = policy, .inflight = 8};
     JoinStats stats;
     BuildPhase(rel, config, &table, &stats);
     EXPECT_EQ(stats.build_tuples, rel.size());
     EXPECT_EQ(TableContents(table, rel), TableContents(reference, rel))
-        << EngineName(engine) << " theta=" << theta;
+        << ExecPolicyName(policy) << " theta=" << theta;
   }
 }
 
 TEST_P(BuildEngineTest, MultiThreadMatchesReference) {
-  const Engine engine = GetParam();
+  const ExecPolicy policy = GetParam();
   const Relation rel = MakeZipfRelation(20000, 4000, 0.5, 53);
   ChainedHashTable reference(rel.size(), ChainedHashTable::Options{});
   BuildTableUnsync(rel, &reference);
 
   ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
   const JoinConfig config{
-      .engine = engine, .inflight = 6, .num_threads = 4};
+      .policy = policy, .inflight = 6, .num_threads = 4};
   JoinStats stats;
   BuildPhase(rel, config, &table, &stats);
   EXPECT_EQ(TableContents(table, rel), TableContents(reference, rel))
-      << EngineName(engine);
+      << ExecPolicyName(policy);
 }
 
 TEST_P(BuildEngineTest, HotBucketContention) {
   // All tuples share one key: maximal latch contention, long chain.
-  const Engine engine = GetParam();
+  const ExecPolicy policy = GetParam();
   Relation rel(3000);
   for (uint64_t i = 0; i < rel.size(); ++i) {
     rel[i] = Tuple{99, static_cast<int64_t>(i)};
   }
   ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
   const JoinConfig config{
-      .engine = engine, .inflight = 10, .num_threads = 4};
+      .policy = policy, .inflight = 10, .num_threads = 4};
   JoinStats stats;
   BuildPhase(rel, config, &table, &stats);
   std::vector<int64_t> payloads;
@@ -85,10 +85,10 @@ TEST_P(BuildEngineTest, HotBucketContention) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, BuildEngineTest,
-                         ::testing::Values(Engine::kBaseline, Engine::kGP,
-                                           Engine::kSPP, Engine::kAMAC),
+                         ::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                           ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                          [](const auto& info) {
-                           return EngineName(info.param);
+                           return ExecPolicyName(info.param);
                          });
 
 TEST(BuildKernelTest, AmacBuildWithTinyWindow) {

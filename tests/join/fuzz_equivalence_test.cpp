@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "core/ops.h"
+#include "join/join_ops.h"
 #include "core/parallel_driver.h"
 #include "core/scheduler.h"
 #include "groupby/groupby.h"
@@ -81,15 +82,15 @@ TEST_P(JoinFuzzTest, RandomGroupByAllEnginesAgree) {
       MakeZipfRelation(tuples, groups, theta, GetParam() + 5);
 
   GroupByConfig config;
-  config.engine = Engine::kBaseline;
+  config.policy = ExecPolicy::kSequential;
   const GroupByStats base = RunGroupBy(input, groups * 2, config);
   config.inflight = 1 + static_cast<uint32_t>(rng.NextBounded(16));
-  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
-    config.engine = engine;
+  for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
+    config.policy = policy;
     const GroupByStats stats = RunGroupBy(input, groups * 2, config);
-    EXPECT_EQ(stats.groups, base.groups) << EngineName(engine);
+    EXPECT_EQ(stats.groups, base.groups) << ExecPolicyName(policy);
     EXPECT_EQ(stats.checksum, base.checksum)
-        << EngineName(engine) << " inflight=" << config.inflight;
+        << ExecPolicyName(policy) << " inflight=" << config.inflight;
   }
 }
 
@@ -131,12 +132,12 @@ TEST_P(JoinFuzzTest, RandomWorkloadUnifiedRuntimeAgrees) {
         ParallelDriverStats stats;
         if (early_exit) {
           stats = RunParallel(config, s.size(), [&](uint32_t tid) {
-            return HashProbeOp<true, CountChecksumSink>(table, s,
+            return ProbeOp<true, CountChecksumSink>(table, s,
                                                         sinks[tid]);
           });
         } else {
           stats = RunParallel(config, s.size(), [&](uint32_t tid) {
-            return HashProbeOp<false, CountChecksumSink>(table, s,
+            return ProbeOp<false, CountChecksumSink>(table, s,
                                                          sinks[tid]);
           });
         }
@@ -158,6 +159,88 @@ TEST_P(JoinFuzzTest, RandomWorkloadUnifiedRuntimeAgrees) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JoinFuzzTest,
                          ::testing::Range<uint64_t>(1000, 1025));
+
+// ---------------------------------------------------------------------------
+// Differential join harness: the full RunHashJoin driver (partitioned
+// parallel build + morsel-driven parallel probe) must be bitwise-identical
+// to the 1-thread sequential oracle across every ExecPolicy x thread count
+// x in-flight width.  Because the partitioned build preserves per-bucket
+// insertion order, this holds even for duplicate build keys under
+// early-exit probes, where the *first* match in chain order is emitted.
+// ---------------------------------------------------------------------------
+
+struct DifferentialWorkload {
+  const char* name;
+  uint64_t r_size;
+  uint64_t s_size;
+  double zr;  ///< 0 = dense unique build keys
+  double zs;
+  bool early_exit;
+  uint64_t seed;
+};
+
+class JoinDifferentialTest
+    : public ::testing::TestWithParam<DifferentialWorkload> {};
+
+TEST_P(JoinDifferentialTest, AllPoliciesThreadsWidthsMatchOracle) {
+  const DifferentialWorkload& w = GetParam();
+  const Relation r = w.zr == 0.0
+                         ? MakeDenseUniqueRelation(w.r_size, w.seed)
+                         : MakeZipfRelation(w.r_size, w.r_size / 2, w.zr,
+                                            w.seed);
+  const Relation s = w.zs == 0.0
+                         ? MakeForeignKeyRelation(w.s_size, w.r_size,
+                                                  w.seed + 1)
+                         : MakeZipfRelation(w.s_size, w.r_size / 2, w.zs,
+                                            w.seed + 1);
+
+  JoinConfig oracle_config;
+  oracle_config.policy = ExecPolicy::kSequential;
+  oracle_config.num_threads = 1;
+  oracle_config.inflight = 1;
+  oracle_config.early_exit = w.early_exit;
+  const JoinStats oracle = RunHashJoin(r, s, oracle_config);
+  ASSERT_EQ(oracle.probe_tuples, s.size());
+
+  for (ExecPolicy policy : kAllExecPolicies) {
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      for (uint32_t inflight : {1u, 10u, 32u}) {
+        JoinConfig config;
+        config.policy = policy;
+        config.num_threads = threads;
+        config.inflight = inflight;
+        config.stages = 2;
+        config.early_exit = w.early_exit;
+        // Small morsels so multi-thread runs really interleave claims.
+        config.morsel_size = 256;
+        const JoinStats stats = RunHashJoin(r, s, config);
+        EXPECT_EQ(stats.matches, oracle.matches)
+            << w.name << " " << ExecPolicyName(policy)
+            << " threads=" << threads << " inflight=" << inflight;
+        EXPECT_EQ(stats.checksum, oracle.checksum)
+            << w.name << " " << ExecPolicyName(policy)
+            << " threads=" << threads << " inflight=" << inflight;
+        EXPECT_EQ(stats.probe_engine.lookups, s.size())
+            << w.name << " " << ExecPolicyName(policy);
+        EXPECT_EQ(stats.build_engine.lookups, r.size())
+            << w.name << " " << ExecPolicyName(policy);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, JoinDifferentialTest,
+    ::testing::Values(
+        DifferentialWorkload{"UniformFkEarlyExit", 4096, 6000, 0.0, 0.0,
+                             true, 2001},
+        DifferentialWorkload{"ZipfDuplicatesFullWalk", 4096, 6000, 0.9, 0.75,
+                             false, 2002},
+        DifferentialWorkload{"ZipfDuplicatesEarlyExit", 4096, 6000, 0.9,
+                             0.75, true, 2003},
+        DifferentialWorkload{"TinyBuildMissHeavy", 128, 5000, 0.0, 0.5,
+                             true, 2004}),
+    [](const auto& info) { return info.param.name; });
 
 }  // namespace
 }  // namespace amac

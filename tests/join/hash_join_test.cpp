@@ -10,11 +10,11 @@ TEST(HashJoinTest, EqualSizedUniformJoinMatchesEveryProbe) {
   const uint64_t n = 1 << 13;
   const Relation r = MakeDenseUniqueRelation(n, 61);
   const Relation s = MakeForeignKeyRelation(n, n, 62);
-  for (Engine engine : {Engine::kBaseline, Engine::kGP, Engine::kSPP,
-                        Engine::kAMAC}) {
+  for (ExecPolicy policy : {ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined,
+                        ExecPolicy::kAmac}) {
     const JoinStats stats =
-        RunHashJoin(r, s, JoinConfig{.engine = engine, .inflight = 10});
-    EXPECT_EQ(stats.matches, n) << EngineName(engine);
+        RunHashJoin(r, s, JoinConfig{.policy = policy, .inflight = 10});
+    EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);
     EXPECT_EQ(stats.probe_tuples, n);
     EXPECT_EQ(stats.build_tuples, n);
     EXPECT_GT(stats.probe_cycles, 0u);
@@ -26,13 +26,13 @@ TEST(HashJoinTest, AllEnginesAgreeOnChecksum) {
   const uint64_t n = 1 << 13;
   const Relation r = MakeZipfRelation(n, n, 0.75, 63);
   const Relation s = MakeZipfRelation(n, n, 0.75, 64);
-  JoinConfig config{.engine = Engine::kBaseline, .early_exit = false};
+  JoinConfig config{.policy = ExecPolicy::kSequential, .early_exit = false};
   const JoinStats base = RunHashJoin(r, s, config);
-  for (Engine engine : {Engine::kGP, Engine::kSPP, Engine::kAMAC}) {
-    config.engine = engine;
+  for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
+    config.policy = policy;
     const JoinStats stats = RunHashJoin(r, s, config);
-    EXPECT_EQ(stats.matches, base.matches) << EngineName(engine);
-    EXPECT_EQ(stats.checksum, base.checksum) << EngineName(engine);
+    EXPECT_EQ(stats.matches, base.matches) << ExecPolicyName(policy);
+    EXPECT_EQ(stats.checksum, base.checksum) << ExecPolicyName(policy);
   }
 }
 
@@ -41,7 +41,7 @@ TEST(HashJoinTest, SmallBuildLargeProbe) {
   const Relation r = MakeDenseUniqueRelation(small, 65);
   const Relation s = MakeForeignKeyRelation(large, small, 66);
   const JoinStats stats = RunHashJoin(
-      r, s, JoinConfig{.engine = Engine::kAMAC, .inflight = 10});
+      r, s, JoinConfig{.policy = ExecPolicy::kAmac, .inflight = 10});
   EXPECT_EQ(stats.matches, large);  // every probe hits exactly one build key
 }
 
@@ -49,7 +49,7 @@ TEST(HashJoinTest, MultiThreadedProbeMatchesSingle) {
   const uint64_t n = 1 << 14;
   const Relation r = MakeDenseUniqueRelation(n, 67);
   const Relation s = MakeForeignKeyRelation(n, n, 68);
-  JoinConfig config{.engine = Engine::kAMAC, .inflight = 8};
+  JoinConfig config{.policy = ExecPolicy::kAmac, .inflight = 8};
   const JoinStats single = RunHashJoin(r, s, config);
   config.num_threads = 4;
   const JoinStats multi = RunHashJoin(r, s, config);
@@ -74,18 +74,81 @@ TEST(HashJoinTest, DisjointKeysProduceNoMatches) {
     r[i] = Tuple{static_cast<int64_t>(i + 1), 0};
     s[i] = Tuple{static_cast<int64_t>(i + 1000), 0};
   }
-  for (Engine engine : {Engine::kBaseline, Engine::kGP, Engine::kSPP,
-                        Engine::kAMAC}) {
-    const JoinStats stats = RunHashJoin(r, s, JoinConfig{.engine = engine});
-    EXPECT_EQ(stats.matches, 0u) << EngineName(engine);
+  for (ExecPolicy policy : {ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined,
+                        ExecPolicy::kAmac}) {
+    const JoinStats stats = RunHashJoin(r, s, JoinConfig{.policy = policy});
+    EXPECT_EQ(stats.matches, 0u) << ExecPolicyName(policy);
   }
 }
 
-TEST(HashJoinTest, EngineNamesAreStable) {
-  EXPECT_STREQ(EngineName(Engine::kBaseline), "Baseline");
-  EXPECT_STREQ(EngineName(Engine::kGP), "GP");
-  EXPECT_STREQ(EngineName(Engine::kSPP), "SPP");
-  EXPECT_STREQ(EngineName(Engine::kAMAC), "AMAC");
+TEST(HashJoinTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(ExecPolicyName(ExecPolicy::kSequential), "Sequential");
+  EXPECT_STREQ(ExecPolicyName(ExecPolicy::kGroupPrefetch), "GP");
+  EXPECT_STREQ(ExecPolicyName(ExecPolicy::kSoftwarePipelined), "SPP");
+  EXPECT_STREQ(ExecPolicyName(ExecPolicy::kAmac), "AMAC");
+  EXPECT_STREQ(ExecPolicyName(ExecPolicy::kCoroutine), "Coroutine");
+}
+
+// The bench tables render rates for degenerate workloads (empty probe, no
+// matches); the accessors must return exactly 0 — never NaN or inf — so
+// those tables and downstream scripts can rely on it.
+TEST(JoinStatsTest, RateAccessorsReturnZeroOnDefaultStats) {
+  const JoinStats stats;
+  EXPECT_EQ(stats.BuildCyclesPerTuple(), 0.0);
+  EXPECT_EQ(stats.ProbeCyclesPerTuple(), 0.0);
+  EXPECT_EQ(stats.CyclesPerOutputTuple(), 0.0);
+  EXPECT_EQ(stats.ProbeThroughput(), 0.0);
+}
+
+TEST(JoinStatsTest, EmptyProbeRelationYieldsZeroRates) {
+  const Relation r = MakeDenseUniqueRelation(256, 71);
+  const Relation s(0);
+  for (ExecPolicy policy : kAllExecPolicies) {
+    for (uint32_t threads : {1u, 4u}) {
+      const JoinStats stats = RunHashJoin(
+          r, s, JoinConfig{.policy = policy, .num_threads = threads});
+      EXPECT_EQ(stats.matches, 0u) << ExecPolicyName(policy);
+      EXPECT_EQ(stats.probe_tuples, 0u);
+      EXPECT_EQ(stats.ProbeCyclesPerTuple(), 0.0) << ExecPolicyName(policy);
+      EXPECT_EQ(stats.CyclesPerOutputTuple(), 0.0) << ExecPolicyName(policy);
+      EXPECT_EQ(stats.ProbeThroughput(), 0.0) << ExecPolicyName(policy);
+    }
+  }
+}
+
+TEST(JoinStatsTest, EmptyBuildRelationYieldsZeroBuildRates) {
+  const Relation r(0);
+  const Relation s = MakeDenseUniqueRelation(256, 72);
+  const JoinStats stats = RunHashJoin(r, s, JoinConfig{});
+  EXPECT_EQ(stats.build_tuples, 0u);
+  EXPECT_EQ(stats.matches, 0u);
+  EXPECT_EQ(stats.BuildCyclesPerTuple(), 0.0);
+  EXPECT_EQ(stats.CyclesPerOutputTuple(), 0.0);
+}
+
+TEST(JoinStatsTest, ProbeThroughputGuardsZeroSeconds) {
+  JoinStats stats;
+  stats.probe_tuples = 100;
+  stats.probe_seconds = 0;  // degenerate timer reading
+  EXPECT_EQ(stats.ProbeThroughput(), 0.0);
+  stats.probe_seconds = 0.5;
+  EXPECT_EQ(stats.ProbeThroughput(), 200.0);
+}
+
+TEST(HashJoinTest, MorselDriverReportsClaimsOnParallelProbe) {
+  const uint64_t n = 1 << 14;
+  const Relation r = MakeDenseUniqueRelation(n, 73);
+  const Relation s = MakeForeignKeyRelation(n, n, 74);
+  JoinConfig config{.policy = ExecPolicy::kAmac, .num_threads = 4};
+  config.morsel_size = 512;
+  JoinStats stats;
+  ChainedHashTable table(r.size(), ChainedHashTable::Options{});
+  BuildPhase(r, config, &table, &stats);
+  ProbePhase(table, s, config, &stats);
+  EXPECT_EQ(stats.probe_morsels, n / 512);
+  EXPECT_EQ(stats.probe_engine.lookups, n);
+  EXPECT_GE(stats.probe_engine.steps, n);
+  EXPECT_EQ(stats.build_engine.lookups, n);
 }
 
 }  // namespace

@@ -22,24 +22,24 @@ struct ProbeCase {
 };
 
 template <bool kEarlyExit>
-CountChecksumSink RunEngine(Engine engine, const ChainedHashTable& table,
+CountChecksumSink RunEngine(ExecPolicy policy, const ChainedHashTable& table,
                             const Relation& probe, uint32_t m,
                             uint32_t stages) {
   CountChecksumSink sink;
-  switch (engine) {
-    case Engine::kBaseline:
+  switch (policy) {
+    case ExecPolicy::kSequential:
       ProbeBaseline<kEarlyExit>(table, probe, 0, probe.size(), sink);
       break;
-    case Engine::kGP:
+    case ExecPolicy::kGroupPrefetch:
       ProbeGroupPrefetch<kEarlyExit>(table, probe, 0, probe.size(), m,
                                      stages, sink);
       break;
-    case Engine::kSPP:
+    case ExecPolicy::kSoftwarePipelined:
       ProbeSoftwarePipelined<kEarlyExit>(
           table, probe, 0, probe.size(), stages,
           std::max(1u, m / std::max(1u, stages)), sink);
       break;
-    case Engine::kAMAC:
+    case ExecPolicy::kAmac:
       ProbeAmac<kEarlyExit>(table, probe, 0, probe.size(), m, sink);
       break;
   }
@@ -47,7 +47,7 @@ CountChecksumSink RunEngine(Engine engine, const ChainedHashTable& table,
 }
 
 class ProbeEquivalenceTest
-    : public ::testing::TestWithParam<std::tuple<Engine, int, uint32_t>> {};
+    : public ::testing::TestWithParam<std::tuple<ExecPolicy, int, uint32_t>> {};
 
 // Distributions: 0 = uniform unique FK, 1 = zipf 0.75 build keys,
 // 2 = zipf 1.0 build keys, 3 = probe misses allowed.
@@ -76,44 +76,44 @@ void MakeWorkload(int dist, Relation* build, Relation* probe) {
 }
 
 TEST_P(ProbeEquivalenceTest, MatchesBaselineChecksum) {
-  const auto [engine, dist, m] = GetParam();
+  const auto [policy, dist, m] = GetParam();
   Relation build, probe;
   MakeWorkload(dist, &build, &probe);
   ChainedHashTable table(build.size(), ChainedHashTable::Options{});
   BuildTableUnsync(build, &table);
 
   const auto baseline =
-      RunEngine<false>(Engine::kBaseline, table, probe, 1, 1);
+      RunEngine<false>(ExecPolicy::kSequential, table, probe, 1, 1);
   for (uint32_t stages : {1u, 2u, 4u}) {
-    const auto got = RunEngine<false>(engine, table, probe, m, stages);
+    const auto got = RunEngine<false>(policy, table, probe, m, stages);
     EXPECT_EQ(got.matches(), baseline.matches())
-        << EngineName(engine) << " m=" << m << " stages=" << stages;
+        << ExecPolicyName(policy) << " m=" << m << " stages=" << stages;
     EXPECT_EQ(got.checksum(), baseline.checksum())
-        << EngineName(engine) << " m=" << m << " stages=" << stages;
+        << ExecPolicyName(policy) << " m=" << m << " stages=" << stages;
   }
 }
 
 TEST_P(ProbeEquivalenceTest, EarlyExitFindsEveryUniqueMatch) {
-  const auto [engine, dist, m] = GetParam();
+  const auto [policy, dist, m] = GetParam();
   if (dist == 1 || dist == 2) return;  // early exit needs unique build keys
   Relation build, probe;
   MakeWorkload(dist, &build, &probe);
   ChainedHashTable table(build.size(), ChainedHashTable::Options{});
   BuildTableUnsync(build, &table);
-  const auto baseline = RunEngine<true>(Engine::kBaseline, table, probe, 1, 1);
-  const auto got = RunEngine<true>(engine, table, probe, m, 2);
+  const auto baseline = RunEngine<true>(ExecPolicy::kSequential, table, probe, 1, 1);
+  const auto got = RunEngine<true>(policy, table, probe, m, 2);
   EXPECT_EQ(got.matches(), baseline.matches());
   EXPECT_EQ(got.checksum(), baseline.checksum());
 }
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesByDistributionAndWindow, ProbeEquivalenceTest,
-    ::testing::Combine(::testing::Values(Engine::kGP, Engine::kSPP,
-                                         Engine::kAMAC),
+    ::testing::Combine(::testing::Values(ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined,
+                                         ExecPolicy::kAmac),
                        ::testing::Values(0, 1, 2, 3),
                        ::testing::Values(1u, 2u, 7u, 10u, 16u)),
     [](const auto& info) {
-      return std::string(EngineName(std::get<0>(info.param))) + "_dist" +
+      return std::string(ExecPolicyName(std::get<0>(info.param))) + "_dist" +
              std::to_string(std::get<1>(info.param)) + "_m" +
              std::to_string(std::get<2>(info.param));
     });

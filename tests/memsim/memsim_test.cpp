@@ -23,7 +23,7 @@ SimConfig BaseConfig(const std::vector<uint32_t>& lengths) {
 TEST(MemsimTest, DeterministicAcrossRuns) {
   const auto lengths = FixedWalkLengths(1000, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   c.num_threads = 4;
   const SimResult a = Simulate(MachineConfig::XeonX5670(), c);
   const SimResult b = Simulate(MachineConfig::XeonX5670(), c);
@@ -46,7 +46,7 @@ TEST(MemsimTest, AccessConservation) {
 TEST(MemsimTest, BaselineHasUnitMlp) {
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kBaseline;
+  c.policy = ExecPolicy::kSequential;
   const SimResult r = Simulate(MachineConfig::XeonX5670(), c);
   EXPECT_LE(r.avg_outstanding, 1.05);
   EXPECT_GT(r.avg_outstanding, 0.5);
@@ -55,7 +55,7 @@ TEST(MemsimTest, BaselineHasUnitMlp) {
 TEST(MemsimTest, AmacReachesMshrLimitedMlp) {
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   c.inflight = 16;  // more than the 10 MSHRs
   const SimResult r = Simulate(MachineConfig::XeonX5670(), c);
   // Achieved MLP should approach but never exceed the MSHR count.
@@ -66,9 +66,9 @@ TEST(MemsimTest, AmacReachesMshrLimitedMlp) {
 TEST(MemsimTest, AmacFasterThanBaselineSingleThread) {
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kBaseline;
+  c.policy = ExecPolicy::kSequential;
   const SimResult base = Simulate(MachineConfig::XeonX5670(), c);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   const SimResult amac = Simulate(MachineConfig::XeonX5670(), c);
   EXPECT_GT(amac.ThroughputPerKilocycle(),
             base.ThroughputPerKilocycle() * 2.5);
@@ -82,11 +82,11 @@ TEST(MemsimTest, IrregularChainsHurtGpAndSppMoreThanAmac) {
   }
   SimConfig c = BaseConfig(lengths);
   c.stages = 2;
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   const SimResult amac = Simulate(MachineConfig::XeonX5670(), c);
-  c.engine = Engine::kGP;
+  c.policy = ExecPolicy::kGroupPrefetch;
   const SimResult gp = Simulate(MachineConfig::XeonX5670(), c);
-  c.engine = Engine::kSPP;
+  c.policy = ExecPolicy::kSoftwarePipelined;
   const SimResult spp = Simulate(MachineConfig::XeonX5670(), c);
   EXPECT_GT(amac.ThroughputPerKilocycle(), gp.ThroughputPerKilocycle());
   EXPECT_GT(amac.ThroughputPerKilocycle(), spp.ThroughputPerKilocycle());
@@ -97,7 +97,7 @@ TEST(MemsimTest, PrefetchedEnginesSaturateOnXeonGq) {
   // 4 threads x 10 MSHRs exceed the 32-entry LLC queue.
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   std::vector<double> throughput;
   for (uint32_t t : {1u, 2u, 4u, 6u}) {
     c.num_threads = t;
@@ -115,8 +115,8 @@ TEST(MemsimTest, PrefetchedEnginesSaturateOnXeonGq) {
 TEST(MemsimTest, BaselineKeepsScalingWhereAmacSaturates) {
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  auto scaling = [&](Engine e) {
-    c.engine = e;
+  auto scaling = [&](ExecPolicy e) {
+    c.policy = e;
     c.num_threads = 1;
     const double t1 =
         Simulate(MachineConfig::XeonX5670(), c).ThroughputPerKilocycle();
@@ -125,7 +125,7 @@ TEST(MemsimTest, BaselineKeepsScalingWhereAmacSaturates) {
         Simulate(MachineConfig::XeonX5670(), c).ThroughputPerKilocycle();
     return t6 / t1;
   };
-  EXPECT_GT(scaling(Engine::kBaseline), scaling(Engine::kAMAC));
+  EXPECT_GT(scaling(ExecPolicy::kSequential), scaling(ExecPolicy::kAmac));
 }
 
 TEST(MemsimTest, ScatteringAcrossSocketsRelievesGqPressure) {
@@ -133,7 +133,7 @@ TEST(MemsimTest, ScatteringAcrossSocketsRelievesGqPressure) {
   // socket; MSHR-hit backpressure drops versus 4 on one socket.
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   c.num_threads = 4;
   c.scatter_sockets = false;
   const SimResult packed = Simulate(MachineConfig::XeonX5670(), c);
@@ -147,7 +147,7 @@ TEST(MemsimTest, ScatteringAcrossSocketsRelievesGqPressure) {
 TEST(MemsimTest, T4ScalesAcrossPhysicalCores) {
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   c.num_threads = 1;
   const double t1 =
       Simulate(MachineConfig::SparcT4(), c).ThroughputPerKilocycle();
@@ -162,7 +162,7 @@ TEST(MemsimTest, SmtSharesCoreResources) {
   // than 4x: SMT threads share issue bandwidth and MSHRs.
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   c.lookups_per_thread = 1000;
   c.num_threads = 8;
   const double t8 =
@@ -179,7 +179,7 @@ TEST(MemsimTest, MshrHitBackpressureRisesWithThreads) {
   // steeply at 4-6 threads, and the 2+2 split recovers.
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   auto hits = [&](uint32_t threads, bool scatter) {
     c.num_threads = threads;
     c.scatter_sockets = scatter;
@@ -195,7 +195,7 @@ TEST(MemsimTest, IpcDegradesWithThreadsOnXeon) {
   // Table 4: average per-thread IPC at 6 threads is ~2x worse than at 1.
   const auto lengths = FixedWalkLengths(100, 4);
   SimConfig c = BaseConfig(lengths);
-  c.engine = Engine::kAMAC;
+  c.policy = ExecPolicy::kAmac;
   c.num_threads = 1;
   const double ipc1 = Simulate(MachineConfig::XeonX5670(), c).ipc;
   c.num_threads = 6;

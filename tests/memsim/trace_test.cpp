@@ -55,7 +55,7 @@ TEST(TraceTest, GroupByWalksAreShortWithHealthyTable) {
   const Relation input = MakeGroupByInput(groups, 3, 146);
   AggregateTable table(groups * 2, AggregateTable::Options{});
   GroupByConfig config;
-  config.engine = Engine::kBaseline;
+  config.policy = ExecPolicy::kSequential;
   RunGroupBy(input, config, &table);
   const auto lengths = CollectGroupByWalkLengths(table, input);
   ASSERT_EQ(lengths.size(), input.size());

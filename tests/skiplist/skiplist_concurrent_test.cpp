@@ -88,18 +88,18 @@ TEST(SkipListConcurrentTest, DuplicateRaceExactlyOneWins) {
   ExpectSortedAndComplete(list, expected);
 }
 
-class SkipInsertMtTest : public ::testing::TestWithParam<Engine> {};
+class SkipInsertMtTest : public ::testing::TestWithParam<ExecPolicy> {};
 
 TEST_P(SkipInsertMtTest, MultiThreadedKernelBuildsCompleteList) {
-  const Engine engine = GetParam();
+  const ExecPolicy policy = GetParam();
   const uint64_t n = 8000;
   const Relation rel = MakeDenseUniqueRelation(n, 301);
   SkipList list(n);
   const SkipListConfig config{
-      .engine = engine, .inflight = 8, .stages = 6, .num_threads = 4};
+      .policy = policy, .inflight = 8, .stages = 6, .num_threads = 4};
   SkipList* list_ptr = &list;
   const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, n) << EngineName(engine);
+  EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);
   EXPECT_EQ(list.size(), n);
   std::set<int64_t> expected;
   for (const Tuple& t : rel) expected.insert(t.key);
@@ -111,7 +111,7 @@ TEST_P(SkipInsertMtTest, MultiThreadedKernelBuildsCompleteList) {
 }
 
 TEST_P(SkipInsertMtTest, OverlappingKeysAcrossThreads) {
-  const Engine engine = GetParam();
+  const ExecPolicy policy = GetParam();
   // Every thread gets the full key set: n unique keys overall, duplicates
   // must lose their races without corrupting the list.
   const uint64_t n = 600;
@@ -121,10 +121,10 @@ TEST_P(SkipInsertMtTest, OverlappingKeysAcrossThreads) {
   }
   SkipList list(rel.size());
   const SkipListConfig config{
-      .engine = engine, .inflight = 6, .stages = 4, .num_threads = 4};
+      .policy = policy, .inflight = 6, .stages = 4, .num_threads = 4};
   SkipList* list_ptr = &list;
   const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, n) << EngineName(engine);
+  EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);
   EXPECT_EQ(list.size(), n);
   std::set<int64_t> expected;
   for (uint64_t k = 1; k <= n; ++k) expected.insert(static_cast<int64_t>(k));
@@ -132,10 +132,10 @@ TEST_P(SkipInsertMtTest, OverlappingKeysAcrossThreads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, SkipInsertMtTest,
-                         ::testing::Values(Engine::kBaseline, Engine::kGP,
-                                           Engine::kSPP, Engine::kAMAC),
+                         ::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                           ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                          [](const auto& info) {
-                           return EngineName(info.param);
+                           return ExecPolicyName(info.param);
                          });
 
 }  // namespace

@@ -115,10 +115,10 @@ TEST(SkipListTest, FindPredecessorsBracketsKey) {
 // --- search kernels --------------------------------------------------------
 
 class SkipSearchEngineTest
-    : public ::testing::TestWithParam<std::tuple<Engine, uint32_t>> {};
+    : public ::testing::TestWithParam<std::tuple<ExecPolicy, uint32_t>> {};
 
 TEST_P(SkipSearchEngineTest, MatchesBaseline) {
-  const auto [engine, m] = GetParam();
+  const auto [policy, m] = GetParam();
   const uint64_t n = 3000;
   SkipList list(n);
   Rng rng(7);
@@ -129,20 +129,20 @@ TEST_P(SkipSearchEngineTest, MatchesBaseline) {
 
   CountChecksumSink baseline, sink;
   SkipSearchBaseline(list, probe, 0, probe.size(), baseline);
-  const SkipListConfig config{.engine = engine, .inflight = m, .stages = 6};
+  const SkipListConfig config{.policy = policy, .inflight = m, .stages = 6};
   const SkipListStats stats = RunSkipListSearch(list, probe, config);
   (void)sink;
-  EXPECT_EQ(stats.matches, baseline.matches()) << EngineName(engine);
-  EXPECT_EQ(stats.checksum, baseline.checksum()) << EngineName(engine);
+  EXPECT_EQ(stats.matches, baseline.matches()) << ExecPolicyName(policy);
+  EXPECT_EQ(stats.checksum, baseline.checksum()) << ExecPolicyName(policy);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesByWindow, SkipSearchEngineTest,
-    ::testing::Combine(::testing::Values(Engine::kBaseline, Engine::kGP,
-                                         Engine::kSPP, Engine::kAMAC),
+    ::testing::Combine(::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                         ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                        ::testing::Values(1u, 4u, 10u)),
     [](const auto& info) {
-      return std::string(EngineName(std::get<0>(info.param))) + "_m" +
+      return std::string(ExecPolicyName(std::get<0>(info.param))) + "_m" +
              std::to_string(std::get<1>(info.param));
     });
 
@@ -172,23 +172,23 @@ TEST(SkipSearchTest, EmptyListFindsNothing) {
 // --- single-threaded insert kernels ---------------------------------------
 
 class SkipInsertEngineTest
-    : public ::testing::TestWithParam<std::tuple<Engine, uint32_t>> {};
+    : public ::testing::TestWithParam<std::tuple<ExecPolicy, uint32_t>> {};
 
 TEST_P(SkipInsertEngineTest, BuildsSameKeySet) {
-  const auto [engine, m] = GetParam();
+  const auto [policy, m] = GetParam();
   const uint64_t n = 2500;
   const Relation rel = MakeDenseUniqueRelation(n, 96);
   SkipList list(n);
-  const SkipListConfig config{.engine = engine, .inflight = m, .stages = 6};
+  const SkipListConfig config{.policy = policy, .inflight = m, .stages = 6};
   SkipList* list_ptr = &list;
   const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, n) << EngineName(engine);  // all inserted
+  EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);  // all inserted
   EXPECT_EQ(list.size(), n);
   // Contents identical to a reference build (checksum is height-agnostic).
   SkipList ref(n);
   Rng rng(9);
   for (const Tuple& t : rel) ref.InsertUnsync(t.key, t.payload, rng);
-  EXPECT_EQ(list.Checksum(), ref.Checksum()) << EngineName(engine);
+  EXPECT_EQ(list.Checksum(), ref.Checksum()) << ExecPolicyName(policy);
   // Ascending order invariant survived the staged splices.
   int64_t prev = 0;
   list.ForEach([&](const SkipNode& node) {
@@ -198,27 +198,27 @@ TEST_P(SkipInsertEngineTest, BuildsSameKeySet) {
 }
 
 TEST_P(SkipInsertEngineTest, DuplicatesSkipped) {
-  const auto [engine, m] = GetParam();
+  const auto [policy, m] = GetParam();
   Relation rel(300);
   for (uint64_t i = 0; i < rel.size(); ++i) {
     rel[i] = Tuple{static_cast<int64_t>(i % 100 + 1),
                    static_cast<int64_t>(i)};
   }
   SkipList list(rel.size());
-  const SkipListConfig config{.engine = engine, .inflight = m, .stages = 4};
+  const SkipListConfig config{.policy = policy, .inflight = m, .stages = 4};
   SkipList* list_ptr = &list;
   const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, 100u) << EngineName(engine);
+  EXPECT_EQ(stats.matches, 100u) << ExecPolicyName(policy);
   EXPECT_EQ(list.size(), 100u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesByWindow, SkipInsertEngineTest,
-    ::testing::Combine(::testing::Values(Engine::kBaseline, Engine::kGP,
-                                         Engine::kSPP, Engine::kAMAC),
+    ::testing::Combine(::testing::Values(ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                                         ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac),
                        ::testing::Values(1u, 6u, 12u)),
     [](const auto& info) {
-      return std::string(EngineName(std::get<0>(info.param))) + "_m" +
+      return std::string(ExecPolicyName(std::get<0>(info.param))) + "_m" +
              std::to_string(std::get<1>(info.param));
     });
 
