@@ -12,7 +12,7 @@
 #include "common/cycle_timer.h"
 #include "common/macros.h"
 #include "common/table_printer.h"
-#include "core/parallel_driver.h"
+#include "core/pipeline.h"
 #include "core/scheduler.h"
 #include "graph/csr.h"
 #include "graph/graph_ops.h"
@@ -49,8 +49,10 @@ int Run(int argc, char** argv) {
                       "Coroutine"});
   TablePrinter par_table(
       "graph random walks: cycles per hop (" + std::to_string(threads) +
-          " threads, morsel-driven)",
+          " threads, morsel-driven Executor)",
       {"target skew", "Sequential", "GP", "SPP", "AMAC", "Coroutine"});
+  Executor par_exec(
+      ExecConfig{ExecPolicy::kAmac, params, threads, 0});
   for (double theta : {0.0, 0.99}) {
     CsrGraph::Options opt;
     opt.num_vertices = args.scale;
@@ -75,10 +77,7 @@ int Run(int argc, char** argv) {
       row.push_back(
           TablePrinter::Fmt(static_cast<double>(best) / total_hops, 1));
 
-      ParallelDriverConfig config;
-      config.policy = policy;
-      config.params = params;
-      config.num_threads = threads;
+      par_exec.set_policy(policy);
       uint64_t par_best = UINT64_MAX;
       for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
         // Cache-line padding keeps concurrent sink updates off shared
@@ -87,10 +86,10 @@ int Run(int argc, char** argv) {
           WalkSink sink;
         };
         std::vector<PaddedSink> sinks(threads);
-        const ParallelDriverStats stats =
-            RunParallel(config, walkers, [&](uint32_t tid) {
+        const RunStats stats =
+            par_exec.Run(FromOp(walkers, [&](uint32_t tid) {
               return RandomWalkOp(graph, hops, 7, sinks[tid].sink);
-            });
+            }));
         par_best = std::min(par_best, stats.cycles);
       }
       par_row.push_back(

@@ -16,20 +16,28 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "core/parallel_driver.h"
+#include "core/pipeline.h"
 #include "join/hash_join.h"
+#include "join/join_ops.h"
 #include "memsim/memsim.h"
 #include "memsim/workload.h"
 
 namespace amac::bench {
 namespace {
 
+std::vector<uint32_t> ThreadCounts(uint32_t hw) {
+  std::vector<uint32_t> counts;
+  for (uint32_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    if (t <= hw) counts.push_back(t);
+  }
+  if (counts.back() != hw) counts.push_back(hw);
+  return counts;
+}
+
 void MeasuredSection(const BenchArgs& args) {
   const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<uint32_t> thread_counts;
-  for (uint32_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    if (t <= hw) thread_counts.push_back(t);
-  }
-  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+  const std::vector<uint32_t> thread_counts = ThreadCounts(hw);
 
   const double kSkews[][2] = {{0, 0}, {0.5, 0.5}, {1, 1}};
   for (const auto& skew : kSkews) {
@@ -43,21 +51,74 @@ void MeasuredSection(const BenchArgs& args) {
             std::to_string(hw) + " hw threads)",
         {"threads", "Baseline", "GP", "SPP", "AMAC"});
     for (uint32_t threads : thread_counts) {
+      // One executor (one persistent pool) serves every policy and rep at
+      // this thread count.
+      Executor exec(ExecConfig{
+          ExecPolicy::kAmac,
+          SchedulerParams{args.inflight, zr == 0.0 ? 1u : 2u, 0}, threads,
+          0});
       std::vector<std::string> row{std::to_string(threads)};
       for (ExecPolicy policy : kPaperPolicies) {
-        JoinConfig config;
-        config.policy = policy;
-        config.inflight = args.inflight;
-        config.stages = zr == 0.0 ? 1 : 2;
-        config.num_threads = threads;
-        config.early_exit = true;
-        const JoinStats stats = MeasureProbe(prepared, config, args.reps);
+        exec.set_policy(policy);
+        const JoinStats stats =
+            MeasureProbe(exec, prepared, /*early_exit=*/true, args.reps);
         row.push_back(TablePrinter::Fmt(stats.ProbeThroughput() / 1e6, 1));
       }
       table.AddRow(row);
     }
     table.Print();
   }
+}
+
+/// The fix the Executor's persistent pool delivers: the team cost of one
+/// probe call (dispatch wall time minus the barrier-to-barrier measured
+/// region) with per-call std::thread spawn vs the persistent pool.
+void SpawnOverheadSection(const BenchArgs& args) {
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const PreparedJoin prepared =
+      PrepareJoin(args.scale, args.scale, 0, 0, 53);
+  const SchedulerParams params{args.inflight, 1, 0};
+  TablePrinter table(
+      "Fig 7 team cost per probe call, AMAC (ms; min over reps)",
+      {"threads", "spawned std::threads", "persistent pool",
+       "measured region"});
+  // Fixed team sizes (oversubscription is fine: the measured quantity is
+  // the dispatch cost itself), plus the machine's full width.
+  std::vector<uint32_t> team_sizes{2, 4};
+  if (hw > 4) team_sizes.push_back(hw);
+  for (uint32_t threads : team_sizes) {
+    const uint32_t reps = std::max(3u, args.reps);
+    double spawned = 1e9, pooled = 1e9, region = 1e9;
+    ParallelDriverConfig config;
+    config.policy = ExecPolicy::kAmac;
+    config.params = params;
+    config.num_threads = threads;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      std::vector<CountChecksumSink> sinks(threads);
+      const ParallelDriverStats stats =
+          RunParallel(config, prepared.s.size(), [&](uint32_t tid) {
+            return ProbeOp<true, CountChecksumSink>(*prepared.table,
+                                                    prepared.s, sinks[tid]);
+          });
+      spawned = std::min(spawned, stats.dispatch_seconds - stats.seconds);
+    }
+    Executor exec(ExecConfig{ExecPolicy::kAmac, params, threads, 0});
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      std::vector<CountChecksumSink> sinks(threads);
+      const RunStats run =
+          exec.Run(FromOp(prepared.s.size(), [&](uint32_t tid) {
+            return ProbeOp<true, CountChecksumSink>(*prepared.table,
+                                                    prepared.s, sinks[tid]);
+          }));
+      pooled = std::min(pooled, run.dispatch_seconds - run.seconds);
+      region = std::min(region, run.seconds);
+    }
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::Fmt(spawned * 1e3, 3),
+                  TablePrinter::Fmt(pooled * 1e3, 3),
+                  TablePrinter::Fmt(region * 1e3, 3)});
+  }
+  table.Print();
 }
 
 int Run(int argc, char** argv) {
@@ -72,6 +133,7 @@ int Run(int argc, char** argv) {
               "MODELED on memsim with traces from the real chained table");
 
   MeasuredSection(args);
+  SpawnOverheadSection(args);
 
   const memsim::MachineConfig machine = memsim::MachineConfig::XeonX5670();
   const double kSkews[][2] = {{0, 0}, {0.5, 0.5}, {1, 1}};

@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "core/pipeline.h"
 #include "groupby/groupby.h"
 
 namespace amac::bench {
@@ -23,6 +24,8 @@ void RunOne(const char* title, uint64_t tuples, const BenchArgs& args) {
   const double kThetas[] = {0.0, 0.5, 1.0};
   TablePrinter table(std::string(title) + " - cycles per input tuple",
                      {"skew", "Baseline", "GP", "SPP", "AMAC", "groups"});
+  Executor exec(ExecConfig{ExecPolicy::kAmac,
+                           SchedulerParams{args.inflight, 1, 0}, 1, 0});
   for (double theta : kThetas) {
     const Relation input =
         MakeInput(tuples, theta, static_cast<uint64_t>(19 + theta * 10));
@@ -31,13 +34,11 @@ void RunOne(const char* title, uint64_t tuples, const BenchArgs& args) {
                                     ")")};
     uint64_t groups = 0;
     for (ExecPolicy policy : kPaperPolicies) {
-      GroupByConfig config;
-      config.policy = policy;
-      config.inflight = args.inflight;
+      exec.set_policy(policy);
       GroupByStats best;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {
         AggregateTable agg(tuples / 3 * 2, AggregateTable::Options{});
-        const GroupByStats stats = RunGroupBy(input, config, &agg);
+        const GroupByStats stats = RunGroupBy(exec, input, &agg);
         if (rep == 0 || stats.cycles < best.cycles) best = stats;
       }
       groups = best.groups;

@@ -19,23 +19,25 @@
 namespace amac::bench {
 namespace {
 
-uint64_t MeasureBst(const BinarySearchTree& tree, const Relation& probe,
-                    ExecPolicy policy, uint32_t m, uint32_t stages,
+uint64_t MeasureBst(Executor& exec, const BinarySearchTree& tree,
+                    const Relation& probe, ExecPolicy policy,
                     uint32_t reps) {
-  const SchedulerParams params{m, stages};
   uint64_t best = UINT64_MAX;
   for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
     CountChecksumSink sink;
-    CycleTimer timer;
     if (policy == ExecPolicy::kSequential) {
       // The paper's baseline is a plain pointer chase with no prefetches;
       // keep the hand kernel so the speedup ratios stay comparable.
+      CycleTimer timer;
       BstSearchBaseline(tree, probe, 0, probe.size(), sink);
+      best = std::min(best, timer.Elapsed());
     } else {
-      BstSearchOp<CountChecksumSink> op(tree, probe, sink);
-      amac::Run(policy, params, op, probe.size());
+      exec.set_policy(policy);
+      const RunStats run = exec.Run(FromOp(probe.size(), [&](uint32_t) {
+        return BstSearchOp<CountChecksumSink>(tree, probe, sink);
+      }));
+      best = std::min(best, run.cycles);
     }
-    best = std::min(best, timer.Elapsed());
   }
   return best;
 }
@@ -61,6 +63,9 @@ int Run(int argc, char** argv) {
   }
   const uint32_t stages =
       static_cast<uint32_t>(args.flags.GetInt("gp_stages"));
+  Executor exec(ExecConfig{ExecPolicy::kAmac,
+                           SchedulerParams{args.inflight, stages, 0}, 1,
+                           0});
 
   TablePrinter table("Fig 10: BST search cycles per output tuple",
                      {"tree size (log2)", "avg depth", "Baseline", "GP",
@@ -74,8 +79,8 @@ int Run(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(log2),
                                  TablePrinter::Fmt(stats.avg_depth, 1)};
     for (ExecPolicy policy : kPaperPolicies) {
-      const uint64_t cycles =
-          MeasureBst(tree, probe, policy, args.inflight, stages, args.reps);
+      const uint64_t cycles = MeasureBst(exec, tree, probe, policy,
+                                         args.reps);
       row.push_back(TablePrinter::Fmt(
           static_cast<double>(cycles) / static_cast<double>(n), 1));
     }

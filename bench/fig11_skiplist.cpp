@@ -51,14 +51,14 @@ int Run(int argc, char** argv) {
     }
     std::vector<std::string> search_row{std::to_string(log2)};
     std::vector<std::string> insert_row{std::to_string(log2)};
+    Executor exec(ExecConfig{ExecPolicy::kAmac,
+                             SchedulerParams{args.inflight, stages, 0}, 1,
+                             0});
     for (ExecPolicy policy : kPaperPolicies) {
-      SkipListConfig config;
-      config.policy = policy;
-      config.inflight = args.inflight;
-      config.stages = stages;
+      exec.set_policy(policy);
       SkipListStats best;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {
-        const SkipListStats stats = RunSkipListSearch(list, probe, config);
+        const SkipListStats stats = RunSkipListSearch(exec, list, probe);
         if (rep == 0 || stats.cycles < best.cycles) best = stats;
       }
       search_row.push_back(TablePrinter::Fmt(best.CyclesPerTuple(), 1));
@@ -67,8 +67,8 @@ int Run(int argc, char** argv) {
       SkipListStats best_insert;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {
         SkipList fresh(n);
-        config.seed = 100 + rep;
-        const SkipListStats stats = RunSkipListInsert(&fresh, rel, config);
+        const SkipListStats stats =
+            RunSkipListInsert(exec, &fresh, rel, /*seed=*/100 + rep);
         if (rep == 0 || stats.cycles < best_insert.cycles) {
           best_insert = stats;
         }

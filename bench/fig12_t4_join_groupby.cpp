@@ -3,17 +3,134 @@
 // memsim machine model (2-wide cores, higher memory latency) replaying
 // walk-length traces from the real x86-built data structures.  See
 // DESIGN.md substitution #4.
+//
+// MEASURED addition (ISSUE 3): the same join+group-by pair run on THIS
+// machine as one fused Pipeline (Scan -> Probe -> Aggregate through one
+// Executor) vs the two-phase plan with a materialized intermediate, under
+// all five ExecPolicies.  The binary self-checks that both plans produce
+// the identical aggregate table and exits nonzero on mismatch or zero
+// throughput, so CI's bench-smoke job (--quick) keeps the fused path
+// honest.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cycle_timer.h"
 #include "common/table_printer.h"
+#include "core/pipeline.h"
 #include "groupby/groupby.h"
+#include "groupby/groupby_ops.h"
+#include "join/join_ops.h"
+#include "join/sink.h"
 #include "memsim/memsim.h"
 #include "memsim/workload.h"
 
 namespace amac::bench {
 namespace {
+
+/// Fused vs two-phase join+group-by, measured on this machine.  Returns
+/// false when the plans disagree or the fused plan reports zero
+/// throughput.
+bool FusedSection(const BenchArgs& args, uint32_t threads) {
+  const PreparedJoin prepared =
+      PrepareJoin(args.scale, args.scale, 0, 0, 67);
+  const Relation& s = prepared.s;
+  const ChainedHashTable& table = *prepared.table;
+  const uint64_t group_capacity = prepared.r.size() + 1;
+
+  TablePrinter fused_table(
+      "Fig 12 MEASURED on this machine: fused join->group-by (one "
+      "pipeline, " + std::to_string(threads) + " thread(s)) vs two-phase "
+      "(materialized intermediate), Mtuples/s",
+      {"policy", "fused", "two-phase", "fused speedup"});
+
+  bool ok = true;
+  Executor exec(ExecConfig{ExecPolicy::kAmac,
+                           SchedulerParams{args.inflight, 1, 0}, threads,
+                           0});
+  for (ExecPolicy policy : kAllExecPolicies) {
+    exec.set_policy(policy);
+
+    // Fused: probe hits flow straight into the aggregation insert.
+    double fused_seconds = 1e18;
+    uint64_t fused_checksum = 0, fused_groups = 0;
+    for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
+      AggregateTable agg(group_capacity, AggregateTable::Options{});
+      const RunStats run =
+          exec.Run(Scan(s).Then(Probe<true>(table)).Then(Aggregate(agg)));
+      if (run.seconds < fused_seconds) fused_seconds = run.seconds;
+      fused_checksum = agg.Checksum();
+      fused_groups = agg.CountGroups();
+    }
+
+    // Two-phase: probe materializing (rid, build payload), rebuild the
+    // intermediate relation, then a separate group-by — the pre-Pipeline
+    // plan, timed end to end on the same executor.
+    double two_phase_seconds = 1e18;
+    uint64_t two_phase_checksum = 0, two_phase_groups = 0;
+    for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
+      WallTimer wall;
+      // Early-exit probe: at most one emission per probe tuple, so
+      // s.size() bounds each thread's materialization.
+      std::vector<MaterializeSink> sinks;
+      sinks.reserve(exec.num_threads());
+      for (uint32_t t = 0; t < exec.num_threads(); ++t) {
+        sinks.emplace_back(s.size());
+      }
+      exec.Run(FromOp(s.size(), [&](uint32_t tid) {
+        return ProbeOp<true, MaterializeSink>(table, s, sinks[tid]);
+      }));
+      uint64_t total = 0;
+      for (const auto& sink : sinks) total += sink.size();
+      Relation mid(total);
+      uint64_t at = 0;
+      for (const auto& sink : sinks) {
+        for (uint64_t i = 0; i < sink.size(); ++i) {
+          const Tuple& row = sink.data()[i];
+          mid[at++] = Tuple{row.payload,
+                            s[static_cast<uint64_t>(row.key)].payload};
+        }
+      }
+      AggregateTable agg(group_capacity, AggregateTable::Options{});
+      RunGroupBy(exec, mid, &agg);
+      const double seconds = wall.ElapsedSeconds();
+      if (seconds < two_phase_seconds) two_phase_seconds = seconds;
+      two_phase_checksum = agg.Checksum();
+      two_phase_groups = agg.CountGroups();
+    }
+
+    const double fused_tps =
+        fused_seconds > 0 ? static_cast<double>(s.size()) / fused_seconds
+                          : 0;
+    const double two_phase_tps =
+        two_phase_seconds > 0
+            ? static_cast<double>(s.size()) / two_phase_seconds
+            : 0;
+    fused_table.AddRow(
+        {SeriesName(policy), TablePrinter::Fmt(fused_tps / 1e6, 2),
+         TablePrinter::Fmt(two_phase_tps / 1e6, 2),
+         TablePrinter::Fmt(
+             two_phase_tps > 0 ? fused_tps / two_phase_tps : 0, 2)});
+
+    if (fused_checksum != two_phase_checksum ||
+        fused_groups != two_phase_groups) {
+      std::printf("ERROR: %s fused aggregate diverges from two-phase "
+                  "(groups %llu vs %llu)\n",
+                  ExecPolicyName(policy),
+                  static_cast<unsigned long long>(fused_groups),
+                  static_cast<unsigned long long>(two_phase_groups));
+      ok = false;
+    }
+    if (fused_tps <= 0) {
+      std::printf("ERROR: %s fused throughput is zero\n",
+                  ExecPolicyName(policy));
+      ok = false;
+    }
+  }
+  fused_table.Print();
+  return ok;
+}
 
 void SimRow(TablePrinter* table, const std::string& label,
             const std::vector<uint32_t>& lengths, uint32_t inflight,
@@ -37,12 +154,30 @@ void SimRow(TablePrinter* table, const std::string& label,
 
 int Run(int argc, char** argv) {
   BenchArgs args;
+  args.flags.DefineBool("quick", false,
+                        "CI smoke mode: small scale, fused section only");
+  args.flags.DefineInt("threads", 1,
+                       "threads for the measured fused section");
   args.Define(/*default_scale_log2=*/18);
   args.Parse(argc, argv);
+  const bool quick = args.flags.GetBool("quick");
+  if (quick) {
+    args.scale = uint64_t{1} << 12;
+    args.reps = 1;
+  }
+  const uint32_t threads = static_cast<uint32_t>(
+      std::max<int64_t>(1, args.flags.GetInt("threads")));
 
   PrintHeader("Figure 12 (hash join & group-by, SPARC T4, 1 context)",
-              "MODELED on memsim T4; traces extracted from real tables at "
-              "2^" + std::to_string(args.flags.GetInt("scale_log2")));
+              quick ? "CI smoke (--quick): MEASURED fused vs two-phase "
+                      "self-check only, scale 2^12"
+                    : "MEASURED fused vs two-phase on this machine, then "
+                      "MODELED on memsim T4 with traces from real tables "
+                      "at 2^" +
+                          std::to_string(args.flags.GetInt("scale_log2")));
+
+  const bool fused_ok = FusedSection(args, threads);
+  if (quick) return fused_ok ? 0 : 1;
 
   // (a) Hash join probe.
   TablePrinter join_table(
@@ -85,8 +220,9 @@ int Run(int argc, char** argv) {
   gb.Print();
   std::printf(
       "expected shape: all prefetchers ~1.5-2.3x over Baseline; AMAC most "
-      "consistent; absolute gains smaller than Xeon (2-wide T4 core).\n");
-  return 0;
+      "consistent; absolute gains smaller than Xeon (2-wide T4 core); "
+      "fused >= two-phase (no intermediate materialization, one ramp).\n");
+  return fused_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -21,21 +21,21 @@ int main(int argc, char** argv) {
   const Relation input = MakeDenseUniqueRelation(n, 7);
   SkipList list(n);
 
-  SkipListConfig config;
-  config.policy = ExecPolicy::kAmac;
-  config.inflight = static_cast<uint32_t>(flags.GetInt("inflight"));
-  config.num_threads = static_cast<uint32_t>(flags.GetInt("threads"));
+  Executor exec(ExecConfig{
+      ExecPolicy::kAmac,
+      SchedulerParams{static_cast<uint32_t>(flags.GetInt("inflight")), 8, 0},
+      static_cast<uint32_t>(flags.GetInt("threads")), 0});
 
-  const SkipListStats insert_stats = RunSkipListInsert(&list, input, config);
+  const SkipListStats insert_stats = RunSkipListInsert(exec, &list, input);
   const SkipList::Stats shape = list.ComputeStats();
   std::printf("inserted %llu elements on %u threads in %.3fs "
               "(avg tower height %.2f, slab %.1f MB)\n",
               static_cast<unsigned long long>(insert_stats.matches),
-              config.num_threads, insert_stats.seconds, shape.avg_height,
+              exec.num_threads(), insert_stats.seconds, shape.avg_height,
               static_cast<double>(shape.slab_bytes_used) / (1 << 20));
 
   const Relation probe = MakeForeignKeyRelation(n, n, 8);
-  const SkipListStats search_stats = RunSkipListSearch(list, probe, config);
+  const SkipListStats search_stats = RunSkipListSearch(exec, list, probe);
   std::printf("searched %llu keys: %llu matches, %.1f cycles/lookup\n",
               static_cast<unsigned long long>(search_stats.tuples),
               static_cast<unsigned long long>(search_stats.matches),

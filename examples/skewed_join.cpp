@@ -39,16 +39,14 @@ int main(int argc, char** argv) {
 
   std::printf("%-10s %14s %14s\n", "policy", "probe cyc/tup", "speedup");
   double baseline_cycles = 0;
-  for (ExecPolicy policy :
-       {ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
-        ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac,
-        ExecPolicy::kCoroutine}) {
-    JoinConfig config;
-    config.policy = policy;
-    config.inflight = static_cast<uint32_t>(flags.GetInt("inflight"));
-    config.early_exit = true;
+  Executor exec(ExecConfig{
+      ExecPolicy::kSequential,
+      SchedulerParams{static_cast<uint32_t>(flags.GetInt("inflight")), 1, 0},
+      1, 0});
+  for (ExecPolicy policy : kAllExecPolicies) {
+    exec.set_policy(policy);
     JoinStats stats;
-    ProbePhase(table, s, config, &stats);
+    ProbePhase(exec, table, s, /*early_exit=*/true, &stats);
     if (policy == ExecPolicy::kSequential) {
       baseline_cycles = stats.ProbeCyclesPerTuple();
     }

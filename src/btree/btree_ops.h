@@ -10,6 +10,7 @@
 #include "btree/btree.h"
 #include "btree/btree_search.h"
 #include "core/engine.h"
+#include "core/pipeline.h"
 #include "relation/relation.h"
 
 namespace amac {
@@ -48,5 +49,42 @@ class BTreeSearchOp {
   const Relation& probe_;
   Sink& sink_;
 };
+
+/// Pipeline stage (core/pipeline.h): B+-tree point lookup on the input
+/// row's key; a hit emits Tuple{input key, indexed payload}.
+class BTreeLookupStage {
+ public:
+  struct State {
+    const BTreeNode* ptr;
+    int64_t key;
+  };
+
+  explicit BTreeLookupStage(const BTree& tree) : tree_(&tree) {}
+
+  void Start(State& st, const Tuple& in) {
+    st.key = in.key;
+    st.ptr = tree_->root();
+    PrefetchBTreeNode(st.ptr);
+  }
+
+  template <typename EmitFn>
+  StepStatus Step(State& st, EmitFn&& emit) {
+    detail::KeyedEmitSink<EmitFn> sink{emit, st.key};
+    const BTreeNode* next = nullptr;
+    if (VisitBTreeNode(st.ptr, st.key, 0, sink, &next)) {
+      return StepStatus::kDone;
+    }
+    PrefetchBTreeNode(next);
+    st.ptr = next;
+    return StepStatus::kParked;
+  }
+
+ private:
+  const BTree* tree_;
+};
+
+inline BTreeLookupStage LookupBTree(const BTree& tree) {
+  return BTreeLookupStage(tree);
+}
 
 }  // namespace amac

@@ -17,6 +17,59 @@ void ParallelFor(uint32_t num_threads,
   for (auto& th : threads) th.join();
 }
 
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(std::max(1u, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(uint32_t tid) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    (*fn)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::Run(const std::function<void(uint32_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
 Range PartitionRange(uint64_t total, uint32_t parts, uint32_t index) {
   AMAC_CHECK(parts > 0 && index < parts);
   const uint64_t base = total / parts;

@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,44 @@ namespace amac {
 /// Run `fn(thread_id)` on `num_threads` std::threads and join them all.
 void ParallelFor(uint32_t num_threads,
                  const std::function<void(uint32_t)>& fn);
+
+/// Persistent fork-join thread team: `size() - 1` workers are spawned once
+/// and parked on a condition variable; every Run() reuses them, so the
+/// per-call std::thread spawn/join cost of ParallelFor (hundreds of
+/// microseconds for a wide team) is paid once per pool instead of once per
+/// phase.  The core Executor owns one of these across Run() calls.
+///
+/// Thread id 0 is the calling thread — a pool of size 1 runs entirely
+/// inline, keeping the single-threaded path identical to a plain call.
+/// Run() is fork-join (returns after every thread finished) and is NOT
+/// reentrant: calling Run() from inside a pool closure deadlocks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t size() const { return num_threads_; }
+
+  /// Run `fn(tid)` for every tid in [0, size()); tid 0 executes on the
+  /// caller.  Returns once all threads completed the closure.
+  void Run(const std::function<void(uint32_t)>& fn);
+
+ private:
+  void WorkerLoop(uint32_t tid);
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* fn_ = nullptr;  ///< guarded by mu_
+  uint64_t generation_ = 0;                            ///< guarded by mu_
+  uint32_t pending_ = 0;                               ///< guarded by mu_
+  bool stop_ = false;                                  ///< guarded by mu_
+};
 
 /// Split [0, total) into `parts` contiguous ranges; returns [begin, end) of
 /// range `index`. Remainder elements go to the leading ranges so sizes

@@ -13,6 +13,7 @@
 #include "bst/bst.h"
 #include "common/prefetch.h"
 #include "core/engine.h"
+#include "core/pipeline.h"
 #include "hashtable/chained_table.h"
 #include "relation/relation.h"
 
@@ -21,31 +22,29 @@ namespace amac {
 // The production hash probe op lives with the join layer: ProbeOp in
 // join/join_ops.h (core stays independent of join).
 
-/// BST search as an engine operation.
-template <typename Sink>
-class BstSearchOp {
+/// Pipeline stage (core/pipeline.h): BST point lookup on the input row's
+/// key; a hit emits Tuple{input key, node payload}.
+class BstLookupStage {
  public:
   struct State {
     const BstNode* ptr;
     int64_t key;
-    uint64_t rid;
   };
 
-  BstSearchOp(const BinarySearchTree& tree, const Relation& probe, Sink& sink)
-      : tree_(tree), probe_(probe), sink_(sink) {}
+  explicit BstLookupStage(const BinarySearchTree& tree) : tree_(&tree) {}
 
-  void Start(State& st, uint64_t idx) {
-    st.key = probe_[idx].key;
-    st.rid = idx;
-    st.ptr = tree_.root();
+  void Start(State& st, const Tuple& in) {
+    st.key = in.key;
+    st.ptr = tree_->root();
     Prefetch(st.ptr);
   }
 
-  StepStatus Step(State& st) {
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
     const BstNode* node = st.ptr;
     if (node == nullptr) return StepStatus::kDone;
     if (node->key == st.key) {
-      sink_.Emit(st.rid, node->payload);
+      emit(Tuple{st.key, node->payload});
       return StepStatus::kDone;
     }
     const BstNode* child = st.key < node->key ? node->left : node->right;
@@ -56,7 +55,40 @@ class BstSearchOp {
   }
 
  private:
-  const BinarySearchTree& tree_;
+  const BinarySearchTree* tree_;
+};
+
+inline BstLookupStage LookupBst(const BinarySearchTree& tree) {
+  return BstLookupStage(tree);
+}
+
+/// BST search as an engine operation: a thin adapter over BstLookupStage
+/// carrying the probe input index, so a hit reaches the sink as
+/// (rid, payload).  One descent implementation serves both paths.
+template <typename Sink>
+class BstSearchOp {
+ public:
+  struct State {
+    BstLookupStage::State inner;
+    uint64_t rid;
+  };
+
+  BstSearchOp(const BinarySearchTree& tree, const Relation& probe, Sink& sink)
+      : stage_(tree), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.rid = idx;
+    stage_.Start(st.inner, probe_[idx]);
+  }
+
+  StepStatus Step(State& st) {
+    return stage_.Step(st.inner, [this, &st](const Tuple& row) {
+      sink_.Emit(st.rid, row.payload);
+    });
+  }
+
+ private:
+  BstLookupStage stage_;
   const Relation& probe_;
   Sink& sink_;
 };

@@ -50,6 +50,11 @@ struct ParallelDriverStats {
   /// Wall seconds over the same barrier-to-barrier region (throughput
   /// numbers, paper Fig. 7/8).
   double seconds = 0;
+  /// Wall seconds of the whole RunParallel call, including getting the team
+  /// running (std::thread spawn on the spawning path, wakeup on a
+  /// ThreadPool).  dispatch_seconds - seconds is the per-call team cost the
+  /// persistent pool removes (fig07's spawn-overhead section).
+  double dispatch_seconds = 0;
 };
 
 /// Morsel sizing: `requested` wins when nonzero; otherwise aim for several
@@ -58,14 +63,16 @@ struct ParallelDriverStats {
 uint64_t ResolveMorselSize(uint64_t num_inputs, uint32_t num_threads,
                            uint64_t requested, uint32_t inflight);
 
-/// Run `num_inputs` inputs under `config`.  `make_op(thread_id)` must
-/// return a fresh operation for that thread; operations on different
-/// threads may share read-only structures but must not share sinks (merge
-/// per-thread sinks afterwards) and must use synchronized latches when they
-/// mutate shared state.
-template <typename OpFactory>
-ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
-                                uint64_t num_inputs, OpFactory&& make_op) {
+namespace detail {
+
+/// Shared morsel-driven body: `launch(threads, closure)` runs the closure
+/// on every tid in [0, threads) and joins — either by spawning std::threads
+/// (ParallelFor) or by waking a persistent ThreadPool.
+template <typename OpFactory, typename Launcher>
+ParallelDriverStats RunParallelImpl(Launcher&& launch,
+                                    const ParallelDriverConfig& config,
+                                    uint64_t num_inputs,
+                                    OpFactory&& make_op) {
   const uint32_t threads = std::max(1u, config.num_threads);
   const uint64_t morsel_size = ResolveMorselSize(
       num_inputs, threads, config.morsel_size, config.params.inflight);
@@ -75,7 +82,8 @@ ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
   SpinBarrier barrier(threads);
   std::vector<uint64_t> elapsed(threads, 0);
   std::vector<double> elapsed_seconds(threads, 0);
-  ParallelFor(threads, [&](uint32_t tid) {
+  WallTimer dispatch;
+  launch(threads, [&](uint32_t tid) {
     auto op = make_op(tid);
     using OpType = std::decay_t<decltype(op)>;
     barrier.Wait();
@@ -96,6 +104,7 @@ ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
     elapsed_seconds[tid] = wall.ElapsedSeconds();
   });
   ParallelDriverStats stats;
+  stats.dispatch_seconds = dispatch.ElapsedSeconds();
   stats.threads = threads;
   for (uint32_t t = 0; t < threads; ++t) {
     stats.engine.Merge(per_thread[t]);
@@ -104,6 +113,41 @@ ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
     stats.seconds = std::max(stats.seconds, elapsed_seconds[t]);
   }
   return stats;
+}
+
+}  // namespace detail
+
+/// Run `num_inputs` inputs under `config`.  `make_op(thread_id)` must
+/// return a fresh operation for that thread; operations on different
+/// threads may share read-only structures but must not share sinks (merge
+/// per-thread sinks afterwards) and must use synchronized latches when they
+/// mutate shared state.  This overload spawns a fresh std::thread team per
+/// call; prefer the ThreadPool overload (or the core Executor) on repeated
+/// phases, where per-call spawn cost dominates short runs.
+template <typename OpFactory>
+ParallelDriverStats RunParallel(const ParallelDriverConfig& config,
+                                uint64_t num_inputs, OpFactory&& make_op) {
+  return detail::RunParallelImpl(
+      [](uint32_t threads, auto&& fn) { ParallelFor(threads, fn); }, config,
+      num_inputs, std::forward<OpFactory>(make_op));
+}
+
+/// Same, on a persistent ThreadPool.  Runs min(config.num_threads,
+/// pool.size()) threads; pool members beyond that sit the call out.
+template <typename OpFactory>
+ParallelDriverStats RunParallel(ThreadPool& pool,
+                                const ParallelDriverConfig& config,
+                                uint64_t num_inputs, OpFactory&& make_op) {
+  ParallelDriverConfig capped = config;
+  capped.num_threads = std::min(std::max(1u, config.num_threads),
+                                pool.size());
+  return detail::RunParallelImpl(
+      [&pool](uint32_t threads, auto&& fn) {
+        pool.Run([&](uint32_t tid) {
+          if (tid < threads) fn(tid);
+        });
+      },
+      capped, num_inputs, std::forward<OpFactory>(make_op));
 }
 
 }  // namespace amac

@@ -1,0 +1,14 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace amac {
+
+Executor::Executor(const ExecConfig& config)
+    : config_(config), pool_(std::max(1u, config.num_threads)) {
+  // A zero-thread request degrades to a single-threaded executor; keep the
+  // recorded config consistent with the team that actually exists.
+  config_.num_threads = pool_.size();
+}
+
+}  // namespace amac

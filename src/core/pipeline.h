@@ -1,0 +1,496 @@
+// Composable Pipeline / Executor API: multi-operator queries fused through
+// one runtime entry point.
+//
+// The unified runtime (core/scheduler.h, core/parallel_driver.h) runs ONE
+// stage machine over N inputs.  Analytics queries are chains of operators —
+// the paper's headline multi-operator workload is a hash-join probe feeding
+// a group-by — and running them as disjoint phases materializes every
+// intermediate result and re-pays the scheduling ramp per operator.  This
+// header adds the layer above the engine:
+//
+//   * a *stage* concept: a resumable machine consuming one input row and
+//     emitting zero or more output rows, parking on its own prefetches;
+//   * `Pipeline`, a builder composing a source plus stages into one fused
+//     engine operation, so a probe hit flows directly into the aggregation
+//     insert (or the next lookup) without ever being materialized — and the
+//     whole chain's dependent misses share one in-flight window;
+//   * `Executor`, which owns the ExecPolicy + SchedulerParams + a
+//     persistent ThreadPool and returns one unified `RunStats` from every
+//     Run().
+//
+//   Executor exec({.policy = ExecPolicy::kAmac, .params = {10, 1},
+//                  .num_threads = 8});
+//   auto query = Scan(s).Then(Probe(table)).Then(Aggregate(agg));
+//   RunStats stats = exec.Run(query);
+//
+// Stage concept (rows are relation Tuples):
+//
+//   struct MyStage {
+//     struct State { ... };                   // full per-row state
+//     void Start(State&, const Tuple& in);    // stage 0: init + 1st prefetch
+//     template <typename Emit>
+//     StepStatus Step(State&, Emit&& emit);   // one stage; emit(Tuple) rows
+//   };
+//
+// A *source* is the same but index-driven: `Start(State&, uint64_t idx)`.
+// Generic sources/stages (Scan, Filter, Map) live here; each data-structure
+// layer contributes its own (Probe in join/join_ops.h, Aggregate in
+// groupby/groupby_ops.h, LookupBTree / LookupBst / LookupSkipList in their
+// ops headers, Walks in graph/graph_ops.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/cycle_timer.h"
+#include "common/hash.h"
+#include "common/prefetch.h"
+#include "common/thread_pool.h"
+#include "core/parallel_driver.h"
+#include "core/scheduler.h"
+#include "relation/relation.h"
+
+namespace amac {
+
+// ---------------------------------------------------------------------------
+// Unified run statistics
+// ---------------------------------------------------------------------------
+
+/// The one result type every Executor::Run returns, subsuming the
+/// per-operator stats structs (JoinStats / GroupByStats /
+/// ParallelDriverStats), which remain as deprecated shims for one PR.
+/// All rate accessors return 0 (not NaN/inf) on empty runs.
+struct RunStats {
+  EngineStats engine;     ///< scheduling counters, merged across threads
+  uint64_t inputs = 0;    ///< rows entering the pipeline's source
+  uint64_t outputs = 0;   ///< rows the terminal stage emitted into the sink
+                          ///< (0 for aggregating terminals: read the table)
+  uint64_t checksum = 0;  ///< order-independent checksum of emitted rows
+  uint64_t morsels = 0;   ///< morsels claimed (0 on the 1-thread path)
+  uint32_t threads = 0;
+  uint64_t cycles = 0;    ///< barrier-to-barrier, max across threads
+  double seconds = 0;     ///< wall time of the same region
+  /// Wall time of the whole Run() call including team dispatch; minus
+  /// `seconds` this is the per-call team cost, ~0 on the persistent pool.
+  double dispatch_seconds = 0;
+
+  double CyclesPerInput() const {
+    return inputs ? static_cast<double>(cycles) / static_cast<double>(inputs)
+                  : 0;
+  }
+  /// Inputs per second over the measured region (paper Fig. 7/8 style).
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(inputs) / seconds : 0;
+  }
+};
+
+/// Terminal sink for fused pipelines: counts emitted rows and folds them
+/// into an order-independent checksum (the same mixing discipline as
+/// join/sink.h's CountChecksumSink, over (key, payload)).
+class RowSink {
+ public:
+  void Emit(const Tuple& row) {
+    ++rows_;
+    checksum_ +=
+        Mix64(static_cast<uint64_t>(row.key) * 0x9e3779b97f4a7c15ull +
+              static_cast<uint64_t>(row.payload));
+  }
+
+  uint64_t rows() const { return rows_; }
+  uint64_t checksum() const { return checksum_; }
+
+  void Merge(const RowSink& other) {
+    rows_ += other.rows_;
+    checksum_ += other.checksum_;
+  }
+
+ private:
+  uint64_t rows_ = 0;
+  uint64_t checksum_ = 0;
+};
+
+namespace detail {
+
+/// Adapts a stage's emit callable to the (rid, payload) Sink interface the
+/// shared traversal kernels use, re-emitting hits as Tuple{key, payload}
+/// rows (the index-lookup stages of btree/skiplist use this).
+template <typename EmitFn>
+struct KeyedEmitSink {
+  EmitFn& fn;
+  int64_t key;
+  void Emit(uint64_t, int64_t payload) { fn(Tuple{key, payload}); }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Generic sources and stages
+// ---------------------------------------------------------------------------
+
+/// Source scanning a relation: input i emits rel[i] downstream.
+class ScanSource {
+ public:
+  struct State {
+    uint64_t idx;
+  };
+
+  explicit ScanSource(const Relation& rel) : rel_(&rel) {}
+
+  uint64_t size() const { return rel_->size(); }
+
+  void Start(State& st, uint64_t idx) {
+    st.idx = idx;
+    Prefetch(rel_->data() + idx);
+  }
+
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
+    emit((*rel_)[st.idx]);
+    return StepStatus::kDone;
+  }
+
+ private:
+  const Relation* rel_;
+};
+
+/// Pure-compute stage dropping rows that fail `pred(row)`.  No prefetch, so
+/// it costs one scheduling step per row (documented altitude cost of
+/// keeping every stage uniform).
+template <typename Pred>
+class FilterStage {
+ public:
+  struct State {
+    Tuple row;
+  };
+
+  explicit FilterStage(Pred pred) : pred_(std::move(pred)) {}
+
+  void Start(State& st, const Tuple& in) { st.row = in; }
+
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
+    if (pred_(st.row)) emit(st.row);
+    return StepStatus::kDone;
+  }
+
+ private:
+  Pred pred_;
+};
+
+template <typename Pred>
+FilterStage<std::decay_t<Pred>> Filter(Pred&& pred) {
+  return FilterStage<std::decay_t<Pred>>(std::forward<Pred>(pred));
+}
+
+/// Pure-compute stage rewriting each row as `fn(row)` (e.g. re-keying a
+/// join output before aggregation).
+template <typename Fn>
+class MapStage {
+ public:
+  struct State {
+    Tuple row;
+  };
+
+  explicit MapStage(Fn fn) : fn_(std::move(fn)) {}
+
+  void Start(State& st, const Tuple& in) { st.row = in; }
+
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
+    emit(fn_(st.row));
+    return StepStatus::kDone;
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename Fn>
+MapStage<std::decay_t<Fn>> Map(Fn&& fn) {
+  return MapStage<std::decay_t<Fn>>(std::forward<Fn>(fn));
+}
+
+// ---------------------------------------------------------------------------
+// The fused operation
+// ---------------------------------------------------------------------------
+
+/// The engine operation a Pipeline compiles to: the source plus every stage
+/// machine of ONE input, chained.  Rows emitted by stage k queue into stage
+/// k+1's pending list inside the same lookup state; Step() always advances
+/// the *deepest* runnable stage, so intermediates stay tiny (at most one
+/// upstream step's emissions) and a probe hit reaches the aggregation
+/// insert before the next probe input is touched.  Every kParked/kRetry of
+/// any stage parks the whole fused lookup, which is what lets one engine
+/// window overlap misses across operators.
+template <typename Source, typename Sink, typename... Stages>
+class FusedOp {
+  static constexpr size_t kNumStages = sizeof...(Stages);
+  static_assert(kNumStages <= 16, "pipeline too deep for the running mask");
+
+ public:
+  struct State {
+    typename Source::State source;
+    std::tuple<typename Stages::State...> stages;
+    /// pending[i]: rows emitted upstream, waiting to enter stage i.
+    std::array<std::vector<Tuple>, kNumStages> pending;
+    uint32_t running = 0;  ///< bit i: stage i is mid-row
+    bool source_active = false;
+  };
+
+  FusedOp(const Source& source, const std::tuple<Stages...>& stages,
+          Sink& sink)
+      : source_(source), stages_(stages), sink_(&sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    st.running = 0;
+    st.source_active = true;
+    for (auto& queue : st.pending) queue.clear();
+    source_.Start(st.source, idx);
+  }
+
+  StepStatus Step(State& st) {
+    StepStatus status;
+    if (StepDeepest<kNumStages>(st, &status)) return status;
+    if (st.source_active) {
+      status = source_.Step(st.source, EmitterTo<0>(st));
+      if (status != StepStatus::kDone) return status;
+      st.source_active = false;
+      return Drained(st) ? StepStatus::kDone : StepStatus::kParked;
+    }
+    return StepStatus::kDone;
+  }
+
+ private:
+  /// Emitter feeding queue J; J == kNumStages is the terminal sink.
+  template <size_t J>
+  auto EmitterTo(State& st) {
+    if constexpr (J == kNumStages) {
+      return [this](const Tuple& row) { sink_->Emit(row); };
+    } else {
+      return [&st](const Tuple& row) { st.pending[J].push_back(row); };
+    }
+  }
+
+  /// Advance the deepest stage that is mid-row or has pending input
+  /// (stages J = I-1 .. 0).  Returns false when no stage had work.
+  template <size_t I>
+  bool StepDeepest(State& st, StepStatus* status) {
+    if constexpr (I == 0) {
+      (void)st;
+      (void)status;
+      return false;
+    } else {
+      constexpr size_t J = I - 1;
+      if (st.running & (uint32_t{1} << J)) {
+        const StepStatus s = std::get<J>(stages_).Step(
+            std::get<J>(st.stages), EmitterTo<J + 1>(st));
+        if (s != StepStatus::kDone) {
+          *status = s;
+          return true;
+        }
+        st.running &= ~(uint32_t{1} << J);
+        *status = !st.source_active && Drained(st) ? StepStatus::kDone
+                                                   : StepStatus::kParked;
+        return true;
+      }
+      if (!st.pending[J].empty()) {
+        const Tuple row = st.pending[J].back();
+        st.pending[J].pop_back();
+        std::get<J>(stages_).Start(std::get<J>(st.stages), row);
+        st.running |= uint32_t{1} << J;
+        // Park so the Start()'s prefetch matures before the first Step.
+        *status = StepStatus::kParked;
+        return true;
+      }
+      return StepDeepest<J>(st, status);
+    }
+  }
+
+  static bool Drained(const State& st) {
+    if (st.running != 0) return false;
+    for (const auto& queue : st.pending) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  }
+
+  Source source_;
+  std::tuple<Stages...> stages_;
+  Sink* sink_;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline builder
+// ---------------------------------------------------------------------------
+
+/// Value-semantic builder: `Scan(s).Then(Probe(table)).Then(Aggregate(agg))`
+/// describes a fused multi-operator query.  Stages hold pointers to their
+/// shared read-only (or latched) structures, so a Pipeline is cheap to copy
+/// and one instance compiles to any number of per-thread operations.
+template <typename Source, typename... Stages>
+class Pipeline {
+ public:
+  Pipeline(Source source, std::tuple<Stages...> stages)
+      : source_(std::move(source)), stages_(std::move(stages)) {}
+
+  /// Append a stage, returning the extended pipeline.
+  template <typename S>
+  Pipeline<Source, Stages..., S> Then(S stage) const {
+    return Pipeline<Source, Stages..., S>(
+        source_, std::tuple_cat(stages_, std::make_tuple(std::move(stage))));
+  }
+
+  uint64_t size() const { return source_.size(); }
+
+  /// Materialize the fused engine operation emitting terminal rows into
+  /// `sink` (one per thread under the parallel driver).
+  template <typename Sink>
+  FusedOp<Source, Sink, Stages...> Compile(Sink& sink) const {
+    return FusedOp<Source, Sink, Stages...>(source_, stages_, sink);
+  }
+
+ private:
+  Source source_;
+  std::tuple<Stages...> stages_;
+};
+
+/// Root builder: a pipeline whose inputs are the tuples of `rel`.
+inline Pipeline<ScanSource> Scan(const Relation& rel) {
+  return Pipeline<ScanSource>(ScanSource(rel), std::tuple<>{});
+}
+
+/// Root builder from any custom source (see graph/graph_ops.h's Walks).
+template <typename Source>
+Pipeline<std::decay_t<Source>> From(Source&& source) {
+  return Pipeline<std::decay_t<Source>>(std::forward<Source>(source),
+                                        std::tuple<>{});
+}
+
+/// Degenerate pipeline wrapping an existing engine Operation (the
+/// core/engine.h concept).  Executor::Run dispatches it exactly as the free
+/// Run(policy, params, op, n) / RunParallel would, so engine counters are
+/// identical to the free-function path — pinned by the pipeline property
+/// tests.  `make_op(tid)` builds the per-thread operation.
+template <typename OpFactory>
+class OpPipeline {
+ public:
+  OpPipeline(uint64_t num_inputs, OpFactory make_op)
+      : num_inputs_(num_inputs), make_op_(std::move(make_op)) {}
+
+  uint64_t size() const { return num_inputs_; }
+  const OpFactory& factory() const { return make_op_; }
+
+ private:
+  uint64_t num_inputs_;
+  OpFactory make_op_;
+};
+
+template <typename OpFactory>
+OpPipeline<std::decay_t<OpFactory>> FromOp(uint64_t num_inputs,
+                                           OpFactory&& make_op) {
+  return OpPipeline<std::decay_t<OpFactory>>(
+      num_inputs, std::forward<OpFactory>(make_op));
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Execution configuration: the policy and tuning knobs every Run() uses.
+struct ExecConfig {
+  ExecPolicy policy = ExecPolicy::kAmac;
+  SchedulerParams params;
+  uint32_t num_threads = 1;
+  /// Morsel size for multi-threaded runs; 0 derives one (ResolveMorselSize).
+  uint64_t morsel_size = 0;
+};
+
+/// Owns the thread team and the execution policy; every workload — fused
+/// pipeline or single operation — enters the runtime through Run() and
+/// comes back as one RunStats.  The ThreadPool persists across Run() calls,
+/// so repeated phases (bench reps, query sequences) pay thread spawn once.
+/// Policy and tuning can be changed between runs; the team size is fixed at
+/// construction.
+class Executor {
+ public:
+  explicit Executor(const ExecConfig& config);
+
+  const ExecConfig& config() const { return config_; }
+  ExecPolicy policy() const { return config_.policy; }
+  uint32_t num_threads() const { return config_.num_threads; }
+  ThreadPool& pool() { return pool_; }
+
+  void set_policy(ExecPolicy policy) { config_.policy = policy; }
+  void set_params(const SchedulerParams& params) { config_.params = params; }
+  void set_morsel_size(uint64_t morsel_size) {
+    config_.morsel_size = morsel_size;
+  }
+
+  /// Run a fused pipeline: one FusedOp + RowSink per thread, sinks merged
+  /// into the returned stats.
+  template <typename Source, typename... Stages>
+  RunStats Run(const Pipeline<Source, Stages...>& pipeline) {
+    std::vector<RowSink> sinks(config_.num_threads);
+    RunStats stats = RunOp(pipeline.size(), [&](uint32_t tid) {
+      return pipeline.Compile(sinks[tid]);
+    });
+    RowSink total;
+    for (const auto& sink : sinks) total.Merge(sink);
+    stats.outputs = total.rows();
+    stats.checksum = total.checksum();
+    return stats;
+  }
+
+  /// Run a wrapped single-operation pipeline (FromOp).
+  template <typename OpFactory>
+  RunStats Run(const OpPipeline<OpFactory>& pipeline) {
+    return RunOp(pipeline.size(), pipeline.factory());
+  }
+
+  /// Low-level entry: run `make_op(tid)` instances over [0, num_inputs).
+  /// Single-threaded executors run ONE engine over the whole range (no
+  /// morselization), so engine counters — including GP/SPP window noops —
+  /// equal the free Run(policy, params, op, n) path exactly.
+  template <typename OpFactory>
+  RunStats RunOp(uint64_t num_inputs, OpFactory&& make_op) {
+    RunStats stats;
+    stats.inputs = num_inputs;
+    if (config_.num_threads <= 1) {
+      WallTimer dispatch;
+      auto op = make_op(0);
+      WallTimer wall;
+      CycleTimer cycles;
+      stats.engine =
+          amac::Run(config_.policy, config_.params, op, num_inputs);
+      stats.cycles = cycles.Elapsed();
+      stats.seconds = wall.ElapsedSeconds();
+      stats.dispatch_seconds = dispatch.ElapsedSeconds();
+      stats.threads = 1;
+    } else {
+      ParallelDriverConfig driver;
+      driver.policy = config_.policy;
+      driver.params = config_.params;
+      driver.num_threads = config_.num_threads;
+      driver.morsel_size = config_.morsel_size;
+      const ParallelDriverStats driven = RunParallel(
+          pool_, driver, num_inputs, std::forward<OpFactory>(make_op));
+      stats.engine = driven.engine;
+      stats.morsels = driven.morsels;
+      stats.threads = driven.threads;
+      stats.cycles = driven.cycles;
+      stats.seconds = driven.seconds;
+      stats.dispatch_seconds = driven.dispatch_seconds;
+    }
+    return stats;
+  }
+
+ private:
+  ExecConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace amac

@@ -18,6 +18,7 @@
 #include "common/prefetch.h"
 #include "common/rng.h"
 #include "core/engine.h"
+#include "core/pipeline.h"
 #include "graph/csr.h"
 
 namespace amac {
@@ -42,7 +43,14 @@ class WalkSink {
   uint64_t visits_ = 0;
 };
 
-class RandomWalkOp {
+/// Pipeline source (core/pipeline.h): input i is walker i; every vertex
+/// visit emits Tuple{vertex, walker} downstream.  Feeding an
+/// AggregateStage keyed by vertex computes visit counts — a fused
+/// graph-analytics pipeline with no walk trace materialized.  RandomWalkOp
+/// below adapts the same machine to the engine Operation concept, so the
+/// trajectories (per-walker RNG, schedule-independent) are identical on
+/// both paths.
+class WalkSource {
  public:
   struct State {
     uint64_t walker;
@@ -55,46 +63,80 @@ class RandomWalkOp {
     uint64_t pending_edge_index;
   };
 
-  RandomWalkOp(const CsrGraph& graph, uint32_t hops, uint64_t seed,
-               WalkSink& sink)
-      : graph_(graph), hops_(hops), seed_(seed), sink_(sink) {}
+  WalkSource(const CsrGraph& graph, uint64_t num_walkers, uint32_t hops,
+             uint64_t seed)
+      : graph_(&graph), num_walkers_(num_walkers), hops_(hops), seed_(seed) {}
+
+  uint64_t size() const { return num_walkers_; }
 
   void Start(State& st, uint64_t idx) {
     st.walker = idx;
     st.rng = seed_ ^ Mix64(idx + 1);
-    st.vertex = SplitMix64(st.rng) % graph_.num_vertices();
+    st.vertex = SplitMix64(st.rng) % graph_->num_vertices();
     st.hops_left = hops_;
     st.stage = 0;
-    Prefetch(graph_.offsets() + st.vertex);  // covers v and v+1 (same line
-    Prefetch(graph_.offsets() + st.vertex + 1);  // unless straddling)
+    Prefetch(graph_->offsets() + st.vertex);  // covers v and v+1 (same line
+    Prefetch(graph_->offsets() + st.vertex + 1);  // unless straddling)
   }
 
-  StepStatus Step(State& st) {
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
     if (st.stage == 0) {
       // Row bounds arrived: record the visit, pick the random edge.
-      sink_.Visit(st.walker, st.vertex);
-      st.row_begin = graph_.RowBegin(st.vertex);
-      st.row_len = graph_.OutDegree(st.vertex);
+      emit(Tuple{static_cast<int64_t>(st.vertex),
+                 static_cast<int64_t>(st.walker)});
+      st.row_begin = graph_->RowBegin(st.vertex);
+      st.row_len = graph_->OutDegree(st.vertex);
       if (st.row_len == 0 || st.hops_left == 0) return StepStatus::kDone;
       st.pending_edge_index =
           st.row_begin + SplitMix64(st.rng) % st.row_len;
-      Prefetch(graph_.edges() + st.pending_edge_index);
+      Prefetch(graph_->edges() + st.pending_edge_index);
       st.stage = 1;
       return StepStatus::kParked;
     }
     // Edge target arrived: move there and fetch its row bounds.
-    st.vertex = graph_.edges()[st.pending_edge_index];
+    st.vertex = graph_->edges()[st.pending_edge_index];
     --st.hops_left;
     st.stage = 0;
-    Prefetch(graph_.offsets() + st.vertex);
-    Prefetch(graph_.offsets() + st.vertex + 1);
+    Prefetch(graph_->offsets() + st.vertex);
+    Prefetch(graph_->offsets() + st.vertex + 1);
     return StepStatus::kParked;
   }
 
  private:
-  const CsrGraph& graph_;
-  const uint32_t hops_;
-  const uint64_t seed_;
+  const CsrGraph* graph_;
+  uint64_t num_walkers_;
+  uint32_t hops_;
+  uint64_t seed_;
+};
+
+/// Root pipeline builder: `num_walkers` random walks of `hops` hops.
+inline Pipeline<WalkSource> Walks(const CsrGraph& graph, uint64_t num_walkers,
+                                  uint32_t hops, uint64_t seed) {
+  return From(WalkSource(graph, num_walkers, hops, seed));
+}
+
+/// The walk as an engine Operation (WalkSource driven with a WalkSink);
+/// kept for the ext_graph_walks ablation and the single-op Executor path.
+class RandomWalkOp {
+ public:
+  using State = WalkSource::State;
+
+  RandomWalkOp(const CsrGraph& graph, uint32_t hops, uint64_t seed,
+               WalkSink& sink)
+      : source_(graph, /*num_walkers=*/0, hops, seed), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) { source_.Start(st, idx); }
+
+  StepStatus Step(State& st) {
+    return source_.Step(st, [this](const Tuple& row) {
+      sink_.Visit(static_cast<uint64_t>(row.payload),
+                  static_cast<uint64_t>(row.key));
+    });
+  }
+
+ private:
+  WalkSource source_;
   WalkSink& sink_;
 };
 

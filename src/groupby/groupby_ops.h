@@ -13,6 +13,7 @@
 
 #include "common/prefetch.h"
 #include "core/engine.h"
+#include "core/pipeline.h"
 #include "groupby/agg_table.h"
 #include "groupby/groupby_kernels.h"
 #include "relation/relation.h"
@@ -31,11 +32,21 @@ class GroupByOp {
   };
 
   GroupByOp(AggregateTable& table, const Relation& input)
-      : table_(table), input_(input) {}
+      : table_(table), input_(&input) {}
+
+  /// Row-driven construction (AggregateStage): inputs arrive via StartRow,
+  /// so no backing relation exists.
+  explicit GroupByOp(AggregateTable& table)
+      : table_(table), input_(nullptr) {}
 
   void Start(State& st, uint64_t idx) {
-    st.key = input_[idx].key;
-    st.payload = input_[idx].payload;
+    AMAC_DCHECK(input_ != nullptr);
+    StartRow(st, (*input_)[idx]);
+  }
+
+  void StartRow(State& st, const Tuple& in) {
+    st.key = in.key;
+    st.payload = in.payload;
     st.head = table_.HeadForKey(st.key);
     st.ptr = nullptr;
     st.latched = false;
@@ -88,7 +99,36 @@ class GroupByOp {
   }
 
   AggregateTable& table_;
-  const Relation& input_;
+  const Relation* input_;
 };
+
+/// Pipeline stage (core/pipeline.h): group-by insert fed by upstream rows
+/// (in.key groups, in.payload accumulates).  Terminal — emits nothing; the
+/// result is the AggregateTable itself.  kSync = true latches buckets, the
+/// correct default whenever the Executor may run multi-threaded;
+/// aggregation is commutative, so results are schedule- and
+/// thread-count-independent either way.
+template <bool kSync = true>
+class AggregateStage {
+ public:
+  using State = typename GroupByOp<kSync>::State;
+
+  explicit AggregateStage(AggregateTable& table) : op_(table) {}
+
+  void Start(State& st, const Tuple& in) { op_.StartRow(st, in); }
+
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&&) {
+    return op_.Step(st);
+  }
+
+ private:
+  GroupByOp<kSync> op_;
+};
+
+template <bool kSync = true>
+AggregateStage<kSync> Aggregate(AggregateTable& table) {
+  return AggregateStage<kSync>(table);
+}
 
 }  // namespace amac

@@ -33,9 +33,9 @@ inline uint32_t BucketOwner(uint64_t bucket_index, uint64_t num_buckets,
 /// Per-bucket insertion order equals the sequential build's (R order), so
 /// chain contents are bit-identical for any thread count and policy — the
 /// property the differential tests pin.
-void BuildParallel(const Relation& r, const JoinConfig& config,
-                   uint32_t threads, ChainedHashTable* table,
-                   JoinStats* stats) {
+void BuildParallel(Executor& exec, const Relation& r, uint32_t threads,
+                   ChainedHashTable* table, JoinStats* stats) {
+  const ExecConfig& config = exec.config();
   const uint64_t num_buckets = table->num_buckets();
   std::vector<std::vector<std::vector<uint64_t>>> cells(
       threads, std::vector<std::vector<uint64_t>>(threads));
@@ -43,7 +43,7 @@ void BuildParallel(const Relation& r, const JoinConfig& config,
   std::vector<uint64_t> elapsed(threads, 0);
   std::vector<double> elapsed_seconds(threads, 0);
   SpinBarrier barrier(threads);
-  ParallelFor(threads, [&](uint32_t tid) {
+  exec.pool().Run([&](uint32_t tid) {
     barrier.Wait();
     CycleTimer timer;
     WallTimer wall;
@@ -69,7 +69,7 @@ void BuildParallel(const Relation& r, const JoinConfig& config,
       ids.insert(ids.end(), cell.begin(), cell.end());
     }
     BuildOp<false> op(*table, r, ids.data());
-    per_thread[tid] = Run(config.policy, config.Params(), op, ids.size());
+    per_thread[tid] = Run(config.policy, config.params, op, ids.size());
     barrier.Wait();
     elapsed[tid] = timer.Elapsed();
     elapsed_seconds[tid] = wall.ElapsedSeconds();
@@ -83,76 +83,75 @@ void BuildParallel(const Relation& r, const JoinConfig& config,
 
 }  // namespace
 
-void BuildPhase(const Relation& r, const JoinConfig& config,
-                ChainedHashTable* table, JoinStats* stats) {
+void BuildPhase(Executor& exec, const Relation& r, ChainedHashTable* table,
+                JoinStats* stats) {
   stats->build_tuples = r.size();
-  const uint32_t threads = std::max(1u, config.num_threads);
+  const uint32_t threads = exec.num_threads();
   if (threads == 1) {
-    WallTimer wall;
-    CycleTimer cycles;
-    BuildOp<false> op(*table, r);
-    stats->build_engine = Run(config.policy, config.Params(), op, r.size());
-    stats->build_cycles = cycles.Elapsed();
-    stats->build_seconds = wall.ElapsedSeconds();
+    const RunStats run = exec.Run(FromOp(r.size(), [&](uint32_t) {
+      return BuildOp<false>(*table, r);
+    }));
+    stats->build_engine = run.engine;
+    stats->build_cycles = run.cycles;
+    stats->build_seconds = run.seconds;
   } else {
-    BuildParallel(r, config, threads, table, stats);
+    BuildParallel(exec, r, threads, table, stats);
   }
 }
 
-void ProbePhase(const ChainedHashTable& table, const Relation& s,
-                const JoinConfig& config, JoinStats* stats) {
+void ProbePhase(Executor& exec, const ChainedHashTable& table,
+                const Relation& s, bool early_exit, JoinStats* stats) {
   stats->probe_tuples = s.size();
-  const uint32_t threads = std::max(1u, config.num_threads);
+  const uint32_t threads = exec.num_threads();
   std::vector<CountChecksumSink> sinks(threads);
-  if (threads == 1) {
-    WallTimer wall;
-    CycleTimer cycles;
-    if (config.early_exit) {
-      ProbeOp<true, CountChecksumSink> op(table, s, sinks[0]);
-      stats->probe_engine = Run(config.policy, config.Params(), op, s.size());
-    } else {
-      ProbeOp<false, CountChecksumSink> op(table, s, sinks[0]);
-      stats->probe_engine = Run(config.policy, config.Params(), op, s.size());
-    }
-    stats->probe_cycles = cycles.Elapsed();
-    stats->probe_seconds = wall.ElapsedSeconds();
+  RunStats run;
+  if (early_exit) {
+    run = exec.Run(FromOp(s.size(), [&](uint32_t tid) {
+      return ProbeOp<true, CountChecksumSink>(table, s, sinks[tid]);
+    }));
   } else {
-    ParallelDriverConfig driver;
-    driver.policy = config.policy;
-    driver.params = config.Params();
-    driver.num_threads = threads;
-    driver.morsel_size = config.morsel_size;
-    ParallelDriverStats driven;
-    if (config.early_exit) {
-      driven = RunParallel(driver, s.size(), [&](uint32_t tid) {
-        return ProbeOp<true, CountChecksumSink>(table, s, sinks[tid]);
-      });
-    } else {
-      driven = RunParallel(driver, s.size(), [&](uint32_t tid) {
-        return ProbeOp<false, CountChecksumSink>(table, s, sinks[tid]);
-      });
-    }
-    stats->probe_engine = driven.engine;
-    stats->probe_cycles = driven.cycles;
-    stats->probe_seconds = driven.seconds;
-    stats->probe_morsels = driven.morsels;
+    run = exec.Run(FromOp(s.size(), [&](uint32_t tid) {
+      return ProbeOp<false, CountChecksumSink>(table, s, sinks[tid]);
+    }));
   }
+  stats->probe_engine = run.engine;
+  stats->probe_cycles = run.cycles;
+  stats->probe_seconds = run.seconds;
+  stats->probe_morsels = run.morsels;
   CountChecksumSink total;
   for (const auto& sink : sinks) total.Merge(sink);
   stats->matches = total.matches();
   stats->checksum = total.checksum();
 }
 
+JoinStats RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
+                      const JoinOptions& options) {
+  ChainedHashTable::Options table_options;
+  table_options.target_nodes_per_bucket = options.target_nodes_per_bucket;
+  table_options.hash_kind = options.hash_kind;
+  ChainedHashTable table(std::max<uint64_t>(1, r.size()), table_options);
+  JoinStats stats;
+  BuildPhase(exec, r, &table, &stats);
+  ProbePhase(exec, table, s, options.early_exit, &stats);
+  return stats;
+}
+
+void BuildPhase(const Relation& r, const JoinConfig& config,
+                ChainedHashTable* table, JoinStats* stats) {
+  Executor exec(config.Exec());
+  BuildPhase(exec, r, table, stats);
+}
+
+void ProbePhase(const ChainedHashTable& table, const Relation& s,
+                const JoinConfig& config, JoinStats* stats) {
+  Executor exec(config.Exec());
+  ProbePhase(exec, table, s, config.early_exit, stats);
+}
+
 JoinStats RunHashJoin(const Relation& r, const Relation& s,
                       const JoinConfig& config) {
-  ChainedHashTable::Options options;
-  options.target_nodes_per_bucket = config.target_nodes_per_bucket;
-  options.hash_kind = config.hash_kind;
-  ChainedHashTable table(std::max<uint64_t>(1, r.size()), options);
-  JoinStats stats;
-  BuildPhase(r, config, &table, &stats);
-  ProbePhase(table, s, config, &stats);
-  return stats;
+  Executor exec(config.Exec());
+  return RunHashJoin(exec, r, s, config.Options());
 }
 
 }  // namespace amac

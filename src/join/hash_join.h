@@ -3,16 +3,18 @@
 // through the morsel-driven parallel driver, reporting the cycle/throughput
 // metrics the paper's tables and figures use.
 //
-// Execution is selected with core/scheduler.h's ExecPolicy — the paper's
-// Baseline/GP/SPP/AMAC map onto kSequential/kGroupPrefetch/
-// kSoftwarePipelined/kAmac, and kCoroutine (§6's framework direction) comes
-// for free.  The join-private `Engine` enum this header used to define is
-// gone; a deprecated alias remains for source compatibility.
+// The primary entry points take an `Executor` (core/pipeline.h), which owns
+// the ExecPolicy, tuning parameters, and the persistent thread team; join
+// behavior itself is configured with `JoinOptions`.  The free-function
+// forms taking a `JoinConfig` are deprecated shims for this PR's migration
+// window: they build a transient Executor per call (re-paying thread spawn
+// every time) and will be removed next PR.
 #pragma once
 
 #include <cstdint>
 
 #include "common/hash.h"
+#include "core/pipeline.h"
 #include "core/scheduler.h"
 #include "hashtable/chained_table.h"
 #include "join/sink.h"
@@ -20,12 +22,19 @@
 
 namespace amac {
 
-/// Deprecated: the join layer's legacy engine enum collapsed into the
-/// unified runtime's ExecPolicy (kBaseline -> kSequential, kGP ->
-/// kGroupPrefetch, kSPP -> kSoftwarePipelined, kAMAC -> kAmac).
-using Engine [[deprecated("use ExecPolicy from core/scheduler.h")]] =
-    ExecPolicy;
+/// Join-specific knobs for the Executor-based API.  Execution policy,
+/// in-flight width, stages, thread count, and morsel size live on the
+/// Executor, not here.
+struct JoinOptions {
+  /// Stop a lookup at its first match (valid for unique build keys).
+  bool early_exit = true;
+  /// Bucket sizing: expected chain nodes per bucket under uniform keys.
+  double target_nodes_per_bucket = 1.0;
+  HashKind hash_kind = HashKind::kMurmur;
+};
 
+/// Deprecated: all-in-one configuration for the legacy free functions.
+/// Migrate to Executor(ExecConfig) + JoinOptions.
 struct JoinConfig {
   ExecPolicy policy = ExecPolicy::kAmac;
   /// Number of parallel in-flight lookups per thread (paper's M): AMAC
@@ -47,6 +56,16 @@ struct JoinConfig {
 
   SchedulerParams Params() const {
     return SchedulerParams{inflight, stages, 0};
+  }
+
+  /// The execution half of this config, for constructing an Executor.
+  ExecConfig Exec() const {
+    return ExecConfig{policy, Params(), num_threads, morsel_size};
+  }
+
+  /// The join half of this config.
+  JoinOptions Options() const {
+    return JoinOptions{early_exit, target_nodes_per_bucket, hash_kind};
   }
 };
 
@@ -92,21 +111,31 @@ struct JoinStats {
   }
 };
 
-/// Build `table` from R with the configured policy (timed into *stats).
-/// The table must be empty and sized for R.  With num_threads > 1 the build
-/// is partitioned by bucket range: tuples are scattered to the thread that
-/// owns their bucket, so insertion is race-free (no latches) and every
-/// bucket's chain is bit-identical to a 1-thread build's.
+/// Build `table` from R under the executor's policy (timed into *stats).
+/// The table must be empty and sized for R.  With a multi-threaded
+/// executor the build is partitioned by bucket range: tuples are scattered
+/// to the thread that owns their bucket, so insertion is race-free (no
+/// latches) and every bucket's chain is bit-identical to a 1-thread
+/// build's.
+void BuildPhase(Executor& exec, const Relation& r, ChainedHashTable* table,
+                JoinStats* stats);
+
+/// Probe `table` with S under the executor's policy (timed into *stats).
+/// With a multi-threaded executor the probe is morsel-driven through the
+/// executor's persistent pool with one sink per thread, merged afterwards.
+void ProbePhase(Executor& exec, const ChainedHashTable& table,
+                const Relation& s, bool early_exit, JoinStats* stats);
+
+/// Convenience: build + probe with checksum sink on one executor.
+JoinStats RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
+                      const JoinOptions& options = {});
+
+/// Deprecated shims (one-PR migration window): forward to the Executor
+/// forms through a transient per-call Executor.
 void BuildPhase(const Relation& r, const JoinConfig& config,
                 ChainedHashTable* table, JoinStats* stats);
-
-/// Probe `table` with S using the configured policy (timed into *stats).
-/// With num_threads > 1 the probe is morsel-driven through
-/// core/parallel_driver.h with one sink per thread, merged afterwards.
 void ProbePhase(const ChainedHashTable& table, const Relation& s,
                 const JoinConfig& config, JoinStats* stats);
-
-/// Convenience: build + probe with checksum sink.
 JoinStats RunHashJoin(const Relation& r, const Relation& s,
                       const JoinConfig& config);
 

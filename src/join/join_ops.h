@@ -15,39 +15,45 @@
 
 #include "common/prefetch.h"
 #include "core/engine.h"
+#include "core/pipeline.h"
 #include "hashtable/chained_table.h"
 #include "join/build_kernels.h"
 #include "relation/relation.h"
 
 namespace amac {
 
-/// Chained-table probe: Start hashes and prefetches the bucket header, each
-/// Step visits one chain node (emit matches, prefetch the next node).  With
-/// kEarlyExit the walk stops at the first match (unique build keys).
-template <bool kEarlyExit, typename Sink>
-class ProbeOp {
+/// Pipeline stage (core/pipeline.h): chained-table probe fed by upstream
+/// rows.  The input row's key probes the table; every match emits
+/// Tuple{build payload, input payload} downstream — the probe-side value is
+/// carried through the join instead of materializing an intermediate, so a
+/// hit can flow straight into an AggregateStage insert.  Start hashes and
+/// prefetches the bucket header; each Step visits one chain node (emit
+/// matches, prefetch the next node).  With kEarlyExit the walk stops at the
+/// first match (unique build keys).
+template <bool kEarlyExit>
+class ProbeStage {
  public:
   struct State {
     const BucketNode* ptr;
     int64_t key;
-    uint64_t rid;
+    int64_t carry;
   };
 
-  ProbeOp(const ChainedHashTable& table, const Relation& probe, Sink& sink)
-      : table_(table), probe_(probe), sink_(sink) {}
+  explicit ProbeStage(const ChainedHashTable& table) : table_(&table) {}
 
-  void Start(State& st, uint64_t idx) {
-    st.key = probe_[idx].key;
-    st.rid = idx;
-    st.ptr = table_.BucketForKey(st.key);
+  void Start(State& st, const Tuple& in) {
+    st.key = in.key;
+    st.carry = in.payload;
+    st.ptr = table_->BucketForKey(st.key);
     Prefetch(st.ptr);
   }
 
-  StepStatus Step(State& st) {
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
     const BucketNode* node = st.ptr;
     for (uint32_t i = 0; i < node->count; ++i) {
       if (node->tuples[i].key == st.key) {
-        sink_.Emit(st.rid, node->tuples[i].payload);
+        emit(Tuple{node->tuples[i].payload, st.carry});
         if constexpr (kEarlyExit) return StepStatus::kDone;
       }
     }
@@ -58,7 +64,37 @@ class ProbeOp {
   }
 
  private:
-  const ChainedHashTable& table_;
+  const ChainedHashTable* table_;
+};
+
+template <bool kEarlyExit = true>
+ProbeStage<kEarlyExit> Probe(const ChainedHashTable& table) {
+  return ProbeStage<kEarlyExit>(table);
+}
+
+/// The same probe as an engine Operation: a thin adapter over ProbeStage
+/// carrying the probe input index, so matches reach a join sink as
+/// (rid, build payload).  One walk implementation serves both paths.
+template <bool kEarlyExit, typename Sink>
+class ProbeOp {
+ public:
+  using State = typename ProbeStage<kEarlyExit>::State;
+
+  ProbeOp(const ChainedHashTable& table, const Relation& probe, Sink& sink)
+      : stage_(table), probe_(probe), sink_(sink) {}
+
+  void Start(State& st, uint64_t idx) {
+    stage_.Start(st, Tuple{probe_[idx].key, static_cast<int64_t>(idx)});
+  }
+
+  StepStatus Step(State& st) {
+    return stage_.Step(st, [this](const Tuple& row) {
+      sink_.Emit(static_cast<uint64_t>(row.payload), row.key);
+    });
+  }
+
+ private:
+  ProbeStage<kEarlyExit> stage_;
   const Relation& probe_;
   Sink& sink_;
 };

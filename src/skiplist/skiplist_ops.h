@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/engine.h"
+#include "core/pipeline.h"
 #include "core/scheduler.h"
 #include "relation/relation.h"
 #include "skiplist/skiplist.h"
@@ -12,12 +13,20 @@
 
 namespace amac {
 
+/// Deprecated: all-in-one configuration for the legacy free functions.
+/// Migrate to Executor(ExecConfig).
 struct SkipListConfig {
   ExecPolicy policy = ExecPolicy::kAmac;
   uint32_t inflight = 10;  ///< M (AMAC slots / GP group / SPP window)
   uint32_t stages = 8;     ///< N for GP/SPP (search steps before bailout)
   uint32_t num_threads = 1;
   uint64_t seed = 7;
+
+  /// The execution half of this config, for constructing an Executor.
+  ExecConfig Exec() const {
+    return ExecConfig{policy, SchedulerParams{inflight, stages, 0},
+                      num_threads, 0};
+  }
 };
 
 struct SkipListStats {
@@ -33,12 +42,23 @@ struct SkipListStats {
   }
 };
 
-/// Probe `list` with every key of `probe`.
-SkipListStats RunSkipListSearch(const SkipList& list, const Relation& probe,
-                                const SkipListConfig& config);
+/// Probe `list` with every key of `probe` under the executor's policy
+/// (generic SkipSearchOp through the unified runtime; morsel-driven when
+/// the executor is multi-threaded).
+SkipListStats RunSkipListSearch(Executor& exec, const SkipList& list,
+                                const Relation& probe);
 
 /// Insert every tuple of `input` into `list` (which is typically empty:
-/// the paper's insert workload "builds a skip list from scratch").
+/// the paper's insert workload "builds a skip list from scratch") under
+/// the executor's policy.  Inserts carry large per-lookup splice state, so
+/// they run the hand-written kernels on the executor's thread team.
+SkipListStats RunSkipListInsert(Executor& exec, SkipList* list,
+                                const Relation& input, uint64_t seed = 7);
+
+/// Deprecated shims (one-PR migration window): forward to the Executor
+/// forms through a transient per-call Executor.
+SkipListStats RunSkipListSearch(const SkipList& list, const Relation& probe,
+                                const SkipListConfig& config);
 SkipListStats RunSkipListInsert(SkipList* list, const Relation& input,
                                 const SkipListConfig& config);
 
@@ -75,5 +95,36 @@ class SkipSearchOp {
   const Relation& probe_;
   Sink& sink_;
 };
+
+/// Pipeline stage (core/pipeline.h): skip list point lookup on the input
+/// row's key; a hit emits Tuple{input key, node payload}.
+class SkipLookupStage {
+ public:
+  struct State {
+    SkipCursor cursor;
+    int64_t key;
+  };
+
+  explicit SkipLookupStage(const SkipList& list) : list_(&list) {}
+
+  void Start(State& st, const Tuple& in) {
+    st.key = in.key;
+    st.cursor = SkipStartCursor(*list_);
+  }
+
+  template <typename EmitFn>
+  StepStatus Step(State& st, EmitFn&& emit) {
+    detail::KeyedEmitSink<EmitFn> sink{emit, st.key};
+    return SkipSearchStep(st.cursor, st.key, 0, sink) ? StepStatus::kDone
+                                                      : StepStatus::kParked;
+  }
+
+ private:
+  const SkipList* list_;
+};
+
+inline SkipLookupStage LookupSkipList(const SkipList& list) {
+  return SkipLookupStage(list);
+}
 
 }  // namespace amac

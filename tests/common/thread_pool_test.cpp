@@ -93,6 +93,62 @@ TEST(MorselCursorTest, ZeroTotalYieldsNothing) {
   EXPECT_FALSE(cursor.Next(&r));
 }
 
+TEST(ThreadPoolTest, RunsEveryThreadIdExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<uint32_t>> counts(4);
+  pool.Run([&](uint32_t tid) { counts[tid].fetch_add(1); });
+  for (uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(counts[t].load(), 1u) << "tid " << t;
+  }
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Run([&](uint32_t tid) {
+    EXPECT_EQ(tid, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, WorkersPersistAcrossRuns) {
+  ThreadPool pool(3);
+  auto collect = [&] {
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    pool.Run([&](uint32_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+    return ids;
+  };
+  const auto first = collect();
+  EXPECT_EQ(first.size(), 3u);
+  for (int rep = 0; rep < 10; ++rep) {
+    EXPECT_EQ(collect(), first) << "rep " << rep;
+  }
+}
+
+TEST(ThreadPoolTest, ManySequentialRunsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int rep = 0; rep < 200; ++rep) {
+    pool.Run([&](uint32_t tid) { total.fetch_add(tid + 1); });
+  }
+  EXPECT_EQ(total.load(), 200u * (1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  bool ran = false;
+  pool.Run([&](uint32_t) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
 TEST(MorselCursorTest, ConcurrentClaimsPartitionTheInput) {
   const uint64_t total = 1 << 18;
   MorselCursor cursor(total, 512);
