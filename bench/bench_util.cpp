@@ -37,47 +37,34 @@ PreparedJoin PrepareJoin(uint64_t r_size, uint64_t s_size, double zr,
   return prepared;
 }
 
-JoinStats MeasureProbe(Executor& exec, const PreparedJoin& prepared,
-                       bool early_exit, uint32_t reps) {
-  JoinStats best;
+RunStats MeasureProbe(Executor& exec, const PreparedJoin& prepared,
+                      bool early_exit, uint32_t reps) {
+  RunStats best;
   for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
-    JoinStats stats;
-    ProbePhase(exec, *prepared.table, prepared.s, early_exit, &stats);
-    if (rep == 0 || stats.probe_cycles < best.probe_cycles) best = stats;
+    const RunStats run =
+        ProbePhase(exec, *prepared.table, prepared.s, early_exit);
+    if (rep == 0 || run.cycles < best.cycles) best = run;
   }
   return best;
 }
 
-JoinStats MeasureJoin(Executor& exec, const PreparedJoin& prepared,
-                      const JoinOptions& options, uint32_t reps) {
-  JoinStats best;
+JoinResult MeasureJoin(Executor& exec, const PreparedJoin& prepared,
+                       const JoinOptions& options, uint32_t reps) {
+  JoinResult best;
   for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
     ChainedHashTable::Options table_options;
     table_options.target_nodes_per_bucket = options.target_nodes_per_bucket;
     table_options.hash_kind = options.hash_kind;
     ChainedHashTable table(prepared.r.size(), table_options);
-    JoinStats stats;
-    BuildPhase(exec, prepared.r, &table, &stats);
-    ProbePhase(exec, table, prepared.s, options.early_exit, &stats);
-    if (rep == 0 ||
-        stats.build_cycles + stats.probe_cycles <
-            best.build_cycles + best.probe_cycles) {
-      best = stats;
+    JoinResult result;
+    result.build = BuildPhase(exec, prepared.r, &table);
+    result.probe = ProbePhase(exec, table, prepared.s, options.early_exit);
+    if (rep == 0 || result.build.cycles + result.probe.cycles <
+                        best.build.cycles + best.probe.cycles) {
+      best = result;
     }
   }
   return best;
-}
-
-JoinStats MeasureProbe(const PreparedJoin& prepared, const JoinConfig& config,
-                       uint32_t reps) {
-  Executor exec(config.Exec());
-  return MeasureProbe(exec, prepared, config.early_exit, reps);
-}
-
-JoinStats MeasureJoin(const PreparedJoin& prepared, const JoinConfig& config,
-                      uint32_t reps) {
-  Executor exec(config.Exec());
-  return MeasureJoin(exec, prepared, config.Options(), reps);
 }
 
 std::string SkewLabel(double zr, double zs) {

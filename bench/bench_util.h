@@ -67,19 +67,13 @@ PreparedJoin PrepareJoin(uint64_t r_size, uint64_t s_size, double zr,
 /// Probe `prepared` on `exec`, `reps` times; returns the repetition with
 /// the fewest probe cycles.  The executor's persistent pool is reused
 /// across repetitions, so per-call thread spawn stays off the measurement.
-JoinStats MeasureProbe(Executor& exec, const PreparedJoin& prepared,
-                       bool early_exit, uint32_t reps);
+RunStats MeasureProbe(Executor& exec, const PreparedJoin& prepared,
+                      bool early_exit, uint32_t reps);
 
 /// Full build+probe measurement on `exec` (fresh table per repetition);
 /// returns the repetition with the fewest total cycles.
-JoinStats MeasureJoin(Executor& exec, const PreparedJoin& prepared,
-                      const JoinOptions& options, uint32_t reps);
-
-/// Deprecated shims (transient Executor per call).
-JoinStats MeasureProbe(const PreparedJoin& prepared, const JoinConfig& config,
-                       uint32_t reps);
-JoinStats MeasureJoin(const PreparedJoin& prepared, const JoinConfig& config,
-                      uint32_t reps);
+JoinResult MeasureJoin(Executor& exec, const PreparedJoin& prepared,
+                       const JoinOptions& options, uint32_t reps);
 
 /// "[ZR, ZS]" labels used by Figs. 5/7/8.
 std::string SkewLabel(double zr, double zs);

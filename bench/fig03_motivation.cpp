@@ -56,26 +56,21 @@ int Run(int argc, char** argv) {
 
   double norm = 0;
   for (ExecPolicy policy : kPaperPolicies) {
-    JoinConfig config;
-    config.policy = policy;
-    config.inflight = args.inflight;
-    config.stages = stages;
-    config.target_nodes_per_bucket = 4.0;
+    Executor exec(ExecConfig{policy, SchedulerParams{args.inflight, stages, 0},
+                             1, 0});
 
-    config.early_exit = false;  // uniform: traverse all nodes
-    config.hash_kind = HashKind::kRadix;
-    const JoinStats u = MeasureProbe(uniform, config, args.reps);
-    config.early_exit = true;   // non-uniform: early exit on unique match
-    const JoinStats nu = MeasureProbe(uniform, config, args.reps);
-    config.early_exit = true;  // skewed: first match; misses walk the chain
-    config.hash_kind = HashKind::kMurmur;
-    const JoinStats sk = MeasureProbe(skewed, config, args.reps);
+    // uniform: traverse all nodes (no early exit)
+    const RunStats u = MeasureProbe(exec, uniform, false, args.reps);
+    // non-uniform: early exit on unique match
+    const RunStats nu = MeasureProbe(exec, uniform, true, args.reps);
+    // skewed: first match; misses walk the chain
+    const RunStats sk = MeasureProbe(exec, skewed, true, args.reps);
 
-    if (policy == ExecPolicy::kSequential) norm = u.ProbeCyclesPerTuple();
+    if (policy == ExecPolicy::kSequential) norm = u.CyclesPerInput();
     table.AddRow({SeriesName(policy),
-                  TablePrinter::Fmt(u.ProbeCyclesPerTuple() / norm, 2),
-                  TablePrinter::Fmt(nu.ProbeCyclesPerTuple() / norm, 2),
-                  TablePrinter::Fmt(sk.ProbeCyclesPerTuple() / norm, 2)});
+                  TablePrinter::Fmt(u.CyclesPerInput() / norm, 2),
+                  TablePrinter::Fmt(nu.CyclesPerInput() / norm, 2),
+                  TablePrinter::Fmt(sk.CyclesPerInput() / norm, 2)});
   }
   table.Print();
   std::printf("expected shape: GP/SPP ~3-4x faster than Baseline on uniform "

@@ -32,22 +32,22 @@ void RunOne(const char* title, uint64_t r_size, uint64_t s_size,
     std::vector<std::string> probe_row{SkewLabel(zr, zs)};
     std::vector<std::string> total_row{SkewLabel(zr, zs)};
     for (ExecPolicy policy : kPaperPolicies) {
-      JoinConfig config;
-      config.policy = policy;
-      config.inflight = args.inflight;
-      config.stages = 1;  // NPO layout: ~1 chain node in the uniform case
+      // NPO layout: ~1 chain node in the uniform case (stages = 1).
+      Executor exec(ExecConfig{
+          policy, SchedulerParams{args.inflight, 1, 0}, 1, 0});
       // First-match semantics throughout, as in the paper's Listing 1
       // (out[idx] holds one result per probe tuple).
-      config.early_exit = true;
-      const JoinStats stats = MeasureJoin(prepared, config, args.reps);
+      const JoinResult result =
+          MeasureJoin(exec, prepared, JoinOptions{}, args.reps);
       const double out = static_cast<double>(
-          stats.matches ? stats.matches : stats.probe_tuples);
-      build_row.push_back(
-          TablePrinter::Fmt(static_cast<double>(stats.build_cycles) / out, 1));
-      probe_row.push_back(
-          TablePrinter::Fmt(static_cast<double>(stats.probe_cycles) / out, 1));
+          result.matches() ? result.matches() : result.probe.inputs);
+      build_row.push_back(TablePrinter::Fmt(
+          static_cast<double>(result.build.cycles) / out, 1));
+      probe_row.push_back(TablePrinter::Fmt(
+          static_cast<double>(result.probe.cycles) / out, 1));
       total_row.push_back(TablePrinter::Fmt(
-          static_cast<double>(stats.build_cycles + stats.probe_cycles) / out,
+          static_cast<double>(result.build.cycles + result.probe.cycles) /
+              out,
           1));
     }
     build_table.AddRow(build_row);

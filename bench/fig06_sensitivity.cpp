@@ -35,13 +35,11 @@ int Run(int argc, char** argv) {
     for (uint32_t m : kWindows) {
       std::vector<std::string> row{std::to_string(m)};
       for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
-        JoinConfig config;
-        config.policy = policy;
-        config.inflight = m;
-        config.stages = 1;
-        config.early_exit = true;  // first-match semantics (Listing 1)
-        const JoinStats stats = MeasureProbe(prepared, config, args.reps);
-        row.push_back(TablePrinter::Fmt(stats.ProbeCyclesPerTuple(), 1));
+        Executor exec(
+            ExecConfig{policy, SchedulerParams{m, 1, 0}, 1, 0});
+        // First-match semantics (Listing 1).
+        const RunStats run = MeasureProbe(exec, prepared, true, args.reps);
+        row.push_back(TablePrinter::Fmt(run.CyclesPerInput(), 1));
       }
       table.AddRow(row);
     }

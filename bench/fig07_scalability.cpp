@@ -60,9 +60,9 @@ void MeasuredSection(const BenchArgs& args) {
       std::vector<std::string> row{std::to_string(threads)};
       for (ExecPolicy policy : kPaperPolicies) {
         exec.set_policy(policy);
-        const JoinStats stats =
+        const RunStats run =
             MeasureProbe(exec, prepared, /*early_exit=*/true, args.reps);
-        row.push_back(TablePrinter::Fmt(stats.ProbeThroughput() / 1e6, 1));
+        row.push_back(TablePrinter::Fmt(run.Throughput() / 1e6, 1));
       }
       table.AddRow(row);
     }

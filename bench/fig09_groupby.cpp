@@ -35,14 +35,14 @@ void RunOne(const char* title, uint64_t tuples, const BenchArgs& args) {
     uint64_t groups = 0;
     for (ExecPolicy policy : kPaperPolicies) {
       exec.set_policy(policy);
-      GroupByStats best;
+      RunStats best;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {
         AggregateTable agg(tuples / 3 * 2, AggregateTable::Options{});
-        const GroupByStats stats = RunGroupBy(exec, input, &agg);
-        if (rep == 0 || stats.cycles < best.cycles) best = stats;
+        const RunStats run = RunGroupBy(exec, input, &agg);
+        if (rep == 0 || run.cycles < best.cycles) best = run;
       }
-      groups = best.groups;
-      row.push_back(TablePrinter::Fmt(best.CyclesPerTuple(), 1));
+      groups = best.outputs;
+      row.push_back(TablePrinter::Fmt(best.CyclesPerInput(), 1));
     }
     row.push_back(TablePrinter::Fmt(groups));
     table.AddRow(row);

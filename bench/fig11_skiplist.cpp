@@ -56,24 +56,25 @@ int Run(int argc, char** argv) {
                              0});
     for (ExecPolicy policy : kPaperPolicies) {
       exec.set_policy(policy);
-      SkipListStats best;
+      RunStats best;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {
-        const SkipListStats stats = RunSkipListSearch(exec, list, probe);
-        if (rep == 0 || stats.cycles < best.cycles) best = stats;
+        const RunStats run = RunSkipListSearch(exec, list, probe);
+        if (rep == 0 || run.cycles < best.cycles) best = run;
       }
-      search_row.push_back(TablePrinter::Fmt(best.CyclesPerTuple(), 1));
+      search_row.push_back(TablePrinter::Fmt(best.CyclesPerInput(), 1));
 
       // Insert: build a fresh list from scratch per measurement.
-      SkipListStats best_insert;
+      RunStats best_insert;
       for (uint32_t rep = 0; rep < args.reps; ++rep) {
         SkipList fresh(n);
-        const SkipListStats stats =
+        const RunStats run =
             RunSkipListInsert(exec, &fresh, rel, /*seed=*/100 + rep);
-        if (rep == 0 || stats.cycles < best_insert.cycles) {
-          best_insert = stats;
+        if (rep == 0 || run.cycles < best_insert.cycles) {
+          best_insert = run;
         }
       }
-      insert_row.push_back(TablePrinter::Fmt(best_insert.CyclesPerTuple(), 1));
+      insert_row.push_back(
+          TablePrinter::Fmt(best_insert.CyclesPerInput(), 1));
     }
     search_table.AddRow(search_row);
     insert_table.AddRow(insert_row);

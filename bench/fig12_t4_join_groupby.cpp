@@ -29,10 +29,18 @@
 namespace amac::bench {
 namespace {
 
+/// One measured fused-vs-two-phase point, for the optional JSON artifact.
+struct FusedPoint {
+  const char* policy;
+  double fused_tps = 0;
+  double two_phase_tps = 0;
+};
+
 /// Fused vs two-phase join+group-by, measured on this machine.  Returns
 /// false when the plans disagree or the fused plan reports zero
-/// throughput.
-bool FusedSection(const BenchArgs& args, uint32_t threads) {
+/// throughput.  Fills `points` (one per policy) when non-null.
+bool FusedSection(const BenchArgs& args, uint32_t threads,
+                  std::vector<FusedPoint>* points) {
   const PreparedJoin prepared =
       PrepareJoin(args.scale, args.scale, 0, 0, 67);
   const Relation& s = prepared.s;
@@ -112,6 +120,9 @@ bool FusedSection(const BenchArgs& args, uint32_t threads) {
          TablePrinter::Fmt(two_phase_tps / 1e6, 2),
          TablePrinter::Fmt(
              two_phase_tps > 0 ? fused_tps / two_phase_tps : 0, 2)});
+    if (points != nullptr) {
+      points->push_back({SeriesName(policy), fused_tps, two_phase_tps});
+    }
 
     if (fused_checksum != two_phase_checksum ||
         fused_groups != two_phase_groups) {
@@ -152,12 +163,41 @@ void SimRow(TablePrinter* table, const std::string& label,
   table->AddRow(row);
 }
 
+/// Write the measured fused-section series as a machine-readable JSON
+/// artifact (CI's perf trajectory: BENCH_fig12.json).
+bool WriteJson(const std::string& path, uint64_t scale, uint32_t threads,
+               const std::vector<FusedPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig12_fused_join_groupby\",\n"
+               "  \"scale\": %llu,\n  \"threads\": %u,\n  \"series\": [\n",
+               static_cast<unsigned long long>(scale), threads);
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"fused_tuples_per_sec\": %.0f, "
+                 "\"two_phase_tuples_per_sec\": %.0f}%s\n",
+                 points[i].policy, points[i].fused_tps,
+                 points[i].two_phase_tps,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 int Run(int argc, char** argv) {
   BenchArgs args;
   args.flags.DefineBool("quick", false,
                         "CI smoke mode: small scale, fused section only");
   args.flags.DefineInt("threads", 1,
                        "threads for the measured fused section");
+  args.flags.DefineString("json", "",
+                          "write the fused-section throughput series as "
+                          "JSON to this path");
   args.Define(/*default_scale_log2=*/18);
   args.Parse(argc, argv);
   const bool quick = args.flags.GetBool("quick");
@@ -176,7 +216,12 @@ int Run(int argc, char** argv) {
                       "at 2^" +
                           std::to_string(args.flags.GetInt("scale_log2")));
 
-  const bool fused_ok = FusedSection(args, threads);
+  std::vector<FusedPoint> points;
+  bool fused_ok = FusedSection(args, threads, &points);
+  const std::string json_path = args.flags.GetString("json");
+  if (!json_path.empty()) {
+    fused_ok = WriteJson(json_path, args.scale, threads, points) && fused_ok;
+  }
   if (quick) return fused_ok ? 0 : 1;
 
   // (a) Hash join probe.
@@ -209,9 +254,9 @@ int Run(int argc, char** argv) {
             ? MakeGroupByInput(tuples / 3, 3, 41)
             : MakeZipfRelation(tuples, tuples / 3, theta, 42);
     AggregateTable agg(tuples / 3 * 2, AggregateTable::Options{});
-    GroupByConfig config;
-    config.policy = ExecPolicy::kSequential;
-    RunGroupBy(input, config, &agg);
+    Executor trace_exec(
+        ExecConfig{ExecPolicy::kSequential, SchedulerParams{}, 1, 0});
+    RunGroupBy(trace_exec, input, &agg);
     const auto lengths = memsim::CollectGroupByWalkLengths(agg, input);
     SimRow(&gb, theta == 0.0 ? "uniform"
                              : "Zipf(" + TablePrinter::Fmt(theta, 1) + ")",

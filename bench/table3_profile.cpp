@@ -55,31 +55,28 @@ int Run(int argc, char** argv) {
   std::vector<std::string> instr_row{"Instructions per Tuple"};
   std::vector<std::string> cycle_row{"Cycles per Tuple"};
   for (ExecPolicy policy : kPaperPolicies) {
-    JoinConfig config;
-    config.policy = policy;
-    config.inflight = args.inflight;
-    config.stages = 1;
-    config.early_exit = true;
+    Executor exec(ExecConfig{
+        policy, SchedulerParams{args.inflight, 1, 0}, 1, 0});
 
     double instr_per_tuple = 0;
-    JoinStats best;
+    RunStats best;
     for (uint32_t rep = 0; rep < args.reps; ++rep) {
       counters.Start();
-      JoinStats stats;
-      ProbePhase(*prepared.table, prepared.s, config, &stats);
+      const RunStats run =
+          ProbePhase(exec, *prepared.table, prepared.s, /*early_exit=*/true);
       const PerfCounters::Sample sample = counters.Stop();
-      if (rep == 0 || stats.probe_cycles < best.probe_cycles) {
-        best = stats;
+      if (rep == 0 || run.cycles < best.cycles) {
+        best = run;
         instr_per_tuple =
             sample.valid
                 ? static_cast<double>(sample.instructions) /
-                      static_cast<double>(stats.probe_tuples)
+                      static_cast<double>(run.inputs)
                 : EstimatedInstrPerTuple(policy);
       }
     }
     instr_row.push_back(TablePrinter::Fmt(instr_per_tuple, 0) +
                         (counters.available() ? "" : " (est.)"));
-    cycle_row.push_back(TablePrinter::Fmt(best.ProbeCyclesPerTuple(), 1));
+    cycle_row.push_back(TablePrinter::Fmt(best.CyclesPerInput(), 1));
   }
   table.AddRow(instr_row);
   table.AddRow(cycle_row);

@@ -26,21 +26,21 @@ int main(int argc, char** argv) {
       SchedulerParams{static_cast<uint32_t>(flags.GetInt("inflight")), 8, 0},
       static_cast<uint32_t>(flags.GetInt("threads")), 0});
 
-  const SkipListStats insert_stats = RunSkipListInsert(exec, &list, input);
+  const RunStats insert_stats = RunSkipListInsert(exec, &list, input);
   const SkipList::Stats shape = list.ComputeStats();
   std::printf("inserted %llu elements on %u threads in %.3fs "
               "(avg tower height %.2f, slab %.1f MB)\n",
-              static_cast<unsigned long long>(insert_stats.matches),
+              static_cast<unsigned long long>(insert_stats.outputs),
               exec.num_threads(), insert_stats.seconds, shape.avg_height,
               static_cast<double>(shape.slab_bytes_used) / (1 << 20));
 
   const Relation probe = MakeForeignKeyRelation(n, n, 8);
-  const SkipListStats search_stats = RunSkipListSearch(exec, list, probe);
+  const RunStats search_stats = RunSkipListSearch(exec, list, probe);
   std::printf("searched %llu keys: %llu matches, %.1f cycles/lookup\n",
-              static_cast<unsigned long long>(search_stats.tuples),
-              static_cast<unsigned long long>(search_stats.matches),
-              search_stats.CyclesPerTuple());
-  if (search_stats.matches != n) {
+              static_cast<unsigned long long>(search_stats.inputs),
+              static_cast<unsigned long long>(search_stats.outputs),
+              search_stats.CyclesPerInput());
+  if (search_stats.outputs != n) {
     std::fprintf(stderr, "expected every key to match!\n");
     return 1;
   }

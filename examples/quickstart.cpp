@@ -28,19 +28,18 @@ int main() {
                            /*num_threads=*/4, /*morsel_size=*/0});
 
   // A classic join through the executor.
-  const JoinStats stats = RunHashJoin(exec, r, s);
+  const JoinResult result = RunHashJoin(exec, r, s);
   std::printf("joined %llu x %llu tuples -> %llu matches\n",
-              static_cast<unsigned long long>(stats.build_tuples),
-              static_cast<unsigned long long>(stats.probe_tuples),
-              static_cast<unsigned long long>(stats.matches));
+              static_cast<unsigned long long>(result.build.inputs),
+              static_cast<unsigned long long>(result.probe.inputs),
+              static_cast<unsigned long long>(result.matches()));
   std::printf("build: %.1f cycles/tuple, probe: %.1f cycles/tuple\n",
-              stats.BuildCyclesPerTuple(), stats.ProbeCyclesPerTuple());
+              result.BuildCyclesPerTuple(), result.ProbeCyclesPerTuple());
 
   // The same probe fused into a group-by: one pipeline, no materialized
   // intermediate — a probe hit flows directly into the aggregation insert.
   ChainedHashTable table(n, ChainedHashTable::Options{});
-  JoinStats build_stats;
-  BuildPhase(exec, r, &table, &build_stats);
+  BuildPhase(exec, r, &table);
   AggregateTable agg(n + 1, AggregateTable::Options{});
   const RunStats fused =
       exec.Run(Scan(s).Then(Probe<true>(table)).Then(Aggregate(agg)));
@@ -50,9 +49,9 @@ int main() {
 
   // Compare with the no-prefetch baseline (same executor, same pool).
   exec.set_policy(ExecPolicy::kSequential);
-  const JoinStats base = RunHashJoin(exec, r, s);
+  const JoinResult base = RunHashJoin(exec, r, s);
   std::printf("baseline probe: %.1f cycles/tuple (AMAC speedup: %.2fx)\n",
               base.ProbeCyclesPerTuple(),
-              base.ProbeCyclesPerTuple() / stats.ProbeCyclesPerTuple());
+              base.ProbeCyclesPerTuple() / result.ProbeCyclesPerTuple());
   return 0;
 }

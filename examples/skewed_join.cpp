@@ -45,14 +45,13 @@ int main(int argc, char** argv) {
       1, 0});
   for (ExecPolicy policy : kAllExecPolicies) {
     exec.set_policy(policy);
-    JoinStats stats;
-    ProbePhase(exec, table, s, /*early_exit=*/true, &stats);
+    const RunStats run = ProbePhase(exec, table, s, /*early_exit=*/true);
     if (policy == ExecPolicy::kSequential) {
-      baseline_cycles = stats.ProbeCyclesPerTuple();
+      baseline_cycles = run.CyclesPerInput();
     }
     std::printf("%-10s %14.1f %13.2fx\n", ExecPolicyName(policy),
-                stats.ProbeCyclesPerTuple(),
-                baseline_cycles / stats.ProbeCyclesPerTuple());
+                run.CyclesPerInput(),
+                baseline_cycles / run.CyclesPerInput());
   }
   return 0;
 }

@@ -37,18 +37,30 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::WorkerLoop(uint32_t tid) {
   uint64_t seen = 0;
   for (;;) {
-    const std::function<void(uint32_t)>* fn;
+    const std::function<void(uint32_t)>* fn = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen || !tasks_.empty();
+      });
       if (stop_) return;
-      seen = generation_;
-      fn = fn_;
+      if (generation_ != seen) {
+        // Fork-join generations take precedence: a Run() caller is blocked
+        // synchronously while queued tasks have asynchronous waiters.
+        seen = generation_;
+        fn = fn_;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
-    (*fn)(tid);
-    {
+    if (fn != nullptr) {
+      (*fn)(tid);
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
+    } else {
+      task();
     }
   }
 }
@@ -68,6 +80,31 @@ void ThreadPool::Run(const std::function<void(uint32_t)>& fn) {
   fn(0);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  task();
+  return true;
+}
+
+uint64_t ThreadPool::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
 }
 
 Range PartitionRange(uint64_t total, uint32_t parts, uint32_t index) {

@@ -1,15 +1,17 @@
-// Minimal fork-join helper used by multi-threaded build/probe phases.
+// Thread team primitives: per-call fork-join (ParallelFor), a persistent
+// fork-join team with a task queue (ThreadPool), and the morsel cursor.
 //
 // Benchmarks need "run this closure on T threads, each knowing its id, and
-// join" — nothing more.  Threads are spawned per call; the scalability
-// benches time only the region between barrier waits inside the closure, so
-// spawn cost is off the measured path.
+// join"; the serving layer additionally needs "run these queued tasks on
+// whichever worker is free" so morsels from different queries can
+// interleave on one shared team.  Both modes share ThreadPool's workers.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,16 +25,25 @@ namespace amac {
 void ParallelFor(uint32_t num_threads,
                  const std::function<void(uint32_t)>& fn);
 
-/// Persistent fork-join thread team: `size() - 1` workers are spawned once
-/// and parked on a condition variable; every Run() reuses them, so the
-/// per-call std::thread spawn/join cost of ParallelFor (hundreds of
-/// microseconds for a wide team) is paid once per pool instead of once per
-/// phase.  The core Executor owns one of these across Run() calls.
+/// Persistent thread team: `size() - 1` workers are spawned once and parked
+/// on a condition variable; every Run() reuses them, so the per-call
+/// std::thread spawn/join cost of ParallelFor (hundreds of microseconds for
+/// a wide team) is paid once per pool instead of once per phase.  The core
+/// Executor owns one of these across Run() calls.
 ///
 /// Thread id 0 is the calling thread — a pool of size 1 runs entirely
 /// inline, keeping the single-threaded path identical to a plain call.
 /// Run() is fork-join (returns after every thread finished) and is NOT
 /// reentrant: calling Run() from inside a pool closure deadlocks.
+///
+/// Beyond fork-join, the same workers drain a FIFO *task queue*
+/// (Submit/TryRunTask): the serving layer (server/query_scheduler.h)
+/// enqueues one task per in-flight morsel so lookups from different
+/// queries interleave on one shared team, and any thread — worker or a
+/// client blocked in Wait() — can help drain the queue.  Fork-join Run()
+/// and queued tasks may coexist: a worker finishes its current task before
+/// joining a fork-join generation.  Do not call Run() while tasks that
+/// take long are queued if the closure uses spin barriers.
 class ThreadPool {
  public:
   explicit ThreadPool(uint32_t num_threads);
@@ -47,17 +58,32 @@ class ThreadPool {
   /// caller.  Returns once all threads completed the closure.
   void Run(const std::function<void(uint32_t)>& fn);
 
+  /// Enqueue a task for any free worker.  Tasks run in FIFO order (the
+  /// interleaving discipline: a resubmitted morsel task goes to the back,
+  /// so concurrent queries round-robin).  With size() == 1 there are no
+  /// workers; tasks only run when some thread calls TryRunTask().
+  void Submit(std::function<void()> task);
+
+  /// Pop and run one queued task on the calling thread; false when the
+  /// queue was empty.  Lets client threads blocked on a result help drain
+  /// the queue instead of idling (work-conserving Wait()).
+  bool TryRunTask();
+
+  /// Tasks currently queued (racy snapshot; observability only).
+  uint64_t queued_tasks() const;
+
  private:
   void WorkerLoop(uint32_t tid);
 
   const uint32_t num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(uint32_t)>* fn_ = nullptr;  ///< guarded by mu_
   uint64_t generation_ = 0;                            ///< guarded by mu_
   uint32_t pending_ = 0;                               ///< guarded by mu_
+  std::deque<std::function<void()>> tasks_;            ///< guarded by mu_
   bool stop_ = false;                                  ///< guarded by mu_
 };
 

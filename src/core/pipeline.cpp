@@ -5,10 +5,13 @@
 namespace amac {
 
 Executor::Executor(const ExecConfig& config)
-    : config_(config), pool_(std::max(1u, config.num_threads)) {
+    : config_(config),
+      scheduler_(QuerySchedulerOptions{
+          std::max(1u, config.num_threads), /*max_inflight_queries=*/1,
+          AdmissionOrder::kFifo}) {
   // A zero-thread request degrades to a single-threaded executor; keep the
   // recorded config consistent with the team that actually exists.
-  config_.num_threads = pool_.size();
+  config_.num_threads = scheduler_.num_workers();
 }
 
 }  // namespace amac

@@ -51,42 +51,12 @@
 #include "common/prefetch.h"
 #include "common/thread_pool.h"
 #include "core/parallel_driver.h"
+#include "core/run_stats.h"
 #include "core/scheduler.h"
 #include "relation/relation.h"
+#include "server/query_scheduler.h"
 
 namespace amac {
-
-// ---------------------------------------------------------------------------
-// Unified run statistics
-// ---------------------------------------------------------------------------
-
-/// The one result type every Executor::Run returns, subsuming the
-/// per-operator stats structs (JoinStats / GroupByStats /
-/// ParallelDriverStats), which remain as deprecated shims for one PR.
-/// All rate accessors return 0 (not NaN/inf) on empty runs.
-struct RunStats {
-  EngineStats engine;     ///< scheduling counters, merged across threads
-  uint64_t inputs = 0;    ///< rows entering the pipeline's source
-  uint64_t outputs = 0;   ///< rows the terminal stage emitted into the sink
-                          ///< (0 for aggregating terminals: read the table)
-  uint64_t checksum = 0;  ///< order-independent checksum of emitted rows
-  uint64_t morsels = 0;   ///< morsels claimed (0 on the 1-thread path)
-  uint32_t threads = 0;
-  uint64_t cycles = 0;    ///< barrier-to-barrier, max across threads
-  double seconds = 0;     ///< wall time of the same region
-  /// Wall time of the whole Run() call including team dispatch; minus
-  /// `seconds` this is the per-call team cost, ~0 on the persistent pool.
-  double dispatch_seconds = 0;
-
-  double CyclesPerInput() const {
-    return inputs ? static_cast<double>(cycles) / static_cast<double>(inputs)
-                  : 0;
-  }
-  /// Inputs per second over the measured region (paper Fig. 7/8 style).
-  double Throughput() const {
-    return seconds > 0 ? static_cast<double>(inputs) / seconds : 0;
-  }
-};
 
 /// Terminal sink for fused pipelines: counts emitted rows and folds them
 /// into an order-independent checksum (the same mixing discipline as
@@ -409,12 +379,15 @@ struct ExecConfig {
   uint64_t morsel_size = 0;
 };
 
-/// Owns the thread team and the execution policy; every workload — fused
-/// pipeline or single operation — enters the runtime through Run() and
-/// comes back as one RunStats.  The ThreadPool persists across Run() calls,
-/// so repeated phases (bench reps, query sequences) pay thread spawn once.
-/// Policy and tuning can be changed between runs; the team size is fixed at
-/// construction.
+/// Owns the execution policy and a private QueryScheduler, of which it is
+/// the trivial one-query client: every workload — fused pipeline or single
+/// operation — enters the runtime through Run(), which submits one query
+/// and waits for it, coming back as one RunStats.  The scheduler's
+/// ThreadPool persists across Run() calls, so repeated phases (bench reps,
+/// query sequences) pay thread spawn once.  Policy and tuning can be
+/// changed between runs; the team size is fixed at construction.  To run
+/// MANY queries concurrently on one team, use a QueryScheduler directly
+/// (server/query_scheduler.h) instead of many executors.
 class Executor {
  public:
   explicit Executor(const ExecConfig& config);
@@ -422,7 +395,8 @@ class Executor {
   const ExecConfig& config() const { return config_; }
   ExecPolicy policy() const { return config_.policy; }
   uint32_t num_threads() const { return config_.num_threads; }
-  ThreadPool& pool() { return pool_; }
+  ThreadPool& pool() { return scheduler_.pool(); }
+  QueryScheduler& scheduler() { return scheduler_; }
 
   void set_policy(ExecPolicy policy) { config_.policy = policy; }
   void set_params(const SchedulerParams& params) { config_.params = params; }
@@ -455,11 +429,15 @@ class Executor {
   /// Single-threaded executors run ONE engine over the whole range (no
   /// morselization), so engine counters — including GP/SPP window noops —
   /// equal the free Run(policy, params, op, n) path exactly.
+  /// Multi-threaded executors submit the run as one scheduler query
+  /// (morsel tasks on the persistent pool) and wait for it; `make_op` is
+  /// called lazily with slot ids < num_threads(), one live morsel per
+  /// slot, so the per-thread-sink discipline is unchanged.
   template <typename OpFactory>
   RunStats RunOp(uint64_t num_inputs, OpFactory&& make_op) {
-    RunStats stats;
-    stats.inputs = num_inputs;
     if (config_.num_threads <= 1) {
+      RunStats stats;
+      stats.inputs = num_inputs;
       WallTimer dispatch;
       auto op = make_op(0);
       WallTimer wall;
@@ -470,27 +448,57 @@ class Executor {
       stats.seconds = wall.ElapsedSeconds();
       stats.dispatch_seconds = dispatch.ElapsedSeconds();
       stats.threads = 1;
-    } else {
-      ParallelDriverConfig driver;
-      driver.policy = config_.policy;
-      driver.params = config_.params;
-      driver.num_threads = config_.num_threads;
-      driver.morsel_size = config_.morsel_size;
-      const ParallelDriverStats driven = RunParallel(
-          pool_, driver, num_inputs, std::forward<OpFactory>(make_op));
-      stats.engine = driven.engine;
-      stats.morsels = driven.morsels;
-      stats.threads = driven.threads;
-      stats.cycles = driven.cycles;
-      stats.seconds = driven.seconds;
-      stats.dispatch_seconds = driven.dispatch_seconds;
+      return stats;
     }
-    return stats;
+    QueryOptions query;
+    query.policy = config_.policy;
+    query.params = config_.params;
+    query.morsel_size = config_.morsel_size;
+    const QueryTicket ticket = scheduler_.SubmitOp(
+        num_inputs, std::forward<OpFactory>(make_op), query);
+    return scheduler_.Wait(ticket).run;
   }
 
  private:
   ExecConfig config_;
-  ThreadPool pool_;
+  QueryScheduler scheduler_;
 };
+
+// ---------------------------------------------------------------------------
+// Pipelines as scheduler queries
+// ---------------------------------------------------------------------------
+
+/// Submit a fused pipeline to a QueryScheduler as one concurrent query:
+/// one FusedOp + RowSink per execution slot, folded into the RunStats
+/// (outputs/checksum) when the last morsel drains.  The pipeline is copied
+/// into the query (value semantics; stages point at shared structures that
+/// must outlive the query).
+template <typename Source, typename... Stages>
+QueryTicket Submit(QueryScheduler& scheduler,
+                   const Pipeline<Source, Stages...>& pipeline,
+                   const QueryOptions& options = {}) {
+  auto sinks =
+      std::make_shared<std::vector<RowSink>>(scheduler.SlotCount(options));
+  return scheduler.SubmitOp(
+      pipeline.size(),
+      [sinks, pipeline](uint32_t slot) {
+        return pipeline.Compile((*sinks)[slot]);
+      },
+      options, [sinks](RunStats* run) {
+        RowSink total;
+        for (const RowSink& sink : *sinks) total.Merge(sink);
+        run->outputs = total.rows();
+        run->checksum = total.checksum();
+      });
+}
+
+/// Submit a wrapped single-operation pipeline (FromOp) as a concurrent
+/// query.  The factory's sinks must be sized for scheduler.SlotCount.
+template <typename OpFactory>
+QueryTicket Submit(QueryScheduler& scheduler,
+                   const OpPipeline<OpFactory>& pipeline,
+                   const QueryOptions& options = {}) {
+  return scheduler.SubmitOp(pipeline.size(), pipeline.factory(), options);
+}
 
 }  // namespace amac

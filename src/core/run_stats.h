@@ -1,0 +1,46 @@
+// The unified result type of every runtime entry point.
+//
+// RunStats is what an Executor::Run call — and, since the serving layer, a
+// QueryScheduler query — comes back as: engine scheduling counters merged
+// across threads/morsels plus row accounting and timing.  It lives in its
+// own header (below core/pipeline.h, above core/engine.h) so the server
+// layer can return it without pulling in the pipeline machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+
+namespace amac {
+
+/// The one result type every Executor::Run returns, subsuming the historic
+/// per-operator stats structs (the PR-3 JoinStats / GroupByStats /
+/// SkipListStats shims, now removed).  All rate accessors return 0 (not
+/// NaN/inf) on empty runs.
+struct RunStats {
+  EngineStats engine;     ///< scheduling counters, merged across threads
+  uint64_t inputs = 0;    ///< rows entering the pipeline's source
+  uint64_t outputs = 0;   ///< rows the terminal stage emitted into the sink
+                          ///< (for aggregating terminals: the group count)
+  uint64_t checksum = 0;  ///< order-independent checksum of emitted rows
+  uint64_t morsels = 0;   ///< morsels claimed (0 on the 1-thread path)
+  uint32_t threads = 0;
+  uint64_t cycles = 0;    ///< execution span (see seconds), in TSC ticks
+  /// Wall time of the measured execution region: barrier-to-barrier on the
+  /// fork-join path, first-morsel-to-completion on the scheduler path.
+  double seconds = 0;
+  /// Wall time of the whole run including team dispatch (fork-join path) or
+  /// submit-to-completion latency (scheduler path); always >= `seconds`.
+  double dispatch_seconds = 0;
+
+  double CyclesPerInput() const {
+    return inputs ? static_cast<double>(cycles) / static_cast<double>(inputs)
+                  : 0;
+  }
+  /// Inputs per second over the measured region (paper Fig. 7/8 style).
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(inputs) / seconds : 0;
+  }
+};
+
+}  // namespace amac

@@ -8,15 +8,16 @@
 
 namespace amac {
 
-GroupByStats RunGroupBy(Executor& exec, const Relation& input,
-                        AggregateTable* table) {
-  GroupByStats stats;
-  stats.input_tuples = input.size();
+RunStats RunGroupBy(Executor& exec, const Relation& input,
+                    AggregateTable* table) {
+  RunStats run;
   const uint32_t threads = exec.num_threads();
   if (exec.policy() == ExecPolicy::kSequential) {
     // The paper's Baseline is the plain no-prefetch aggregation loop; keep
     // the hand kernel (as the skiplist/BST drivers do) so fig09's speedup
     // ratios stay anchored to the no-prefetch chase.
+    run.inputs = input.size();
+    run.threads = std::max(1u, threads);
     WallTimer wall;
     CycleTimer cycles;
     if (threads <= 1) {
@@ -30,41 +31,23 @@ GroupByStats RunGroupBy(Executor& exec, const Relation& input,
         barrier.Wait();
       });
     }
-    stats.cycles = cycles.Elapsed();
-    stats.seconds = wall.ElapsedSeconds();
+    run.cycles = cycles.Elapsed();
+    run.seconds = wall.ElapsedSeconds();
+    run.dispatch_seconds = run.seconds;
+  } else if (threads <= 1) {
+    // Unsynchronized latches on the single-threaded path, as the hand
+    // kernels used.
+    run = exec.Run(FromOp(input.size(), [&](uint32_t) {
+      return GroupByOp<false>(*table, input);
+    }));
   } else {
-    RunStats run;
-    if (threads <= 1) {
-      // Unsynchronized latches on the single-threaded path, as the hand
-      // kernels used.
-      run = exec.Run(FromOp(input.size(), [&](uint32_t) {
-        return GroupByOp<false>(*table, input);
-      }));
-    } else {
-      run = exec.Run(FromOp(input.size(), [&](uint32_t) {
-        return GroupByOp<true>(*table, input);
-      }));
-    }
-    stats.cycles = run.cycles;
-    stats.seconds = run.seconds;
+    run = exec.Run(FromOp(input.size(), [&](uint32_t) {
+      return GroupByOp<true>(*table, input);
+    }));
   }
-  stats.groups = table->CountGroups();
-  stats.checksum = table->Checksum();
-  return stats;
-}
-
-GroupByStats RunGroupBy(const Relation& input, const GroupByConfig& config,
-                        AggregateTable* table) {
-  Executor exec(config.Exec());
-  return RunGroupBy(exec, input, table);
-}
-
-GroupByStats RunGroupBy(const Relation& input, uint64_t expected_groups,
-                        const GroupByConfig& config) {
-  AggregateTable::Options options;
-  options.hash_kind = config.hash_kind;
-  AggregateTable table(expected_groups, options);
-  return RunGroupBy(input, config, &table);
+  run.outputs = table->CountGroups();
+  run.checksum = table->Checksum();
+  return run;
 }
 
 }  // namespace amac

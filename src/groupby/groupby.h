@@ -1,12 +1,11 @@
 // Group-by driver: aggregates an input relation into an AggregateTable
 // through the unified runtime, single- or multi-threaded.
 //
-// The primary entry points take an `Executor` (core/pipeline.h) and drive
-// the generic GroupByOp stage machine (morsel-driven when multi-threaded);
-// the hand-written kernels in groupby_kernels.h remain for the ablation
-// bench and kernel tests.  The `GroupByConfig` free functions are
-// deprecated shims for this PR's migration window (transient Executor per
-// call).
+// The entry point takes an `Executor` (core/pipeline.h) and drives the
+// generic GroupByOp stage machine (morsel-driven when multi-threaded); the
+// hand-written kernels in groupby_kernels.h remain for the ablation bench
+// and kernel tests.  The PR-3 GroupByConfig/GroupByStats shims are gone;
+// the result is the runtime's unified RunStats.
 #pragma once
 
 #include <cstdint>
@@ -18,45 +17,11 @@
 
 namespace amac {
 
-/// Deprecated: all-in-one configuration for the legacy free functions.
-/// Migrate to Executor(ExecConfig); hash_kind moves to the table options.
-struct GroupByConfig {
-  ExecPolicy policy = ExecPolicy::kAmac;
-  uint32_t inflight = 10;  ///< M: AMAC slots / GP group / SPP distance
-  uint32_t num_threads = 1;
-  HashKind hash_kind = HashKind::kMurmur;
-
-  /// The execution half of this config, for constructing an Executor.
-  ExecConfig Exec() const {
-    return ExecConfig{policy, SchedulerParams{inflight, 1, 0}, num_threads,
-                      0};
-  }
-};
-
-struct GroupByStats {
-  uint64_t input_tuples = 0;
-  uint64_t groups = 0;
-  uint64_t checksum = 0;
-  uint64_t cycles = 0;
-  double seconds = 0;
-
-  double CyclesPerTuple() const {
-    return input_tuples ? static_cast<double>(cycles) /
-                              static_cast<double>(input_tuples)
-                        : 0;
-  }
-};
-
 /// Aggregate `input` into `table` (which must be empty and sized for the
-/// expected number of groups) under the executor's policy.
-GroupByStats RunGroupBy(Executor& exec, const Relation& input,
-                        AggregateTable* table);
-
-/// Deprecated shims (one-PR migration window): forward to the Executor
-/// form through a transient per-call Executor.
-GroupByStats RunGroupBy(const Relation& input, const GroupByConfig& config,
-                        AggregateTable* table);
-GroupByStats RunGroupBy(const Relation& input, uint64_t expected_groups,
-                        const GroupByConfig& config);
+/// expected number of groups) under the executor's policy.  The returned
+/// RunStats carry inputs = |input|, outputs = resulting group count, and
+/// checksum = the table's order-independent checksum.
+RunStats RunGroupBy(Executor& exec, const Relation& input,
+                    AggregateTable* table);
 
 }  // namespace amac

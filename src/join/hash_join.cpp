@@ -33,8 +33,8 @@ inline uint32_t BucketOwner(uint64_t bucket_index, uint64_t num_buckets,
 /// Per-bucket insertion order equals the sequential build's (R order), so
 /// chain contents are bit-identical for any thread count and policy — the
 /// property the differential tests pin.
-void BuildParallel(Executor& exec, const Relation& r, uint32_t threads,
-                   ChainedHashTable* table, JoinStats* stats) {
+RunStats BuildParallel(Executor& exec, const Relation& r, uint32_t threads,
+                       ChainedHashTable* table) {
   const ExecConfig& config = exec.config();
   const uint64_t num_buckets = table->num_buckets();
   std::vector<std::vector<std::vector<uint64_t>>> cells(
@@ -74,34 +74,33 @@ void BuildParallel(Executor& exec, const Relation& r, uint32_t threads,
     elapsed[tid] = timer.Elapsed();
     elapsed_seconds[tid] = wall.ElapsedSeconds();
   });
+  RunStats run;
+  run.inputs = r.size();
+  run.threads = threads;
   for (uint32_t t = 0; t < threads; ++t) {
-    stats->build_engine.Merge(per_thread[t]);
-    stats->build_cycles = std::max(stats->build_cycles, elapsed[t]);
-    stats->build_seconds = std::max(stats->build_seconds, elapsed_seconds[t]);
+    run.engine.Merge(per_thread[t]);
+    run.cycles = std::max(run.cycles, elapsed[t]);
+    run.seconds = std::max(run.seconds, elapsed_seconds[t]);
   }
+  run.dispatch_seconds = run.seconds;
+  return run;
 }
 
 }  // namespace
 
-void BuildPhase(Executor& exec, const Relation& r, ChainedHashTable* table,
-                JoinStats* stats) {
-  stats->build_tuples = r.size();
+RunStats BuildPhase(Executor& exec, const Relation& r,
+                    ChainedHashTable* table) {
   const uint32_t threads = exec.num_threads();
   if (threads == 1) {
-    const RunStats run = exec.Run(FromOp(r.size(), [&](uint32_t) {
+    return exec.Run(FromOp(r.size(), [&](uint32_t) {
       return BuildOp<false>(*table, r);
     }));
-    stats->build_engine = run.engine;
-    stats->build_cycles = run.cycles;
-    stats->build_seconds = run.seconds;
-  } else {
-    BuildParallel(exec, r, threads, table, stats);
   }
+  return BuildParallel(exec, r, threads, table);
 }
 
-void ProbePhase(Executor& exec, const ChainedHashTable& table,
-                const Relation& s, bool early_exit, JoinStats* stats) {
-  stats->probe_tuples = s.size();
+RunStats ProbePhase(Executor& exec, const ChainedHashTable& table,
+                    const Relation& s, bool early_exit) {
   const uint32_t threads = exec.num_threads();
   std::vector<CountChecksumSink> sinks(threads);
   RunStats run;
@@ -114,44 +113,23 @@ void ProbePhase(Executor& exec, const ChainedHashTable& table,
       return ProbeOp<false, CountChecksumSink>(table, s, sinks[tid]);
     }));
   }
-  stats->probe_engine = run.engine;
-  stats->probe_cycles = run.cycles;
-  stats->probe_seconds = run.seconds;
-  stats->probe_morsels = run.morsels;
   CountChecksumSink total;
   for (const auto& sink : sinks) total.Merge(sink);
-  stats->matches = total.matches();
-  stats->checksum = total.checksum();
+  run.outputs = total.matches();
+  run.checksum = total.checksum();
+  return run;
 }
 
-JoinStats RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
-                      const JoinOptions& options) {
+JoinResult RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
+                       const JoinOptions& options) {
   ChainedHashTable::Options table_options;
   table_options.target_nodes_per_bucket = options.target_nodes_per_bucket;
   table_options.hash_kind = options.hash_kind;
   ChainedHashTable table(std::max<uint64_t>(1, r.size()), table_options);
-  JoinStats stats;
-  BuildPhase(exec, r, &table, &stats);
-  ProbePhase(exec, table, s, options.early_exit, &stats);
-  return stats;
-}
-
-void BuildPhase(const Relation& r, const JoinConfig& config,
-                ChainedHashTable* table, JoinStats* stats) {
-  Executor exec(config.Exec());
-  BuildPhase(exec, r, table, stats);
-}
-
-void ProbePhase(const ChainedHashTable& table, const Relation& s,
-                const JoinConfig& config, JoinStats* stats) {
-  Executor exec(config.Exec());
-  ProbePhase(exec, table, s, config.early_exit, stats);
-}
-
-JoinStats RunHashJoin(const Relation& r, const Relation& s,
-                      const JoinConfig& config) {
-  Executor exec(config.Exec());
-  return RunHashJoin(exec, r, s, config.Options());
+  JoinResult result;
+  result.build = BuildPhase(exec, r, &table);
+  result.probe = ProbePhase(exec, table, s, options.early_exit);
+  return result;
 }
 
 }  // namespace amac

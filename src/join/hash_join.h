@@ -3,12 +3,11 @@
 // through the morsel-driven parallel driver, reporting the cycle/throughput
 // metrics the paper's tables and figures use.
 //
-// The primary entry points take an `Executor` (core/pipeline.h), which owns
-// the ExecPolicy, tuning parameters, and the persistent thread team; join
-// behavior itself is configured with `JoinOptions`.  The free-function
-// forms taking a `JoinConfig` are deprecated shims for this PR's migration
-// window: they build a transient Executor per call (re-paying thread spawn
-// every time) and will be removed next PR.
+// The entry points take an `Executor` (core/pipeline.h), which owns the
+// ExecPolicy, tuning parameters, and the persistent thread team; join
+// behavior itself is configured with `JoinOptions`.  Both phases come back
+// as the runtime's unified RunStats (the PR-3 JoinConfig/JoinStats shims
+// are gone).
 #pragma once
 
 #include <cstdint>
@@ -33,110 +32,47 @@ struct JoinOptions {
   HashKind hash_kind = HashKind::kMurmur;
 };
 
-/// Deprecated: all-in-one configuration for the legacy free functions.
-/// Migrate to Executor(ExecConfig) + JoinOptions.
-struct JoinConfig {
-  ExecPolicy policy = ExecPolicy::kAmac;
-  /// Number of parallel in-flight lookups per thread (paper's M): AMAC
-  /// circular-buffer size, GP group size, SPP total pipeline window,
-  /// coroutine width.
-  uint32_t inflight = 10;
-  /// Provisioned node-visit stages for GP/SPP (paper's N).  SPP's prefetch
-  /// distance is derived as max(1, inflight / stages).
-  uint32_t stages = 1;
-  uint32_t num_threads = 1;
-  /// Probe morsel size for the parallel driver; 0 derives one from the
-  /// input and thread count (see ResolveMorselSize).
-  uint64_t morsel_size = 0;
-  /// Stop a lookup at its first match (valid for unique build keys).
-  bool early_exit = true;
-  /// Bucket sizing: expected chain nodes per bucket under uniform keys.
-  double target_nodes_per_bucket = 1.0;
-  HashKind hash_kind = HashKind::kMurmur;
+/// A full join measurement: one RunStats per phase.  The probe run's
+/// outputs/checksum are the join's matches/checksum (CountChecksumSink
+/// discipline); all rate accessors return 0 on empty inputs.
+struct JoinResult {
+  RunStats build;  ///< inputs = |R|
+  RunStats probe;  ///< inputs = |S|, outputs = matches
 
-  SchedulerParams Params() const {
-    return SchedulerParams{inflight, stages, 0};
-  }
-
-  /// The execution half of this config, for constructing an Executor.
-  ExecConfig Exec() const {
-    return ExecConfig{policy, Params(), num_threads, morsel_size};
-  }
-
-  /// The join half of this config.
-  JoinOptions Options() const {
-    return JoinOptions{early_exit, target_nodes_per_bucket, hash_kind};
-  }
-};
-
-struct JoinStats {
-  uint64_t build_tuples = 0;
-  uint64_t probe_tuples = 0;
-  uint64_t matches = 0;
-  uint64_t checksum = 0;
-  uint64_t build_cycles = 0;
-  uint64_t probe_cycles = 0;
-  double build_seconds = 0;
-  double probe_seconds = 0;
-  /// Morsels claimed by the parallel probe (0 on the 1-thread path).
-  uint64_t probe_morsels = 0;
-  /// Scheduling counters merged across threads/morsels (observability).
-  EngineStats build_engine;
-  EngineStats probe_engine;
-
-  /// All rate accessors return 0 (not NaN/inf) on empty inputs, so bench
-  /// tables and tests can rely on a well-defined value for degenerate
-  /// workloads (pinned by JoinStatsTest).
-  double BuildCyclesPerTuple() const {
-    return build_tuples ? static_cast<double>(build_cycles) /
-                              static_cast<double>(build_tuples)
-                        : 0;
-  }
-  double ProbeCyclesPerTuple() const {
-    return probe_tuples ? static_cast<double>(probe_cycles) /
-                              static_cast<double>(probe_tuples)
-                        : 0;
-  }
+  uint64_t matches() const { return probe.outputs; }
+  uint64_t checksum() const { return probe.checksum; }
+  double BuildCyclesPerTuple() const { return build.CyclesPerInput(); }
+  double ProbeCyclesPerTuple() const { return probe.CyclesPerInput(); }
   /// Paper Fig. 5: cycles per *output* tuple, build+probe stacked.
   double CyclesPerOutputTuple() const {
-    return matches ? static_cast<double>(build_cycles + probe_cycles) /
-                         static_cast<double>(matches)
-                   : 0;
-  }
-  /// Paper Fig. 7/8: probe throughput in tuples/second.
-  double ProbeThroughput() const {
-    return probe_seconds > 0
-               ? static_cast<double>(probe_tuples) / probe_seconds
+    return probe.outputs
+               ? static_cast<double>(build.cycles + probe.cycles) /
+                     static_cast<double>(probe.outputs)
                : 0;
   }
+  /// Paper Fig. 7/8: probe throughput in tuples/second.
+  double ProbeThroughput() const { return probe.Throughput(); }
 };
 
-/// Build `table` from R under the executor's policy (timed into *stats).
-/// The table must be empty and sized for R.  With a multi-threaded
-/// executor the build is partitioned by bucket range: tuples are scattered
-/// to the thread that owns their bucket, so insertion is race-free (no
-/// latches) and every bucket's chain is bit-identical to a 1-thread
-/// build's.
-void BuildPhase(Executor& exec, const Relation& r, ChainedHashTable* table,
-                JoinStats* stats);
+/// Build `table` from R under the executor's policy; returns the phase's
+/// RunStats.  The table must be empty and sized for R.  With a
+/// multi-threaded executor the build is partitioned by bucket range:
+/// tuples are scattered to the thread that owns their bucket, so insertion
+/// is race-free (no latches) and every bucket's chain is bit-identical to
+/// a 1-thread build's.
+RunStats BuildPhase(Executor& exec, const Relation& r,
+                    ChainedHashTable* table);
 
-/// Probe `table` with S under the executor's policy (timed into *stats).
-/// With a multi-threaded executor the probe is morsel-driven through the
-/// executor's persistent pool with one sink per thread, merged afterwards.
-void ProbePhase(Executor& exec, const ChainedHashTable& table,
-                const Relation& s, bool early_exit, JoinStats* stats);
+/// Probe `table` with S under the executor's policy; returns the phase's
+/// RunStats with outputs = matches and the order-independent match
+/// checksum.  With a multi-threaded executor the probe is morsel-driven
+/// through the executor's persistent pool with one sink per slot, merged
+/// afterwards.
+RunStats ProbePhase(Executor& exec, const ChainedHashTable& table,
+                    const Relation& s, bool early_exit);
 
 /// Convenience: build + probe with checksum sink on one executor.
-JoinStats RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
-                      const JoinOptions& options = {});
-
-/// Deprecated shims (one-PR migration window): forward to the Executor
-/// forms through a transient per-call Executor.
-void BuildPhase(const Relation& r, const JoinConfig& config,
-                ChainedHashTable* table, JoinStats* stats);
-void ProbePhase(const ChainedHashTable& table, const Relation& s,
-                const JoinConfig& config, JoinStats* stats);
-JoinStats RunHashJoin(const Relation& r, const Relation& s,
-                      const JoinConfig& config);
+JoinResult RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
+                       const JoinOptions& options = {});
 
 }  // namespace amac

@@ -1,0 +1,220 @@
+#include "server/query_scheduler.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace amac {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t idx = static_cast<size_t>(
+      std::max(0.0, rank - 1));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+constexpr std::chrono::microseconds kWaitPoll{200};
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(const QuerySchedulerOptions& options)
+    : options_(options), pool_(std::max(1u, options.num_workers)) {
+  options_.num_workers = pool_.size();
+}
+
+QueryScheduler::~QueryScheduler() { Drain(); }
+
+void QueryScheduler::Enqueue(std::shared_ptr<detail::QueryState> state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state->seq = next_seq_++;
+  ++submitted_;
+  const uint32_t cap = options_.max_inflight_queries;
+  if (cap == 0 || inflight_ < cap) {
+    ++inflight_;
+    LaunchLocked(state);
+  } else {
+    pending_.push_back(std::move(state));
+  }
+}
+
+void QueryScheduler::LaunchLocked(
+    const std::shared_ptr<detail::QueryState>& state) {
+  // At most one pump task per morsel (each runs exactly one morsel before
+  // requeueing), at most one per slot; an empty query still gets one task
+  // so completion flows through the single finalize path.
+  const uint32_t tasks = static_cast<uint32_t>(std::max<uint64_t>(
+      1, std::min<uint64_t>(state->slots, state->num_morsels)));
+  state->free_slots.clear();
+  state->free_slots.reserve(state->slots);
+  for (uint32_t s = 0; s < state->slots; ++s) state->free_slots.push_back(s);
+  state->outstanding.store(tasks, std::memory_order_relaxed);
+  for (uint32_t t = 0; t < tasks; ++t) {
+    pool_.Submit([this, state] { Pump(state); });
+  }
+}
+
+void QueryScheduler::Pump(const std::shared_ptr<detail::QueryState>& state) {
+  if (!state->started.exchange(true)) {
+    // First morsel of this query: close the queue-wait window and open the
+    // execute window.  Later tasks racing here in the same instant skew
+    // the split by at most one morsel start.
+    state->queue_seconds = state->submit_timer.ElapsedSeconds();
+    state->exec_timer.Restart();
+    state->exec_cycles.Restart();
+  }
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> lock(state->slot_mu);
+    AMAC_CHECK(!state->free_slots.empty());
+    slot = state->free_slots.back();
+    state->free_slots.pop_back();
+  }
+  const bool ran = state->run_one_morsel(slot);
+  {
+    std::lock_guard<std::mutex> lock(state->slot_mu);
+    state->free_slots.push_back(slot);
+  }
+  if (ran) {
+    // Re-enqueue at the BACK of the shared queue: other queries' pending
+    // morsels run before this query's next one (round-robin interleaving).
+    pool_.Submit([this, state] { Pump(state); });
+    return;
+  }
+  // Cursor exhausted: this pump chain dies.  The last chain finalizes.
+  if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    Finish(state);
+  }
+}
+
+void QueryScheduler::Finish(
+    const std::shared_ptr<detail::QueryState>& state) {
+  QueryStats result;
+  result.run.inputs = state->num_inputs;
+  result.run.threads = state->slots;
+  state->collect(&result.run);
+  // `started` is always true here (even empty queries run one pump task).
+  result.queue_seconds = state->queue_seconds;
+  result.run.seconds = state->exec_timer.ElapsedSeconds();
+  result.run.cycles = state->exec_cycles.Elapsed();
+  result.latency_seconds = state->submit_timer.ElapsedSeconds();
+  result.run.dispatch_seconds = result.latency_seconds;
+
+  {
+    // Publish the per-query result and the scheduler-level accounting
+    // atomically (a waiter that saw `done` must also see the updated
+    // serving stats).  Lock order is unique to this site; nothing nests
+    // the other way.
+    std::scoped_lock lock(mu_, state->mu);
+    AMAC_CHECK(inflight_ > 0);
+    --inflight_;
+    ++completed_;
+    total_morsels_ += result.run.morsels;
+    total_engine_.Merge(result.run.engine);
+    total_queue_seconds_ += result.queue_seconds;
+    total_execute_seconds_ += result.run.seconds;
+    max_latency_seconds_ =
+        std::max(max_latency_seconds_, result.latency_seconds);
+    // Reservoir sampling (Algorithm R, deterministic hash in place of an
+    // RNG): every completed query has a kLatencySampleCap/completed_
+    // chance of being in the sample.
+    if (latencies_.size() < kLatencySampleCap) {
+      latencies_.push_back(result.latency_seconds);
+    } else {
+      const uint64_t j = Mix64(completed_ * 0x9e3779b97f4a7c15ull) %
+                         completed_;
+      if (j < kLatencySampleCap) {
+        latencies_[j] = result.latency_seconds;
+      }
+    }
+    const uint32_t cap = options_.max_inflight_queries;
+    while ((cap == 0 || inflight_ < cap) && !pending_.empty()) {
+      std::shared_ptr<detail::QueryState> next = PopPendingLocked();
+      ++inflight_;
+      LaunchLocked(next);
+    }
+    state->result = result;
+    state->done = true;
+  }
+  state->cv.notify_all();
+  drain_cv_.notify_all();
+}
+
+std::shared_ptr<detail::QueryState> QueryScheduler::PopPendingLocked() {
+  AMAC_CHECK(!pending_.empty());
+  auto it = pending_.begin();
+  if (options_.order == AdmissionOrder::kPriority) {
+    for (auto cand = pending_.begin(); cand != pending_.end(); ++cand) {
+      if ((*cand)->priority > (*it)->priority) it = cand;
+      // FIFO within a priority level: the deque is in seq order, so the
+      // first element of the best level wins automatically.
+    }
+  }
+  std::shared_ptr<detail::QueryState> state = std::move(*it);
+  pending_.erase(it);
+  return state;
+}
+
+QueryStats QueryScheduler::Wait(const QueryTicket& ticket) {
+  AMAC_CHECK(ticket.valid());
+  detail::QueryState& state = *ticket.state_;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.done) return state.result;
+    }
+    // Work-conserving wait: drain the shared queue instead of idling.
+    if (pool_.TryRunTask()) continue;
+    std::unique_lock<std::mutex> lock(state.mu);
+    // Timed wait covers the race where a task was enqueued between the
+    // failed TryRunTask and this wait; completion notifies immediately.
+    state.cv.wait_for(lock, kWaitPoll, [&] { return state.done; });
+    if (state.done) return state.result;
+  }
+}
+
+bool QueryScheduler::Finished(const QueryTicket& ticket) const {
+  AMAC_CHECK(ticket.valid());
+  std::lock_guard<std::mutex> lock(ticket.state_->mu);
+  return ticket.state_->done;
+}
+
+void QueryScheduler::Drain() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (completed_ == submitted_) return;
+    }
+    if (pool_.TryRunTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait_for(lock, kWaitPoll,
+                       [&] { return completed_ == submitted_; });
+    if (completed_ == submitted_) return;
+  }
+}
+
+ServingStats QueryScheduler::serving_stats() const {
+  ServingStats stats;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.morsels = total_morsels_;
+    stats.engine = total_engine_;
+    stats.total_queue_seconds = total_queue_seconds_;
+    stats.total_execute_seconds = total_execute_seconds_;
+    stats.max_latency_seconds = max_latency_seconds_;
+    sorted = latencies_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_latency_seconds = Percentile(sorted, 0.50);
+  stats.p95_latency_seconds = Percentile(sorted, 0.95);
+  stats.p99_latency_seconds = Percentile(sorted, 0.99);
+  return stats;
+}
+
+}  // namespace amac

@@ -1,0 +1,314 @@
+// Concurrent multi-query serving: a shared-pool scheduler with admission
+// control.
+//
+// The paper's interleaving keeps ONE query's dependent misses overlapped;
+// a serving system has many queries in flight at once.  Executor::Run()
+// occupies its whole thread team fork-join style, so two queries can only
+// run back to back.  QueryScheduler multiplexes instead: every admitted
+// query is chopped into morsels, and each in-flight morsel is one task on
+// one shared common/ThreadPool — tasks re-enqueue themselves to the BACK of
+// the FIFO queue after each morsel, so morsels from different queries
+// round-robin across the same workers and a long scan cannot starve a
+// point-lookup query.
+//
+//   QueryScheduler sched({.num_workers = 8, .max_inflight_queries = 4});
+//   QueryTicket a = Submit(sched, Scan(s).Then(Probe(table)), options);
+//   QueryTicket b = Submit(sched, Walks(graph, 1 << 20, 16, 7), options);
+//   QueryStats qa = sched.Wait(a);   // Wait() helps drain the task queue
+//
+// Admission control: at most `max_inflight_queries` queries execute
+// concurrently; the rest wait in a FIFO or priority-ordered admission
+// queue (the `order` knob).  Per-query QueryStats split latency into
+// queue-wait vs execute time; scheduler-level ServingStats aggregate
+// p50/p95/p99 latency across completed queries — the latency-under-load
+// accounting bench/ext_serving.cpp drives.
+//
+// Threading model: the pool's `size() - 1` workers drain the task queue;
+// client threads blocked in Wait() also pump tasks (work-conserving), so a
+// scheduler over a 1-thread pool still makes progress.  Per-query
+// parallelism is bounded by execution *slots*: `make_op(slot)` is called
+// lazily, at most once per slot, with slot < slots(); a slot is held
+// exclusively while one of the query's morsels runs, which is what lets
+// op factories keep the familiar per-thread-sink discipline.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/cycle_timer.h"
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "core/parallel_driver.h"
+#include "core/run_stats.h"
+#include "core/scheduler.h"
+
+namespace amac {
+
+/// How the admission queue orders queries waiting for an inflight slot.
+enum class AdmissionOrder : uint8_t {
+  kFifo,      ///< submission order; priorities ignored
+  kPriority,  ///< higher QueryOptions::priority first, FIFO within a level
+};
+
+struct QuerySchedulerOptions {
+  /// Thread-team size (including the slot client threads fill by pumping
+  /// in Wait()); clamped to >= 1.
+  uint32_t num_workers = 1;
+  /// Queries executing concurrently before submissions queue up in the
+  /// admission queue; 0 = unbounded.
+  uint32_t max_inflight_queries = 0;
+  AdmissionOrder order = AdmissionOrder::kFifo;
+};
+
+/// Per-query execution configuration (the Executor's ExecConfig knobs plus
+/// serving-level ones).
+struct QueryOptions {
+  ExecPolicy policy = ExecPolicy::kAmac;
+  SchedulerParams params;
+  /// Inputs per morsel; 0 derives one (ResolveMorselSize).  Morsel size is
+  /// also the interleaving granule: smaller morsels = fairer sharing,
+  /// more scheduling overhead.
+  uint64_t morsel_size = 0;
+  /// Under AdmissionOrder::kPriority, higher admits first.
+  int32_t priority = 0;
+  /// Cap on this query's concurrent morsels (execution slots); 0 = the
+  /// scheduler's num_workers.
+  uint32_t max_slots = 0;
+};
+
+/// What Wait() returns: the familiar RunStats plus the serving split of
+/// this query's latency.  run.seconds covers first-morsel to completion
+/// (execute span); queue_seconds covers submit to first morsel (admission
+/// wait + time behind other queries' morsels); latency_seconds is the
+/// client-observed total (== run.dispatch_seconds).
+struct QueryStats {
+  RunStats run;
+  double queue_seconds = 0;
+  double latency_seconds = 0;
+};
+
+/// Scheduler-level accounting over completed queries.  Latency
+/// percentiles are computed over a bounded reservoir sample (uniform over
+/// all completed queries), so a long-lived scheduler stays O(1) in memory
+/// and serving_stats() cost no matter how many queries it has served;
+/// max_latency_seconds is an exact running maximum, not sampled.
+struct ServingStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t morsels = 0;       ///< morsels executed, all completed queries
+  EngineStats engine;         ///< merged scheduling counters, ditto
+  double p50_latency_seconds = 0;
+  double p95_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+  double max_latency_seconds = 0;
+  double total_queue_seconds = 0;    ///< sum of per-query queue waits
+  double total_execute_seconds = 0;  ///< sum of per-query execute spans
+};
+
+namespace detail {
+
+/// Type-erased shared state of one submitted query.  The typed morsel
+/// runner (one per Submit call) lives behind run_one_morsel; everything the
+/// scheduler itself touches is virtual-free plain data.
+struct QueryState {
+  // Immutable after Submit().
+  uint64_t num_inputs = 0;
+  uint64_t num_morsels = 0;  ///< bounds the pump-task fan-out
+  uint32_t slots = 0;
+  int32_t priority = 0;
+  uint64_t seq = 0;  ///< submission order, ties under kPriority
+  /// Run one morsel on the given slot; false once the cursor is exhausted.
+  std::function<bool(uint32_t)> run_one_morsel;
+  /// Fold per-slot sinks/engine counters into the final RunStats.
+  std::function<void(RunStats*)> collect;
+
+  // Slot free-list (guarded by slot_mu).
+  std::mutex slot_mu;
+  std::vector<uint32_t> free_slots;
+
+  /// Pump tasks still alive for this query; the task that observes the
+  /// final decrement finalizes the query.
+  std::atomic<uint32_t> outstanding{0};
+
+  // Timing.  submit_timer starts in Submit(); the first morsel task
+  // restarts exec timers (exchange on `started` picks the winner).
+  WallTimer submit_timer;
+  std::atomic<bool> started{false};
+  double queue_seconds = 0;   ///< written by the starter, read after done
+  WallTimer exec_timer;       ///< restarted by the starter
+  CycleTimer exec_cycles;     ///< restarted by the starter
+
+  // Completion.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;  ///< guarded by mu
+  QueryStats result;  ///< valid once done
+};
+
+}  // namespace detail
+
+/// Future-style handle to a submitted query; pass to Wait()/Finished().
+/// Copyable; all copies refer to the same query.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class QueryScheduler;
+  explicit QueryTicket(std::shared_ptr<detail::QueryState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::QueryState> state_;
+};
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(const QuerySchedulerOptions& options);
+  /// Drains: blocks until every submitted query completed.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  uint32_t num_workers() const { return pool_.size(); }
+  const QuerySchedulerOptions& options() const { return options_; }
+  ThreadPool& pool() { return pool_; }
+
+  /// Execution slots a query submitted with `options` will get (what sizes
+  /// a per-slot sink array).
+  uint32_t SlotCount(const QueryOptions& options) const {
+    const uint32_t cap = options.max_slots == 0
+                             ? pool_.size()
+                             : std::min(options.max_slots, pool_.size());
+    return std::max(1u, cap);
+  }
+
+  /// Submit a query as (num_inputs, per-slot operation factory): the same
+  /// contract as Executor::RunOp, except `make_op(slot)` is invoked lazily
+  /// with slot < SlotCount(options) instead of a thread id.  `collect`
+  /// (optional) folds per-slot sinks into the final RunStats after the last
+  /// morsel (outputs/checksum); it runs exactly once, race-free.
+  /// The factory must tolerate outliving the Submit call (it is copied).
+  template <typename OpFactory>
+  QueryTicket SubmitOp(uint64_t num_inputs, OpFactory make_op,
+                       const QueryOptions& options,
+                       std::function<void(RunStats*)> collect = nullptr) {
+    auto state = std::make_shared<detail::QueryState>();
+    state->num_inputs = num_inputs;
+    state->slots = SlotCount(options);
+    state->priority = options.priority;
+    const uint64_t morsel_size = ResolveMorselSize(
+        num_inputs, state->slots, options.morsel_size,
+        std::max(1u, options.params.inflight));
+    state->num_morsels = (num_inputs + morsel_size - 1) / morsel_size;
+
+    struct Slot {
+      std::optional<std::decay_t<decltype(make_op(0u))>> op;
+      EngineStats engine;
+      uint64_t morsels = 0;
+    };
+    struct Typed {
+      OpFactory make_op;
+      MorselCursor cursor;
+      ExecPolicy policy;
+      SchedulerParams params;
+      std::vector<Slot> slots;
+      Typed(OpFactory factory, uint64_t total, uint64_t morsel,
+            const QueryOptions& options, uint32_t num_slots)
+          : make_op(std::move(factory)),
+            cursor(total, morsel),
+            policy(options.policy),
+            params(options.params),
+            slots(num_slots) {}
+    };
+    auto typed = std::make_shared<Typed>(std::move(make_op), num_inputs,
+                                         morsel_size, options, state->slots);
+    state->run_one_morsel = [typed](uint32_t slot_id) {
+      Range morsel;
+      if (!typed->cursor.Next(&morsel)) return false;
+      Slot& slot = typed->slots[slot_id];
+      if (!slot.op) slot.op.emplace(typed->make_op(slot_id));
+      OffsetOp<typename decltype(slot.op)::value_type> rebased(*slot.op,
+                                                               morsel.begin);
+      slot.engine.Merge(
+          Run(typed->policy, typed->params, rebased, morsel.size()));
+      ++slot.morsels;
+      return true;
+    };
+    state->collect = [typed, collect](RunStats* run) {
+      for (const Slot& slot : typed->slots) {
+        run->engine.Merge(slot.engine);
+        run->morsels += slot.morsels;
+      }
+      if (collect) collect(run);
+    };
+    QueryTicket ticket(state);
+    Enqueue(std::move(state));
+    return ticket;
+  }
+
+  /// Block until the query completes; helps drain the task queue while
+  /// waiting, so Wait() never idles a core the scheduler could use.
+  QueryStats Wait(const QueryTicket& ticket);
+
+  /// Non-blocking completion check.
+  bool Finished(const QueryTicket& ticket) const;
+
+  /// Block until every query submitted so far has completed.
+  void Drain();
+
+  /// Snapshot of the scheduler-level accounting (completed queries only).
+  ServingStats serving_stats() const;
+
+ private:
+  /// Queue the query for admission (or admit immediately) under mu_.
+  void Enqueue(std::shared_ptr<detail::QueryState> state);
+  /// Launch the pump tasks of an admitted query.  Called under mu_.
+  void LaunchLocked(const std::shared_ptr<detail::QueryState>& state);
+  /// One pump step: run one morsel, resubmit or finalize.
+  void Pump(const std::shared_ptr<detail::QueryState>& state);
+  /// Last pump task of a query: fold stats, publish, admit the next.
+  void Finish(const std::shared_ptr<detail::QueryState>& state);
+  /// Pop the next admissible query per `order`.  Called under mu_.
+  std::shared_ptr<detail::QueryState> PopPendingLocked();
+
+  QuerySchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  uint64_t next_seq_ = 0;                                  ///< guarded by mu_
+  uint32_t inflight_ = 0;                                  ///< guarded by mu_
+  std::deque<std::shared_ptr<detail::QueryState>> pending_;  ///< ditto
+  // Serving accounting (guarded by mu_).
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t total_morsels_ = 0;
+  EngineStats total_engine_;
+  double total_queue_seconds_ = 0;
+  double total_execute_seconds_ = 0;
+  double max_latency_seconds_ = 0;  ///< exact running max (not sampled)
+  /// Uniform reservoir sample of per-query latencies (kLatencySampleCap
+  /// slots), so percentile accounting cannot grow with uptime.
+  static constexpr size_t kLatencySampleCap = 4096;
+  std::vector<double> latencies_;
+
+  /// Declared LAST so it is destroyed FIRST: the pool's destructor joins
+  /// the workers, and a worker finishing its final task still touches the
+  /// mutexes/condition variables above (Finish's notifications).  After
+  /// the dtor's Drain() there is no queued work, but the *notify* of the
+  /// last completion may still be in flight on a worker.
+  ThreadPool pool_;
+};
+
+}  // namespace amac

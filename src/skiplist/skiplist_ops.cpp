@@ -43,16 +43,17 @@ uint64_t RunInsertKernel(SkipList& list, const Relation& input,
 
 }  // namespace
 
-SkipListStats RunSkipListSearch(Executor& exec, const SkipList& list,
-                                const Relation& probe) {
-  SkipListStats stats;
-  stats.tuples = probe.size();
+RunStats RunSkipListSearch(Executor& exec, const SkipList& list,
+                           const Relation& probe) {
+  RunStats run;
   const uint32_t threads = exec.num_threads();
   std::vector<CountChecksumSink> sinks(threads);
   if (exec.policy() == ExecPolicy::kSequential) {
     // The paper's Baseline is a plain pointer chase with no prefetches;
     // keep the hand kernel (fig10/ext_btree do the same) so fig11's
     // speedup ratios stay anchored to the no-prefetch chase.
+    run.inputs = probe.size();
+    run.threads = std::max(1u, threads);
     WallTimer wall;
     CycleTimer cycles;
     if (threads <= 1) {
@@ -66,28 +67,28 @@ SkipListStats RunSkipListSearch(Executor& exec, const SkipList& list,
         barrier.Wait();
       });
     }
-    stats.cycles = cycles.Elapsed();
-    stats.seconds = wall.ElapsedSeconds();
+    run.cycles = cycles.Elapsed();
+    run.seconds = wall.ElapsedSeconds();
+    run.dispatch_seconds = run.seconds;
   } else {
-    const RunStats run = exec.Run(FromOp(probe.size(), [&](uint32_t tid) {
+    run = exec.Run(FromOp(probe.size(), [&](uint32_t tid) {
       return SkipSearchOp<CountChecksumSink>(list, probe, sinks[tid]);
     }));
-    stats.cycles = run.cycles;
-    stats.seconds = run.seconds;
   }
   CountChecksumSink total;
   for (const auto& sink : sinks) total.Merge(sink);
-  stats.matches = total.matches();
-  stats.checksum = total.checksum();
-  return stats;
+  run.outputs = total.matches();
+  run.checksum = total.checksum();
+  return run;
 }
 
-SkipListStats RunSkipListInsert(Executor& exec, SkipList* list,
-                                const Relation& input, uint64_t seed) {
-  SkipListStats stats;
-  stats.tuples = input.size();
+RunStats RunSkipListInsert(Executor& exec, SkipList* list,
+                           const Relation& input, uint64_t seed) {
+  RunStats run;
+  run.inputs = input.size();
   const ExecConfig& config = exec.config();
   const uint32_t threads = exec.num_threads();
+  run.threads = std::max(1u, threads);
   std::vector<uint64_t> inserted(threads, 0);
   WallTimer wall;
   CycleTimer cycles;
@@ -105,26 +106,15 @@ SkipListStats RunSkipListInsert(Executor& exec, SkipList* list,
       barrier.Wait();
     });
   }
-  stats.cycles = cycles.Elapsed();
-  stats.seconds = wall.ElapsedSeconds();
+  run.cycles = cycles.Elapsed();
+  run.seconds = wall.ElapsedSeconds();
+  run.dispatch_seconds = run.seconds;
   uint64_t total = 0;
   for (uint64_t v : inserted) total += v;
   // Baseline inserts bump the count inside the list; staged kernels do not.
   if (config.policy != ExecPolicy::kSequential) list->AddElems(total);
-  stats.matches = total;
-  return stats;
-}
-
-SkipListStats RunSkipListSearch(const SkipList& list, const Relation& probe,
-                                const SkipListConfig& config) {
-  Executor exec(config.Exec());
-  return RunSkipListSearch(exec, list, probe);
-}
-
-SkipListStats RunSkipListInsert(SkipList* list, const Relation& input,
-                                const SkipListConfig& config) {
-  Executor exec(config.Exec());
-  return RunSkipListInsert(exec, list, input, config.seed);
+  run.outputs = total;
+  return run;
 }
 
 }  // namespace amac

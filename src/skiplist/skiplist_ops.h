@@ -13,54 +13,20 @@
 
 namespace amac {
 
-/// Deprecated: all-in-one configuration for the legacy free functions.
-/// Migrate to Executor(ExecConfig).
-struct SkipListConfig {
-  ExecPolicy policy = ExecPolicy::kAmac;
-  uint32_t inflight = 10;  ///< M (AMAC slots / GP group / SPP window)
-  uint32_t stages = 8;     ///< N for GP/SPP (search steps before bailout)
-  uint32_t num_threads = 1;
-  uint64_t seed = 7;
-
-  /// The execution half of this config, for constructing an Executor.
-  ExecConfig Exec() const {
-    return ExecConfig{policy, SchedulerParams{inflight, stages, 0},
-                      num_threads, 0};
-  }
-};
-
-struct SkipListStats {
-  uint64_t tuples = 0;
-  uint64_t matches = 0;   ///< search: emitted matches; insert: new elements
-  uint64_t checksum = 0;  ///< search only
-  uint64_t cycles = 0;
-  double seconds = 0;
-
-  double CyclesPerTuple() const {
-    return tuples ? static_cast<double>(cycles) / static_cast<double>(tuples)
-                  : 0;
-  }
-};
-
 /// Probe `list` with every key of `probe` under the executor's policy
 /// (generic SkipSearchOp through the unified runtime; morsel-driven when
-/// the executor is multi-threaded).
-SkipListStats RunSkipListSearch(Executor& exec, const SkipList& list,
-                                const Relation& probe);
+/// the executor is multi-threaded).  The returned RunStats carry
+/// inputs = |probe|, outputs = matches, and the match checksum.
+RunStats RunSkipListSearch(Executor& exec, const SkipList& list,
+                           const Relation& probe);
 
 /// Insert every tuple of `input` into `list` (which is typically empty:
 /// the paper's insert workload "builds a skip list from scratch") under
 /// the executor's policy.  Inserts carry large per-lookup splice state, so
-/// they run the hand-written kernels on the executor's thread team.
-SkipListStats RunSkipListInsert(Executor& exec, SkipList* list,
-                                const Relation& input, uint64_t seed = 7);
-
-/// Deprecated shims (one-PR migration window): forward to the Executor
-/// forms through a transient per-call Executor.
-SkipListStats RunSkipListSearch(const SkipList& list, const Relation& probe,
-                                const SkipListConfig& config);
-SkipListStats RunSkipListInsert(SkipList* list, const Relation& input,
-                                const SkipListConfig& config);
+/// they run the hand-written kernels on the executor's thread team.  The
+/// returned RunStats carry inputs = |input| and outputs = new elements.
+RunStats RunSkipListInsert(Executor& exec, SkipList* list,
+                           const Relation& input, uint64_t seed = 7);
 
 /// Skip list search as a generic-engine operation: one Step() is one
 /// candidate-node visit (SkipSearchStep), so every ExecPolicy in

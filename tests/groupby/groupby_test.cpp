@@ -70,11 +70,10 @@ TEST_P(GroupByEngineTest, MatchesReferenceAggregates) {
       theta == 0.0 ? MakeGroupByInput(groups, 3, 71)
                    : MakeZipfRelation(groups * 3, groups, theta, 72);
   AggregateTable table(groups * 2, AggregateTable::Options{});
-  const GroupByConfig config{
-      .policy = policy, .inflight = 8, .num_threads = threads};
-  const GroupByStats stats = RunGroupBy(input, config, &table);
+  Executor exec(ExecConfig{policy, SchedulerParams{8, 1, 0}, threads, 0});
+  const RunStats run = RunGroupBy(exec, input, &table);
   const auto ref = Reference(input);
-  EXPECT_EQ(stats.groups, ref.size());
+  EXPECT_EQ(run.outputs, ref.size());
   ExpectMatchesReference(table, ref);
 }
 
@@ -92,14 +91,16 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(GroupByTest, EnginesAgreeOnChecksum) {
   const Relation input = MakeZipfRelation(6000, 2000, 1.0, 73);
-  GroupByConfig config;
-  config.policy = ExecPolicy::kSequential;
-  const GroupByStats base = RunGroupBy(input, 4000, config);
+  Executor base_exec(
+      ExecConfig{ExecPolicy::kSequential, SchedulerParams{10, 1, 0}, 1, 0});
+  AggregateTable base_table(4000, AggregateTable::Options{});
+  const RunStats base = RunGroupBy(base_exec, input, &base_table);
   for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
-    config.policy = policy;
-    const GroupByStats stats = RunGroupBy(input, 4000, config);
-    EXPECT_EQ(stats.groups, base.groups) << ExecPolicyName(policy);
-    EXPECT_EQ(stats.checksum, base.checksum) << ExecPolicyName(policy);
+    Executor exec(ExecConfig{policy, SchedulerParams{10, 1, 0}, 1, 0});
+    AggregateTable table(4000, AggregateTable::Options{});
+    const RunStats run = RunGroupBy(exec, input, &table);
+    EXPECT_EQ(run.outputs, base.outputs) << ExecPolicyName(policy);
+    EXPECT_EQ(run.checksum, base.checksum) << ExecPolicyName(policy);
   }
 }
 
@@ -111,10 +112,9 @@ TEST(GroupByTest, SingleHotKeyFullContention) {
   }
   for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
     AggregateTable table(16, AggregateTable::Options{});
-    const GroupByConfig config{
-        .policy = policy, .inflight = 10, .num_threads = 4};
-    const GroupByStats stats = RunGroupBy(input, config, &table);
-    EXPECT_EQ(stats.groups, 1u) << ExecPolicyName(policy);
+    Executor exec(ExecConfig{policy, SchedulerParams{10, 1, 0}, 4, 0});
+    const RunStats run = RunGroupBy(exec, input, &table);
+    EXPECT_EQ(run.outputs, 1u) << ExecPolicyName(policy);
     table.ForEachGroup([&](const GroupNode& g) {
       EXPECT_EQ(g.count, 5000);
       EXPECT_EQ(g.min, 1);
@@ -134,9 +134,11 @@ TEST(GroupByTest, AmacTinyWindow) {
 TEST(GroupByTest, EmptyInput) {
   Relation input(0);
   AggregateTable table(16, AggregateTable::Options{});
-  const GroupByStats stats = RunGroupBy(input, GroupByConfig{}, &table);
-  EXPECT_EQ(stats.groups, 0u);
-  EXPECT_EQ(stats.input_tuples, 0u);
+  Executor exec(
+      ExecConfig{ExecPolicy::kAmac, SchedulerParams{10, 1, 0}, 1, 0});
+  const RunStats run = RunGroupBy(exec, input, &table);
+  EXPECT_EQ(run.outputs, 0u);
+  EXPECT_EQ(run.inputs, 0u);
 }
 
 TEST(GroupNodeTest, AccumulateTracksAllSixAggregates) {

@@ -39,10 +39,10 @@ TEST_P(BuildEngineTest, SingleThreadMatchesReference) {
     BuildTableUnsync(rel, &reference);
 
     ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-    const JoinConfig config{.policy = policy, .inflight = 8};
-    JoinStats stats;
-    BuildPhase(rel, config, &table, &stats);
-    EXPECT_EQ(stats.build_tuples, rel.size());
+    Executor exec(
+        ExecConfig{policy, SchedulerParams{8, 1, 0}, 1, 0});
+    const RunStats build = BuildPhase(exec, rel, &table);
+    EXPECT_EQ(build.inputs, rel.size());
     EXPECT_EQ(TableContents(table, rel), TableContents(reference, rel))
         << ExecPolicyName(policy) << " theta=" << theta;
   }
@@ -55,10 +55,8 @@ TEST_P(BuildEngineTest, MultiThreadMatchesReference) {
   BuildTableUnsync(rel, &reference);
 
   ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-  const JoinConfig config{
-      .policy = policy, .inflight = 6, .num_threads = 4};
-  JoinStats stats;
-  BuildPhase(rel, config, &table, &stats);
+  Executor exec(ExecConfig{policy, SchedulerParams{6, 1, 0}, 4, 0});
+  BuildPhase(exec, rel, &table);
   EXPECT_EQ(TableContents(table, rel), TableContents(reference, rel))
       << ExecPolicyName(policy);
 }
@@ -71,10 +69,8 @@ TEST_P(BuildEngineTest, HotBucketContention) {
     rel[i] = Tuple{99, static_cast<int64_t>(i)};
   }
   ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-  const JoinConfig config{
-      .policy = policy, .inflight = 10, .num_threads = 4};
-  JoinStats stats;
-  BuildPhase(rel, config, &table, &stats);
+  Executor exec(ExecConfig{policy, SchedulerParams{10, 1, 0}, 4, 0});
+  BuildPhase(exec, rel, &table);
   std::vector<int64_t> payloads;
   table.FindAll(99, &payloads);
   EXPECT_EQ(payloads.size(), rel.size());

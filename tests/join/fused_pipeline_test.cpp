@@ -83,8 +83,8 @@ TEST_P(FusedPipelineTest, MatchesTwoPhaseSequentialOracle) {
   AggregateTable oracle(group_capacity, AggregateTable::Options{});
   Executor sequential(
       ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
-  const GroupByStats oracle_stats = RunGroupBy(sequential, mid, &oracle);
-  ASSERT_EQ(oracle_stats.input_tuples, mid.size());
+  const RunStats oracle_stats = RunGroupBy(sequential, mid, &oracle);
+  ASSERT_EQ(oracle_stats.inputs, mid.size());
 
   // --- Fused pipeline across the full policy x thread x width sweep. ---
   for (ExecPolicy policy : kAllExecPolicies) {

@@ -81,16 +81,19 @@ TEST_P(JoinFuzzTest, RandomGroupByAllEnginesAgree) {
   const Relation input =
       MakeZipfRelation(tuples, groups, theta, GetParam() + 5);
 
-  GroupByConfig config;
-  config.policy = ExecPolicy::kSequential;
-  const GroupByStats base = RunGroupBy(input, groups * 2, config);
-  config.inflight = 1 + static_cast<uint32_t>(rng.NextBounded(16));
+  Executor base_exec(
+      ExecConfig{ExecPolicy::kSequential, SchedulerParams{10, 1, 0}, 1, 0});
+  AggregateTable base_table(groups * 2, AggregateTable::Options{});
+  const RunStats base = RunGroupBy(base_exec, input, &base_table);
+  const uint32_t inflight = 1 + static_cast<uint32_t>(rng.NextBounded(16));
   for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
-    config.policy = policy;
-    const GroupByStats stats = RunGroupBy(input, groups * 2, config);
-    EXPECT_EQ(stats.groups, base.groups) << ExecPolicyName(policy);
-    EXPECT_EQ(stats.checksum, base.checksum)
-        << ExecPolicyName(policy) << " inflight=" << config.inflight;
+    Executor exec(
+        ExecConfig{policy, SchedulerParams{inflight, 1, 0}, 1, 0});
+    AggregateTable table(groups * 2, AggregateTable::Options{});
+    const RunStats run = RunGroupBy(exec, input, &table);
+    EXPECT_EQ(run.outputs, base.outputs) << ExecPolicyName(policy);
+    EXPECT_EQ(run.checksum, base.checksum)
+        << ExecPolicyName(policy) << " inflight=" << inflight;
   }
 }
 
@@ -194,35 +197,28 @@ TEST_P(JoinDifferentialTest, AllPoliciesThreadsWidthsMatchOracle) {
                          : MakeZipfRelation(w.s_size, w.r_size / 2, w.zs,
                                             w.seed + 1);
 
-  JoinConfig oracle_config;
-  oracle_config.policy = ExecPolicy::kSequential;
-  oracle_config.num_threads = 1;
-  oracle_config.inflight = 1;
-  oracle_config.early_exit = w.early_exit;
-  const JoinStats oracle = RunHashJoin(r, s, oracle_config);
-  ASSERT_EQ(oracle.probe_tuples, s.size());
+  const JoinOptions options{w.early_exit, 1.0, HashKind::kMurmur};
+  Executor oracle_exec(ExecConfig{
+      ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
+  const JoinResult oracle = RunHashJoin(oracle_exec, r, s, options);
+  ASSERT_EQ(oracle.probe.inputs, s.size());
 
   for (ExecPolicy policy : kAllExecPolicies) {
     for (uint32_t threads : {1u, 2u, 4u}) {
       for (uint32_t inflight : {1u, 10u, 32u}) {
-        JoinConfig config;
-        config.policy = policy;
-        config.num_threads = threads;
-        config.inflight = inflight;
-        config.stages = 2;
-        config.early_exit = w.early_exit;
         // Small morsels so multi-thread runs really interleave claims.
-        config.morsel_size = 256;
-        const JoinStats stats = RunHashJoin(r, s, config);
-        EXPECT_EQ(stats.matches, oracle.matches)
+        Executor exec(ExecConfig{
+            policy, SchedulerParams{inflight, 2, 0}, threads, 256});
+        const JoinResult result = RunHashJoin(exec, r, s, options);
+        EXPECT_EQ(result.matches(), oracle.matches())
             << w.name << " " << ExecPolicyName(policy)
             << " threads=" << threads << " inflight=" << inflight;
-        EXPECT_EQ(stats.checksum, oracle.checksum)
+        EXPECT_EQ(result.checksum(), oracle.checksum())
             << w.name << " " << ExecPolicyName(policy)
             << " threads=" << threads << " inflight=" << inflight;
-        EXPECT_EQ(stats.probe_engine.lookups, s.size())
+        EXPECT_EQ(result.probe.engine.lookups, s.size())
             << w.name << " " << ExecPolicyName(policy);
-        EXPECT_EQ(stats.build_engine.lookups, r.size())
+        EXPECT_EQ(result.build.engine.lookups, r.size())
             << w.name << " " << ExecPolicyName(policy);
       }
     }

@@ -1,4 +1,4 @@
-// End-to-end hash join driver tests.
+// End-to-end hash join driver tests (Executor API, JoinResult results).
 #include "join/hash_join.h"
 
 #include <gtest/gtest.h>
@@ -6,19 +6,26 @@
 namespace amac {
 namespace {
 
+Executor MakeExec(ExecPolicy policy, uint32_t inflight = 10,
+                  uint32_t threads = 1, uint64_t morsel_size = 0) {
+  return Executor(
+      ExecConfig{policy, SchedulerParams{inflight, 1, 0}, threads,
+                 morsel_size});
+}
+
 TEST(HashJoinTest, EqualSizedUniformJoinMatchesEveryProbe) {
   const uint64_t n = 1 << 13;
   const Relation r = MakeDenseUniqueRelation(n, 61);
   const Relation s = MakeForeignKeyRelation(n, n, 62);
   for (ExecPolicy policy : {ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined,
                         ExecPolicy::kAmac}) {
-    const JoinStats stats =
-        RunHashJoin(r, s, JoinConfig{.policy = policy, .inflight = 10});
-    EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);
-    EXPECT_EQ(stats.probe_tuples, n);
-    EXPECT_EQ(stats.build_tuples, n);
-    EXPECT_GT(stats.probe_cycles, 0u);
-    EXPECT_GT(stats.build_cycles, 0u);
+    Executor exec = MakeExec(policy);
+    const JoinResult result = RunHashJoin(exec, r, s);
+    EXPECT_EQ(result.matches(), n) << ExecPolicyName(policy);
+    EXPECT_EQ(result.probe.inputs, n);
+    EXPECT_EQ(result.build.inputs, n);
+    EXPECT_GT(result.probe.cycles, 0u);
+    EXPECT_GT(result.build.cycles, 0u);
   }
 }
 
@@ -26,13 +33,14 @@ TEST(HashJoinTest, AllEnginesAgreeOnChecksum) {
   const uint64_t n = 1 << 13;
   const Relation r = MakeZipfRelation(n, n, 0.75, 63);
   const Relation s = MakeZipfRelation(n, n, 0.75, 64);
-  JoinConfig config{.policy = ExecPolicy::kSequential, .early_exit = false};
-  const JoinStats base = RunHashJoin(r, s, config);
+  const JoinOptions options{/*early_exit=*/false, 1.0, HashKind::kMurmur};
+  Executor base_exec = MakeExec(ExecPolicy::kSequential);
+  const JoinResult base = RunHashJoin(base_exec, r, s, options);
   for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
-    config.policy = policy;
-    const JoinStats stats = RunHashJoin(r, s, config);
-    EXPECT_EQ(stats.matches, base.matches) << ExecPolicyName(policy);
-    EXPECT_EQ(stats.checksum, base.checksum) << ExecPolicyName(policy);
+    Executor exec = MakeExec(policy);
+    const JoinResult result = RunHashJoin(exec, r, s, options);
+    EXPECT_EQ(result.matches(), base.matches()) << ExecPolicyName(policy);
+    EXPECT_EQ(result.checksum(), base.checksum()) << ExecPolicyName(policy);
   }
 }
 
@@ -40,32 +48,33 @@ TEST(HashJoinTest, SmallBuildLargeProbe) {
   const uint64_t small = 1 << 8, large = 1 << 14;
   const Relation r = MakeDenseUniqueRelation(small, 65);
   const Relation s = MakeForeignKeyRelation(large, small, 66);
-  const JoinStats stats = RunHashJoin(
-      r, s, JoinConfig{.policy = ExecPolicy::kAmac, .inflight = 10});
-  EXPECT_EQ(stats.matches, large);  // every probe hits exactly one build key
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const JoinResult result = RunHashJoin(exec, r, s);
+  EXPECT_EQ(result.matches(), large);  // every probe hits one build key
 }
 
 TEST(HashJoinTest, MultiThreadedProbeMatchesSingle) {
   const uint64_t n = 1 << 14;
   const Relation r = MakeDenseUniqueRelation(n, 67);
   const Relation s = MakeForeignKeyRelation(n, n, 68);
-  JoinConfig config{.policy = ExecPolicy::kAmac, .inflight = 8};
-  const JoinStats single = RunHashJoin(r, s, config);
-  config.num_threads = 4;
-  const JoinStats multi = RunHashJoin(r, s, config);
-  EXPECT_EQ(multi.matches, single.matches);
-  EXPECT_EQ(multi.checksum, single.checksum);
+  Executor single_exec = MakeExec(ExecPolicy::kAmac, 8);
+  const JoinResult single = RunHashJoin(single_exec, r, s);
+  Executor multi_exec = MakeExec(ExecPolicy::kAmac, 8, 4);
+  const JoinResult multi = RunHashJoin(multi_exec, r, s);
+  EXPECT_EQ(multi.matches(), single.matches());
+  EXPECT_EQ(multi.checksum(), single.checksum());
 }
 
 TEST(HashJoinTest, StatsDeriveSaneRates) {
   const uint64_t n = 1 << 12;
   const Relation r = MakeDenseUniqueRelation(n, 69);
   const Relation s = MakeForeignKeyRelation(n, n, 70);
-  const JoinStats stats = RunHashJoin(r, s, JoinConfig{});
-  EXPECT_GT(stats.ProbeCyclesPerTuple(), 0.0);
-  EXPECT_GT(stats.BuildCyclesPerTuple(), 0.0);
-  EXPECT_GT(stats.CyclesPerOutputTuple(), 0.0);
-  EXPECT_GT(stats.ProbeThroughput(), 0.0);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const JoinResult result = RunHashJoin(exec, r, s);
+  EXPECT_GT(result.ProbeCyclesPerTuple(), 0.0);
+  EXPECT_GT(result.BuildCyclesPerTuple(), 0.0);
+  EXPECT_GT(result.CyclesPerOutputTuple(), 0.0);
+  EXPECT_GT(result.ProbeThroughput(), 0.0);
 }
 
 TEST(HashJoinTest, DisjointKeysProduceNoMatches) {
@@ -76,8 +85,9 @@ TEST(HashJoinTest, DisjointKeysProduceNoMatches) {
   }
   for (ExecPolicy policy : {ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined,
                         ExecPolicy::kAmac}) {
-    const JoinStats stats = RunHashJoin(r, s, JoinConfig{.policy = policy});
-    EXPECT_EQ(stats.matches, 0u) << ExecPolicyName(policy);
+    Executor exec = MakeExec(policy);
+    const JoinResult result = RunHashJoin(exec, r, s);
+    EXPECT_EQ(result.matches(), 0u) << ExecPolicyName(policy);
   }
 }
 
@@ -92,63 +102,62 @@ TEST(HashJoinTest, PolicyNamesAreStable) {
 // The bench tables render rates for degenerate workloads (empty probe, no
 // matches); the accessors must return exactly 0 — never NaN or inf — so
 // those tables and downstream scripts can rely on it.
-TEST(JoinStatsTest, RateAccessorsReturnZeroOnDefaultStats) {
-  const JoinStats stats;
-  EXPECT_EQ(stats.BuildCyclesPerTuple(), 0.0);
-  EXPECT_EQ(stats.ProbeCyclesPerTuple(), 0.0);
-  EXPECT_EQ(stats.CyclesPerOutputTuple(), 0.0);
-  EXPECT_EQ(stats.ProbeThroughput(), 0.0);
+TEST(JoinResultTest, RateAccessorsReturnZeroOnDefaultResult) {
+  const JoinResult result;
+  EXPECT_EQ(result.BuildCyclesPerTuple(), 0.0);
+  EXPECT_EQ(result.ProbeCyclesPerTuple(), 0.0);
+  EXPECT_EQ(result.CyclesPerOutputTuple(), 0.0);
+  EXPECT_EQ(result.ProbeThroughput(), 0.0);
 }
 
-TEST(JoinStatsTest, EmptyProbeRelationYieldsZeroRates) {
+TEST(JoinResultTest, EmptyProbeRelationYieldsZeroRates) {
   const Relation r = MakeDenseUniqueRelation(256, 71);
   const Relation s(0);
   for (ExecPolicy policy : kAllExecPolicies) {
     for (uint32_t threads : {1u, 4u}) {
-      const JoinStats stats = RunHashJoin(
-          r, s, JoinConfig{.policy = policy, .num_threads = threads});
-      EXPECT_EQ(stats.matches, 0u) << ExecPolicyName(policy);
-      EXPECT_EQ(stats.probe_tuples, 0u);
-      EXPECT_EQ(stats.ProbeCyclesPerTuple(), 0.0) << ExecPolicyName(policy);
-      EXPECT_EQ(stats.CyclesPerOutputTuple(), 0.0) << ExecPolicyName(policy);
-      EXPECT_EQ(stats.ProbeThroughput(), 0.0) << ExecPolicyName(policy);
+      Executor exec = MakeExec(policy, 10, threads);
+      const JoinResult result = RunHashJoin(exec, r, s);
+      EXPECT_EQ(result.matches(), 0u) << ExecPolicyName(policy);
+      EXPECT_EQ(result.probe.inputs, 0u);
+      EXPECT_EQ(result.ProbeCyclesPerTuple(), 0.0) << ExecPolicyName(policy);
+      EXPECT_EQ(result.CyclesPerOutputTuple(), 0.0)
+          << ExecPolicyName(policy);
     }
   }
 }
 
-TEST(JoinStatsTest, EmptyBuildRelationYieldsZeroBuildRates) {
+TEST(JoinResultTest, EmptyBuildRelationYieldsZeroBuildRates) {
   const Relation r(0);
   const Relation s = MakeDenseUniqueRelation(256, 72);
-  const JoinStats stats = RunHashJoin(r, s, JoinConfig{});
-  EXPECT_EQ(stats.build_tuples, 0u);
-  EXPECT_EQ(stats.matches, 0u);
-  EXPECT_EQ(stats.BuildCyclesPerTuple(), 0.0);
-  EXPECT_EQ(stats.CyclesPerOutputTuple(), 0.0);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const JoinResult result = RunHashJoin(exec, r, s);
+  EXPECT_EQ(result.build.inputs, 0u);
+  EXPECT_EQ(result.matches(), 0u);
+  EXPECT_EQ(result.BuildCyclesPerTuple(), 0.0);
+  EXPECT_EQ(result.CyclesPerOutputTuple(), 0.0);
 }
 
-TEST(JoinStatsTest, ProbeThroughputGuardsZeroSeconds) {
-  JoinStats stats;
-  stats.probe_tuples = 100;
-  stats.probe_seconds = 0;  // degenerate timer reading
-  EXPECT_EQ(stats.ProbeThroughput(), 0.0);
-  stats.probe_seconds = 0.5;
-  EXPECT_EQ(stats.ProbeThroughput(), 200.0);
+TEST(JoinResultTest, ProbeThroughputGuardsZeroSeconds) {
+  JoinResult result;
+  result.probe.inputs = 100;
+  result.probe.seconds = 0;  // degenerate timer reading
+  EXPECT_EQ(result.ProbeThroughput(), 0.0);
+  result.probe.seconds = 0.5;
+  EXPECT_EQ(result.ProbeThroughput(), 200.0);
 }
 
 TEST(HashJoinTest, MorselDriverReportsClaimsOnParallelProbe) {
   const uint64_t n = 1 << 14;
   const Relation r = MakeDenseUniqueRelation(n, 73);
   const Relation s = MakeForeignKeyRelation(n, n, 74);
-  JoinConfig config{.policy = ExecPolicy::kAmac, .num_threads = 4};
-  config.morsel_size = 512;
-  JoinStats stats;
+  Executor exec = MakeExec(ExecPolicy::kAmac, 10, 4, /*morsel_size=*/512);
   ChainedHashTable table(r.size(), ChainedHashTable::Options{});
-  BuildPhase(r, config, &table, &stats);
-  ProbePhase(table, s, config, &stats);
-  EXPECT_EQ(stats.probe_morsels, n / 512);
-  EXPECT_EQ(stats.probe_engine.lookups, n);
-  EXPECT_GE(stats.probe_engine.steps, n);
-  EXPECT_EQ(stats.build_engine.lookups, n);
+  const RunStats build = BuildPhase(exec, r, &table);
+  const RunStats probe = ProbePhase(exec, table, s, /*early_exit=*/true);
+  EXPECT_EQ(probe.morsels, n / 512);
+  EXPECT_EQ(probe.engine.lookups, n);
+  EXPECT_GE(probe.engine.steps, n);
+  EXPECT_EQ(build.engine.lookups, n);
 }
 
 }  // namespace

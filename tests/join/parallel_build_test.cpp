@@ -62,14 +62,11 @@ TEST_P(ParallelBuildTest, ZipfSkewedChainsMatchSequentialBuild) {
 
   for (uint32_t threads : {1u, 2u, 3u, 4u, 8u}) {
     ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-    JoinConfig config;
-    config.policy = policy;
-    config.inflight = 8;
-    config.num_threads = threads;
-    JoinStats stats;
-    BuildPhase(rel, config, &table, &stats);
-    EXPECT_EQ(stats.build_tuples, rel.size());
-    EXPECT_EQ(stats.build_engine.lookups, rel.size());
+    Executor exec(
+        ExecConfig{policy, SchedulerParams{8, 1, 0}, threads, 0});
+    const RunStats build = BuildPhase(exec, rel, &table);
+    EXPECT_EQ(build.inputs, rel.size());
+    EXPECT_EQ(build.engine.lookups, rel.size());
     ExpectChainsEqual(AllChains(table), want, ExecPolicyName(policy));
   }
 }
@@ -85,12 +82,9 @@ TEST_P(ParallelBuildTest, DuplicateHeavyChainsMatchSequentialBuild) {
 
   for (uint32_t threads : {1u, 2u, 5u, 8u}) {
     ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-    JoinConfig config;
-    config.policy = policy;
-    config.inflight = 6;
-    config.num_threads = threads;
-    JoinStats stats;
-    BuildPhase(rel, config, &table, &stats);
+    Executor exec(
+        ExecConfig{policy, SchedulerParams{6, 1, 0}, threads, 0});
+    BuildPhase(exec, rel, &table);
     ExpectChainsEqual(AllChains(table), want, ExecPolicyName(policy));
   }
 }
@@ -102,11 +96,8 @@ TEST_P(ParallelBuildTest, MoreThreadsThanTuples) {
   BuildTableUnsync(rel, &reference);
 
   ChainedHashTable table(rel.size(), ChainedHashTable::Options{});
-  JoinConfig config;
-  config.policy = policy;
-  config.num_threads = 8;
-  JoinStats stats;
-  BuildPhase(rel, config, &table, &stats);
+  Executor exec(ExecConfig{policy, SchedulerParams{10, 1, 0}, 8, 0});
+  BuildPhase(exec, rel, &table);
   ExpectChainsEqual(AllChains(table), AllChains(reference),
                     ExecPolicyName(policy));
 }

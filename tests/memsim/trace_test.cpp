@@ -54,9 +54,9 @@ TEST(TraceTest, GroupByWalksAreShortWithHealthyTable) {
   const uint64_t groups = 1024;
   const Relation input = MakeGroupByInput(groups, 3, 146);
   AggregateTable table(groups * 2, AggregateTable::Options{});
-  GroupByConfig config;
-  config.policy = ExecPolicy::kSequential;
-  RunGroupBy(input, config, &table);
+  Executor exec(
+      ExecConfig{ExecPolicy::kSequential, SchedulerParams{}, 1, 0});
+  RunGroupBy(exec, input, &table);
   const auto lengths = CollectGroupByWalkLengths(table, input);
   ASSERT_EQ(lengths.size(), input.size());
   const uint32_t max_len = *std::max_element(lengths.begin(), lengths.end());

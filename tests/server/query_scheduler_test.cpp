@@ -1,0 +1,456 @@
+// QueryScheduler unit and stress tests.
+//
+// The load-bearing property (ISSUE 4): N concurrent mixed queries
+// multiplexed over one shared pool must each produce a result BITWISE
+// IDENTICAL to their solo sequential run, for every ExecPolicy and pool
+// width, and the scheduler's aggregate counters (morsels, engine parks)
+// must equal the sum of the per-query stats.  Plus: ThreadPool task-queue
+// semantics, admission control (FIFO and priority), work-conserving
+// Wait(), and the latency split accounting.
+#include "server/query_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "graph/csr.h"
+#include "graph/graph_ops.h"
+#include "groupby/groupby_ops.h"
+#include "join/hash_join.h"
+#include "join/join_ops.h"
+#include "join/sink.h"
+#include "relation/relation.h"
+#include "skiplist/skiplist.h"
+#include "skiplist/skiplist_ops.h"
+
+namespace amac {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool task queue
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTaskTest, TryRunTaskDrainsInFifoOrder) {
+  ThreadPool pool(1);  // no workers: tasks run only via TryRunTask
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(pool.queued_tasks(), 3u);
+  EXPECT_TRUE(pool.TryRunTask());
+  EXPECT_TRUE(pool.TryRunTask());
+  EXPECT_TRUE(pool.TryRunTask());
+  EXPECT_FALSE(pool.TryRunTask());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTaskTest, WorkersDrainSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  while (ran.load() < 64) {
+    pool.TryRunTask();  // help, and bound the wait
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTaskTest, ForkJoinRunCoexistsWithQueuedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> task_ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&task_ran] { task_ran.fetch_add(1); });
+  }
+  std::atomic<uint32_t> fork_join_ran{0};
+  pool.Run([&](uint32_t) { fork_join_ran.fetch_add(1); });
+  EXPECT_EQ(fork_join_ran.load(), 4u);
+  while (task_ran.load() < 16) {
+    pool.TryRunTask();
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(task_ran.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler basics
+// ---------------------------------------------------------------------------
+
+TEST(QuerySchedulerTest, SingleQueryMatchesExecutorRun) {
+  const Relation r = MakeDenseUniqueRelation(2048, 401);
+  const Relation s = MakeForeignKeyRelation(4000, 2048, 402);
+  ChainedHashTable table(r.size(), ChainedHashTable::Options{});
+  BuildTableUnsync(r, &table);
+
+  Executor exec(
+      ExecConfig{ExecPolicy::kAmac, SchedulerParams{8, 1, 0}, 4, 0});
+  const RunStats expected = exec.Run(Scan(s).Then(Probe<true>(table)));
+
+  QueryScheduler sched(QuerySchedulerOptions{4, 0, AdmissionOrder::kFifo});
+  QueryOptions options;
+  options.policy = ExecPolicy::kAmac;
+  options.params = SchedulerParams{8, 1, 0};
+  const QueryTicket ticket =
+      Submit(sched, Scan(s).Then(Probe<true>(table)), options);
+  const QueryStats q = sched.Wait(ticket);
+
+  EXPECT_EQ(q.run.inputs, s.size());
+  EXPECT_EQ(q.run.outputs, expected.outputs);
+  EXPECT_EQ(q.run.checksum, expected.checksum);
+  EXPECT_EQ(q.run.engine.lookups, s.size());
+  EXPECT_GT(q.run.morsels, 0u);
+  EXPECT_EQ(q.run.threads, 4u);
+}
+
+TEST(QuerySchedulerTest, WaitPumpsTasksOnSingleThreadPool) {
+  // A 1-worker scheduler has NO background workers; Wait() itself must
+  // drain the queue or this test would hang.
+  const Relation rel = MakeDenseUniqueRelation(3000, 403);
+  QueryScheduler sched(QuerySchedulerOptions{1, 0, AdmissionOrder::kFifo});
+  const QueryTicket ticket = Submit(sched, Scan(rel), QueryOptions{});
+  const QueryStats q = sched.Wait(ticket);
+  EXPECT_EQ(q.run.outputs, rel.size());
+}
+
+TEST(QuerySchedulerTest, EmptyQueryCompletes) {
+  const Relation empty;
+  QueryScheduler sched(QuerySchedulerOptions{2, 0, AdmissionOrder::kFifo});
+  const QueryTicket ticket = Submit(sched, Scan(empty), QueryOptions{});
+  const QueryStats q = sched.Wait(ticket);
+  EXPECT_EQ(q.run.inputs, 0u);
+  EXPECT_EQ(q.run.outputs, 0u);
+  EXPECT_GT(q.latency_seconds, 0.0);
+}
+
+TEST(QuerySchedulerTest, LatencySplitIsConsistent) {
+  const Relation rel = MakeDenseUniqueRelation(20000, 404);
+  QueryScheduler sched(QuerySchedulerOptions{2, 0, AdmissionOrder::kFifo});
+  const QueryTicket ticket = Submit(sched, Scan(rel), QueryOptions{});
+  const QueryStats q = sched.Wait(ticket);
+  EXPECT_GT(q.latency_seconds, 0.0);
+  EXPECT_GE(q.latency_seconds, q.run.seconds);
+  EXPECT_GE(q.latency_seconds, q.queue_seconds);
+  EXPECT_EQ(q.run.dispatch_seconds, q.latency_seconds);
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.submitted, 1u);
+  EXPECT_EQ(serving.completed, 1u);
+  EXPECT_GT(serving.p50_latency_seconds, 0.0);
+  EXPECT_GE(serving.p99_latency_seconds, serving.p50_latency_seconds);
+  EXPECT_GE(serving.max_latency_seconds, serving.p99_latency_seconds);
+}
+
+TEST(QuerySchedulerTest, FinishedTurnsTrueAfterWait) {
+  const Relation rel = MakeDenseUniqueRelation(1000, 405);
+  QueryScheduler sched(QuerySchedulerOptions{2, 0, AdmissionOrder::kFifo});
+  const QueryTicket ticket = Submit(sched, Scan(rel), QueryOptions{});
+  sched.Wait(ticket);
+  EXPECT_TRUE(sched.Finished(ticket));
+}
+
+TEST(QuerySchedulerTest, DrainCompletesEverythingWithoutWait) {
+  const Relation rel = MakeDenseUniqueRelation(5000, 406);
+  QueryScheduler sched(QuerySchedulerOptions{2, 1, AdmissionOrder::kFifo});
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back(Submit(sched, Scan(rel), QueryOptions{}));
+  }
+  sched.Drain();
+  for (const QueryTicket& t : tickets) EXPECT_TRUE(sched.Finished(t));
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.submitted, 5u);
+  EXPECT_EQ(serving.completed, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Pipelines whose first row stamps a shared sequence counter: with a
+/// 1-worker scheduler nothing executes until Wait() pumps, so the stamp
+/// order IS the admission order.
+struct TouchOrder {
+  std::atomic<int> next{0};
+  std::atomic<int> touched[8];
+  TouchOrder() {
+    for (auto& t : touched) t.store(-1);
+  }
+};
+
+QueryTicket SubmitStamped(QueryScheduler& sched, const Relation& rel,
+                          std::shared_ptr<TouchOrder> order, int id,
+                          int32_t priority) {
+  QueryOptions options;
+  options.priority = priority;
+  // Single pump thread in these tests (1-worker scheduler, Drain() runs
+  // everything), so a plain first-touch check is race-free.
+  auto stamp = [order, id](const Tuple& t) {
+    if (order->touched[id].load(std::memory_order_relaxed) == -1) {
+      order->touched[id].store(order->next.fetch_add(1));
+    }
+    return t;
+  };
+  return Submit(sched, Scan(rel).Then(Map(stamp)), options);
+}
+
+TEST(QuerySchedulerTest, FifoAdmissionRunsInSubmissionOrder) {
+  const Relation rel = MakeDenseUniqueRelation(512, 407);
+  auto order = std::make_shared<TouchOrder>();
+  QueryScheduler sched(QuerySchedulerOptions{1, 1, AdmissionOrder::kFifo});
+  std::vector<QueryTicket> tickets;
+  for (int id = 0; id < 4; ++id) {
+    tickets.push_back(SubmitStamped(sched, rel, order, id, /*priority=*/id));
+  }
+  sched.Drain();
+  for (int id = 0; id < 4; ++id) {
+    EXPECT_EQ(order->touched[id].load(), id) << "query " << id;
+  }
+}
+
+TEST(QuerySchedulerTest, PriorityAdmissionRunsHighFirst) {
+  const Relation rel = MakeDenseUniqueRelation(512, 408);
+  auto order = std::make_shared<TouchOrder>();
+  QueryScheduler sched(
+      QuerySchedulerOptions{1, 1, AdmissionOrder::kPriority});
+  // Query 0 admits immediately (cap 1); 1..3 queue with rising priority.
+  std::vector<QueryTicket> tickets;
+  for (int id = 0; id < 4; ++id) {
+    tickets.push_back(SubmitStamped(sched, rel, order, id, /*priority=*/id));
+  }
+  sched.Drain();
+  EXPECT_EQ(order->touched[0].load(), 0);  // already admitted
+  EXPECT_EQ(order->touched[3].load(), 1);  // highest priority next
+  EXPECT_EQ(order->touched[2].load(), 2);
+  EXPECT_EQ(order->touched[1].load(), 3);
+}
+
+TEST(QuerySchedulerTest, PriorityTiesAreFifo) {
+  const Relation rel = MakeDenseUniqueRelation(512, 409);
+  auto order = std::make_shared<TouchOrder>();
+  QueryScheduler sched(
+      QuerySchedulerOptions{1, 1, AdmissionOrder::kPriority});
+  std::vector<QueryTicket> tickets;
+  for (int id = 0; id < 4; ++id) {
+    tickets.push_back(SubmitStamped(sched, rel, order, id, /*priority=*/7));
+  }
+  sched.Drain();
+  for (int id = 0; id < 4; ++id) {
+    EXPECT_EQ(order->touched[id].load(), id) << "query " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: mixed queries vs solo sequential oracles
+// ---------------------------------------------------------------------------
+
+struct StressWorkload {
+  Relation r, s, gb_input, idx_probe;
+  std::unique_ptr<ChainedHashTable> table;
+  std::unique_ptr<SkipList> slist;
+  std::unique_ptr<CsrGraph> graph;
+  uint64_t group_capacity = 0;
+
+  struct Oracle {
+    uint64_t outputs = 0;
+    uint64_t checksum = 0;
+  };
+  Oracle join, lookup, walks, groupby, fused;
+};
+
+StressWorkload MakeStressWorkload() {
+  StressWorkload w;
+  const uint64_t n = 4096;
+  w.r = MakeDenseUniqueRelation(n, 411);
+  w.s = MakeForeignKeyRelation(n, n, 412);
+  w.gb_input = MakeZipfRelation(n, n / 8, 0.7, 413);
+  w.idx_probe = MakeZipfRelation(n, 2 * n, 0.4, 414);
+  w.table = std::make_unique<ChainedHashTable>(n,
+                                               ChainedHashTable::Options{});
+  BuildTableUnsync(w.r, w.table.get());
+  w.slist = std::make_unique<SkipList>(n);
+  Rng rng(415);
+  for (const Tuple& t : w.r) w.slist->InsertUnsync(t.key, t.payload, rng);
+  CsrGraph::Options graph_options;
+  graph_options.num_vertices = 1024;
+  graph_options.out_degree = 6;
+  graph_options.seed = 416;
+  w.graph = std::make_unique<CsrGraph>(graph_options);
+  w.group_capacity = n + 1;
+
+  // Solo sequential oracles (schedule-independent results).
+  Executor solo(
+      ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
+  {
+    const RunStats run = solo.Run(Scan(w.s).Then(Probe<true>(*w.table)));
+    w.join = {run.outputs, run.checksum};
+  }
+  {
+    const RunStats run =
+        solo.Run(Scan(w.idx_probe).Then(LookupSkipList(*w.slist)));
+    w.lookup = {run.outputs, run.checksum};
+  }
+  {
+    const RunStats run = solo.Run(Walks(*w.graph, 512, 10, 417));
+    w.walks = {run.outputs, run.checksum};
+  }
+  {
+    AggregateTable agg(w.group_capacity, AggregateTable::Options{});
+    solo.Run(Scan(w.gb_input).Then(Aggregate(agg)));
+    w.groupby = {agg.CountGroups(), agg.Checksum()};
+  }
+  {
+    AggregateTable agg(w.group_capacity, AggregateTable::Options{});
+    solo.Run(Scan(w.s).Then(Probe<true>(*w.table)).Then(Aggregate(agg)));
+    w.fused = {agg.CountGroups(), agg.Checksum()};
+  }
+  return w;
+}
+
+class SchedulerStressTest : public ::testing::TestWithParam<ExecPolicy> {};
+
+TEST_P(SchedulerStressTest, ConcurrentMixedQueriesMatchSoloOracles) {
+  const ExecPolicy policy = GetParam();
+  const StressWorkload w = MakeStressWorkload();
+
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    QueryScheduler sched(
+        QuerySchedulerOptions{workers, 0, AdmissionOrder::kFifo});
+    QueryOptions options;
+    options.policy = policy;
+    options.params = SchedulerParams{8, 2, 0};
+    options.morsel_size = 256;  // many morsels -> real interleaving
+
+    // Submit everything up front so all queries are genuinely in flight
+    // together, then wait.  5 kinds x 2 instances = 10 concurrent queries.
+    std::vector<QueryTicket> tickets;
+    std::vector<std::shared_ptr<AggregateTable>> aggs;
+    std::vector<int> kinds;
+    for (int instance = 0; instance < 2; ++instance) {
+      tickets.push_back(
+          Submit(sched, Scan(w.s).Then(Probe<true>(*w.table)), options));
+      kinds.push_back(0);
+      tickets.push_back(Submit(
+          sched, Scan(w.idx_probe).Then(LookupSkipList(*w.slist)), options));
+      kinds.push_back(1);
+      tickets.push_back(Submit(sched, Walks(*w.graph, 512, 10, 417),
+                               options));
+      kinds.push_back(2);
+      auto gb_agg = std::make_shared<AggregateTable>(
+          w.group_capacity, AggregateTable::Options{});
+      tickets.push_back(Submit(
+          sched, Scan(w.gb_input).Then(Aggregate(*gb_agg)), options));
+      kinds.push_back(3);
+      aggs.push_back(gb_agg);
+      auto fused_agg = std::make_shared<AggregateTable>(
+          w.group_capacity, AggregateTable::Options{});
+      tickets.push_back(
+          Submit(sched,
+                 Scan(w.s).Then(Probe<true>(*w.table)).Then(
+                     Aggregate(*fused_agg)),
+                 options));
+      kinds.push_back(4);
+      aggs.push_back(fused_agg);
+    }
+
+    uint64_t total_morsels = 0;
+    EngineStats total_engine;
+    size_t agg_index = 0;
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      const QueryStats q = sched.Wait(tickets[i]);
+      const std::string label = std::string(ExecPolicyName(policy)) +
+                                " workers=" + std::to_string(workers) +
+                                " query=" + std::to_string(i);
+      total_morsels += q.run.morsels;
+      total_engine.Merge(q.run.engine);
+      EXPECT_GT(q.latency_seconds, 0.0) << label;
+      switch (kinds[i]) {
+        case 0:
+          EXPECT_EQ(q.run.outputs, w.join.outputs) << label;
+          EXPECT_EQ(q.run.checksum, w.join.checksum) << label;
+          EXPECT_EQ(q.run.engine.lookups, w.s.size()) << label;
+          break;
+        case 1:
+          EXPECT_EQ(q.run.outputs, w.lookup.outputs) << label;
+          EXPECT_EQ(q.run.checksum, w.lookup.checksum) << label;
+          break;
+        case 2:
+          EXPECT_EQ(q.run.outputs, w.walks.outputs) << label;
+          EXPECT_EQ(q.run.checksum, w.walks.checksum) << label;
+          break;
+        case 3:
+          EXPECT_EQ(aggs[agg_index]->CountGroups(), w.groupby.outputs)
+              << label;
+          EXPECT_EQ(aggs[agg_index]->Checksum(), w.groupby.checksum)
+              << label;
+          ++agg_index;
+          break;
+        default:
+          EXPECT_EQ(aggs[agg_index]->CountGroups(), w.fused.outputs)
+              << label;
+          EXPECT_EQ(aggs[agg_index]->Checksum(), w.fused.checksum) << label;
+          ++agg_index;
+          break;
+      }
+    }
+
+    // Aggregate accounting: scheduler totals equal the per-query sums.
+    const ServingStats serving = sched.serving_stats();
+    EXPECT_EQ(serving.submitted, tickets.size());
+    EXPECT_EQ(serving.completed, tickets.size());
+    EXPECT_EQ(serving.morsels, total_morsels);
+    EXPECT_EQ(serving.engine.lookups, total_engine.lookups);
+    EXPECT_EQ(serving.engine.steps, total_engine.steps);
+    EXPECT_EQ(serving.engine.parks, total_engine.parks);
+    EXPECT_EQ(serving.engine.retries, total_engine.retries);
+    EXPECT_EQ(serving.engine.noops, total_engine.noops);
+  }
+}
+
+TEST_P(SchedulerStressTest, ConcurrentClientsWithAdmissionCap) {
+  // 4 client threads x 3 queries over a 2-worker pool with max_inflight 2:
+  // admission queueing, client pumping, and completion all race here.
+  const ExecPolicy policy = GetParam();
+  const StressWorkload w = MakeStressWorkload();
+  QueryScheduler sched(
+      QuerySchedulerOptions{2, 2, AdmissionOrder::kFifo});
+  QueryOptions options;
+  options.policy = policy;
+  options.params = SchedulerParams{8, 2, 0};
+  options.morsel_size = 512;
+
+  std::atomic<uint64_t> divergent{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        const QueryTicket ticket =
+            Submit(sched, Scan(w.s).Then(Probe<true>(*w.table)), options);
+        const QueryStats q = sched.Wait(ticket);
+        if (q.run.outputs != w.join.outputs ||
+            q.run.checksum != w.join.checksum) {
+          divergent.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(divergent.load(), 0u);
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.submitted, 12u);
+  EXPECT_EQ(serving.completed, 12u);
+  EXPECT_GT(serving.p50_latency_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerStressTest,
+                         ::testing::ValuesIn(kAllExecPolicies),
+                         [](const auto& info) {
+                           return ExecPolicyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace amac

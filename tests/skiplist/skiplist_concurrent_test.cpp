@@ -95,11 +95,9 @@ TEST_P(SkipInsertMtTest, MultiThreadedKernelBuildsCompleteList) {
   const uint64_t n = 8000;
   const Relation rel = MakeDenseUniqueRelation(n, 301);
   SkipList list(n);
-  const SkipListConfig config{
-      .policy = policy, .inflight = 8, .stages = 6, .num_threads = 4};
-  SkipList* list_ptr = &list;
-  const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);
+  Executor exec(ExecConfig{policy, SchedulerParams{8, 6, 0}, 4, 0});
+  const RunStats run = RunSkipListInsert(exec, &list, rel);
+  EXPECT_EQ(run.outputs, n) << ExecPolicyName(policy);
   EXPECT_EQ(list.size(), n);
   std::set<int64_t> expected;
   for (const Tuple& t : rel) expected.insert(t.key);
@@ -120,11 +118,9 @@ TEST_P(SkipInsertMtTest, OverlappingKeysAcrossThreads) {
     rel[i] = Tuple{static_cast<int64_t>(i % n + 1), static_cast<int64_t>(i)};
   }
   SkipList list(rel.size());
-  const SkipListConfig config{
-      .policy = policy, .inflight = 6, .stages = 4, .num_threads = 4};
-  SkipList* list_ptr = &list;
-  const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);
+  Executor exec(ExecConfig{policy, SchedulerParams{6, 4, 0}, 4, 0});
+  const RunStats run = RunSkipListInsert(exec, &list, rel);
+  EXPECT_EQ(run.outputs, n) << ExecPolicyName(policy);
   EXPECT_EQ(list.size(), n);
   std::set<int64_t> expected;
   for (uint64_t k = 1; k <= n; ++k) expected.insert(static_cast<int64_t>(k));

@@ -129,11 +129,11 @@ TEST_P(SkipSearchEngineTest, MatchesBaseline) {
 
   CountChecksumSink baseline, sink;
   SkipSearchBaseline(list, probe, 0, probe.size(), baseline);
-  const SkipListConfig config{.policy = policy, .inflight = m, .stages = 6};
-  const SkipListStats stats = RunSkipListSearch(list, probe, config);
+  Executor exec(ExecConfig{policy, SchedulerParams{m, 6, 0}, 1, 0});
+  const RunStats run = RunSkipListSearch(exec, list, probe);
   (void)sink;
-  EXPECT_EQ(stats.matches, baseline.matches()) << ExecPolicyName(policy);
-  EXPECT_EQ(stats.checksum, baseline.checksum()) << ExecPolicyName(policy);
+  EXPECT_EQ(run.outputs, baseline.matches()) << ExecPolicyName(policy);
+  EXPECT_EQ(run.checksum, baseline.checksum()) << ExecPolicyName(policy);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -179,10 +179,9 @@ TEST_P(SkipInsertEngineTest, BuildsSameKeySet) {
   const uint64_t n = 2500;
   const Relation rel = MakeDenseUniqueRelation(n, 96);
   SkipList list(n);
-  const SkipListConfig config{.policy = policy, .inflight = m, .stages = 6};
-  SkipList* list_ptr = &list;
-  const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, n) << ExecPolicyName(policy);  // all inserted
+  Executor exec(ExecConfig{policy, SchedulerParams{m, 6, 0}, 1, 0});
+  const RunStats run = RunSkipListInsert(exec, &list, rel);
+  EXPECT_EQ(run.outputs, n) << ExecPolicyName(policy);  // all inserted
   EXPECT_EQ(list.size(), n);
   // Contents identical to a reference build (checksum is height-agnostic).
   SkipList ref(n);
@@ -205,10 +204,9 @@ TEST_P(SkipInsertEngineTest, DuplicatesSkipped) {
                    static_cast<int64_t>(i)};
   }
   SkipList list(rel.size());
-  const SkipListConfig config{.policy = policy, .inflight = m, .stages = 4};
-  SkipList* list_ptr = &list;
-  const SkipListStats stats = RunSkipListInsert(list_ptr, rel, config);
-  EXPECT_EQ(stats.matches, 100u) << ExecPolicyName(policy);
+  Executor exec(ExecConfig{policy, SchedulerParams{m, 4, 0}, 1, 0});
+  const RunStats run = RunSkipListInsert(exec, &list, rel);
+  EXPECT_EQ(run.outputs, 100u) << ExecPolicyName(policy);
   EXPECT_EQ(list.size(), 100u);
 }
 
