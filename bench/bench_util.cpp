@@ -88,4 +88,114 @@ void PrintHeader(const std::string& artifact, const std::string& notes) {
   std::printf("########################################################\n");
 }
 
+namespace {
+
+/// Minimal escaping for the strings our benches emit (policy/workload
+/// names): quotes, backslashes, and control characters.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonWriter::JsonWriter(const std::string& path, const std::string& bench) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::printf("ERROR: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file_, "{");
+  Field("bench", bench);
+}
+
+JsonWriter::~JsonWriter() {
+  if (file_ != nullptr) Close();
+}
+
+void JsonWriter::Key(const std::string& key) {
+  std::fprintf(file_, "%s\n%s\"%s\": ", first_in_scope_ ? "" : ",",
+               in_point_ ? "      " : "  ", JsonEscape(key).c_str());
+  first_in_scope_ = false;
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  if (!ok()) return;
+  Key(key);
+  std::fprintf(file_, "\"%s\"", JsonEscape(value).c_str());
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  if (!ok()) return;
+  Key(key);
+  std::fprintf(file_, "%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Field(const std::string& key, int64_t value) {
+  if (!ok()) return;
+  Key(key);
+  std::fprintf(file_, "%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  if (!ok()) return;
+  Key(key);
+  // Fixed-point with enough digits for throughputs and millisecond
+  // latencies alike; JSON has no infinity/NaN, so degenerate values
+  // (unmeasured points) are emitted as 0.
+  if (!(value > -1e300 && value < 1e300)) value = 0;
+  std::fprintf(file_, "%.6f", value);
+}
+
+void JsonWriter::BeginSeries() {
+  if (!ok()) return;
+  std::fprintf(file_, "%s\n  \"series\": [", first_in_scope_ ? "" : ",");
+  in_series_ = true;
+  first_in_scope_ = true;
+}
+
+void JsonWriter::ClosePoint() {
+  if (in_point_) {
+    std::fprintf(file_, "\n    }");
+    in_point_ = false;
+    // Back in the series scope, which now has at least this point.
+    first_in_scope_ = false;
+  }
+}
+
+void JsonWriter::BeginPoint() {
+  if (!ok()) return;
+  ClosePoint();
+  std::fprintf(file_, "%s\n    {", first_in_scope_ ? "" : ",");
+  in_point_ = true;
+  first_in_scope_ = true;
+}
+
+bool JsonWriter::Close() {
+  if (file_ == nullptr) return false;
+  ClosePoint();
+  if (in_series_) {
+    std::fprintf(file_, "\n  ]");
+    in_series_ = false;
+  }
+  std::fprintf(file_, "\n}\n");
+  const bool ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok;
+}
+
 }  // namespace amac::bench

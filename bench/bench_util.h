@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,5 +81,59 @@ std::string SkewLabel(double zr, double zs);
 
 /// Banner naming the paper artifact this binary regenerates.
 void PrintHeader(const std::string& artifact, const std::string& notes);
+
+/// Streaming writer for the machine-readable perf artifacts CI uploads
+/// (BENCH_*.json): one flat object of header fields plus one "series"
+/// array of flat point objects.  Shared by fig06/fig12/ext_serving/
+/// ext_adaptive so the escaping/comma bookkeeping lives in exactly one
+/// place.
+///
+///   JsonWriter json(path, "fig12_fused_join_groupby");
+///   json.Field("scale", scale);
+///   json.BeginSeries();
+///   for (...) { json.BeginPoint(); json.Field("policy", name); ... }
+///   ok = json.Close();
+class JsonWriter {
+ public:
+  /// Opens `path` and writes the object header with a "bench" name field.
+  JsonWriter(const std::string& path, const std::string& bench);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// False when the file could not be opened (an error was printed).
+  bool ok() const { return file_ != nullptr; }
+
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, int64_t value);
+  void Field(const std::string& key, double value);
+  // Disambiguating delegates (an int literal would otherwise be torn
+  // between the integer and double overloads).
+  void Field(const std::string& key, uint32_t value) {
+    Field(key, uint64_t{value});
+  }
+  void Field(const std::string& key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+
+  /// Start the "series" array; every point between BeginPoint() calls is
+  /// one flat object of Field()s.
+  void BeginSeries();
+  void BeginPoint();
+
+  /// Close all open scopes and the file; false on any I/O failure.
+  bool Close();
+
+ private:
+  void Key(const std::string& key);
+  void ClosePoint();
+
+  std::FILE* file_ = nullptr;
+  bool in_series_ = false;
+  bool in_point_ = false;
+  bool first_in_scope_ = true;
+};
 
 }  // namespace amac::bench

@@ -1,0 +1,403 @@
+// Adaptive extension: ExecPolicy::kAdaptive vs the static-policy oracle
+// grid, across every workload family the runtime serves.
+//
+// The paper's sensitivity results say there is no single best schedule:
+// the winner flips with the data structure, hit rate, skew, and
+// contention.  This bench quantifies what the adaptive governor buys on
+// top of that observation — for each workload it measures every static
+// policy (the oracle grid the governor searches), then the governed run,
+// and reports "adaptive within X% of oracle-best everywhere, no hand
+// tuning".  The adaptive executor warms its calibration cache on one
+// untimed run, so the measured repetitions show steady state (cache hit +
+// epsilon exploration), exactly how a serving system would see it.
+//
+// Every run is verified against a solo sequential oracle
+// (schedule-independent outputs/checksums), and the binary exits nonzero
+// on divergence, zero throughput, or adaptive < 0.5x best-static — the
+// CI bench-smoke contract (--quick).
+//
+//   --quick       CI smoke: scale 2^14, fewer reps
+//   --threads=N   executor/scheduler width (0 = min(4, hardware))
+//   --json=PATH   machine-readable series (BENCH_ext_adaptive.json)
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cycle_timer.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/pipeline.h"
+#include "graph/csr.h"
+#include "graph/graph_ops.h"
+#include "groupby/groupby_ops.h"
+#include "join/join_ops.h"
+#include "server/query_scheduler.h"
+#include "skiplist/skiplist.h"
+#include "skiplist/skiplist_ops.h"
+
+namespace amac::bench {
+namespace {
+
+/// One measured run: timing plus the schedule-independent result.
+struct Outcome {
+  double seconds = 0;
+  uint64_t inputs = 0;
+  uint64_t outputs = 0;
+  uint64_t checksum = 0;
+  AdaptiveStats adaptive;
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(inputs) / seconds : 0;
+  }
+};
+
+/// A workload family: `run` executes one repetition on the given executor
+/// (allocating any per-run state, e.g. a fresh AggregateTable).
+struct AdaptiveWorkload {
+  std::string name;
+  std::function<Outcome(Executor&)> run;
+};
+
+/// Shared inputs for every workload family.
+struct Datasets {
+  PreparedJoin uniform;      ///< dense R, FK S
+  PreparedJoin zipf;         ///< skewed build and probe keys
+  Relation gb_input;
+  Relation idx_probe;
+  std::unique_ptr<SkipList> slist;
+  std::unique_ptr<CsrGraph> graph;
+  uint64_t group_capacity = 0;
+  uint64_t walkers = 0;
+};
+
+Datasets PrepareDatasets(uint64_t scale) {
+  Datasets d;
+  d.uniform = PrepareJoin(scale, scale, 0, 0, 1301);
+  d.zipf = PrepareJoin(scale, scale, 0.75, 0.75, 1302);
+  d.gb_input = MakeZipfRelation(scale, scale / 8 + 1, 0.6, 1303);
+  d.idx_probe = MakeZipfRelation(scale, 2 * scale, 0.3, 1304);
+  d.slist = std::make_unique<SkipList>(scale);
+  {
+    Rng rng(1305);
+    const Relation keys = MakeDenseUniqueRelation(scale, 1306);
+    for (const Tuple& t : keys) d.slist->InsertUnsync(t.key, t.payload, rng);
+  }
+  CsrGraph::Options graph_options;
+  graph_options.num_vertices = std::max<uint64_t>(64, scale / 4);
+  graph_options.out_degree = 8;
+  graph_options.seed = 1307;
+  d.graph = std::make_unique<CsrGraph>(graph_options);
+  d.walkers = scale;
+  d.group_capacity = scale + 1;
+  return d;
+}
+
+std::vector<AdaptiveWorkload> BuildWorkloads(const Datasets& d) {
+  const auto sink_outcome = [](const RunStats& run) {
+    Outcome out;
+    out.seconds = run.seconds;
+    out.inputs = run.inputs;
+    out.outputs = run.outputs;
+    out.checksum = run.checksum;
+    out.adaptive = run.adaptive;
+    return out;
+  };
+  std::vector<AdaptiveWorkload> workloads;
+  workloads.push_back({"probe-uniform", [&d, sink_outcome](Executor& exec) {
+    return sink_outcome(
+        exec.Run(Scan(d.uniform.s).Then(Probe<true>(*d.uniform.table))));
+  }});
+  workloads.push_back({"probe-zipf", [&d, sink_outcome](Executor& exec) {
+    return sink_outcome(
+        exec.Run(Scan(d.zipf.s).Then(Probe<true>(*d.zipf.table))));
+  }});
+  workloads.push_back({"group-by", [&d, sink_outcome](Executor& exec) {
+    AggregateTable agg(d.group_capacity, AggregateTable::Options{});
+    Outcome out =
+        sink_outcome(exec.Run(Scan(d.gb_input).Then(Aggregate(agg))));
+    out.outputs = agg.CountGroups();
+    out.checksum = agg.Checksum();
+    return out;
+  }});
+  workloads.push_back({"skiplist", [&d, sink_outcome](Executor& exec) {
+    return sink_outcome(
+        exec.Run(Scan(d.idx_probe).Then(LookupSkipList(*d.slist))));
+  }});
+  workloads.push_back({"walks", [&d, sink_outcome](Executor& exec) {
+    return sink_outcome(exec.Run(Walks(*d.graph, d.walkers, 8, 1308)));
+  }});
+  workloads.push_back({"fused-join-gb", [&d, sink_outcome](Executor& exec) {
+    AggregateTable agg(d.group_capacity, AggregateTable::Options{});
+    Outcome out = sink_outcome(exec.Run(Scan(d.uniform.s)
+                                            .Then(Probe<true>(*d.uniform.table))
+                                            .Then(Aggregate(agg))));
+    out.outputs = agg.CountGroups();
+    out.checksum = agg.Checksum();
+    return out;
+  }});
+  return workloads;
+}
+
+/// Best-of-reps measurement; `warmups` untimed runs first (the adaptive
+/// executor calibrates there, so measured reps ride the cache).
+Outcome Measure(Executor& exec, const AdaptiveWorkload& workload,
+                uint32_t reps, uint32_t warmups) {
+  for (uint32_t i = 0; i < warmups; ++i) workload.run(exec);
+  Outcome best;
+  for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
+    const Outcome out = workload.run(exec);
+    if (rep == 0 || (out.seconds > 0 && out.seconds < best.seconds)) {
+      best = out;
+    }
+  }
+  return best;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args;
+  args.flags.DefineBool("quick", false,
+                        "CI smoke: scale 2^14, fewer reps");
+  args.flags.DefineInt("threads", 0,
+                       "executor width (0 = min(4, hardware threads))");
+  args.flags.DefineString("json", "",
+                          "write the adaptive-vs-oracle series as JSON to "
+                          "this path");
+  args.Define(/*default_scale_log2=*/18);
+  args.Parse(argc, argv);
+  const bool quick = args.flags.GetBool("quick");
+  if (quick) {
+    args.scale = uint64_t{1} << 14;
+    // 3 reps: min-of-reps denoises the 0.5x CI floor on loaded shared
+    // runners (the adaptive measurement rides the calibration cache, so
+    // extra reps are cheap).
+    args.reps = 3;
+  }
+  uint32_t threads = static_cast<uint32_t>(args.flags.GetInt("threads"));
+  if (threads == 0) {
+    threads = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  PrintHeader(
+      "Adaptive extension: kAdaptive vs the static-policy oracle grid",
+      (quick ? std::string("CI smoke (--quick): scale 2^14")
+             : "scale 2^" + std::to_string(args.flags.GetInt("scale_log2"))) +
+          ", " + std::to_string(threads) + " thread(s), M=" +
+          std::to_string(args.inflight) +
+          " for static policies; adaptive searches policy x {4,10,16,32}");
+
+  Datasets d = PrepareDatasets(args.scale);
+  const std::vector<AdaptiveWorkload> workloads = BuildWorkloads(d);
+
+  const std::string json_path = args.flags.GetString("json");
+  std::unique_ptr<JsonWriter> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<JsonWriter>(json_path, "ext_adaptive");
+    json->Field("scale", args.scale);
+    json->Field("threads", threads);
+    json->BeginSeries();
+  }
+
+  TablePrinter table(
+      "ext_adaptive: adaptive vs best/worst static throughput (Minputs/s, " +
+          std::to_string(threads) + " thread(s))",
+      {"workload", "adaptive", "best static", "worst static", "vs best",
+       "chosen", "switches"});
+  bool ok = true;
+  const SchedulerParams static_params{args.inflight, 2, 0};
+  for (const AdaptiveWorkload& workload : workloads) {
+    // Sequential solo oracle: the result every schedule must reproduce.
+    Executor oracle_exec(
+        ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
+    const Outcome oracle = Measure(oracle_exec, workload, 1, 0);
+
+    // The static-policy oracle grid at the paper's default M.
+    double best_static = 0, worst_static = 0;
+    const char* best_policy = "?";
+    for (ExecPolicy policy : kAllExecPolicies) {
+      Executor exec(ExecConfig{policy, static_params, threads, 0});
+      const Outcome out = Measure(exec, workload, args.reps, 0);
+      if (out.outputs != oracle.outputs ||
+          out.checksum != oracle.checksum) {
+        std::printf("ERROR: %s %s diverges from the sequential oracle\n",
+                    workload.name.c_str(), ExecPolicyName(policy));
+        ok = false;
+      }
+      const double tput = out.Throughput();
+      if (best_static == 0 || tput > best_static) {
+        best_static = tput;
+        best_policy = SeriesName(policy);
+      }
+      if (worst_static == 0 || tput < worst_static) worst_static = tput;
+    }
+
+    // The governed run: one warmup (calibration) + measured cache-hit reps.
+    Executor adaptive_exec(
+        ExecConfig{ExecPolicy::kAdaptive, static_params, threads, 0});
+    const Outcome adaptive = Measure(adaptive_exec, workload, args.reps, 1);
+    if (adaptive.outputs != oracle.outputs ||
+        adaptive.checksum != oracle.checksum) {
+      std::printf("ERROR: %s adaptive diverges from the sequential oracle\n",
+                  workload.name.c_str());
+      ok = false;
+    }
+    if (!adaptive.adaptive.active || !adaptive.adaptive.cache_hit) {
+      std::printf("ERROR: %s adaptive run did not report a governed "
+                  "cache-hit execution\n",
+                  workload.name.c_str());
+      ok = false;
+    }
+    const double adaptive_tput = adaptive.Throughput();
+    const double ratio =
+        best_static > 0 ? adaptive_tput / best_static : 0;
+    if (adaptive_tput <= 0) {
+      std::printf("ERROR: %s adaptive throughput is zero\n",
+                  workload.name.c_str());
+      ok = false;
+    } else if (ratio < 0.5) {
+      std::printf("ERROR: %s adaptive is %.2fx best-static (< 0.5x)\n",
+                  workload.name.c_str(), ratio);
+      ok = false;
+    }
+
+    table.AddRow({workload.name, TablePrinter::Fmt(adaptive_tput / 1e6, 2),
+                  TablePrinter::Fmt(best_static / 1e6, 2),
+                  TablePrinter::Fmt(worst_static / 1e6, 2),
+                  TablePrinter::Fmt(ratio, 2),
+                  std::string(ExecPolicyName(
+                      adaptive.adaptive.chosen_policy)) +
+                      "/" +
+                      std::to_string(adaptive.adaptive.chosen_inflight),
+                  std::to_string(adaptive.adaptive.tuning_switches)});
+    if (json) {
+      json->BeginPoint();
+      json->Field("workload", workload.name);
+      json->Field("adaptive_inputs_per_sec", adaptive_tput);
+      json->Field("best_static_inputs_per_sec", best_static);
+      json->Field("worst_static_inputs_per_sec", worst_static);
+      json->Field("best_static_policy", std::string(best_policy));
+      json->Field("adaptive_vs_best", ratio);
+      json->Field("chosen_policy",
+                  std::string(
+                      ExecPolicyName(adaptive.adaptive.chosen_policy)));
+      json->Field("chosen_inflight", adaptive.adaptive.chosen_inflight);
+      json->Field("tuning_switches", adaptive.adaptive.tuning_switches);
+    }
+  }
+  table.Print();
+
+  // ---- Mixed concurrent serving: governed queries on one shared pool ----
+  // The same shapes submitted concurrently through a QueryScheduler, the
+  // adaptive path vs the best single hand-picked static policy.  Every
+  // completed query is checked against its solo sequential oracle.
+  struct ServingOracle {
+    uint64_t outputs;
+    uint64_t checksum;
+  };
+  std::vector<ServingOracle> serving_oracles;
+  {
+    Executor solo(
+        ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
+    for (const RunStats& run :
+         {solo.Run(Scan(d.uniform.s).Then(Probe<true>(*d.uniform.table))),
+          solo.Run(Scan(d.idx_probe).Then(LookupSkipList(*d.slist))),
+          solo.Run(Walks(*d.graph, d.walkers, 8, 1308))}) {
+      serving_oracles.push_back({run.outputs, run.checksum});
+    }
+  }
+  const uint32_t rounds = quick ? 2 : 4;
+  const auto run_serving = [&](ExecPolicy policy) {
+    QueryScheduler sched(
+        QuerySchedulerOptions{threads, 2 * threads, AdmissionOrder::kFifo});
+    QueryOptions options;
+    options.policy = policy;
+    options.params = static_params;
+    uint64_t queries = 0, divergent = 0;
+    WallTimer wall;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      std::vector<QueryTicket> tickets;
+      tickets.push_back(Submit(
+          sched, Scan(d.uniform.s).Then(Probe<true>(*d.uniform.table)),
+          options));
+      tickets.push_back(Submit(
+          sched, Scan(d.idx_probe).Then(LookupSkipList(*d.slist)), options));
+      tickets.push_back(
+          Submit(sched, Walks(*d.graph, d.walkers, 8, 1308), options));
+      queries += tickets.size();
+      for (size_t i = 0; i < tickets.size(); ++i) {
+        const QueryStats q = sched.Wait(tickets[i]);
+        if (q.run.outputs != serving_oracles[i].outputs ||
+            q.run.checksum != serving_oracles[i].checksum) {
+          ++divergent;
+        }
+      }
+    }
+    const double seconds = wall.ElapsedSeconds();
+    const ServingStats serving = sched.serving_stats();
+    if (serving.completed != queries) {
+      std::printf("ERROR: serving-mix completed %llu of %llu queries\n",
+                  static_cast<unsigned long long>(serving.completed),
+                  static_cast<unsigned long long>(queries));
+      ok = false;
+    }
+    if (divergent > 0) {
+      std::printf("ERROR: serving-mix (%s): %llu queries diverged from "
+                  "the solo oracle\n",
+                  ExecPolicyName(policy),
+                  static_cast<unsigned long long>(divergent));
+      ok = false;
+    }
+    return seconds > 0 ? static_cast<double>(queries) / seconds : 0;
+  };
+
+  double best_serving = 0;
+  const char* best_serving_policy = "?";
+  for (ExecPolicy policy : kAllExecPolicies) {
+    const double qps = run_serving(policy);
+    if (qps > best_serving) {
+      best_serving = qps;
+      best_serving_policy = SeriesName(policy);
+    }
+  }
+  const double adaptive_serving = run_serving(ExecPolicy::kAdaptive);
+  const double serving_ratio =
+      best_serving > 0 ? adaptive_serving / best_serving : 0;
+  std::printf(
+      "serving-mix: adaptive %.1f q/s vs best static (%s) %.1f q/s "
+      "(%.2fx)\n",
+      adaptive_serving, best_serving_policy, best_serving, serving_ratio);
+  if (adaptive_serving <= 0 || serving_ratio < 0.5) {
+    std::printf("ERROR: serving-mix adaptive is %.2fx best-static\n",
+                serving_ratio);
+    ok = false;
+  }
+  if (json) {
+    json->BeginPoint();
+    json->Field("workload", std::string("serving-mix"));
+    json->Field("adaptive_queries_per_sec", adaptive_serving);
+    json->Field("best_static_queries_per_sec", best_serving);
+    json->Field("best_static_policy", std::string(best_serving_policy));
+    json->Field("adaptive_vs_best", serving_ratio);
+    ok = json->Close() && ok;
+  }
+
+  if (!quick) {
+    std::printf(
+        "expected shape: adaptive tracks the per-workload best static "
+        "schedule (prefetching ones on pointer-chasing probes, Baseline "
+        "where working sets fit in cache) without any hand tuning; the "
+        "0.5x floor is the CI guardrail, steady state should sit well "
+        "above 0.8x.\n");
+  }
+  std::printf("ext_adaptive: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace amac::bench
+
+int main(int argc, char** argv) { return amac::bench::Run(argc, argv); }

@@ -282,6 +282,9 @@ int Run(int argc, char** argv) {
   BenchArgs args;
   args.flags.DefineBool("quick", false,
                         "CI smoke: small scale, 8 clients, verify only");
+  args.flags.DefineString("json", "",
+                          "write the per-policy load series as JSON to "
+                          "this path");
   args.flags.DefineInt("workers", 0,
                        "scheduler pool size (0 = hardware threads)");
   args.flags.DefineInt("max_inflight", 0,
@@ -324,6 +327,16 @@ int Run(int argc, char** argv) {
     }
   }
 
+  const std::string json_path = args.flags.GetString("json");
+  std::unique_ptr<JsonWriter> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<JsonWriter>(json_path, "ext_serving");
+    json->Field("scale", args.scale);
+    json->Field("workers", workers);
+    json->Field("max_inflight", max_inflight);
+    json->BeginSeries();
+  }
+
   bool ok = true;
   for (ExecPolicy policy : kAllExecPolicies) {
     TablePrinter table(
@@ -335,9 +348,22 @@ int Run(int argc, char** argv) {
       const LoadPoint point = RunLoad(w, policy, workers, max_inflight,
                                       clients, per_client, args.inflight);
       ok = ReportPoint(&table, point) && ok;
+      if (json) {
+        json->BeginPoint();
+        json->Field("policy", std::string(ExecPolicyName(policy)));
+        json->Field("clients", clients);
+        json->Field("queries_per_sec",
+                    point.seconds > 0
+                        ? static_cast<double>(point.queries) / point.seconds
+                        : 0.0);
+        json->Field("p50_ms", point.serving.p50_latency_seconds * 1e3);
+        json->Field("p95_ms", point.serving.p95_latency_seconds * 1e3);
+        json->Field("p99_ms", point.serving.p99_latency_seconds * 1e3);
+      }
     }
     table.Print();
   }
+  if (json) ok = json->Close() && ok;
   if (!quick) {
     std::printf(
         "expected shape: throughput rises with clients until the pool "

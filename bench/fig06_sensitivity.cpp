@@ -1,7 +1,14 @@
 // Figure 6: probe cycles-per-tuple sensitivity to the tuning parameter
 // (number of in-flight lookups, 1..19) for GP, SPP, and AMAC, across the
 // five [ZR, ZS] skew configurations of the large join.
+//
+// This policy x inflight grid is exactly the candidate space the adaptive
+// governor (src/adaptive/) searches, so the bench doubles as the perf
+// trajectory's view of that surface: --json writes every (skew, M, policy)
+// point as a machine-readable artifact (CI's BENCH_fig06.json), and
+// --quick shrinks the scale for the bench-smoke job.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -13,16 +20,39 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchArgs args;
+  args.flags.DefineBool("quick", false,
+                        "CI smoke mode: scale 2^14, 1 rep");
+  args.flags.DefineString("json", "",
+                          "write the policy x inflight sensitivity grid "
+                          "as JSON to this path");
   args.Define(/*default_scale_log2=*/22);
   args.Parse(argc, argv);
+  const bool quick = args.flags.GetBool("quick");
+  if (quick) {
+    args.scale = uint64_t{1} << 14;
+    args.reps = 1;
+  }
 
   PrintHeader("Figure 6 (probe cycles vs in-flight lookups, 2GB-class join)",
-              "sweep M = 1..19 as in the paper's sensitivity plots");
+              quick ? "CI smoke (--quick): sweep M = 1..19 at scale 2^14"
+                    : "sweep M = 1..19 as in the paper's sensitivity plots");
 
   const double kSkews[][2] = {
       {0, 0}, {0.5, 0}, {1, 0}, {0.5, 0.5}, {1, 1}};
   const uint32_t kWindows[] = {1, 3, 5, 7, 9, 11, 15, 19};
+  constexpr ExecPolicy kSweepPolicies[] = {ExecPolicy::kGroupPrefetch,
+                                           ExecPolicy::kSoftwarePipelined,
+                                           ExecPolicy::kAmac};
 
+  const std::string json_path = args.flags.GetString("json");
+  std::unique_ptr<JsonWriter> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<JsonWriter>(json_path, "fig06_sensitivity");
+    json->Field("scale", args.scale);
+    json->BeginSeries();
+  }
+
+  bool ok = true;
   // One skew at a time (each prepared join holds several hundred MB).
   for (const auto& skew : kSkews) {
     const double zr = skew[0], zs = skew[1];
@@ -34,22 +64,37 @@ int Run(int argc, char** argv) {
         {"M", "GP", "SPP", "AMAC"});
     for (uint32_t m : kWindows) {
       std::vector<std::string> row{std::to_string(m)};
-      for (ExecPolicy policy : {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac}) {
+      for (ExecPolicy policy : kSweepPolicies) {
         Executor exec(
             ExecConfig{policy, SchedulerParams{m, 1, 0}, 1, 0});
         // First-match semantics (Listing 1).
         const RunStats run = MeasureProbe(exec, prepared, true, args.reps);
-        row.push_back(TablePrinter::Fmt(run.CyclesPerInput(), 1));
+        const double cycles_per_tuple = run.CyclesPerInput();
+        row.push_back(TablePrinter::Fmt(cycles_per_tuple, 1));
+        if (cycles_per_tuple <= 0) {
+          std::printf("ERROR: %s M=%u measured zero cycles/tuple\n",
+                      ExecPolicyName(policy), m);
+          ok = false;
+        }
+        if (json) {
+          json->BeginPoint();
+          json->Field("zr", zr);
+          json->Field("zs", zs);
+          json->Field("inflight", m);
+          json->Field("policy", std::string(SeriesName(policy)));
+          json->Field("cycles_per_tuple", cycles_per_tuple);
+        }
       }
       table.AddRow(row);
     }
     table.Print();
   }
+  if (json) ok = json->Close() && ok;
   std::printf(
       "expected shape: at [0,0] cycles fall steeply to ~M=9-11 then "
       "plateau (L1-D MSHR limit); under ZR=1 GP/SPP barely improve with M "
       "while AMAC still gains and plateaus around M=8.\n");
-  return 0;
+  return ok ? 0 : 1;
 }
 
 }  // namespace

@@ -167,26 +167,17 @@ void SimRow(TablePrinter* table, const std::string& label,
 /// artifact (CI's perf trajectory: BENCH_fig12.json).
 bool WriteJson(const std::string& path, uint64_t scale, uint32_t threads,
                const std::vector<FusedPoint>& points) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::printf("ERROR: cannot write %s\n", path.c_str());
-    return false;
+  JsonWriter json(path, "fig12_fused_join_groupby");
+  json.Field("scale", scale);
+  json.Field("threads", threads);
+  json.BeginSeries();
+  for (const FusedPoint& point : points) {
+    json.BeginPoint();
+    json.Field("policy", std::string(point.policy));
+    json.Field("fused_tuples_per_sec", point.fused_tps);
+    json.Field("two_phase_tuples_per_sec", point.two_phase_tps);
   }
-  std::fprintf(f,
-               "{\n  \"bench\": \"fig12_fused_join_groupby\",\n"
-               "  \"scale\": %llu,\n  \"threads\": %u,\n  \"series\": [\n",
-               static_cast<unsigned long long>(scale), threads);
-  for (size_t i = 0; i < points.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"policy\": \"%s\", \"fused_tuples_per_sec\": %.0f, "
-                 "\"two_phase_tuples_per_sec\": %.0f}%s\n",
-                 points[i].policy, points[i].fused_tps,
-                 points[i].two_phase_tps,
-                 i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  return true;
+  return json.Close();
 }
 
 int Run(int argc, char** argv) {

@@ -25,6 +25,7 @@ double EstimatedInstrPerTuple(ExecPolicy policy) {
     case ExecPolicy::kSoftwarePipelined: return 27;
     case ExecPolicy::kAmac: return 22;
     case ExecPolicy::kCoroutine: return 25;  // AMAC + frame resume overhead
+    case ExecPolicy::kAdaptive: return 22;   // resolves to a static schedule
   }
   return 0;
 }

@@ -1,0 +1,187 @@
+// Online calibration of the ExecPolicy × inflight grid.
+//
+// The paper's sensitivity results (Fig. 6, our fig06 bench) show that the
+// best memory-latency-hiding schedule and its in-flight width M depend on
+// the data structure, hit rate, skew, and contention — there is no single
+// right (policy, M).  The calibrator measures instead of guessing:
+//
+//   * `CalibrationEpisode` is a successive-halving tournament over the
+//     candidate grid, fed one morsel of the REAL query at a time (sampling
+//     is just the first few MorselCursor claims, so calibration morsels do
+//     useful work — they merely run under the schedule being auditioned).
+//     Each round every surviving grid point gets `measure_morsels` morsels;
+//     the slower half is eliminated; the last survivor is the winner and
+//     its measured cycles-per-input becomes the drift baseline.
+//   * `Calibrator` caches finished episodes keyed by WorkloadSignature, so
+//     a repeated query shape skips straight to the winner (pinned by the
+//     tests/adaptive cache-hit suite), and owns the grid construction.
+//
+// The governor (adaptive/governor.h) drives episodes per query and layers
+// the epsilon-greedy exploration / drift re-tuning loop on top.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "adaptive/signature.h"
+#include "core/scheduler.h"
+
+namespace amac {
+
+/// One candidate configuration: a static schedule plus its in-flight width
+/// (the paper's M; ignored by kSequential).
+struct GridPoint {
+  ExecPolicy policy = ExecPolicy::kAmac;
+  uint32_t inflight = 10;
+
+  /// The SchedulerParams this point runs with; `stages` (the paper's N)
+  /// stays the caller's — the grid only searches policy × M.
+  SchedulerParams Params(uint32_t stages) const {
+    return SchedulerParams{inflight, std::max(1u, stages), 0};
+  }
+};
+
+inline bool operator==(const GridPoint& a, const GridPoint& b) {
+  return a.policy == b.policy && a.inflight == b.inflight;
+}
+
+/// Tuning knobs of the adaptive subsystem (ExecConfig::adaptive and
+/// QueryOptions::adaptive).  Defaults are deliberately conservative: a
+/// small grid, one measurement morsel per point per round, and light
+/// exploration, so "pick for me" costs a few percent of steady-state
+/// throughput at most.
+struct AdaptiveConfig {
+  /// In-flight widths crossed with every non-sequential static policy
+  /// (kSequential contributes a single grid point).  Zeroes are ignored.
+  uint32_t inflight_grid[4] = {4, 10, 16, 32};
+  /// Measurement morsels per surviving grid point per halving round.
+  uint32_t measure_morsels = 1;
+  /// Weight of the newest morsel in the per-point cycles-per-input EWMA.
+  double ewma_alpha = 0.25;
+  /// Probability that a steady-state morsel explores a non-winner survivor
+  /// (epsilon-greedy, round-robin over the explore set); 0 disables
+  /// exploration.
+  double epsilon = 0.0625;
+  /// Re-calibrate when the winner's EWMA throughput falls below this
+  /// fraction of its calibrated baseline (cycles/input rises above
+  /// baseline / drift_ratio).  0 disables drift re-tuning.
+  double drift_ratio = 0.5;
+  /// Consecutive over-threshold winner morsels required before a drift
+  /// re-tune fires (a single preempted/cold morsel is noise, a streak is
+  /// a regime change).
+  uint32_t drift_patience = 3;
+  /// An exploration probe must beat the winner by this cycles-per-input
+  /// factor (probe_cpi < margin * winner_cpi) to usurp it.
+  double switch_margin = 0.9;
+  /// Seed of the governor's private common/rng.h stream; a fixed seed makes
+  /// the decision sequence deterministic for a given report sequence.
+  uint64_t seed = 0xada9711feed5eedull;
+};
+
+/// A finished calibration: the winner, its measured cost, and the
+/// runner-up set kept for exploration probes and drift re-tunes.
+struct CalibrationResult {
+  GridPoint winner;
+  double winner_cycles_per_input = 0;
+  /// First-halving survivors (best half of the grid), winner included —
+  /// the candidate set of later exploration and re-tuning.
+  std::vector<GridPoint> survivors;
+};
+
+/// Successive-halving tournament state machine, fed morsels by the caller.
+/// Thread-compatible, not thread-safe — the governor serializes access.
+class CalibrationEpisode {
+ public:
+  CalibrationEpisode(std::vector<GridPoint> candidates,
+                     uint32_t measure_morsels);
+
+  /// What the next morsel should run.  `measured` morsels count toward the
+  /// current round's quota; once the round is fully assigned but not yet
+  /// fully reported, extra morsels ride on the best point seen so far
+  /// (measured == false) instead of blocking.
+  struct Assignment {
+    size_t index = 0;  ///< into candidates()
+    bool measured = false;
+  };
+  Assignment Next();
+
+  /// Fold one measured morsel's cost into candidate `index`.  Completes
+  /// rounds and halves the field; after the last halving done() is true.
+  void Report(size_t index, uint64_t inputs, uint64_t cycles);
+
+  bool done() const { return done_; }
+  /// Best candidate by data so far — the winner once done(), a fallback
+  /// choice when the query ran out of morsels mid-episode.
+  size_t best() const;
+  double BestCyclesPerInput() const;
+  size_t size() const { return candidates_.size(); }
+  const GridPoint& point(size_t index) const {
+    return candidates_[index].point;
+  }
+  /// Candidates that survived the first halving (or the full field before
+  /// it), best-first.
+  std::vector<GridPoint> Survivors() const;
+  uint64_t measured_morsels() const { return measured_morsels_; }
+
+ private:
+  struct Candidate {
+    GridPoint point;
+    uint64_t inputs = 0;  ///< cumulative across rounds
+    uint64_t cycles = 0;
+    uint32_t assigned = 0;  ///< this round
+    uint32_t reported = 0;  ///< this round
+    bool alive = true;
+  };
+
+  double CyclesPerInput(const Candidate& c) const;
+  void MaybeFinishRound();
+
+  std::vector<Candidate> candidates_;
+  uint32_t quota_;  ///< measurement morsels per survivor per round
+  uint64_t measured_morsels_ = 0;
+  bool first_halving_done_ = false;
+  std::vector<size_t> first_survivors_;
+  bool done_ = false;
+};
+
+/// Morsel size for governed queries.  The default ResolveMorselSize floor
+/// (1024 inputs) can leave a small query with fewer morsels than the grid
+/// has points; adaptive queries instead target enough claims for the
+/// tournament plus steady-state interleaving, with a floor that still
+/// amortizes the widest configured in-flight window's fill/drain ramp.
+uint64_t AdaptiveMorselSize(uint64_t num_inputs, uint32_t slots,
+                            const AdaptiveConfig& config);
+
+/// Shared calibration cache + grid construction.  Thread-safe; one lives
+/// in every QueryScheduler (and therefore in every Executor), so repeated
+/// query shapes — the serving workload's common case — calibrate once.
+class Calibrator {
+ public:
+  Calibrator() = default;
+
+  /// The candidate grid for `config`: kSequential once, every other static
+  /// policy crossed with the configured in-flight widths.
+  static std::vector<GridPoint> Grid(const AdaptiveConfig& config);
+
+  /// Cached result for `sig`, counting a hit or miss; invalid signatures
+  /// always miss (and are never stored).
+  std::optional<CalibrationResult> Lookup(const WorkloadSignature& sig);
+
+  /// Record (or overwrite, after a re-tune) the calibration for `sig`.
+  void Store(const WorkloadSignature& sig, const CalibrationResult& result);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, CalibrationResult> cache_;  ///< by sig.Key()
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace amac

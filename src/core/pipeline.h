@@ -18,8 +18,8 @@
 //     persistent ThreadPool and returns one unified `RunStats` from every
 //     Run().
 //
-//   Executor exec({.policy = ExecPolicy::kAmac, .params = {10, 1},
-//                  .num_threads = 8});
+//   Executor exec(ExecConfig{ExecPolicy::kAmac, SchedulerParams{10, 1, 0},
+//                            /*num_threads=*/8});
 //   auto query = Scan(s).Then(Probe(table)).Then(Aggregate(agg));
 //   RunStats stats = exec.Run(query);
 //
@@ -371,12 +371,25 @@ OpPipeline<std::decay_t<OpFactory>> FromOp(uint64_t num_inputs,
 // ---------------------------------------------------------------------------
 
 /// Execution configuration: the policy and tuning knobs every Run() uses.
+/// Constructed (not aggregate) so the established positional form
+/// `ExecConfig{policy, params, threads, morsel}` keeps compiling cleanly
+/// as trailing knobs are added.
 struct ExecConfig {
+  ExecConfig() = default;
+  ExecConfig(ExecPolicy policy_in, const SchedulerParams& params_in,
+             uint32_t num_threads_in = 1, uint64_t morsel_size_in = 0)
+      : policy(policy_in),
+        params(params_in),
+        num_threads(num_threads_in),
+        morsel_size(morsel_size_in) {}
+
   ExecPolicy policy = ExecPolicy::kAmac;
   SchedulerParams params;
   uint32_t num_threads = 1;
   /// Morsel size for multi-threaded runs; 0 derives one (ResolveMorselSize).
   uint64_t morsel_size = 0;
+  /// Governor knobs when policy == ExecPolicy::kAdaptive ("pick for me").
+  AdaptiveConfig adaptive;
 };
 
 /// Owns the execution policy and a private QueryScheduler, of which it is
@@ -397,6 +410,9 @@ class Executor {
   uint32_t num_threads() const { return config_.num_threads; }
   ThreadPool& pool() { return scheduler_.pool(); }
   QueryScheduler& scheduler() { return scheduler_; }
+  /// Calibration cache consulted by kAdaptive runs (shared across Run()
+  /// calls: repeated query shapes skip straight to the measured winner).
+  Calibrator& calibrator() { return scheduler_.calibrator(); }
 
   void set_policy(ExecPolicy policy) { config_.policy = policy; }
   void set_params(const SchedulerParams& params) { config_.params = params; }
@@ -433,9 +449,14 @@ class Executor {
   /// (morsel tasks on the persistent pool) and wait for it; `make_op` is
   /// called lazily with slot ids < num_threads(), one live morsel per
   /// slot, so the per-thread-sink discipline is unchanged.
+  /// ExecPolicy::kAdaptive always takes the scheduler path (even with one
+  /// thread): the governor needs a morsel stream to measure and re-tune
+  /// on, so the counter-parity contract above applies to static policies
+  /// only.
   template <typename OpFactory>
   RunStats RunOp(uint64_t num_inputs, OpFactory&& make_op) {
-    if (config_.num_threads <= 1) {
+    if (config_.num_threads <= 1 &&
+        config_.policy != ExecPolicy::kAdaptive) {
       RunStats stats;
       stats.inputs = num_inputs;
       WallTimer dispatch;
@@ -454,6 +475,7 @@ class Executor {
     query.policy = config_.policy;
     query.params = config_.params;
     query.morsel_size = config_.morsel_size;
+    query.adaptive = config_.adaptive;
     const QueryTicket ticket = scheduler_.SubmitOp(
         num_inputs, std::forward<OpFactory>(make_op), query);
     return scheduler_.Wait(ticket).run;

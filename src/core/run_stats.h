@@ -10,8 +10,25 @@
 #include <cstdint>
 
 #include "core/engine.h"
+#include "core/scheduler.h"
 
 namespace amac {
+
+/// What the adaptive governor (src/adaptive/) did to this run when it was
+/// executed with ExecPolicy::kAdaptive; inert (active == false) otherwise.
+struct AdaptiveStats {
+  bool active = false;     ///< the run was policy-governed
+  bool cache_hit = false;  ///< calibration skipped via the signature cache
+  /// The static schedule the run ended on (the calibrated winner, or the
+  /// point a mid-query re-tune switched to).
+  ExecPolicy chosen_policy = ExecPolicy::kAmac;
+  uint32_t chosen_inflight = 0;
+  /// Winner changes after the initial calibration (drift re-tunes and
+  /// exploration upsets).
+  uint32_t tuning_switches = 0;
+  uint64_t calibration_morsels = 0;  ///< morsels spent measuring grid points
+  uint64_t probe_morsels = 0;        ///< epsilon-greedy exploration morsels
+};
 
 /// The one result type every Executor::Run returns, subsuming the historic
 /// per-operator stats structs (the PR-3 JoinStats / GroupByStats /
@@ -32,6 +49,8 @@ struct RunStats {
   /// Wall time of the whole run including team dispatch (fork-join path) or
   /// submit-to-completion latency (scheduler path); always >= `seconds`.
   double dispatch_seconds = 0;
+  /// Populated when the run executed under ExecPolicy::kAdaptive.
+  AdaptiveStats adaptive;
 
   double CyclesPerInput() const {
     return inputs ? static_cast<double>(cycles) / static_cast<double>(inputs)

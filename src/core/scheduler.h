@@ -27,23 +27,42 @@
 
 namespace amac {
 
-/// The five schedules a workload can be executed with, selectable at
-/// runtime.  kSequential..kAmac map onto the engine.h schedules (and onto
-/// the paper's Baseline/GP/SPP/AMAC); kCoroutine runs the same operation
-/// through the coro/ interleaver (§6's framework direction).
+/// The schedules a workload can be executed with, selectable at runtime.
+/// kSequential..kAmac map onto the engine.h schedules (and onto the
+/// paper's Baseline/GP/SPP/AMAC); kCoroutine runs the same operation
+/// through the coro/ interleaver (§6's framework direction).  kAdaptive is
+/// not a schedule of its own: it asks the runtime to *measure and choose*
+/// among the five static schedules per query (src/adaptive/), so it is
+/// only meaningful on the morselized paths (Executor / QueryScheduler).
 enum class ExecPolicy : uint8_t {
   kSequential,
   kGroupPrefetch,
   kSoftwarePipelined,
   kAmac,
   kCoroutine,
+  kAdaptive,
 };
 
+/// The five concrete (static) schedules — the candidate set kAdaptive
+/// chooses from, and what every differential/oracle loop iterates.
 inline constexpr ExecPolicy kAllExecPolicies[] = {
     ExecPolicy::kSequential,        ExecPolicy::kGroupPrefetch,
     ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac,
     ExecPolicy::kCoroutine,
 };
+
+inline constexpr size_t kNumStaticExecPolicies =
+    sizeof(kAllExecPolicies) / sizeof(kAllExecPolicies[0]);
+static_assert(static_cast<size_t>(ExecPolicy::kAdaptive) ==
+                  kNumStaticExecPolicies,
+              "static policies must be dense below kAdaptive");
+
+/// Dense index of a *static* policy (array slots in per-policy counters);
+/// kAdaptive has no slot — it always resolves to a static schedule first.
+inline size_t StaticExecPolicyIndex(ExecPolicy policy) {
+  AMAC_DCHECK(policy != ExecPolicy::kAdaptive);
+  return static_cast<size_t>(policy);
+}
 
 inline const char* ExecPolicyName(ExecPolicy policy) {
   switch (policy) {
@@ -52,6 +71,7 @@ inline const char* ExecPolicyName(ExecPolicy policy) {
     case ExecPolicy::kSoftwarePipelined: return "SPP";
     case ExecPolicy::kAmac: return "AMAC";
     case ExecPolicy::kCoroutine: return "Coroutine";
+    case ExecPolicy::kAdaptive: return "Adaptive";
   }
   return "?";
 }
@@ -152,6 +172,13 @@ EngineStats Run(ExecPolicy policy, const SchedulerParams& params, Op& op,
       return RunAmac(op, num_inputs, inflight);
     case ExecPolicy::kCoroutine:
       return detail::RunCoroutineSchedule(op, num_inputs, inflight);
+    case ExecPolicy::kAdaptive:
+      // Adaptive selection needs a morsel stream to measure against
+      // (src/adaptive/governor.h drives it per morsel from the Executor /
+      // QueryScheduler paths).  A one-shot Run() call has nothing to
+      // calibrate on, so it degrades to the paper's overall-best static
+      // schedule with the caller's knobs.
+      return RunAmac(op, num_inputs, inflight);
   }
   AMAC_CHECK(false);
   return EngineStats{};

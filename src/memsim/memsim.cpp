@@ -340,6 +340,7 @@ class Sim {
       case ExecPolicy::kSequential:
       case ExecPolicy::kAmac:
       case ExecPolicy::kCoroutine:  // work-conserving, coroutine-frame cost
+      case ExecPolicy::kAdaptive:   // resolves upstream; modeled as AMAC
         StepWorkConserving(th);
         break;
       case ExecPolicy::kSoftwarePipelined:

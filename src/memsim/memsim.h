@@ -73,6 +73,9 @@ struct EngineCosts {
       case ExecPolicy::kSoftwarePipelined: return spp_instr;
       case ExecPolicy::kAmac: return amac_instr;
       case ExecPolicy::kCoroutine: return coro_instr;
+      // The simulator models concrete schedules; adaptive resolves to one
+      // upstream and is modeled at its work-conserving (AMAC) cost here.
+      case ExecPolicy::kAdaptive: return amac_instr;
     }
     return 0;
   }

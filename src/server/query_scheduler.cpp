@@ -118,6 +118,13 @@ void QueryScheduler::Finish(
     total_execute_seconds_ += result.run.seconds;
     max_latency_seconds_ =
         std::max(max_latency_seconds_, result.latency_seconds);
+    if (result.run.adaptive.active) {
+      ++adaptive_queries_;
+      if (result.run.adaptive.cache_hit) ++adaptive_cache_hits_;
+      adaptive_tuning_switches_ += result.run.adaptive.tuning_switches;
+      ++adaptive_chosen_counts_[StaticExecPolicyIndex(
+          result.run.adaptive.chosen_policy)];
+    }
     // Reservoir sampling (Algorithm R, deterministic hash in place of an
     // RNG): every completed query has a kLatencySampleCap/completed_
     // chance of being in the sample.
@@ -208,6 +215,10 @@ ServingStats QueryScheduler::serving_stats() const {
     stats.total_queue_seconds = total_queue_seconds_;
     stats.total_execute_seconds = total_execute_seconds_;
     stats.max_latency_seconds = max_latency_seconds_;
+    stats.adaptive_queries = adaptive_queries_;
+    stats.adaptive_cache_hits = adaptive_cache_hits_;
+    stats.adaptive_tuning_switches = adaptive_tuning_switches_;
+    stats.adaptive_chosen_counts = adaptive_chosen_counts_;
     sorted = latencies_;
   }
   std::sort(sorted.begin(), sorted.end());

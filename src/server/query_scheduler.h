@@ -33,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -42,9 +43,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
+#include "adaptive/calibrator.h"
+#include "adaptive/governor.h"
+#include "adaptive/signature.h"
 #include "common/cycle_timer.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
@@ -84,6 +89,13 @@ struct QueryOptions {
   /// Cap on this query's concurrent morsels (execution slots); 0 = the
   /// scheduler's num_workers.
   uint32_t max_slots = 0;
+  /// Under ExecPolicy::kAdaptive: the governor's tuning knobs.
+  AdaptiveConfig adaptive;
+  /// Under ExecPolicy::kAdaptive: calibration-cache key.  Invalid (the
+  /// default) derives one from the operation type + input cardinality +
+  /// per-lookup state size; set explicitly when the same op type runs over
+  /// structurally different data.
+  WorkloadSignature signature;
 };
 
 /// What Wait() returns: the familiar RunStats plus the serving split of
@@ -113,6 +125,13 @@ struct ServingStats {
   double max_latency_seconds = 0;
   double total_queue_seconds = 0;    ///< sum of per-query queue waits
   double total_execute_seconds = 0;  ///< sum of per-query execute spans
+  // Adaptive-execution accounting (kAdaptive queries only).
+  uint64_t adaptive_queries = 0;     ///< completed governed queries
+  uint64_t adaptive_cache_hits = 0;  ///< of those, calibration-cache hits
+  uint64_t adaptive_tuning_switches = 0;  ///< summed winner changes
+  /// How often each static policy ended up the governed choice, indexed by
+  /// StaticExecPolicyIndex.
+  std::array<uint64_t, kNumStaticExecPolicies> adaptive_chosen_counts{};
 };
 
 namespace detail {
@@ -184,6 +203,9 @@ class QueryScheduler {
   uint32_t num_workers() const { return pool_.size(); }
   const QuerySchedulerOptions& options() const { return options_; }
   ThreadPool& pool() { return pool_; }
+  /// The shared calibration cache governed (kAdaptive) queries consult; a
+  /// repeated query shape calibrates once per scheduler lifetime.
+  Calibrator& calibrator() { return calibrator_; }
 
   /// Execution slots a query submitted with `options` will get (what sizes
   /// a per-slot sink array).
@@ -204,17 +226,39 @@ class QueryScheduler {
   QueryTicket SubmitOp(uint64_t num_inputs, OpFactory make_op,
                        const QueryOptions& options,
                        std::function<void(RunStats*)> collect = nullptr) {
+    using OpType = std::decay_t<decltype(make_op(0u))>;
     auto state = std::make_shared<detail::QueryState>();
     state->num_inputs = num_inputs;
     state->slots = SlotCount(options);
     state->priority = options.priority;
-    const uint64_t morsel_size = ResolveMorselSize(
-        num_inputs, state->slots, options.morsel_size,
-        std::max(1u, options.params.inflight));
+    // Governed queries: build the per-query governor (cache-keyed by the
+    // op-derived signature unless the caller supplied one) and morselize
+    // finer, so the calibration tournament has enough claims to run on.
+    std::shared_ptr<QueryGovernor> governor;
+    uint64_t morsel_size;
+    if (options.policy == ExecPolicy::kAdaptive) {
+      const WorkloadSignature signature =
+          options.signature.valid()
+              ? options.signature
+              : WorkloadSignature::Make(
+                    typeid(OpType).name(), num_inputs,
+                    static_cast<uint32_t>(sizeof(typename OpType::State)));
+      governor = std::make_shared<QueryGovernor>(
+          options.adaptive, &calibrator_, signature,
+          options.params.stages);
+      morsel_size = options.morsel_size > 0
+                        ? options.morsel_size
+                        : AdaptiveMorselSize(num_inputs, state->slots,
+                                             options.adaptive);
+    } else {
+      morsel_size = ResolveMorselSize(
+          num_inputs, state->slots, options.morsel_size,
+          std::max(1u, options.params.inflight));
+    }
     state->num_morsels = (num_inputs + morsel_size - 1) / morsel_size;
 
     struct Slot {
-      std::optional<std::decay_t<decltype(make_op(0u))>> op;
+      std::optional<OpType> op;
       EngineStats engine;
       uint64_t morsels = 0;
     };
@@ -223,6 +267,7 @@ class QueryScheduler {
       MorselCursor cursor;
       ExecPolicy policy;
       SchedulerParams params;
+      std::shared_ptr<QueryGovernor> governor;  ///< null on static policies
       std::vector<Slot> slots;
       Typed(OpFactory factory, uint64_t total, uint64_t morsel,
             const QueryOptions& options, uint32_t num_slots)
@@ -234,6 +279,7 @@ class QueryScheduler {
     };
     auto typed = std::make_shared<Typed>(std::move(make_op), num_inputs,
                                          morsel_size, options, state->slots);
+    typed->governor = std::move(governor);
     state->run_one_morsel = [typed](uint32_t slot_id) {
       Range morsel;
       if (!typed->cursor.Next(&morsel)) return false;
@@ -241,8 +287,16 @@ class QueryScheduler {
       if (!slot.op) slot.op.emplace(typed->make_op(slot_id));
       OffsetOp<typename decltype(slot.op)::value_type> rebased(*slot.op,
                                                                morsel.begin);
-      slot.engine.Merge(
-          Run(typed->policy, typed->params, rebased, morsel.size()));
+      if (typed->governor) {
+        const QueryGovernor::Choice choice = typed->governor->Acquire();
+        CycleTimer timer;
+        slot.engine.Merge(
+            Run(choice.policy, choice.params, rebased, morsel.size()));
+        typed->governor->Report(choice, morsel.size(), timer.Elapsed());
+      } else {
+        slot.engine.Merge(
+            Run(typed->policy, typed->params, rebased, morsel.size()));
+      }
       ++slot.morsels;
       return true;
     };
@@ -251,6 +305,7 @@ class QueryScheduler {
         run->engine.Merge(slot.engine);
         run->morsels += slot.morsels;
       }
+      if (typed->governor) typed->governor->Finalize(&run->adaptive);
       if (collect) collect(run);
     };
     QueryTicket ticket(state);
@@ -298,10 +353,17 @@ class QueryScheduler {
   double total_queue_seconds_ = 0;
   double total_execute_seconds_ = 0;
   double max_latency_seconds_ = 0;  ///< exact running max (not sampled)
+  uint64_t adaptive_queries_ = 0;
+  uint64_t adaptive_cache_hits_ = 0;
+  uint64_t adaptive_tuning_switches_ = 0;
+  std::array<uint64_t, kNumStaticExecPolicies> adaptive_chosen_counts_{};
   /// Uniform reservoir sample of per-query latencies (kLatencySampleCap
   /// slots), so percentile accounting cannot grow with uptime.
   static constexpr size_t kLatencySampleCap = 4096;
   std::vector<double> latencies_;
+
+  /// Calibration cache (internally synchronized, so not under mu_).
+  Calibrator calibrator_;
 
   /// Declared LAST so it is destroyed FIRST: the pool's destructor joins
   /// the workers, and a worker finishing its final task still touches the

@@ -35,6 +35,9 @@ uint64_t RunInsertKernel(SkipList& list, const Relation& input,
                                                 params.SppDistance(), seed);
     case ExecPolicy::kAmac:
     case ExecPolicy::kCoroutine:
+    // kAdaptive is resolved to a static schedule upstream (src/adaptive/);
+    // a kernel asked to run it directly gets the work-conserving default.
+    case ExecPolicy::kAdaptive:
       return SkipInsertAmac<kSync>(list, input, begin, end, params.inflight,
                                    seed);
   }

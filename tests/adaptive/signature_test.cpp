@@ -1,0 +1,58 @@
+// WorkloadSignature: the calibration-cache key must be stable for equal
+// signatures, distinguish the three components, and bucket cardinalities
+// coarsely enough that near-equal inputs share a calibration.
+#include <gtest/gtest.h>
+
+#include "adaptive/signature.h"
+
+namespace amac {
+namespace {
+
+TEST(WorkloadSignatureTest, DefaultIsInvalid) {
+  const WorkloadSignature sig;
+  EXPECT_FALSE(sig.valid());
+}
+
+TEST(WorkloadSignatureTest, MakeIsDeterministic) {
+  const auto a = WorkloadSignature::Make("probe", 60000, 16);
+  const auto b = WorkloadSignature::Make("probe", 60000, 16);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Key(), b.Key());
+}
+
+TEST(WorkloadSignatureTest, ComponentsDistinguishKeys) {
+  const auto base = WorkloadSignature::Make("probe", 60000, 16);
+  EXPECT_NE(base.Key(), WorkloadSignature::Make("walk", 60000, 16).Key());
+  EXPECT_NE(base.Key(), WorkloadSignature::Make("probe", 60000, 32).Key());
+  // A different cardinality BUCKET changes the key...
+  EXPECT_NE(base.Key(), WorkloadSignature::Make("probe", 1000, 16).Key());
+}
+
+TEST(WorkloadSignatureTest, NearbyCardinalitiesShareABucket) {
+  // 60k and 62k live in the same log2 bucket: one calibration serves both.
+  EXPECT_EQ(WorkloadSignature::Make("probe", 60000, 16).Key(),
+            WorkloadSignature::Make("probe", 62000, 16).Key());
+}
+
+TEST(WorkloadSignatureTest, CardinalityBucketEdges) {
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket(0), 0u);
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket(1), 1u);
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket(2), 2u);
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket(3), 2u);
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket(4), 3u);
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket((uint64_t{1} << 20) - 1),
+            20u);
+  EXPECT_EQ(WorkloadSignature::CardinalityBucket(uint64_t{1} << 20), 21u);
+}
+
+TEST(WorkloadSignatureTest, HashKindNeverReturnsReservedZero) {
+  // The empty string hashes to FNV's offset basis, not 0; no short string
+  // should produce the reserved "unknown" value either.
+  EXPECT_NE(WorkloadSignature::HashKind(""), 0u);
+  EXPECT_NE(WorkloadSignature::HashKind("a"), 0u);
+  EXPECT_NE(WorkloadSignature::HashKind("probe"), 0u);
+}
+
+}  // namespace
+}  // namespace amac

@@ -133,6 +133,9 @@ TEST_P(BTreeSearchEngineTest, MatchesBaseline) {
     case ExecPolicy::kAmac:
       BTreeSearchAmac(tree, probe, 0, probe.size(), m, sink);
       break;
+    default:  // kCoroutine/kAdaptive have no hand-written btree kernel
+      ADD_FAILURE() << "no hand kernel for " << ExecPolicyName(policy);
+      break;
   }
   EXPECT_EQ(sink.matches(), baseline.matches()) << ExecPolicyName(policy);
   EXPECT_EQ(sink.checksum(), baseline.checksum()) << ExecPolicyName(policy);

@@ -46,6 +46,33 @@ TEST(SchedulerParamsTest, SppDistanceMonotoneInInflight) {
   }
 }
 
+// Named pins for the edge cases the adaptive governor's grid actually
+// produces (narrow windows against multi-stage pipelines).  These are
+// implied by the exhaustive sweep above, but each failure mode deserves a
+// test that names it.
+TEST(SchedulerParamsTest, SppDistanceInflightSmallerThanStages) {
+  // M < N: fewer in-flight lookups than provisioned stages must degrade
+  // to the minimum distance 1, not 0 (engine.h modulos by the window).
+  EXPECT_EQ((SchedulerParams{1, 4, 0}).SppDistance(), 1u);
+  EXPECT_EQ((SchedulerParams{3, 8, 0}).SppDistance(), 1u);
+  EXPECT_EQ((SchedulerParams{7, 8, 0}).SppDistance(), 1u);
+}
+
+TEST(SchedulerParamsTest, SppDistanceZeroStages) {
+  // stages = 0 is a tolerated degenerate (clamped to 1), so the distance
+  // equals the full in-flight width.
+  EXPECT_EQ((SchedulerParams{10, 0, 0}).SppDistance(), 10u);
+  EXPECT_EQ((SchedulerParams{0, 0, 0}).SppDistance(), 1u);
+}
+
+TEST(SchedulerParamsTest, SppDistanceInflightOne) {
+  // M = 1 is the sequential-like window: distance 1 for any stage count.
+  for (uint32_t stages = 0; stages <= 8; ++stages) {
+    EXPECT_EQ((SchedulerParams{1, stages, 0}).SppDistance(), 1u)
+        << "stages=" << stages;
+  }
+}
+
 TEST(SchedulerParamsTest, ExplicitSppDistanceOverrideWins) {
   for (uint32_t override_d : {1u, 3u, 17u, 1024u}) {
     const SchedulerParams params{10, 4, override_d};
