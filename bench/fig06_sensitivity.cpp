@@ -40,9 +40,12 @@ int Run(int argc, char** argv) {
   const double kSkews[][2] = {
       {0, 0}, {0.5, 0}, {1, 0}, {0.5, 0.5}, {1, 1}};
   const uint32_t kWindows[] = {1, 3, 5, 7, 9, 11, 15, 19};
+  // VecAMAC rides the same M axis: each AMAC slot carries an 8-lane
+  // vector, so M in-flight lookups occupy ceil(M/8) slots.
   constexpr ExecPolicy kSweepPolicies[] = {ExecPolicy::kGroupPrefetch,
                                            ExecPolicy::kSoftwarePipelined,
-                                           ExecPolicy::kAmac};
+                                           ExecPolicy::kAmac,
+                                           ExecPolicy::kVectorizedAmac};
 
   const std::string json_path = args.flags.GetString("json");
   std::unique_ptr<JsonWriter> json;
@@ -61,7 +64,7 @@ int Run(int argc, char** argv) {
         static_cast<uint64_t>(7 + zr * 10 + zs * 100));
     TablePrinter table(
         "Fig 6 " + SkewLabel(zr, zs) + ": probe cycles/tuple vs M",
-        {"M", "GP", "SPP", "AMAC"});
+        {"M", "GP", "SPP", "AMAC", "VecAMAC"});
     for (uint32_t m : kWindows) {
       std::vector<std::string> row{std::to_string(m)};
       for (ExecPolicy policy : kSweepPolicies) {
@@ -83,6 +86,9 @@ int Run(int argc, char** argv) {
           json->Field("inflight", m);
           json->Field("policy", std::string(SeriesName(policy)));
           json->Field("cycles_per_tuple", cycles_per_tuple);
+          json->Field("perf_valid", run.perf.valid ? 1 : 0);
+          json->Field("llc_misses", run.perf.llc_misses);
+          json->Field("stalled_cycles", run.perf.stalled_cycles);
         }
       }
       table.AddRow(row);

@@ -4,9 +4,13 @@
 // that the paper's Table 3 instruction profile aggregates.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "common/cpu_features.h"
 #include "common/hash.h"
 #include "common/latch.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/zipf.h"
 #include "hashtable/chained_table.h"
 #include "join/probe_kernels.h"
@@ -79,6 +83,103 @@ void BM_VisitNodeHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VisitNodeHit);
+
+// --- vector hash vs scalar hash -----------------------------------------
+// The vectorized policies' per-lookup hash budget: 8 Mix64 lanes per call
+// vs 8 sequential scalar calls.  items = keys hashed.
+
+void BM_ScalarHash8(benchmark::State& state) {
+  uint64_t keys[kSimdLanes] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t out[kSimdLanes];
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < kSimdLanes; ++i) out[i] = Mix64(keys[i] + i);
+    benchmark::DoNotOptimize(out);
+    keys[0] = out[0];
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSimdLanes);
+}
+BENCHMARK(BM_ScalarHash8);
+
+void BM_VectorHash8(benchmark::State& state) {
+  uint64_t keys[kSimdLanes] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t out[kSimdLanes];
+  for (auto _ : state) {
+    Mix64x8(keys, out);
+    benchmark::DoNotOptimize(out);
+    keys[0] = out[0];
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSimdLanes);
+}
+BENCHMARK(BM_VectorHash8);
+
+void BM_VectorHash8ForcedScalar(benchmark::State& state) {
+  // The runtime-dispatch fallback path of the same primitive.
+  SetSimdLevelOverride(SimdLevel::kScalar);
+  uint64_t keys[kSimdLanes] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t out[kSimdLanes];
+  for (auto _ : state) {
+    Mix64x8(keys, out);
+    benchmark::DoNotOptimize(out);
+    keys[0] = out[0];
+  }
+  ClearSimdLevelOverride();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSimdLanes);
+}
+BENCHMARK(BM_VectorHash8ForcedScalar);
+
+// --- gather vs scalar loads ---------------------------------------------
+// 8 dependent-free 64-bit loads from a working set larger than L2, as one
+// hardware gather vs eight scalar dereferences.  items = words loaded.
+
+constexpr uint64_t kGatherPoolWords = uint64_t{1} << 22;  // 32 MB
+
+std::vector<uint64_t>& GatherPool() {
+  static std::vector<uint64_t> pool = [] {
+    std::vector<uint64_t> p(kGatherPoolWords);
+    for (uint64_t i = 0; i < kGatherPoolWords; ++i) p[i] = i * 1000003ull;
+    return p;
+  }();
+  return pool;
+}
+
+void BM_ScalarLoad8(benchmark::State& state) {
+  const std::vector<uint64_t>& pool = GatherPool();
+  Rng rng(81);
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    uint64_t out[kSimdLanes];
+    for (uint32_t i = 0; i < kSimdLanes; ++i) {
+      out[i] = pool[rng.Next() & (kGatherPoolWords - 1)];
+    }
+    for (uint64_t v : out) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSimdLanes);
+}
+BENCHMARK(BM_ScalarLoad8);
+
+void BM_Gather8(benchmark::State& state) {
+  const std::vector<uint64_t>& pool = GatherPool();
+  Rng rng(81);  // same address stream as BM_ScalarLoad8
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    const uint64_t* addrs[kSimdLanes];
+    for (uint32_t i = 0; i < kSimdLanes; ++i) {
+      addrs[i] = &pool[rng.Next() & (kGatherPoolWords - 1)];
+    }
+    uint64_t out[kSimdLanes];
+    Gather64x8(addrs, out);
+    for (uint64_t v : out) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSimdLanes);
+}
+BENCHMARK(BM_Gather8);
 
 void BM_BucketIndexMurmur(benchmark::State& state) {
   ChainedHashTable table(1 << 16, ChainedHashTable::Options{});

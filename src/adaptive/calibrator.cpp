@@ -132,11 +132,11 @@ uint64_t AdaptiveMorselSize(uint64_t num_inputs, uint32_t slots,
                             const AdaptiveConfig& config) {
   if (num_inputs == 0) return 1;
   uint32_t max_inflight = 1;
-  size_t grid_points = 1;  // kSequential
+  size_t grid_points = 2;  // kSequential + kVectorized
   for (const uint32_t m : config.inflight_grid) {
     if (m == 0) continue;
     max_inflight = std::max(max_inflight, m);
-    grid_points += 4;  // GP/SPP/AMAC/Coroutine at this width
+    grid_points += 5;  // GP/SPP/AMAC/Coroutine/VecAMAC at this width
   }
   // Room for ~2 tournament rounds' worth of measurement plus steady-state
   // claims on every slot.
@@ -151,9 +151,13 @@ uint64_t AdaptiveMorselSize(uint64_t num_inputs, uint32_t slots,
 std::vector<GridPoint> Calibrator::Grid(const AdaptiveConfig& config) {
   std::vector<GridPoint> grid;
   grid.push_back(GridPoint{ExecPolicy::kSequential, 1});
+  // Pure batch vectorization has no meaningful M (one vector in flight);
+  // one grid point at the vector width.
+  grid.push_back(GridPoint{ExecPolicy::kVectorized, 8});
   for (const ExecPolicy policy :
        {ExecPolicy::kGroupPrefetch, ExecPolicy::kSoftwarePipelined,
-        ExecPolicy::kAmac, ExecPolicy::kCoroutine}) {
+        ExecPolicy::kAmac, ExecPolicy::kCoroutine,
+        ExecPolicy::kVectorizedAmac}) {
     for (const uint32_t m : config.inflight_grid) {
       if (m == 0) continue;
       grid.push_back(GridPoint{policy, m});

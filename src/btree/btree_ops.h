@@ -9,6 +9,7 @@
 
 #include "btree/btree.h"
 #include "btree/btree_search.h"
+#include "common/simd.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "relation/relation.h"
@@ -42,6 +43,55 @@ class BTreeSearchOp {
     PrefetchBTreeNode(next);
     st.ptr = next;
     return StepStatus::kParked;
+  }
+
+  // Vector interface (core/vector_engine.h): up to 8 descents per slot.
+  // Each StepVec visits one node per active lane with the SIMD multi-key
+  // node compares (VisitBTreeNodeSimd) — the tree is balanced, so lanes of
+  // one vector retire together and whole-vector restarts dominate.
+  static constexpr uint32_t kVecLanes = kSimdLanes;
+  struct VecState {
+    const BTreeNode* ptr[kSimdLanes];
+    int64_t key[kSimdLanes];
+    uint64_t rid[kSimdLanes];
+    uint32_t active;
+  };
+
+  void StartVec(VecState& st, uint64_t base_idx, uint32_t n) {
+    AMAC_DCHECK(n >= 1 && n <= kSimdLanes);
+    const BTreeNode* root = tree_.root();
+    PrefetchBTreeNode(root);
+    for (uint32_t i = 0; i < n; ++i) {
+      st.key[i] = probe_[base_idx + i].key;
+      st.rid[i] = base_idx + i;
+      st.ptr[i] = root;
+    }
+    st.active = n == kSimdLanes ? 0xffu : (1u << n) - 1;
+  }
+
+  void RefillLane(VecState& st, uint32_t lane, uint64_t idx) {
+    st.key[lane] = probe_[idx].key;
+    st.rid[lane] = idx;
+    st.ptr[lane] = tree_.root();
+    PrefetchBTreeNode(st.ptr[lane]);
+    st.active |= 1u << lane;
+  }
+
+  uint32_t StepVec(VecState& st) {
+    uint32_t pending = st.active;
+    while (pending != 0) {
+      const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(pending));
+      pending &= pending - 1;
+      const BTreeNode* next = nullptr;
+      if (VisitBTreeNodeSimd(st.ptr[lane], st.key[lane], st.rid[lane],
+                             sink_, &next)) {
+        st.active &= ~(1u << lane);
+      } else {
+        PrefetchBTreeNode(next);
+        st.ptr[lane] = next;
+      }
+    }
+    return st.active;
   }
 
  private:

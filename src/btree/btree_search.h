@@ -14,6 +14,7 @@
 #include "btree/btree.h"
 #include "common/macros.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "relation/relation.h"
 
 namespace amac {
@@ -34,6 +35,27 @@ inline bool VisitBTreeNode(const BTreeNode* node, int64_t key, uint64_t rid,
     return false;
   }
   const uint32_t i = node->LowerBound(key);
+  if (i < node->count && node->keys[i] == key) {
+    sink.Emit(rid, node->leaf.payloads[i]);
+  }
+  return true;
+}
+
+/// VisitBTreeNode with the node-internal key scans replaced by the SIMD
+/// multi-key compares (common/simd.h): one masked 4-wide compare sweep
+/// instead of an up-to-15-iteration branchy loop.  keys[] is sorted and
+/// followed in-struct by the child/payload union, satisfying the
+/// CountSorted* readability contract; results are identical to the scalar
+/// visit on every node.
+template <typename Sink>
+inline bool VisitBTreeNodeSimd(const BTreeNode* node, int64_t key,
+                               uint64_t rid, Sink& sink,
+                               const BTreeNode** next) {
+  if (!node->is_leaf) {
+    *next = node->children[CountSortedLessEq(node->keys, node->count, key)];
+    return false;
+  }
+  const uint32_t i = CountSortedLess(node->keys, node->count, key);
   if (i < node->count && node->keys[i] == key) {
     sink.Emit(rid, node->leaf.payloads[i]);
   }

@@ -1,0 +1,42 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+
+namespace amac {
+namespace cpu_detail {
+
+std::atomic<int8_t> g_detected{-1};
+std::atomic<int8_t> g_override{-1};
+
+SimdLevel DetectSlow() {
+  SimdLevel level = SimdLevel::kScalar;
+#if AMAC_SIMD_X86
+  const char* env = std::getenv("AMAC_FORCE_SCALAR");
+  const bool forced = env != nullptr && env[0] != '\0' && env[0] != '0';
+  if (!forced) {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq")) {
+      level = SimdLevel::kAvx512;
+    } else if (__builtin_cpu_supports("avx2")) {
+      level = SimdLevel::kAvx2;
+    }
+  }
+#endif
+  // Benign race: every thread computes the same value.
+  g_detected.store(static_cast<int8_t>(level), std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace cpu_detail
+
+void SetSimdLevelOverride(SimdLevel level) {
+  cpu_detail::g_override.store(static_cast<int8_t>(level),
+                               std::memory_order_relaxed);
+}
+
+void ClearSimdLevelOverride() {
+  cpu_detail::g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace amac

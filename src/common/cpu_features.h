@@ -1,0 +1,83 @@
+// Runtime ISA dispatch for the vectorized kernels (common/simd.h).
+//
+// The vector execution policies (core/scheduler.h kVectorized /
+// kVectorizedAmac) are *schedules*, not ISA commitments: every kernel has a
+// scalar implementation that is bitwise-identical to the SIMD one, and the
+// level actually executed is chosen once per process from cpuid.  That
+// keeps results, engine counters, and the scheduling trace independent of
+// the host — only speed varies — so differential tests and the calibrator
+// treat the vector policies exactly like the scalar ones on any machine.
+//
+// Build-time kill switch: configure with -DAMAC_DISABLE_SIMD=ON (CMake
+// option) and every dispatch collapses to kScalar with no <immintrin.h>
+// dependency — the CI leg proving the fallback path.  Runtime kill
+// switches: the AMAC_FORCE_SCALAR=1 environment variable, or
+// SetSimdLevelOverride() (used by the forced-fallback differential tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) && !defined(AMAC_DISABLE_SIMD)
+#define AMAC_SIMD_X86 1
+#else
+#define AMAC_SIMD_X86 0
+#endif
+
+namespace amac {
+
+/// ISA tiers the kernels dispatch over.  kAvx512 implies AVX-512 F+DQ (the
+/// subsets the hash kernel uses); kAvx2 implies AVX2 gathers.  Values are
+/// ordered so `level >= kAvx2` reads naturally.
+enum class SimdLevel : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+inline const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+namespace cpu_detail {
+// Dispatch state, exposed so the accessors below inline into the kernels:
+// CurrentSimdLevel() sits on every vector-kernel invocation, and an
+// out-of-line call (plus magic-static guard) is measurable against a
+// ~100-cycle chain step.  g_detected is -1 until the first DetectSlow().
+extern std::atomic<int8_t> g_detected;
+extern std::atomic<int8_t> g_override;  // -1 = no override
+SimdLevel DetectSlow();
+}  // namespace cpu_detail
+
+/// The host's detected level (cpuid, cached after the first call), after
+/// applying the build-time gate and the AMAC_FORCE_SCALAR environment
+/// variable.  Never changes within a process.
+inline SimdLevel DetectedSimdLevel() {
+  const int8_t v = cpu_detail::g_detected.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<SimdLevel>(v);
+  return cpu_detail::DetectSlow();
+}
+
+/// The level kernels actually dispatch on: the override when one is set
+/// (clamped to the detected level — requesting AVX2 on a non-AVX2 host
+/// yields scalar, never an illegal instruction), otherwise the detected
+/// level.
+inline SimdLevel CurrentSimdLevel() {
+  const int8_t over = cpu_detail::g_override.load(std::memory_order_relaxed);
+  const SimdLevel detected = DetectedSimdLevel();
+  if (over < 0) return detected;
+  const SimdLevel requested = static_cast<SimdLevel>(over);
+  return requested < detected ? requested : detected;
+}
+
+/// Test hook: force dispatch at `level` (clamped to detected) until
+/// ClearSimdLevelOverride().  Not for production paths.
+void SetSimdLevelOverride(SimdLevel level);
+void ClearSimdLevelOverride();
+
+}  // namespace amac

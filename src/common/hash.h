@@ -24,7 +24,9 @@ inline uint32_t Log2Floor(uint64_t v) {
   return 63 - __builtin_clzll(v);
 }
 
-/// MurmurHash3 finalizer: full-avalanche 64-bit mixer.
+/// MurmurHash3 finalizer: full-avalanche 64-bit mixer.  The vectorized
+/// execution policies hash 8 keys at once through Mix64x8 / HashToBucket8
+/// (common/simd.h), bitwise-identical to this scalar form per lane.
 inline uint64_t Mix64(uint64_t k) {
   k ^= k >> 33;
   k *= 0xff51afd7ed558ccdull;

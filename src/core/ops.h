@@ -11,7 +11,9 @@
 #include <cstdint>
 
 #include "bst/bst.h"
+#include "bst/bst_search.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "hashtable/chained_table.h"
@@ -74,7 +76,7 @@ class BstSearchOp {
   };
 
   BstSearchOp(const BinarySearchTree& tree, const Relation& probe, Sink& sink)
-      : stage_(tree), probe_(probe), sink_(sink) {}
+      : stage_(tree), tree_(&tree), probe_(probe), sink_(sink) {}
 
   void Start(State& st, uint64_t idx) {
     st.rid = idx;
@@ -87,8 +89,53 @@ class BstSearchOp {
     });
   }
 
+  // Vector interface (core/vector_engine.h): up to 8 descents per slot,
+  // advanced level-by-level through the gathered kernel (bst/bst_search.h).
+  // An empty tree starts zero lanes — the same no-emission outcome as the
+  // scalar descent, reached without touching a null root.
+  static constexpr uint32_t kVecLanes = kSimdLanes;
+  struct VecState {
+    const BstNode* ptr[kSimdLanes];
+    int64_t key[kSimdLanes];
+    uint64_t rid[kSimdLanes];
+    uint32_t active;
+  };
+
+  void StartVec(VecState& st, uint64_t base_idx, uint32_t n) {
+    AMAC_DCHECK(n >= 1 && n <= kSimdLanes);
+    const BstNode* root = tree_->root();
+    if (root == nullptr) {
+      st.active = 0;
+      return;
+    }
+    Prefetch(root);
+    for (uint32_t i = 0; i < n; ++i) {
+      st.key[i] = probe_[base_idx + i].key;
+      st.rid[i] = base_idx + i;
+      st.ptr[i] = root;
+    }
+    st.active = n == kSimdLanes ? 0xffu : (1u << n) - 1;
+  }
+
+  void RefillLane(VecState& st, uint32_t lane, uint64_t idx) {
+    st.key[lane] = probe_[idx].key;
+    st.rid[lane] = idx;
+    st.ptr[lane] = tree_->root();
+    Prefetch(st.ptr[lane]);
+    st.active |= 1u << lane;
+  }
+
+  uint32_t StepVec(VecState& st) {
+    st.active = VecBstStep(st.ptr, st.key, st.active,
+                           [this, &st](uint32_t lane, int64_t payload) {
+                             sink_.Emit(st.rid[lane], payload);
+                           });
+    return st.active;
+  }
+
  private:
   BstLookupStage stage_;
+  const BinarySearchTree* tree_;
   const Relation& probe_;
   Sink& sink_;
 };
@@ -117,6 +164,7 @@ class HashBuildOp {
     st.head = table_.BucketForKey(st.tuple.key);
     st.ptr = st.head;
     st.latched = false;
+    table_.NoteInsertedKey(st.tuple.key);
     PrefetchWrite(st.head);
   }
 

@@ -53,6 +53,7 @@
 #include "core/parallel_driver.h"
 #include "core/run_stats.h"
 #include "core/scheduler.h"
+#include "metrics/perf_counters.h"
 #include "relation/relation.h"
 #include "server/query_scheduler.h"
 
@@ -461,12 +462,17 @@ class Executor {
       stats.inputs = num_inputs;
       WallTimer dispatch;
       auto op = make_op(0);
+      // One counter group per thread, opened lazily and reused across
+      // runs (perf_event_open is expensive; ioctl reset/enable is not).
+      static thread_local PerfCounters counters;
+      counters.Start();
       WallTimer wall;
       CycleTimer cycles;
       stats.engine =
           amac::Run(config_.policy, config_.params, op, num_inputs);
       stats.cycles = cycles.Elapsed();
       stats.seconds = wall.ElapsedSeconds();
+      stats.perf = counters.Stop();
       stats.dispatch_seconds = dispatch.ElapsedSeconds();
       stats.threads = 1;
       return stats;

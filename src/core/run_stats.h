@@ -11,6 +11,7 @@
 
 #include "core/engine.h"
 #include "core/scheduler.h"
+#include "metrics/perf_counters.h"
 
 namespace amac {
 
@@ -51,6 +52,12 @@ struct RunStats {
   double dispatch_seconds = 0;
   /// Populated when the run executed under ExecPolicy::kAdaptive.
   AdaptiveStats adaptive;
+  /// Hardware counters over the measured region, sampled on the
+  /// single-threaded static-policy path only (counters attach to the
+  /// calling thread; pool threads would escape them).  perf.valid is false
+  /// there too when the kernel forbids perf_event_open — check it before
+  /// consuming, as the fig05/fig06 --json emitters do.
+  PerfCounters::Sample perf;
 
   double CyclesPerInput() const {
     return inputs ? static_cast<double>(cycles) / static_cast<double>(inputs)

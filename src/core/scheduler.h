@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "core/engine.h"
+#include "core/vector_engine.h"
 #include "coro/interleaver.h"
 #include "coro/task.h"
 
@@ -30,25 +31,32 @@ namespace amac {
 /// The schedules a workload can be executed with, selectable at runtime.
 /// kSequential..kAmac map onto the engine.h schedules (and onto the
 /// paper's Baseline/GP/SPP/AMAC); kCoroutine runs the same operation
-/// through the coro/ interleaver (§6's framework direction).  kAdaptive is
-/// not a schedule of its own: it asks the runtime to *measure and choose*
-/// among the five static schedules per query (src/adaptive/), so it is
-/// only meaningful on the morselized paths (Executor / QueryScheduler).
+/// through the coro/ interleaver (§6's framework direction).  kVectorized
+/// and kVectorizedAmac are the SIMD schedules (core/vector_engine.h):
+/// batch-gather vectorization and interleaved multi-vectorization; ops
+/// without a vector interface run them as their scheduling-equivalent
+/// scalar schedule (sequential / AMAC).  kAdaptive is not a schedule of
+/// its own: it asks the runtime to *measure and choose* among the static
+/// schedules per query (src/adaptive/), so it is only meaningful on the
+/// morselized paths (Executor / QueryScheduler).
 enum class ExecPolicy : uint8_t {
   kSequential,
   kGroupPrefetch,
   kSoftwarePipelined,
   kAmac,
   kCoroutine,
+  kVectorized,
+  kVectorizedAmac,
   kAdaptive,
 };
 
-/// The five concrete (static) schedules — the candidate set kAdaptive
+/// The seven concrete (static) schedules — the candidate set kAdaptive
 /// chooses from, and what every differential/oracle loop iterates.
 inline constexpr ExecPolicy kAllExecPolicies[] = {
     ExecPolicy::kSequential,        ExecPolicy::kGroupPrefetch,
     ExecPolicy::kSoftwarePipelined, ExecPolicy::kAmac,
-    ExecPolicy::kCoroutine,
+    ExecPolicy::kCoroutine,         ExecPolicy::kVectorized,
+    ExecPolicy::kVectorizedAmac,
 };
 
 inline constexpr size_t kNumStaticExecPolicies =
@@ -71,6 +79,8 @@ inline const char* ExecPolicyName(ExecPolicy policy) {
     case ExecPolicy::kSoftwarePipelined: return "SPP";
     case ExecPolicy::kAmac: return "AMAC";
     case ExecPolicy::kCoroutine: return "Coroutine";
+    case ExecPolicy::kVectorized: return "Vectorized";
+    case ExecPolicy::kVectorizedAmac: return "VecAMAC";
     case ExecPolicy::kAdaptive: return "Adaptive";
   }
   return "?";
@@ -99,7 +109,7 @@ struct SchedulerParams {
 /// a morsel in the parallel driver, or a thread's static partition in the
 /// phase drivers.  Part of the runtime's public contract.
 template <typename Op>
-class OffsetOp {
+class OffsetOp : public VecTypesOf<Op> {
  public:
   using State = typename Op::State;
 
@@ -107,6 +117,22 @@ class OffsetOp {
 
   void Start(State& st, uint64_t idx) { op_.Start(st, base_ + idx); }
   StepStatus Step(State& st) { return op_.Step(st); }
+
+  // Vector-interface forwarding, instantiated only for ops that have one
+  // (VecTypesOf re-exports VecState/kVecLanes in that case), so re-based
+  // morsels run the vector schedules too.
+  template <typename O = Op, std::enable_if_t<kHasVectorExec<O>, int> = 0>
+  void StartVec(typename O::VecState& st, uint64_t base_idx, uint32_t n) {
+    op_.StartVec(st, base_ + base_idx, n);
+  }
+  template <typename O = Op, std::enable_if_t<kHasVectorExec<O>, int> = 0>
+  void RefillLane(typename O::VecState& st, uint32_t lane, uint64_t idx) {
+    op_.RefillLane(st, lane, base_ + idx);
+  }
+  template <typename O = Op, std::enable_if_t<kHasVectorExec<O>, int> = 0>
+  uint32_t StepVec(typename O::VecState& st) {
+    return op_.StepVec(st);
+  }
 
  private:
   Op& op_;
@@ -172,6 +198,21 @@ EngineStats Run(ExecPolicy policy, const SchedulerParams& params, Op& op,
       return RunAmac(op, num_inputs, inflight);
     case ExecPolicy::kCoroutine:
       return detail::RunCoroutineSchedule(op, num_inputs, inflight);
+    case ExecPolicy::kVectorized:
+      // Ops without a vector interface run the scheduling-equivalent
+      // scalar schedule: batch SIMD with no interleaving degenerates to
+      // the sequential order (identical results, no SIMD speedup).
+      if constexpr (kHasVectorExec<Op>) {
+        return RunVectorized(op, num_inputs);
+      } else {
+        return RunSequential(op, num_inputs);
+      }
+    case ExecPolicy::kVectorizedAmac:
+      if constexpr (kHasVectorExec<Op>) {
+        return RunVectorizedAmac(op, num_inputs, inflight);
+      } else {
+        return RunAmac(op, num_inputs, inflight);
+      }
     case ExecPolicy::kAdaptive:
       // Adaptive selection needs a morsel stream to measure against
       // (src/adaptive/governor.h drives it per morsel from the Executor /

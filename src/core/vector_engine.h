@@ -1,0 +1,152 @@
+// Vectorized schedules over the engine's Operation concept.
+//
+// The scalar schedules (core/engine.h) advance one lookup per Step().  The
+// vector schedules advance a *lane-masked vector* of lookups per step, so
+// the per-lookup compute between misses — hashing, key compares — runs
+// through the SIMD kernels (common/simd.h) while the scheduling skeleton
+// stays the engine's.  An operation opts in by exposing, alongside the
+// scalar interface, the vector interface:
+//
+//   struct MyOp {
+//     static constexpr uint32_t kVecLanes = kSimdLanes;  // lanes per slot
+//     struct VecState {
+//       ...                 // per-lane fields, arrays of kVecLanes
+//       uint32_t active;    // lane bitmask, maintained by the op
+//     };
+//     // Begin lanes [0, n) on inputs base_idx .. base_idx+n-1 (n >= 1 may
+//     // be < kVecLanes at the tail).  Sets st.active.
+//     void StartVec(VecState& st, uint64_t base_idx, uint32_t n);
+//     // Restart one retired lane on a fresh input.  Sets its active bit.
+//     void RefillLane(VecState& st, uint32_t lane, uint64_t idx);
+//     // Advance every active lane one stage; clears the bits of lanes that
+//     // finished.  Returns the new st.active.
+//     uint32_t StepVec(VecState& st);
+//   };
+//
+// Two schedules consume it:
+//
+//   * RunVectorized — pure batch SIMD: one vector at a time, stepped to
+//     exhaustion.  No miss overlap beyond the 8 intra-vector gathers; this
+//     is the classic "vectorized hash join" point the paper's interleaving
+//     argument is made against, included as a first-class grid point.
+//   * RunVectorizedAmac — interleaved multi-vectorization: ceil(M / lanes)
+//     slots each carry a lane-masked vector; retired lanes refill from the
+//     input stream (a fully retired vector restarts through StartVec, so
+//     uniform workloads keep the 8-wide vectorized hash on the refill
+//     path too), and the rolling cursor tours slots exactly like AMAC.
+//
+// Operations without the vector interface still accept the vector policies:
+// Run() (core/scheduler.h) falls back to the scheduling-equivalent scalar
+// schedule (kVectorized -> sequential, kVectorizedAmac -> AMAC), so policy
+// sweeps and the calibrator grid stay total over every op.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/engine.h"
+
+namespace amac {
+
+template <typename Op, typename = void>
+struct HasVectorExecT : std::false_type {};
+template <typename Op>
+struct HasVectorExecT<Op, std::void_t<typename Op::VecState>>
+    : std::true_type {};
+
+/// True when Op implements the vector interface above.
+template <typename Op>
+inline constexpr bool kHasVectorExec = HasVectorExecT<Op>::value;
+
+/// Conditional base re-exporting the vector types, so wrappers (OffsetOp)
+/// expose the vector interface exactly when the wrapped op has one.
+template <typename Op, bool = kHasVectorExec<Op>>
+struct VecTypesOf {};
+template <typename Op>
+struct VecTypesOf<Op, true> {
+  using VecState = typename Op::VecState;
+  static constexpr uint32_t kVecLanes = Op::kVecLanes;
+};
+
+/// Pure batch-SIMD schedule: vectors of kVecLanes inputs, one at a time.
+template <typename Op>
+EngineStats RunVectorized(Op& op, uint64_t num_inputs) {
+  EngineStats stats;
+  stats.lookups = num_inputs;
+  constexpr uint32_t kLanes = Op::kVecLanes;
+  typename Op::VecState st;
+  for (uint64_t base = 0; base < num_inputs; base += kLanes) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::min<uint64_t>(kLanes, num_inputs - base));
+    op.StartVec(st, base, n);
+    uint32_t active = st.active;
+    while (active != 0) {
+      stats.steps += static_cast<uint32_t>(__builtin_popcount(active));
+      active = op.StepVec(st);
+      stats.parks += static_cast<uint32_t>(__builtin_popcount(active));
+    }
+  }
+  return stats;
+}
+
+/// Interleaved multi-vectorization: AMAC's rolling cursor over
+/// ceil(inflight / kVecLanes) slots, each slot a lane-masked vector.
+template <typename Op>
+EngineStats RunVectorizedAmac(Op& op, uint64_t num_inputs,
+                              uint32_t inflight) {
+  EngineStats stats;
+  stats.lookups = num_inputs;
+  if (num_inputs == 0) return stats;
+  constexpr uint32_t kLanes = Op::kVecLanes;
+  const uint32_t num_slots =
+      std::max<uint32_t>(1, (std::max(1u, inflight) + kLanes - 1) / kLanes);
+  std::vector<typename Op::VecState> slots(num_slots);
+  uint64_t next_input = 0;
+  uint32_t active_slots = 0;
+  for (auto& st : slots) {
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(kLanes, num_inputs - next_input));
+    if (n > 0) {
+      op.StartVec(st, next_input, n);
+      next_input += n;
+    } else {
+      st.active = 0;
+    }
+    active_slots += st.active != 0;
+  }
+  uint32_t k = 0;
+  while (active_slots > 0) {
+    auto& st = slots[k];
+    if (st.active != 0) {
+      stats.steps += static_cast<uint32_t>(__builtin_popcount(st.active));
+      const uint32_t before = st.active;
+      uint32_t after = op.StepVec(st);
+      if (after == 0 && num_inputs - next_input >= kLanes) {
+        // Whole vector retired with a full chunk pending: restart through
+        // StartVec so the refill path keeps the vectorized hash.
+        op.StartVec(st, next_input, kLanes);
+        next_input += kLanes;
+        after = st.active;
+      } else {
+        uint32_t retired = before & ~after;
+        while (retired != 0 && next_input < num_inputs) {
+          const uint32_t lane =
+              static_cast<uint32_t>(__builtin_ctz(retired));
+          retired &= retired - 1;
+          op.RefillLane(st, lane, next_input++);
+        }
+        after = st.active;
+      }
+      stats.parks += static_cast<uint32_t>(__builtin_popcount(after));
+      if (after == 0) --active_slots;
+    }
+    ++k;
+    if (k == num_slots) k = 0;
+  }
+  return stats;
+}
+
+}  // namespace amac

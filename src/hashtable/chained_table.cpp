@@ -17,6 +17,10 @@ ChainedHashTable::ChainedHashTable(uint64_t expected_tuples, Options options)
   nbuckets = std::max<uint64_t>(nbuckets, 1);
   buckets_ = AlignedBuffer<BucketNode>(nbuckets);
   bucket_mask_ = nbuckets - 1;
+  for (BucketNode& b : buckets_) {
+    b.tuples[0].key = BucketNode::kEmptySlotKey;
+    b.tuples[1].key = BucketNode::kEmptySlotKey;
+  }
 
   uint64_t pool_cap = options.overflow_capacity;
   if (pool_cap == 0) {
@@ -30,9 +34,12 @@ ChainedHashTable::ChainedHashTable(uint64_t expected_tuples, Options options)
 void ChainedHashTable::Clear() {
   for (BucketNode& b : buckets_) {
     b.count = 0;
+    b.tuples[0].key = BucketNode::kEmptySlotKey;
+    b.tuples[1].key = BucketNode::kEmptySlotKey;
     b.next = nullptr;
   }
   pool_next_.store(0, std::memory_order_relaxed);
+  has_sentinel_key_.store(false, std::memory_order_relaxed);
 }
 
 BucketNode* ChainedHashTable::AllocOverflowNode() {
@@ -40,6 +47,8 @@ BucketNode* ChainedHashTable::AllocOverflowNode() {
   AMAC_CHECK_MSG(idx < overflow_pool_.size(), "overflow pool exhausted");
   BucketNode* node = &overflow_pool_[idx];
   node->count = 0;
+  node->tuples[0].key = BucketNode::kEmptySlotKey;
+  node->tuples[1].key = BucketNode::kEmptySlotKey;
   node->next = nullptr;
   return node;
 }
@@ -56,8 +65,13 @@ void ChainedHashTable::InsertInto(BucketNode* head, const Tuple& t) {
     spill->next = head->next;
     head->next = spill;
     head->count = 0;
+    // Slot invariant: the append below refills slot 0; slot 1 would keep
+    // the evicted tuple's key as a ghost the sentinel-compare probe could
+    // match ahead of its spilled copy.
+    head->tuples[1].key = BucketNode::kEmptySlotKey;
   }
   head->tuples[head->count++] = t;
+  NoteInsertedKey(t.key);
 }
 
 void ChainedHashTable::InsertUnsync(const Tuple& t) {

@@ -27,8 +27,20 @@
 namespace amac {
 
 /// One cache line of the chain: up to two tuples plus the next pointer.
+///
+/// Slot invariant: every tuple slot with index >= count holds
+/// kEmptySlotKey.  The table's insert paths maintain it (construction,
+/// Clear, AllocOverflowNode, and the header-eviction discipline), and the
+/// vectorized probe (hashtable/vec_probe.h) relies on it to compare both
+/// key slots unconditionally instead of gathering the header for `count` —
+/// an unused slot can never equal a probe key.  The one collision —
+/// a *stored* key equal to kEmptySlotKey — sets
+/// ChainedHashTable::has_sentinel_key() and routes that table's probes
+/// through the scalar walk.
 struct AMAC_CACHE_ALIGNED BucketNode {
   static constexpr uint32_t kTuplesPerNode = 2;
+  /// Key value marking an unused tuple slot (INT64_MIN).
+  static constexpr int64_t kEmptySlotKey = INT64_MIN;
 
   Latch latch;            ///< 1-byte latch (meaningful on bucket headers)
   uint8_t count = 0;      ///< tuples used in this node (0..2)
@@ -100,6 +112,25 @@ class ChainedHashTable {
   /// Allocate one overflow node (thread-safe bump allocation).
   BucketNode* AllocOverflowNode();
 
+  /// Record that `key` was stored in the table.  A stored key equal to
+  /// BucketNode::kEmptySlotKey would be indistinguishable from an unused
+  /// slot under the vectorized probe's sentinel compares, so it flips
+  /// has_sentinel_key() and the probes fall back to the scalar walk
+  /// (bitwise-identical results, no gathers).  Insert paths that write
+  /// tuples directly (join/build_kernels.h, core/ops.h) must call this.
+  void NoteInsertedKey(int64_t key) {
+    if (AMAC_UNLIKELY(key == BucketNode::kEmptySlotKey) &&
+        !has_sentinel_key_.load(std::memory_order_relaxed)) {
+      has_sentinel_key_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// True iff some stored key equals BucketNode::kEmptySlotKey, making the
+  /// sentinel-based vector probe unsafe for this table.
+  bool has_sentinel_key() const {
+    return has_sentinel_key_.load(std::memory_order_relaxed);
+  }
+
   uint64_t num_buckets() const { return buckets_.size(); }
   uint64_t bucket_mask() const { return bucket_mask_; }
   HashKind hash_kind() const { return hash_kind_; }
@@ -127,6 +158,7 @@ class ChainedHashTable {
   AlignedBuffer<BucketNode> buckets_;
   AlignedBuffer<BucketNode> overflow_pool_;
   std::atomic<uint64_t> pool_next_{0};
+  std::atomic<bool> has_sentinel_key_{false};
   uint64_t bucket_mask_ = 0;
   HashKind hash_kind_;
 };

@@ -1,0 +1,239 @@
+// 8-wide gather-based bucket-chain probe step.
+//
+// One call advances up to 8 chain walks (a lane-masked vector) by one node
+// each — the exact stage boundary of ProbeStage::Step (join/join_ops.h) —
+// using AVX2 masked gathers over the BucketNode layout: both tuple keys and
+// the `next` pointer are fetched in-register instead of through scalar
+// dependent loads, and all key compares collapse to two vector compares.
+// The header (`count`) is never gathered: the table's slot invariant
+// (chained_table.h) guarantees unused slots hold kEmptySlotKey, so
+// comparing both slots unconditionally is exact — three gather sequences
+// per chain step instead of four.  Lane semantics are bitwise-identical to
+// the scalar walk: tuples are considered in chain order, kEarlyExit retires
+// a lane at its first match, and emissions carry (lane, build payload).
+//
+// The ISA split follows common/simd.h: intrinsics live in a non-template
+// AMAC_TARGET_AVX2 function returning plain match masks + payload arrays;
+// the templated wrapper does emission and prefetching in ordinary code and
+// falls back to a scalar per-lane walk below AVX2 (same results, no
+// gathers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/prefetch.h"
+#include "common/simd.h"
+#include "hashtable/chained_table.h"
+
+namespace amac {
+
+// The gather offsets below hard-code the documented BucketNode layout.
+static_assert(offsetof(BucketNode, count) == 1);
+static_assert(offsetof(BucketNode, tuples) == 8);
+static_assert(offsetof(BucketNode, next) == 40);
+static_assert(sizeof(Tuple) == 16);
+
+/// Per-step masks of the SIMD kernels: which lanes matched which tuple slot
+/// of their current node, and which lanes have a next node to walk (their
+/// ptrs already advanced).  Three words, so the non-inlinable
+/// target-attributed kernels return in registers instead of materializing
+/// (and zeroing) a struct through memory every step.  Matched payloads are
+/// NOT gathered: the wrapper reads them with scalar loads from the matched
+/// node (its line was just gathered, so the loads hit L1) — a payload
+/// gather costs its full uop budget for data already in flight.
+struct VecChainMasks {
+  uint32_t next_active = 0;
+  uint32_t match0 = 0;
+  uint32_t match1 = 0;
+};
+
+#if AMAC_SIMD_X86
+namespace simd_detail {
+
+AMAC_TARGET_AVX2 inline VecChainMasks VecChainStepAvx2(
+    const BucketNode** ptrs, const int64_t* keys, uint32_t active,
+    bool early_exit) {
+  VecChainMasks r;
+  for (uint32_t half = 0; half < 2; ++half) {
+    const uint32_t nibble = (active >> (4 * half)) & 0xf;
+    if (nibble == 0) continue;
+    const __m256i lanes = LaneMask4(nibble);
+    const __m256i ptrv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ptrs + 4 * half));
+    const __m256i keyv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + 4 * half));
+    // A lane probing the sentinel itself must never "match" an unused
+    // slot; such a probe has no matches at all when the table is
+    // sentinel-free (the only case this kernel runs — see the wrapper),
+    // so the lane just walks to its chain end and retires.
+    const __m256i valid = _mm256_andnot_si256(
+        _mm256_cmpeq_epi64(keyv,
+                           _mm256_set1_epi64x(BucketNode::kEmptySlotKey)),
+        lanes);
+    // Both key slots are compared unconditionally: unused slots hold the
+    // sentinel (slot invariant) and can never equal a valid probe key, so
+    // the header's `count` is not needed — no header gather.
+    const __m256i k0 =
+        MaskGather64(_mm256_add_epi64(ptrv, _mm256_set1_epi64x(8)), lanes);
+    const __m256i m0 =
+        _mm256_and_si256(_mm256_cmpeq_epi64(k0, keyv), valid);
+    const __m256i k1 =
+        MaskGather64(_mm256_add_epi64(ptrv, _mm256_set1_epi64x(24)), lanes);
+    const __m256i m1 =
+        _mm256_and_si256(_mm256_cmpeq_epi64(k1, keyv), valid);
+    const uint32_t m0bits =
+        static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(m0)));
+    const uint32_t m1bits =
+        static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(m1)));
+    r.match0 |= m0bits << (4 * half);
+    r.match1 |= m1bits << (4 * half);
+    // Lanes that keep walking: not retired by a match (early exit only),
+    // and with a non-null next pointer.  When all lanes of a half matched
+    // under early exit the walk mask is empty — no gather, no store —
+    // which is the uniform-join fast path.
+    __m256i walk = lanes;
+    if (early_exit) {
+      walk = _mm256_andnot_si256(_mm256_or_si256(m0, m1), walk);
+    }
+    if (!_mm256_testz_si256(walk, walk)) {
+      const __m256i nextv =
+          MaskGather64(_mm256_add_epi64(ptrv, _mm256_set1_epi64x(40)), walk);
+      const __m256i cont = _mm256_andnot_si256(
+          _mm256_cmpeq_epi64(nextv, _mm256_setzero_si256()), walk);
+      // Advance via blend + full-width store rather than vpmaskmovq: the
+      // caller (and the next step) reloads these pointers immediately, and
+      // masked stores defeat store-to-load forwarding.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs + 4 * half),
+                          _mm256_blendv_epi8(ptrv, nextv, cont));
+      const uint32_t contbits = static_cast<uint32_t>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(cont)));
+      r.next_active |= contbits << (4 * half);
+    }
+  }
+  return r;
+}
+
+/// AVX-512 variant: all 8 lanes in one zmm register, lane masks as native
+/// kmasks.  Halves the gather instruction count of the two-half AVX2 path
+/// and drops its movemask/LaneMask bookkeeping entirely; the bit-level
+/// semantics are identical.
+AMAC_TARGET_AVX512 inline VecChainMasks VecChainStepAvx512(
+    const BucketNode** ptrs, const int64_t* keys, uint32_t active,
+    bool early_exit) {
+  VecChainMasks r;
+  const __mmask8 lanes = static_cast<__mmask8>(active);
+  const __m512i ptrv = _mm512_loadu_si512(ptrs);
+  const __m512i keyv = _mm512_loadu_si512(keys);
+  const __m512i zero = _mm512_setzero_si512();
+  // See the AVX2 kernel: sentinel-probing lanes match nothing, and both
+  // slots are compared unconditionally under the slot invariant (no
+  // header gather).
+  const __mmask8 valid = _mm512_mask_cmpneq_epi64_mask(
+      lanes, keyv, _mm512_set1_epi64(BucketNode::kEmptySlotKey));
+  const __m512i k0 = _mm512_mask_i64gather_epi64(
+      zero, lanes, _mm512_add_epi64(ptrv, _mm512_set1_epi64(8)), nullptr, 1);
+  const __mmask8 m0 = _mm512_mask_cmpeq_epi64_mask(valid, k0, keyv);
+  const __m512i k1 = _mm512_mask_i64gather_epi64(
+      zero, lanes, _mm512_add_epi64(ptrv, _mm512_set1_epi64(24)), nullptr,
+      1);
+  const __mmask8 m1 = _mm512_mask_cmpeq_epi64_mask(valid, k1, keyv);
+  const __mmask8 walk = early_exit
+                            ? static_cast<__mmask8>(lanes & ~(m0 | m1))
+                            : lanes;
+  if (walk != 0) {
+    const __m512i nextv = _mm512_mask_i64gather_epi64(
+        zero, walk, _mm512_add_epi64(ptrv, _mm512_set1_epi64(40)), nullptr,
+        1);
+    const __mmask8 cont =
+        _mm512_mask_cmpneq_epi64_mask(walk, nextv, zero);
+    _mm512_storeu_si512(ptrs, _mm512_mask_blend_epi64(cont, ptrv, nextv));
+    r.next_active = cont;
+  }
+  r.match0 = m0;
+  r.match1 = m1;
+  return r;
+}
+
+}  // namespace simd_detail
+#endif  // AMAC_SIMD_X86
+
+/// Advance every active lane's chain walk by one node.  `ptrs[lane]` /
+/// `keys[lane]` are the walk positions and probe keys; matched build
+/// payloads are emitted as emit(lane, payload) in lane order (tuple slot 0
+/// before slot 1, matching the scalar scan order).  Continuing lanes have
+/// ptrs advanced and prefetched; the new active mask is returned.
+///
+/// `allow_simd` must be false when the probed table stores a key equal to
+/// BucketNode::kEmptySlotKey (ChainedHashTable::has_sentinel_key()) — the
+/// gather kernels tell unused slots apart by that sentinel.  The scalar
+/// walk is count-based and exact for any table.
+template <bool kEarlyExit, typename EmitFn>
+inline uint32_t VecChainStep(const BucketNode** ptrs, const int64_t* keys,
+                             uint32_t active, EmitFn&& emit,
+                             bool allow_simd = true) {
+#if AMAC_SIMD_X86
+  // Nearly-empty vectors (the tail of a batch draining its longest chain)
+  // go through the scalar walk below: one or two prefetched node visits
+  // are cheaper than any gather sequence.
+  const SimdLevel level = CurrentSimdLevel();
+  if (allow_simd && level >= SimdLevel::kAvx2 &&
+      __builtin_popcount(active) > 2) {
+    // Snapshot the node each lane is visiting: the kernel advances ptrs
+    // for continuing lanes, and matched payloads are read scalar from the
+    // visited node below (the gathers just pulled its line into L1).
+    const BucketNode* visited[kSimdLanes];
+    std::memcpy(visited, ptrs, sizeof(visited));
+    const VecChainMasks r =
+        level >= SimdLevel::kAvx512
+            ? simd_detail::VecChainStepAvx512(ptrs, keys, active, kEarlyExit)
+            : simd_detail::VecChainStepAvx2(ptrs, keys, active, kEarlyExit);
+    // Tour only the matched lanes, in lane order (slot 0 before slot 1,
+    // as the scalar scan emits).
+    uint32_t matched = r.match0 | r.match1;
+    while (matched != 0) {
+      const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(matched));
+      matched &= matched - 1;
+      const uint32_t bit = 1u << lane;
+      if (r.match0 & bit) {
+        emit(lane, visited[lane]->tuples[0].payload);
+        if (kEarlyExit) continue;
+      }
+      if (r.match1 & bit) emit(lane, visited[lane]->tuples[1].payload);
+    }
+    uint32_t walking = r.next_active;
+    while (walking != 0) {
+      const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(walking));
+      walking &= walking - 1;
+      Prefetch(ptrs[lane]);
+    }
+    return r.next_active;
+  }
+#endif
+  uint32_t next_active = 0;
+  uint32_t pending = active;
+  while (pending != 0) {
+    const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(pending));
+    pending &= pending - 1;
+    const BucketNode* node = ptrs[lane];
+    bool done = false;
+    for (uint32_t i = 0; i < node->count; ++i) {
+      if (node->tuples[i].key == keys[lane]) {
+        emit(lane, node->tuples[i].payload);
+        if (kEarlyExit) {
+          done = true;
+          break;
+        }
+      }
+    }
+    if (!done && node->next != nullptr) {
+      ptrs[lane] = node->next;
+      Prefetch(node->next);
+      next_active |= 1u << lane;
+    }
+  }
+  return next_active;
+}
+
+}  // namespace amac

@@ -42,8 +42,12 @@ inline void InsertLocked(ChainedHashTable& ht, BucketNode* head,
     spill->next = head->next;
     head->next = spill;
     head->count = 0;
+    // Slot invariant (chained_table.h): the append below refills slot 0;
+    // slot 1 must not keep the evicted tuple's key as a ghost.
+    head->tuples[1].key = BucketNode::kEmptySlotKey;
   }
   head->tuples[head->count++] = t;
+  ht.NoteInsertedKey(t.key);
 }
 
 template <bool kSync>

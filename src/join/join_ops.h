@@ -14,9 +14,11 @@
 #include <cstdint>
 
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "hashtable/chained_table.h"
+#include "hashtable/vec_probe.h"
 #include "join/build_kernels.h"
 #include "relation/relation.h"
 
@@ -81,7 +83,7 @@ class ProbeOp {
   using State = typename ProbeStage<kEarlyExit>::State;
 
   ProbeOp(const ChainedHashTable& table, const Relation& probe, Sink& sink)
-      : stage_(table), probe_(probe), sink_(sink) {}
+      : stage_(table), table_(&table), probe_(probe), sink_(sink) {}
 
   void Start(State& st, uint64_t idx) {
     stage_.Start(st, Tuple{probe_[idx].key, static_cast<int64_t>(idx)});
@@ -93,8 +95,57 @@ class ProbeOp {
     });
   }
 
+  // Vector interface (core/vector_engine.h): up to 8 chain walks per slot.
+  // StartVec hashes all lanes through the 8-wide Mix64 (common/simd.h);
+  // each StepVec advances every active lane one node via the gather kernel
+  // (hashtable/vec_probe.h).  Emissions are identical to the scalar path:
+  // (rid, build payload), chain order per lane.
+  static constexpr uint32_t kVecLanes = kSimdLanes;
+  struct VecState {
+    const BucketNode* ptr[kSimdLanes];
+    int64_t key[kSimdLanes];
+    uint64_t rid[kSimdLanes];
+    uint32_t active;
+  };
+
+  void StartVec(VecState& st, uint64_t base_idx, uint32_t n) {
+    AMAC_DCHECK(n >= 1 && n <= kSimdLanes);
+    int64_t keys[kSimdLanes];
+    for (uint32_t i = 0; i < n; ++i) keys[i] = probe_[base_idx + i].key;
+    for (uint32_t i = n; i < kSimdLanes; ++i) keys[i] = keys[n - 1];
+    uint64_t bucket[kSimdLanes];
+    HashToBucket8(table_->hash_kind(), keys, table_->bucket_mask(), bucket);
+    const BucketNode* buckets = table_->buckets();
+    for (uint32_t i = 0; i < n; ++i) {
+      st.key[i] = keys[i];
+      st.rid[i] = base_idx + i;
+      st.ptr[i] = buckets + bucket[i];
+      Prefetch(st.ptr[i]);
+    }
+    st.active = n == kSimdLanes ? 0xffu : (1u << n) - 1;
+  }
+
+  void RefillLane(VecState& st, uint32_t lane, uint64_t idx) {
+    st.key[lane] = probe_[idx].key;
+    st.rid[lane] = idx;
+    st.ptr[lane] = table_->BucketForKey(st.key[lane]);
+    Prefetch(st.ptr[lane]);
+    st.active |= 1u << lane;
+  }
+
+  uint32_t StepVec(VecState& st) {
+    st.active = VecChainStep<kEarlyExit>(
+        st.ptr, st.key, st.active,
+        [this, &st](uint32_t lane, int64_t payload) {
+          sink_.Emit(st.rid[lane], payload);
+        },
+        /*allow_simd=*/!table_->has_sentinel_key());
+    return st.active;
+  }
+
  private:
   ProbeStage<kEarlyExit> stage_;
+  const ChainedHashTable* table_;
   const Relation& probe_;
   Sink& sink_;
 };

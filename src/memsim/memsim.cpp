@@ -340,6 +340,11 @@ class Sim {
       case ExecPolicy::kSequential:
       case ExecPolicy::kAmac:
       case ExecPolicy::kCoroutine:  // work-conserving, coroutine-frame cost
+      // The vector schedules keep AMAC's work-conserving slot discipline
+      // (lane retirement/refill is below the simulator's stage
+      // granularity); only their stage instruction cost differs.
+      case ExecPolicy::kVectorized:
+      case ExecPolicy::kVectorizedAmac:
       case ExecPolicy::kAdaptive:   // resolves upstream; modeled as AMAC
         StepWorkConserving(th);
         break;

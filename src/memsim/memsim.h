@@ -64,6 +64,9 @@ struct EngineCosts {
   /// AMAC schedule driven through a coroutine frame: ~15% resume/frame
   /// overhead on top of the hand-packed state machine (ablation bench).
   double coro_instr = 16.0;
+  /// SIMD stage: 8 lanes share one gather/compare sequence, so the
+  /// per-lookup instruction cost drops below the scalar baseline's.
+  double vec_instr = 6.0;
   double noop_instr = 3.0;  ///< GP/SPP status check on a finished lookup
 
   double StageInstr(ExecPolicy p) const {
@@ -73,6 +76,10 @@ struct EngineCosts {
       case ExecPolicy::kSoftwarePipelined: return spp_instr;
       case ExecPolicy::kAmac: return amac_instr;
       case ExecPolicy::kCoroutine: return coro_instr;
+      // The vector schedules amortize per-stage bookkeeping over 8 lanes;
+      // the simulator prices their stage below the scalar baseline's.
+      case ExecPolicy::kVectorized:
+      case ExecPolicy::kVectorizedAmac: return vec_instr;
       // The simulator models concrete schedules; adaptive resolves to one
       // upstream and is modeled at its work-conserving (AMAC) cost here.
       case ExecPolicy::kAdaptive: return amac_instr;

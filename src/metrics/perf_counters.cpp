@@ -44,17 +44,23 @@ PerfCounters::PerfCounters() {
       PERF_TYPE_HW_CACHE,
       PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
           (PERF_COUNT_HW_CACHE_RESULT_MISS << 16));
+  llc_misses_.fd =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  stalled_cycles_.fd = OpenCounter(
+      PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND);
   available_ = instructions_.fd >= 0;
 }
 
 PerfCounters::~PerfCounters() {
-  for (int fd : {instructions_.fd, cycles_.fd, l1d_misses_.fd}) {
+  for (int fd : {instructions_.fd, cycles_.fd, l1d_misses_.fd,
+                 llc_misses_.fd, stalled_cycles_.fd}) {
     if (fd >= 0) close(fd);
   }
 }
 
 void PerfCounters::Start() {
-  for (Fd* c : {&instructions_, &cycles_, &l1d_misses_}) {
+  for (Fd* c : {&instructions_, &cycles_, &l1d_misses_, &llc_misses_,
+                &stalled_cycles_}) {
     if (c->fd < 0) continue;
     ioctl(c->fd, PERF_EVENT_IOC_RESET, 0);
     ioctl(c->fd, PERF_EVENT_IOC_ENABLE, 0);
@@ -63,7 +69,8 @@ void PerfCounters::Start() {
 
 PerfCounters::Sample PerfCounters::Stop() {
   Sample s;
-  for (Fd* c : {&instructions_, &cycles_, &l1d_misses_}) {
+  for (Fd* c : {&instructions_, &cycles_, &l1d_misses_, &llc_misses_,
+                &stalled_cycles_}) {
     if (c->fd < 0) continue;
     ioctl(c->fd, PERF_EVENT_IOC_DISABLE, 0);
     c->value = ReadCounter(c->fd);
@@ -72,6 +79,8 @@ PerfCounters::Sample PerfCounters::Stop() {
   s.instructions = instructions_.value;
   s.cycles = cycles_.value;
   s.l1d_misses = l1d_misses_.value;
+  s.llc_misses = llc_misses_.value;
+  s.stalled_cycles = stalled_cycles_.value;
   return s;
 }
 

@@ -20,6 +20,8 @@ class PerfCounters {
     uint64_t instructions = 0;
     uint64_t cycles = 0;
     uint64_t l1d_misses = 0;
+    uint64_t llc_misses = 0;      ///< off-chip accesses (the paper's currency)
+    uint64_t stalled_cycles = 0;  ///< backend stalls (memory-bound signal)
   };
 
   PerfCounters();
@@ -42,6 +44,8 @@ class PerfCounters {
   Fd instructions_;
   Fd cycles_;
   Fd l1d_misses_;
+  Fd llc_misses_;
+  Fd stalled_cycles_;
   bool available_ = false;
 };
 

@@ -24,6 +24,7 @@ uint64_t RunInsertKernel(SkipList& list, const Relation& input,
                          const SchedulerParams& params, uint64_t seed) {
   switch (policy) {
     case ExecPolicy::kSequential:
+    case ExecPolicy::kVectorized:  // no vector insert kernel: sequential
       return SkipInsertBaseline<kSync>(list, input, begin, end, seed);
     case ExecPolicy::kGroupPrefetch:
       return SkipInsertGroupPrefetch<kSync>(list, input, begin, end,
@@ -35,6 +36,11 @@ uint64_t RunInsertKernel(SkipList& list, const Relation& input,
                                                 params.SppDistance(), seed);
     case ExecPolicy::kAmac:
     case ExecPolicy::kCoroutine:
+    // The skip-list insert has no vector kernel (each in-flight insert
+    // carries a pred/succ vector); the vector policies take their
+    // scheduling-equivalent scalar fallbacks, like Run() does for
+    // vector-less ops.
+    case ExecPolicy::kVectorizedAmac:
     // kAdaptive is resolved to a static schedule upstream (src/adaptive/);
     // a kernel asked to run it directly gets the work-conserving default.
     case ExecPolicy::kAdaptive:

@@ -113,15 +113,19 @@ TEST(CalibrationEpisodeTest, RideAlongAssignmentsWhenRoundSaturated) {
 TEST(CalibratorTest, GridCrossesPoliciesAndWidths) {
   AdaptiveConfig config;
   const std::vector<GridPoint> grid = Calibrator::Grid(config);
-  // kSequential once + 4 policies x 4 widths.
-  EXPECT_EQ(grid.size(), 17u);
+  // kSequential once + kVectorized once + 5 policies x 4 widths.
+  EXPECT_EQ(grid.size(), 22u);
   EXPECT_EQ(grid[0].policy, ExecPolicy::kSequential);
+  EXPECT_EQ(grid[1].policy, ExecPolicy::kVectorized);
   size_t coroutine_points = 0;
+  size_t vec_amac_points = 0;
   for (const GridPoint& p : grid) {
     EXPECT_NE(p.policy, ExecPolicy::kAdaptive);
     if (p.policy == ExecPolicy::kCoroutine) ++coroutine_points;
+    if (p.policy == ExecPolicy::kVectorizedAmac) ++vec_amac_points;
   }
   EXPECT_EQ(coroutine_points, 4u);
+  EXPECT_EQ(vec_amac_points, 4u);
 }
 
 TEST(CalibratorTest, CacheHitSkipsReMeasurement) {

@@ -36,8 +36,9 @@ TEST(SchedulerTest, PolicyNamesAreDistinct) {
   for (ExecPolicy policy : kAllExecPolicies) {
     names.emplace_back(ExecPolicyName(policy));
   }
-  EXPECT_EQ(names, (std::vector<std::string>{"Sequential", "GP", "SPP",
-                                             "AMAC", "Coroutine"}));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"Sequential", "GP", "SPP", "AMAC",
+                                      "Coroutine", "Vectorized", "VecAMAC"}));
 }
 
 TEST(SchedulerTest, SppDistanceDerivation) {

@@ -1,0 +1,63 @@
+// ISA-dispatch shim tests: detection is stable, overrides clamp to the
+// detected level (forcing AVX2 on a scalar-only host must not enable it),
+// and the runtime level drives every SIMD dispatcher.
+#include "common/cpu_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace amac {
+namespace {
+
+/// RAII override so a failing test cannot leak a forced level into the
+/// rest of the suite.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) { SetSimdLevelOverride(level); }
+  ~ScopedSimdLevel() { ClearSimdLevelOverride(); }
+};
+
+TEST(CpuFeaturesTest, DetectionIsStable) {
+  const SimdLevel first = DetectedSimdLevel();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(DetectedSimdLevel(), first);
+  }
+}
+
+TEST(CpuFeaturesTest, DefaultCurrentEqualsDetected) {
+  ClearSimdLevelOverride();
+  EXPECT_EQ(CurrentSimdLevel(), DetectedSimdLevel());
+}
+
+TEST(CpuFeaturesTest, OverrideLowersLevel) {
+  ScopedSimdLevel force(SimdLevel::kScalar);
+  EXPECT_EQ(CurrentSimdLevel(), SimdLevel::kScalar);
+}
+
+TEST(CpuFeaturesTest, OverrideClampsToDetected) {
+  // Requesting a level above what the host supports must clamp, never
+  // enable an ISA that would fault.
+  ScopedSimdLevel force(SimdLevel::kAvx512);
+  EXPECT_LE(static_cast<int>(CurrentSimdLevel()),
+            static_cast<int>(DetectedSimdLevel()));
+}
+
+TEST(CpuFeaturesTest, ClearRestoresDetected) {
+  SetSimdLevelOverride(SimdLevel::kScalar);
+  ClearSimdLevelOverride();
+  EXPECT_EQ(CurrentSimdLevel(), DetectedSimdLevel());
+}
+
+TEST(CpuFeaturesTest, LevelNamesAreDistinct) {
+  const std::string scalar = SimdLevelName(SimdLevel::kScalar);
+  const std::string avx2 = SimdLevelName(SimdLevel::kAvx2);
+  const std::string avx512 = SimdLevelName(SimdLevel::kAvx512);
+  EXPECT_NE(scalar, avx2);
+  EXPECT_NE(scalar, avx512);
+  EXPECT_NE(avx2, avx512);
+}
+
+}  // namespace
+}  // namespace amac

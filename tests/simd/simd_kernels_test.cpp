@@ -1,0 +1,241 @@
+// Unit tests for the SIMD primitives in common/simd.h and the step kernels
+// in hashtable/vec_probe.h and bst/bst_search.h.  Every primitive is pinned
+// bitwise against its scalar reference at every ISA level the host supports
+// (via SetSimdLevelOverride), so an AVX2/AVX-512 box exercises all paths and
+// a scalar-only box still verifies the fallbacks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bst/bst.h"
+#include "bst/bst_search.h"
+#include "common/cpu_features.h"
+#include "common/hash.h"
+#include "common/simd.h"
+#include "hashtable/chained_table.h"
+#include "hashtable/vec_probe.h"
+#include "relation/relation.h"
+
+namespace amac {
+namespace {
+
+/// All levels the host can actually run, scalar first.
+std::vector<SimdLevel> RunnableLevels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (DetectedSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  if (DetectedSimdLevel() >= SimdLevel::kAvx512) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) { SetSimdLevelOverride(level); }
+  ~ScopedSimdLevel() { ClearSimdLevelOverride(); }
+};
+
+TEST(SimdKernelsTest, Mix64x8MatchesScalarMix64) {
+  std::mt19937_64 rng(123);
+  for (SimdLevel level : RunnableLevels()) {
+    ScopedSimdLevel force(level);
+    for (int rep = 0; rep < 64; ++rep) {
+      uint64_t in[kSimdLanes], out[kSimdLanes];
+      for (auto& v : in) v = rng();
+      in[0] = rep;  // cover small values too
+      Mix64x8(in, out);
+      for (uint32_t i = 0; i < kSimdLanes; ++i) {
+        EXPECT_EQ(out[i], Mix64(in[i]))
+            << SimdLevelName(level) << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, HashToBucket8MatchesScalarForBothKinds) {
+  std::mt19937_64 rng(321);
+  const uint64_t mask = (1u << 13) - 1;
+  for (SimdLevel level : RunnableLevels()) {
+    ScopedSimdLevel force(level);
+    for (HashKind kind : {HashKind::kMurmur, HashKind::kRadix}) {
+      int64_t keys[kSimdLanes];
+      uint64_t out[kSimdLanes];
+      for (auto& k : keys) k = static_cast<int64_t>(rng() >> 1);
+      HashToBucket8(kind, keys, mask, out);
+      for (uint32_t i = 0; i < kSimdLanes; ++i) {
+        const uint64_t want =
+            kind == HashKind::kRadix
+                ? HashToBucket<HashKind::kRadix>(
+                      static_cast<uint64_t>(keys[i]), mask)
+                : HashToBucket<HashKind::kMurmur>(
+                      static_cast<uint64_t>(keys[i]), mask);
+        EXPECT_EQ(out[i], want) << SimdLevelName(level) << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Gather64x8ReadsAllLanes) {
+  std::vector<uint64_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = i * 1000003ull;
+  for (SimdLevel level : RunnableLevels()) {
+    ScopedSimdLevel force(level);
+    const uint64_t* addrs[kSimdLanes];
+    for (uint32_t i = 0; i < kSimdLanes; ++i) addrs[i] = &data[i * 7 + 3];
+    uint64_t out[kSimdLanes];
+    Gather64x8(addrs, out);
+    for (uint32_t i = 0; i < kSimdLanes; ++i) {
+      EXPECT_EQ(out[i], data[i * 7 + 3]) << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CountSortedMatchesScalarScan) {
+  // Sorted arrays with duplicates, probed at every boundary.  The backing
+  // buffer is 16 wide (the BTreeNode contract) regardless of count.
+  std::mt19937_64 rng(77);
+  for (SimdLevel level : RunnableLevels()) {
+    ScopedSimdLevel force(level);
+    for (uint32_t count = 0; count <= 16; ++count) {
+      int64_t keys[16];
+      for (auto& k : keys) k = static_cast<int64_t>(rng() % 32);
+      std::sort(keys, keys + count);
+      for (int64_t probe = -1; probe <= 33; ++probe) {
+        uint32_t le = 0;
+        while (le < count && probe >= keys[le]) ++le;
+        uint32_t lt = 0;
+        while (lt < count && keys[lt] < probe) ++lt;
+        EXPECT_EQ(CountSortedLessEq(keys, count, probe), le)
+            << SimdLevelName(level) << " count=" << count;
+        EXPECT_EQ(CountSortedLess(keys, count, probe), lt)
+            << SimdLevelName(level) << " count=" << count;
+      }
+    }
+  }
+}
+
+/// Scalar reference for one VecChainStep: per active lane, replay one
+/// ProbeStage::Step visit of *ptrs[lane].
+template <bool kEarlyExit>
+uint32_t ReferenceChainStep(const BucketNode** ptrs, const int64_t* keys,
+                            uint32_t active,
+                            std::vector<std::pair<uint32_t, int64_t>>* hits) {
+  uint32_t next = 0;
+  for (uint32_t lane = 0; lane < kSimdLanes; ++lane) {
+    if (!(active >> lane & 1)) continue;
+    const BucketNode* node = ptrs[lane];
+    bool matched0 = false;
+    if (node->count >= 1 && node->tuples[0].key == keys[lane]) {
+      hits->emplace_back(lane, node->tuples[0].payload);
+      matched0 = true;
+    }
+    if (!(kEarlyExit && matched0) && node->count >= 2 &&
+        node->tuples[1].key == keys[lane]) {
+      hits->emplace_back(lane, node->tuples[1].payload);
+      if (kEarlyExit) matched0 = true;
+    }
+    if (kEarlyExit && matched0) continue;
+    if (node->next != nullptr) {
+      ptrs[lane] = node->next;
+      next |= 1u << lane;
+    }
+  }
+  return next;
+}
+
+TEST(SimdKernelsTest, VecChainStepMatchesScalarReference) {
+  // A real table supplies nodes with genuine chain structure.
+  const Relation build = MakeZipfRelation(4000, 1000, 0.9, 5);
+  ChainedHashTable table(4000, {});
+  for (uint64_t i = 0; i < build.size(); ++i) table.InsertUnsync(build[i]);
+  std::mt19937_64 rng(99);
+  for (SimdLevel level : RunnableLevels()) {
+    ScopedSimdLevel force(level);
+    for (uint32_t rep = 0; rep < 200; ++rep) {
+      const BucketNode* ptrs_vec[kSimdLanes];
+      const BucketNode* ptrs_ref[kSimdLanes];
+      int64_t keys[kSimdLanes];
+      const uint32_t active = rng() & 0xff;  // includes 0 and partial masks
+      for (uint32_t lane = 0; lane < kSimdLanes; ++lane) {
+        keys[lane] = static_cast<int64_t>(rng() % 1200);
+        ptrs_vec[lane] = table.BucketForKey(keys[lane]);
+        ptrs_ref[lane] = ptrs_vec[lane];
+      }
+      for (bool early : {false, true}) {
+        const BucketNode* pv[kSimdLanes];
+        const BucketNode* pr[kSimdLanes];
+        std::copy(ptrs_vec, ptrs_vec + kSimdLanes, pv);
+        std::copy(ptrs_ref, ptrs_ref + kSimdLanes, pr);
+        std::vector<std::pair<uint32_t, int64_t>> got, want;
+        uint32_t next_got, next_want;
+        if (early) {
+          next_got = VecChainStep<true>(
+              pv, keys, active,
+              [&](uint32_t lane, int64_t p) { got.emplace_back(lane, p); });
+          next_want = ReferenceChainStep<true>(pr, keys, active, &want);
+        } else {
+          next_got = VecChainStep<false>(
+              pv, keys, active,
+              [&](uint32_t lane, int64_t p) { got.emplace_back(lane, p); });
+          next_want = ReferenceChainStep<false>(pr, keys, active, &want);
+        }
+        ASSERT_EQ(next_got, next_want)
+            << SimdLevelName(level) << " early=" << early;
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(got, want) << SimdLevelName(level) << " early=" << early;
+        for (uint32_t lane = 0; lane < kSimdLanes; ++lane) {
+          if (next_got >> lane & 1) {
+            EXPECT_EQ(pv[lane], pr[lane]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, VecBstStepMatchesScalarDescent) {
+  const Relation rel = MakeDenseUniqueRelation(3000, 11);
+  const BinarySearchTree tree = BuildBst(rel);
+  std::mt19937_64 rng(13);
+  for (SimdLevel level : RunnableLevels()) {
+    ScopedSimdLevel force(level);
+    for (uint32_t rep = 0; rep < 100; ++rep) {
+      int64_t keys[kSimdLanes];
+      const BstNode* ptrs[kSimdLanes];
+      for (uint32_t lane = 0; lane < kSimdLanes; ++lane) {
+        // Mix hits and guaranteed misses.
+        keys[lane] = static_cast<int64_t>(rng() % 3500);
+        ptrs[lane] = tree.root();
+      }
+      uint32_t active = (1u << kSimdLanes) - 1;
+      std::vector<std::pair<uint32_t, int64_t>> got;
+      while (active != 0) {
+        active = VecBstStep(ptrs, keys, active, [&](uint32_t lane, int64_t p) {
+          got.emplace_back(lane, p);
+        });
+      }
+      // Reference: plain scalar descent per lane.
+      std::vector<std::pair<uint32_t, int64_t>> want;
+      for (uint32_t lane = 0; lane < kSimdLanes; ++lane) {
+        const BstNode* node = tree.root();
+        while (node != nullptr) {
+          if (node->key == keys[lane]) {
+            want.emplace_back(lane, node->payload);
+            break;
+          }
+          node = node->key > keys[lane] ? node->left : node->right;
+        }
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << SimdLevelName(level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amac
