@@ -15,6 +15,17 @@
 //   --workers=N        scheduler pool size (default: hardware threads)
 //   --max_inflight=N   admission cap (0 = unbounded; default 2x workers)
 //   --queries=N        queries per client
+//
+// --open-loop switches to the OPEN-loop scenario instead: a LoadGenerator
+// submits single-morsel point queries on a Poisson/bursty/diurnal arrival
+// schedule regardless of completions, sweeping offered load through the
+// capacity planner's predicted knee.  Each offered rate runs twice — a
+// queue-forever baseline vs SLO-aware admission (EDF + bounded pending +
+// expiry shedding) — and the gates require (a) zero oracle divergence,
+// (b) ServingStats outcome counters exactly matching per-ticket tallies,
+// (c) past predicted capacity, SLO-aware goodput-under-SLO strictly above
+// the baseline's, and (d) predicted capacity within 30% of measured for
+// at least two policies.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -27,14 +38,18 @@
 #include "bst/bst.h"
 #include "btree/btree.h"
 #include "btree/btree_ops.h"
+#include "common/cycle_timer.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "common/zipf.h"
 #include "core/ops.h"
 #include "core/pipeline.h"
 #include "graph/csr.h"
 #include "graph/graph_ops.h"
 #include "groupby/groupby_ops.h"
 #include "join/join_ops.h"
+#include "server/capacity_planner.h"
+#include "server/load_gen.h"
 #include "server/query_scheduler.h"
 #include "skiplist/skiplist.h"
 #include "skiplist/skiplist_ops.h"
@@ -278,10 +293,484 @@ bool ReportPoint(TablePrinter* table, const LoadPoint& point) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop scenario (--open-loop)
+// ---------------------------------------------------------------------------
+
+/// Single-morsel point-query kinds (indexes into kQueryKinds).  The
+/// aggregating kinds are excluded: a per-query AggregateTable across tens
+/// of thousands of open-loop tickets would dominate memory, and the
+/// capacity model wants queries that are one morsel of pure lookup work.
+constexpr int kOpenLoopKinds[] = {0, 2, 3, 4};  // join-probe, btree, bst,
+                                                // skiplist
+constexpr int kNumOpenLoopKinds = 4;
+/// Popularity windows: each query targets one of these pre-built input
+/// relations, picked by Zipf rank — the key-popularity skew of a real
+/// serving mix without per-query input construction.
+constexpr uint32_t kNumWindows = 8;
+constexpr double kWindowZipfTheta = 0.9;
+
+struct OpenLoopWorkload {
+  uint64_t scale = 0;
+  Relation r;  ///< shared build side
+  std::unique_ptr<ChainedHashTable> table;
+  std::unique_ptr<BTree> btree;
+  std::unique_ptr<BinarySearchTree> bst;
+  std::unique_ptr<SkipList> slist;
+  std::vector<Relation> s;          ///< per-window join-probe input
+  std::vector<Relation> idx_probe;  ///< per-window index-lookup keys
+  /// Solo-sequential oracle per (open-loop kind index, window).
+  Workload::Oracle oracles[kNumOpenLoopKinds][kNumWindows];
+};
+
+QueryTicket SubmitOpenLoopKind(QueryScheduler& sched,
+                               const OpenLoopWorkload& w, int kind_index,
+                               uint32_t window, const QueryOptions& options) {
+  switch (kOpenLoopKinds[kind_index]) {
+    case 0:
+      return Submit(sched, Scan(w.s[window]).Then(Probe<true>(*w.table)),
+                    options);
+    case 2:
+      return Submit(
+          sched, Scan(w.idx_probe[window]).Then(LookupBTree(*w.btree)),
+          options);
+    case 3:
+      return Submit(sched,
+                    Scan(w.idx_probe[window]).Then(LookupBst(*w.bst)),
+                    options);
+    default:
+      return Submit(
+          sched, Scan(w.idx_probe[window]).Then(LookupSkipList(*w.slist)),
+          options);
+  }
+}
+
+/// Per-query execution shape of the open-loop scenario: ONE morsel, ONE
+/// slot, so the scheduler serves it like an M/G/c queue and the capacity
+/// model has a chance of being right.
+QueryOptions OpenLoopQueryOptions(const OpenLoopWorkload& w,
+                                  ExecPolicy policy, uint32_t inflight) {
+  QueryOptions options;
+  options.policy = policy;
+  options.params = SchedulerParams{inflight, 2, 0};
+  options.morsel_size = w.scale;
+  options.max_slots = 1;
+  return options;
+}
+
+OpenLoopWorkload PrepareOpenLoopWorkload(uint64_t scale) {
+  OpenLoopWorkload w;
+  w.scale = scale;
+  w.r = MakeDenseUniqueRelation(scale, 901);
+  w.table =
+      std::make_unique<ChainedHashTable>(scale, ChainedHashTable::Options{});
+  BuildTableUnsync(w.r, w.table.get());
+  w.btree = std::make_unique<BTree>(w.r);
+  w.bst = std::make_unique<BinarySearchTree>(BuildBst(w.r));
+  w.slist = std::make_unique<SkipList>(scale);
+  {
+    Rng rng(905);
+    for (const Tuple& t : w.r) w.slist->InsertUnsync(t.key, t.payload, rng);
+  }
+  for (uint32_t win = 0; win < kNumWindows; ++win) {
+    w.s.push_back(MakeForeignKeyRelation(scale, scale, 910 + win));
+    w.idx_probe.push_back(MakeZipfRelation(scale, 2 * scale, 0.3, 930 + win));
+  }
+  // Solo-sequential oracles for every (kind, window) combination.
+  QueryScheduler solo(QuerySchedulerOptions{1, 1, AdmissionOrder::kFifo});
+  QueryOptions options =
+      OpenLoopQueryOptions(w, ExecPolicy::kSequential, 1);
+  options.params = SchedulerParams{1, 1, 0};
+  for (int k = 0; k < kNumOpenLoopKinds; ++k) {
+    for (uint32_t win = 0; win < kNumWindows; ++win) {
+      const QueryStats q =
+          solo.Wait(SubmitOpenLoopKind(solo, w, k, win, options));
+      w.oracles[k][win] = {q.run.outputs, q.run.checksum};
+    }
+  }
+  return w;
+}
+
+/// What the capacity planner predicts for one policy, plus the SLO the
+/// sweep will serve under (a generous multiple of E[S], so below the knee
+/// nearly everything meets it and past the knee only queueing kills it).
+struct PolicyPlan {
+  CapacityEstimate estimate;
+  double slo_seconds = 0;
+};
+
+/// Measure cycles-per-input calibrator-style (solo runs of the real
+/// queries) and turn it into a capacity prediction for `serve_workers`.
+PolicyPlan MeasurePolicyPlan(const OpenLoopWorkload& w, ExecPolicy policy,
+                             uint32_t serve_workers, uint32_t inflight,
+                             double tsc_hz, uint32_t reps) {
+  QueryScheduler solo(QuerySchedulerOptions{1, 1, AdmissionOrder::kFifo});
+  const QueryOptions options = OpenLoopQueryOptions(w, policy, inflight);
+  // One throwaway pass first: at bench scales the tables are cache
+  // resident, so a cold first rep would inflate E[S] (and deflate the
+  // predicted capacity) by the one-time miss cost.
+  for (int k = 0; k < kNumOpenLoopKinds; ++k) {
+    (void)solo.Wait(SubmitOpenLoopKind(solo, w, k, 0, options));
+  }
+  double cpi_sum = 0;
+  uint32_t n = 0;
+  for (uint32_t rep = 0; rep < reps; ++rep) {
+    for (int k = 0; k < kNumOpenLoopKinds; ++k) {
+      const QueryStats q = solo.Wait(
+          SubmitOpenLoopKind(solo, w, k, rep % kNumWindows, options));
+      cpi_sum += q.run.CyclesPerInput();
+      ++n;
+    }
+  }
+  PolicyPlan plan;
+  plan.estimate = CapacityPlanner::FromCyclesPerInput(
+      policy, cpi_sum / n, w.scale, serve_workers, tsc_hz);
+  plan.slo_seconds = 20 * plan.estimate.service_seconds;
+  return plan;
+}
+
+struct OpenLoopResult {
+  LoadGenReport gen;
+  ServingStats stats;
+  uint64_t divergent = 0;
+  // Per-ticket tallies, independently recomputed from Wait() results;
+  // must match the ServingStats counters exactly.
+  uint64_t served = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t goodput = 0;
+  double serve_seconds = 0;  ///< submit through drain, the full window
+  double goodput_qps = 0;    ///< goodput over the full serving window
+};
+
+/// One open-loop run: drive `offered_qps` arrivals for `duration` seconds
+/// against a fresh scheduler, then drain and verify every served ticket.
+OpenLoopResult RunOpenLoopPoint(const OpenLoopWorkload& w,
+                                const PolicyPlan& plan, uint32_t workers,
+                                uint32_t inflight, bool slo_aware,
+                                ArrivalKind arrival, double offered_qps,
+                                double duration, uint64_t seed) {
+  const uint32_t serve = workers > 1 ? workers - 1 : 1;
+  QuerySchedulerOptions sopts;
+  sopts.num_workers = workers;
+  sopts.max_inflight_queries = serve;
+  if (slo_aware) {
+    sopts.order = AdmissionOrder::kDeadline;
+    sopts.shed_expired = true;
+    // Bound pending so the worst admitted queue wait roughly fits the
+    // SLO: serve drains c queries per E[S], so 16c pending ~= 16 E[S].
+    sopts.max_pending = 16 * serve;
+  }
+  struct Issued {
+    QueryTicket ticket;
+    int kind_index;
+    uint32_t window;
+  };
+  std::vector<Issued> issued;
+  issued.reserve(static_cast<size_t>(offered_qps * duration * 2) + 16);
+
+  OpenLoopResult result;
+  {
+    QueryScheduler sched(sopts);
+    QueryOptions base = OpenLoopQueryOptions(w, plan.estimate.policy,
+                                             inflight);
+    base.deadline_seconds = plan.slo_seconds;
+    ZipfGenerator window_pick(kNumWindows, kWindowZipfTheta, seed ^ 0x51);
+    LoadGenOptions lopts;
+    lopts.arrival.kind = arrival;
+    lopts.arrival.rate_qps = offered_qps;
+    lopts.arrival.seed = seed;
+    lopts.duration_seconds = duration;
+    // Two tenants with unequal fair-share weights keep the per-tenant
+    // accounting exercised even though the open-loop gates don't key on
+    // it.
+    lopts.tenants = {TenantMix{0, 0.5, 1.0}, TenantMix{1, 0.5, 3.0}};
+    lopts.mix_seed = seed ^ 0xa11;
+    // Goodput is measured over the FULL serving window, submit through
+    // drain: the drain tail is real serving time (at overload the
+    // queue-forever baseline pays for its backlog there).
+    WallTimer serve_wall;
+    result.gen = LoadGenerator::Run(
+        lopts, [&](uint64_t i, const TenantMix& tenant) {
+          QueryOptions options = base;
+          options.tenant = tenant.tenant;
+          options.tenant_weight = tenant.weight;
+          const int kind_index = static_cast<int>(i % kNumOpenLoopKinds);
+          const uint32_t window =
+              static_cast<uint32_t>(window_pick.Next() - 1);
+          issued.push_back(Issued{
+              SubmitOpenLoopKind(sched, w, kind_index, window, options),
+              kind_index, window});
+        });
+    sched.Drain();
+    result.serve_seconds = serve_wall.ElapsedSeconds();
+    result.stats = sched.serving_stats();
+    for (const Issued& q : issued) {
+      const QueryStats stats = sched.Wait(q.ticket);
+      switch (stats.outcome) {
+        case QueryOutcome::kServed: {
+          ++result.served;
+          const Workload::Oracle& oracle =
+              w.oracles[q.kind_index][q.window];
+          if (stats.run.outputs != oracle.outputs ||
+              stats.run.checksum != oracle.checksum) {
+            ++result.divergent;
+          }
+          if (stats.deadline_met) ++result.goodput;
+          break;
+        }
+        case QueryOutcome::kRejected:
+          ++result.rejected;
+          break;
+        case QueryOutcome::kShed:
+          ++result.shed;
+          break;
+      }
+    }
+  }
+  result.goodput_qps =
+      result.serve_seconds > 0
+          ? static_cast<double>(result.goodput) / result.serve_seconds
+          : 0;
+  return result;
+}
+
+/// Gate: ServingStats counters must exactly match the per-ticket tallies
+/// and the outcome partition must cover every submission (the merge
+/// invariant — rejected/shed queries must not leak into served sums).
+bool CheckOpenLoopInvariants(const OpenLoopResult& r, const char* where) {
+  bool ok = true;
+  const ServingStats& s = r.stats;
+  if (s.submitted != r.gen.submitted ||
+      s.completed + s.rejected + s.shed != s.submitted) {
+    std::printf("ERROR[%s]: outcome partition broken: submitted=%llu "
+                "completed=%llu rejected=%llu shed=%llu\n",
+                where, static_cast<unsigned long long>(s.submitted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.shed));
+    ok = false;
+  }
+  if (s.completed != r.served || s.rejected != r.rejected ||
+      s.shed != r.shed || s.goodput_queries != r.goodput) {
+    std::printf("ERROR[%s]: ServingStats counters disagree with per-ticket "
+                "tallies\n",
+                where);
+    ok = false;
+  }
+  if (s.goodput_queries + s.deadline_missed != s.completed) {
+    std::printf("ERROR[%s]: goodput + missed != completed\n", where);
+    ok = false;
+  }
+  uint64_t tenant_submitted = 0;
+  for (const TenantServingStats& t : s.tenants) {
+    tenant_submitted += t.submitted;
+  }
+  if (tenant_submitted != s.submitted) {
+    std::printf("ERROR[%s]: per-tenant submitted sums to %llu, not %llu\n",
+                where, static_cast<unsigned long long>(tenant_submitted),
+                static_cast<unsigned long long>(s.submitted));
+    ok = false;
+  }
+  if (r.divergent > 0) {
+    std::printf("ERROR[%s]: %llu served queries diverged from the solo "
+                "oracle\n",
+                where, static_cast<unsigned long long>(r.divergent));
+    ok = false;
+  }
+  return ok;
+}
+
+int RunOpenLoop(const BenchArgs& args, bool quick, uint64_t scale,
+                uint32_t inflight) {
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  uint32_t workers = 0;
+  // Small pools on purpose: the single generator thread must sustain
+  // 1.5x the pool's capacity, and the capacity model is cleanest when
+  // the serve workers, not the submit path, are the bottleneck.
+  workers = std::min(hw, quick ? 3u : 5u);
+  workers = std::max(2u, workers);
+  const uint32_t serve = workers - 1;
+  const double duration = quick ? 0.4 : 1.0;
+  const std::vector<ExecPolicy> policies =
+      quick ? std::vector<ExecPolicy>{ExecPolicy::kSequential,
+                                      ExecPolicy::kAmac}
+            : std::vector<ExecPolicy>{
+                  ExecPolicy::kSequential, ExecPolicy::kGroupPrefetch,
+                  ExecPolicy::kAmac, ExecPolicy::kVectorizedAmac};
+  const std::vector<double> load_factors =
+      quick ? std::vector<double>{0.6, 0.9, 1.5}
+            : std::vector<double>{0.5, 0.8, 1.0, 1.5};
+  const double overload_factor = load_factors.back();
+
+  PrintHeader(
+      "Serving extension (open loop): offered load vs goodput-under-SLO",
+      (quick ? std::string("CI smoke (--quick)")
+             : std::string("full sweep")) +
+          ": " + std::to_string(workers) + " workers (" +
+          std::to_string(serve) + " serving), " +
+          std::to_string(kNumOpenLoopKinds) + " query kinds x " +
+          std::to_string(kNumWindows) + " Zipf(" +
+          TablePrinter::Fmt(kWindowZipfTheta, 2) + ") windows, scale 2^" +
+          std::to_string(63 - __builtin_clzll(scale)));
+
+  OpenLoopWorkload w = PrepareOpenLoopWorkload(scale);
+  const double tsc_hz = EstimateTscHz();
+
+  const std::string json_path = args.flags.GetString("json");
+  std::unique_ptr<JsonWriter> json;
+  if (!json_path.empty()) {
+    json = std::make_unique<JsonWriter>(json_path, "ext_serving_openloop");
+    json->Field("scale", scale);
+    json->Field("workers", workers);
+    json->Field("serve_workers", serve);
+    json->Field("duration_seconds", duration);
+    json->BeginSeries();
+  }
+
+  bool ok = true;
+  uint32_t policies_within_band = 0;
+  uint64_t seed = 7001;
+  for (const ExecPolicy policy : policies) {
+    const PolicyPlan plan =
+        MeasurePolicyPlan(w, policy, serve, inflight, tsc_hz,
+                          /*reps=*/quick ? 2 : 3);
+    TablePrinter table(
+        std::string("ext_serving --open-loop ") + ExecPolicyName(policy) +
+            ": predicted capacity " +
+            TablePrinter::Fmt(plan.estimate.capacity_qps, 0) +
+            " qps, SLO " +
+            TablePrinter::Fmt(plan.slo_seconds * 1e3, 2) + " ms",
+        {"offered qps", "mode", "served", "rejected", "shed",
+         "goodput qps", "p99 ms", "max lag ms"});
+    double measured_qps = 0;
+    double baseline_overload_goodput = 0;
+    double slo_overload_goodput = 0;
+    for (const double factor : load_factors) {
+      const double offered = factor * plan.estimate.capacity_qps;
+      for (const bool slo_aware : {false, true}) {
+        const OpenLoopResult r = RunOpenLoopPoint(
+            w, plan, workers, inflight, slo_aware, ArrivalKind::kPoisson,
+            offered, duration, seed++);
+        ok = CheckOpenLoopInvariants(
+                 r, slo_aware ? "slo-aware" : "baseline") &&
+             ok;
+        table.AddRow({TablePrinter::Fmt(offered, 0),
+                      slo_aware ? "slo-aware" : "baseline",
+                      std::to_string(r.served), std::to_string(r.rejected),
+                      std::to_string(r.shed),
+                      TablePrinter::Fmt(r.goodput_qps, 1),
+                      TablePrinter::Fmt(
+                          r.stats.p99_latency_seconds * 1e3, 2),
+                      TablePrinter::Fmt(r.gen.max_lag_seconds * 1e3, 2)});
+        if (slo_aware) {
+          measured_qps = std::max(measured_qps, r.goodput_qps);
+          if (factor == overload_factor) slo_overload_goodput = r.goodput_qps;
+        } else if (factor == overload_factor) {
+          baseline_overload_goodput = r.goodput_qps;
+        }
+        if (json) {
+          json->BeginPoint();
+          json->Field("policy", std::string(ExecPolicyName(policy)));
+          json->Field("arrival", std::string("poisson"));
+          json->Field("mode", std::string(slo_aware ? "slo-aware"
+                                                    : "baseline"));
+          json->Field("load_factor", factor);
+          json->Field("offered_qps", offered);
+          json->Field("predicted_capacity_qps", plan.estimate.capacity_qps);
+          json->Field("submitted", r.gen.submitted);
+          json->Field("served", r.served);
+          json->Field("rejected", r.rejected);
+          json->Field("shed", r.shed);
+          json->Field("goodput_qps", r.goodput_qps);
+          json->Field("p50_ms", r.stats.p50_latency_seconds * 1e3);
+          json->Field("p99_ms", r.stats.p99_latency_seconds * 1e3);
+          json->Field("max_lag_ms", r.gen.max_lag_seconds * 1e3);
+        }
+      }
+    }
+    table.Print();
+    // The queueing knee: past predicted capacity the queue-forever
+    // baseline's latencies blow through the SLO, while shedding admission
+    // keeps serving within it.
+    if (slo_overload_goodput <= baseline_overload_goodput) {
+      std::printf("ERROR: %s at %.1fx capacity: slo-aware goodput %.1f qps "
+                  "not above baseline %.1f qps\n",
+                  ExecPolicyName(policy), overload_factor,
+                  slo_overload_goodput, baseline_overload_goodput);
+      ok = false;
+    }
+    const double ratio =
+        measured_qps > 0 ? plan.estimate.capacity_qps / measured_qps : 0;
+    const bool within = ratio >= 0.7 && ratio <= 1.43;
+    std::printf("%s: predicted %.0f qps, measured max goodput %.0f qps "
+                "(ratio %.2f%s)\n",
+                ExecPolicyName(policy), plan.estimate.capacity_qps,
+                measured_qps, ratio, within ? ", within 30%" : "");
+    if (within) ++policies_within_band;
+  }
+  if (policies_within_band < 2) {
+    std::printf("ERROR: capacity prediction within 30%% for only %u "
+                "policies (need >= 2)\n",
+                policies_within_band);
+    ok = false;
+  }
+
+  // Arrival-process section: same mean offered load, different shapes.
+  // Burstiness costs goodput at the same mean rate — the reason the
+  // planner's capacity number alone does not size a deployment.
+  {
+    const ExecPolicy policy = ExecPolicy::kAmac;
+    const PolicyPlan plan =
+        MeasurePolicyPlan(w, policy, serve, inflight, tsc_hz, 2);
+    const double offered = 0.9 * plan.estimate.capacity_qps;
+    TablePrinter table(
+        std::string("ext_serving --open-loop arrival shapes (") +
+            ExecPolicyName(policy) + ", 0.9x capacity, slo-aware)",
+        {"arrival", "submitted", "served", "shed", "goodput qps",
+         "p99 ms"});
+    for (const ArrivalKind arrival :
+         {ArrivalKind::kPoisson, ArrivalKind::kBursty,
+          ArrivalKind::kDiurnal}) {
+      const OpenLoopResult r =
+          RunOpenLoopPoint(w, plan, workers, inflight, /*slo_aware=*/true,
+                           arrival, offered, duration, seed++);
+      ok = CheckOpenLoopInvariants(r, ArrivalKindName(arrival)) && ok;
+      table.AddRow({ArrivalKindName(arrival),
+                    std::to_string(r.gen.submitted),
+                    std::to_string(r.served), std::to_string(r.shed),
+                    TablePrinter::Fmt(r.goodput_qps, 1),
+                    TablePrinter::Fmt(r.stats.p99_latency_seconds * 1e3,
+                                      2)});
+      if (json) {
+        json->BeginPoint();
+        json->Field("policy", std::string(ExecPolicyName(policy)));
+        json->Field("arrival", std::string(ArrivalKindName(arrival)));
+        json->Field("mode", std::string("slo-aware"));
+        json->Field("load_factor", 0.9);
+        json->Field("offered_qps", offered);
+        json->Field("submitted", r.gen.submitted);
+        json->Field("served", r.served);
+        json->Field("shed", r.shed);
+        json->Field("goodput_qps", r.goodput_qps);
+        json->Field("p99_ms", r.stats.p99_latency_seconds * 1e3);
+      }
+    }
+    table.Print();
+  }
+
+  if (json) ok = json->Close() && ok;
+  std::printf("ext_serving --open-loop: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   BenchArgs args;
   args.flags.DefineBool("quick", false,
                         "CI smoke: small scale, 8 clients, verify only");
+  args.flags.DefineBool("open-loop", false,
+                        "open-loop scenario: arrival-schedule load "
+                        "generator, SLO-aware admission, capacity gates");
   args.flags.DefineString("json", "",
                           "write the per-policy load series as JSON to "
                           "this path");
@@ -295,6 +784,9 @@ int Run(int argc, char** argv) {
   args.Parse(argc, argv);
   const bool quick = args.flags.GetBool("quick");
   if (quick) args.scale = uint64_t{1} << 12;
+  if (args.flags.GetBool("open-loop")) {
+    return RunOpenLoop(args, quick, args.scale, args.inflight);
+  }
 
   const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
   uint32_t workers = static_cast<uint32_t>(args.flags.GetInt("workers"));

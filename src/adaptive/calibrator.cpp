@@ -202,4 +202,18 @@ uint64_t Calibrator::entries() const {
   return cache_.size();
 }
 
+std::vector<Calibrator::Entry> Calibrator::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  entries.reserve(cache_.size());
+  for (const auto& [key, result] : cache_) {
+    entries.push_back(Entry{key, result});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.signature_key < b.signature_key;
+            });
+  return entries;
+}
+
 }  // namespace amac

@@ -177,6 +177,16 @@ class Calibrator {
   uint64_t misses() const;
   uint64_t entries() const;
 
+  /// One cached calibration, keyed by its WorkloadSignature::Key().
+  struct Entry {
+    uint64_t signature_key = 0;
+    CalibrationResult result;
+  };
+  /// Snapshot of the cache, ascending by key — what the serving layer's
+  /// capacity planner consumes (winner cycles-per-input -> E[S] ->
+  /// sustainable QPS) without holding the calibrator lock.
+  std::vector<Entry> Entries() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, CalibrationResult> cache_;  ///< by sig.Key()

@@ -11,8 +11,69 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/rng.h"
 
 namespace amac {
+
+/// Nearest-rank percentile over an ascending-sorted sample: the smallest
+/// element whose rank is >= ceil(q * n).  This is THE definition of
+/// "percentile" for every latency number the repo reports (ServingStats,
+/// the open-loop serving bench) — pinned against a full-sample oracle by
+/// tests/common/stats_test.cpp, so keep the two call sites on one helper.
+inline double PercentileOfSorted(const std::vector<double>& sorted,
+                                 double q) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t idx = static_cast<size_t>(std::max(0.0, rank - 1));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Bounded uniform sample of an unbounded stream (Vitter's Algorithm R):
+/// after Add()ing n > capacity values, every value seen has an equal
+/// capacity/n chance of being in the sample, so order statistics over the
+/// sample estimate the full stream's without O(n) memory.
+///
+/// The replacement draws come from a seeded common/rng.h stream.  (An
+/// earlier version hashed the completion counter instead of drawing: that
+/// picks the SAME index subset on every run — not a uniform sample at all,
+/// merely a fixed one, so index-correlated streams estimate with a bias
+/// that repeated runs can never average out.  The stats_test uniformity
+/// suite pins the RNG behavior.)
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(size_t capacity,
+                           uint64_t seed = 0x5e5e5e5e5e5e5e5eull)
+      : capacity_(capacity), rng_(seed) {
+    AMAC_CHECK(capacity >= 1);
+  }
+
+  void Add(double value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    const uint64_t j = rng_.NextBounded(seen_);
+    if (j < capacity_) sample_[j] = value;
+  }
+
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+  const std::vector<double>& sample() const { return sample_; }
+
+  /// Ascending copy of the sample, ready for PercentileOfSorted.
+  std::vector<double> Sorted() const {
+    std::vector<double> sorted = sample_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<double> sample_;
+  Rng rng_;
+};
 
 /// Welford-style running mean/variance plus min/max.
 class RunningStats {

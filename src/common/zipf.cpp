@@ -21,22 +21,24 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
   AMAC_CHECK(n >= 1);
   AMAC_CHECK(theta >= 0);
   if (theta_ == 0) return;  // uniform fast path
+  // Exact discrete quantities: zetan_ scales u onto the exact CDF for the
+  // rank-1/rank-2 branches of Next(), so it must use the true theta.
   zetan_ = Zeta(n_, theta_);
-  const double zeta2 = Zeta(2, theta_);
-  alpha_ = 1.0 / (1.0 - theta_);
-  // Gray et al. constants. theta == 1 makes alpha blow up; the generator
-  // below only uses alpha on the tail branch where (1 - theta) != 0 matters,
-  // so clamp theta slightly away from 1 for the constant computation.
-  if (theta_ == 1.0) {
-    const double t = 1.0 - 1e-9;
-    alpha_ = 1.0 / (1.0 - t);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - t)) /
-           (1.0 - zeta2 / zetan_);
-  } else {
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
-           (1.0 - zeta2 / zetan_);
-  }
   half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+  // Gray et al. (SIGMOD'94) constants for the continuous-inverse tail
+  // branch.  theta == 1 makes alpha = 1/(1-theta) blow up, so the tail
+  // constants are computed from a theta clamped just off 1 — ALL of them,
+  // including the zeta values inside eta's denominator.  (An earlier
+  // version divided by the unclamped (1 - theta) first — an inf that was
+  // then overwritten — and mixed the clamped exponent with unclamped zeta
+  // values; the ZipfTest.GrayMatchesExactSampler* chi-squared suite pins
+  // theta in {0.99, 1.0, 1.01} against ExactZipfSampler.)
+  const double t = theta_ == 1.0 ? 1.0 - 1e-9 : theta_;
+  const double zetan_t = theta_ == 1.0 ? Zeta(n_, t) : zetan_;
+  const double zeta2_t = Zeta(2, t);
+  alpha_ = 1.0 / (1.0 - t);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - t)) /
+         (1.0 - zeta2_t / zetan_t);
 }
 
 uint64_t ZipfGenerator::Next() {

@@ -15,6 +15,29 @@
 
 namespace amac {
 
+/// How a submitted run left the system.  Part of the unified result
+/// vocabulary (next to RunStats) because every layer that consumes results
+/// — the server's QueryStats, the open-loop bench, the load generator's
+/// bookkeeping — needs to name it without pulling in the scheduler header.
+/// Only kServed runs carry non-zero RunStats; a rejected or shed query
+/// never executed a morsel, and its counters MUST stay zero so scheduler-
+/// level sums remain "sum of served per-query stats" (the ServingStats
+/// merge invariant pinned by tests/server/query_scheduler_test.cpp).
+enum class QueryOutcome : uint8_t {
+  kServed,    ///< admitted, executed, completed
+  kRejected,  ///< refused at submit: the bounded admission queue was full
+  kShed,      ///< dropped from the admission queue: deadline already blown
+};
+
+inline const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kServed: return "served";
+    case QueryOutcome::kRejected: return "rejected";
+    case QueryOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
 /// What the adaptive governor (src/adaptive/) did to this run when it was
 /// executed with ExecPolicy::kAdaptive; inert (active == false) otherwise.
 struct AdaptiveStats {

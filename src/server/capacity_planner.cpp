@@ -1,0 +1,89 @@
+#include "server/capacity_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace amac {
+
+CapacityEstimate CapacityPlanner::FromCyclesPerInput(
+    ExecPolicy policy, double cycles_per_input, uint64_t inputs_per_query,
+    uint32_t workers, double tsc_hz) {
+  AMAC_CHECK(tsc_hz > 0);
+  CapacityEstimate estimate;
+  estimate.policy = policy;
+  estimate.cycles_per_input = cycles_per_input;
+  estimate.service_seconds =
+      cycles_per_input * static_cast<double>(inputs_per_query) / tsc_hz;
+  estimate.capacity_qps =
+      estimate.service_seconds > 0
+          ? static_cast<double>(std::max(1u, workers)) /
+                estimate.service_seconds
+          : 0;
+  return estimate;
+}
+
+CapacityEstimate CapacityPlanner::FromServiceSeconds(ExecPolicy policy,
+                                                     double service_seconds,
+                                                     uint32_t workers) {
+  CapacityEstimate estimate;
+  estimate.policy = policy;
+  estimate.service_seconds = service_seconds;
+  estimate.capacity_qps =
+      service_seconds > 0
+          ? static_cast<double>(std::max(1u, workers)) / service_seconds
+          : 0;
+  return estimate;
+}
+
+double CapacityPlanner::Utilization(double offered_qps,
+                                    double service_seconds,
+                                    uint32_t workers) {
+  return offered_qps * service_seconds /
+         static_cast<double>(std::max(1u, workers));
+}
+
+double CapacityPlanner::ExpectedWaitSeconds(double offered_qps,
+                                            double service_seconds,
+                                            uint32_t workers, double ca2,
+                                            double cs2) {
+  const double c = static_cast<double>(std::max(1u, workers));
+  const double rho = Utilization(offered_qps, service_seconds, workers);
+  if (rho <= 0) return 0;
+  if (rho >= 1) return std::numeric_limits<double>::infinity();
+  // Sakasegawa (1977): Wq ~= (ca2 + cs2)/2 *
+  //   rho^(sqrt(2(c+1)) - 1) / (c (1 - rho)) * E[S]
+  // Exact for M/M/1; within a few percent of Erlang-C elsewhere — plenty
+  // for a 30%-band capacity gate.
+  const double exponent = std::sqrt(2.0 * (c + 1.0)) - 1.0;
+  return (ca2 + cs2) / 2.0 * std::pow(rho, exponent) / (c * (1.0 - rho)) *
+         service_seconds;
+}
+
+double CapacityPlanner::MaxQpsForWait(double wait_budget_seconds,
+                                      double service_seconds,
+                                      uint32_t workers, double ca2,
+                                      double cs2) {
+  AMAC_CHECK(wait_budget_seconds > 0);
+  if (service_seconds <= 0) return 0;
+  const double capacity =
+      static_cast<double>(std::max(1u, workers)) / service_seconds;
+  // ExpectedWaitSeconds is monotone in offered_qps on (0, capacity), 0 at
+  // 0 and +inf at capacity, so the budget crossing exists and bisection
+  // converges unconditionally.
+  double lo = 0, hi = capacity;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (ExpectedWaitSeconds(mid, service_seconds, workers, ca2, cs2) <=
+        wait_budget_seconds) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace amac

@@ -1,0 +1,79 @@
+// Capacity planning for the serving layer: predict the maximum
+// sustainable query rate per ExecPolicy from measured service cost, before
+// ever pushing real load.
+//
+// The model is deliberately the simplest one that matches the scheduler's
+// structure.  With single-morsel queries (ext_serving --open-loop submits
+// morsel_size == inputs, max_slots == 1), the QueryScheduler is an
+// M/G/c queue: c serve workers, one query per worker at a time, FIFO-ish
+// admission.  Then
+//
+//   capacity_qps = c / E[S]
+//
+// where E[S] is the mean per-query service time — obtainable either from
+// a direct solo measurement or from a calibrated cycles-per-input (the
+// adaptive calibrator's native unit) times inputs over the TSC rate.
+// Expected queue wait below capacity comes from Sakasegawa's M/G/c
+// approximation, which is what locates the knee: wait explodes as
+// offered/capacity -> 1, which is where SLO-aware admission must take
+// over from queueing.
+//
+// Validated by ext_serving --open-loop: the acceptance gate requires the
+// prediction within 30% of the measured max goodput for >= 2 policies.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+
+namespace amac {
+
+/// One policy's predicted serving capacity.
+struct CapacityEstimate {
+  ExecPolicy policy = ExecPolicy::kAmac;
+  double cycles_per_input = 0;  ///< measured service cost, calibrator units
+  double service_seconds = 0;   ///< E[S]: one query, one worker
+  double capacity_qps = 0;      ///< c / E[S]
+};
+
+class CapacityPlanner {
+ public:
+  /// Build an estimate from a calibrator-style cycles-per-input
+  /// measurement: E[S] = cpi * inputs_per_query / tsc_hz, capacity =
+  /// workers / E[S].  `workers` is the number of threads actually serving
+  /// morsels (for an open-loop run with nobody in Wait(), that is the
+  /// pool's size() - 1 spawned workers).
+  static CapacityEstimate FromCyclesPerInput(ExecPolicy policy,
+                                             double cycles_per_input,
+                                             uint64_t inputs_per_query,
+                                             uint32_t workers,
+                                             double tsc_hz);
+
+  /// Same, from a directly measured mean service time.
+  static CapacityEstimate FromServiceSeconds(ExecPolicy policy,
+                                             double service_seconds,
+                                             uint32_t workers);
+
+  /// Offered-load utilization rho = offered * E[S] / c.
+  static double Utilization(double offered_qps, double service_seconds,
+                            uint32_t workers);
+
+  /// Expected admission-queue wait at `offered_qps` (Sakasegawa's M/G/c
+  /// approximation), with squared coefficients of variation of the
+  /// arrival gaps (ca2; 1 = Poisson) and service times (cs2).  Returns
+  /// +infinity at or above capacity — the open-loop regime where only
+  /// admission control keeps latency finite.
+  static double ExpectedWaitSeconds(double offered_qps,
+                                    double service_seconds, uint32_t workers,
+                                    double ca2 = 1.0, double cs2 = 1.0);
+
+  /// Largest offered rate whose predicted wait stays within
+  /// `wait_budget_seconds` (bisection on ExpectedWaitSeconds); the
+  /// planner's answer to "how hard can I drive this policy and still meet
+  /// the SLO".
+  static double MaxQpsForWait(double wait_budget_seconds,
+                              double service_seconds, uint32_t workers,
+                              double ca2 = 1.0, double cs2 = 1.0);
+};
+
+}  // namespace amac

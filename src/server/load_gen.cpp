@@ -1,0 +1,152 @@
+#include "server/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/cycle_timer.h"
+#include "common/macros.h"
+
+namespace amac {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalOptions& options)
+    : options_(options), rng_(options.seed) {
+  AMAC_CHECK(options_.rate_qps > 0);
+  mean_rate_qps_ = options_.rate_qps;
+  switch (options_.kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kBursty: {
+      AMAC_CHECK(options_.burst_on_seconds > 0);
+      AMAC_CHECK(options_.burst_off_seconds > 0);
+      AMAC_CHECK(options_.burst_multiplier >= 1);
+      // Stationary on-fraction of the two-state chain, then solve the
+      // off-rate so the long-run mean is rate_qps:
+      //   p_on * on_rate + (1 - p_on) * off_rate = rate_qps
+      const double p_on =
+          options_.burst_on_seconds /
+          (options_.burst_on_seconds + options_.burst_off_seconds);
+      on_rate_ = options_.rate_qps * options_.burst_multiplier;
+      off_rate_ =
+          std::max(0.0, (options_.rate_qps - p_on * on_rate_) / (1 - p_on));
+      mean_rate_qps_ = p_on * on_rate_ + (1 - p_on) * off_rate_;
+      // Start in the stationary distribution so short streams are not
+      // biased toward one state.
+      burst_on_ = rng_.NextDouble() < p_on;
+      switch_at_ = Exponential(1.0 / (burst_on_ ? options_.burst_on_seconds
+                                                : options_.burst_off_seconds));
+      break;
+    }
+    case ArrivalKind::kDiurnal:
+      AMAC_CHECK(options_.diurnal_amplitude >= 0 &&
+                 options_.diurnal_amplitude <= 1);
+      AMAC_CHECK(options_.diurnal_period_seconds > 0);
+      rate_max_ = options_.rate_qps * (1 + options_.diurnal_amplitude);
+      break;
+  }
+}
+
+double ArrivalProcess::Exponential(double rate) {
+  // Inverse-CDF with (1 - u) so u == 0 is safe; rate 0 means "never".
+  if (rate <= 0) return std::numeric_limits<double>::infinity();
+  return -std::log(1.0 - rng_.NextDouble()) / rate;
+}
+
+double ArrivalProcess::Next() {
+  switch (options_.kind) {
+    case ArrivalKind::kPoisson:
+      now_ += Exponential(options_.rate_qps);
+      return now_;
+    case ArrivalKind::kBursty:
+      for (;;) {
+        const double rate = burst_on_ ? on_rate_ : off_rate_;
+        const double gap = Exponential(rate);
+        if (now_ + gap <= switch_at_) {
+          now_ += gap;
+          return now_;
+        }
+        // The proposed arrival lands past the state flip: advance to the
+        // flip and redraw under the new rate.  Exponential gaps are
+        // memoryless, so discarding the overshoot is exact, not an
+        // approximation.
+        now_ = switch_at_;
+        burst_on_ = !burst_on_;
+        switch_at_ =
+            now_ + Exponential(1.0 / (burst_on_ ? options_.burst_on_seconds
+                                                : options_.burst_off_seconds));
+      }
+    case ArrivalKind::kDiurnal:
+      // Lewis-Shedler thinning: propose at the envelope rate, accept with
+      // probability rate(t) / rate_max.
+      for (;;) {
+        now_ += Exponential(rate_max_);
+        const double rate =
+            options_.rate_qps *
+            (1 + options_.diurnal_amplitude *
+                     std::sin(kTwoPi * now_ /
+                              options_.diurnal_period_seconds));
+        if (rng_.NextDouble() * rate_max_ < rate) return now_;
+      }
+  }
+  AMAC_CHECK(false);
+  return now_;
+}
+
+LoadGenReport LoadGenerator::Run(const LoadGenOptions& options,
+                                 const SubmitFn& submit) {
+  AMAC_CHECK(options.duration_seconds > 0);
+  std::vector<TenantMix> tenants = options.tenants;
+  if (tenants.empty()) tenants.push_back(TenantMix{});
+  double total_share = 0;
+  for (const TenantMix& t : tenants) {
+    AMAC_CHECK(t.share > 0);
+    total_share += t.share;
+  }
+
+  ArrivalProcess arrivals(options.arrival);
+  Rng mix_rng(options.mix_seed);
+  LoadGenReport report;
+  WallTimer wall;
+  for (uint64_t i = 0;
+       options.max_queries == 0 || i < options.max_queries; ++i) {
+    const double at = arrivals.Next();
+    if (at > options.duration_seconds) break;
+    // Sleep in bounded chunks up to the scheduled instant.  A single long
+    // sleep_until would also work; chunking keeps the worst oversleep on
+    // a loaded machine visible in max_lag instead of folded into it.
+    for (;;) {
+      const double behind = at - wall.ElapsedSeconds();
+      if (behind <= 0) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(behind, 500e-6)));
+    }
+    report.max_lag_seconds =
+        std::max(report.max_lag_seconds, wall.ElapsedSeconds() - at);
+    // Weighted tenant pick.
+    const TenantMix* pick = &tenants.back();
+    double u = mix_rng.NextDouble() * total_share;
+    for (const TenantMix& t : tenants) {
+      if (u < t.share) {
+        pick = &t;
+        break;
+      }
+      u -= t.share;
+    }
+    submit(i, *pick);
+    ++report.submitted;
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.offered_qps = report.wall_seconds > 0
+                           ? static_cast<double>(report.submitted) /
+                                 report.wall_seconds
+                           : 0;
+  return report;
+}
+
+}  // namespace amac

@@ -2,43 +2,47 @@
 
 #include <cmath>
 
-#include "common/hash.h"
-
 namespace amac {
 
 namespace {
-
-/// Nearest-rank percentile over an ascending-sorted sample vector.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
-  const size_t idx = static_cast<size_t>(
-      std::max(0.0, rank - 1));
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 constexpr std::chrono::microseconds kWaitPoll{200};
 
 }  // namespace
 
 QueryScheduler::QueryScheduler(const QuerySchedulerOptions& options)
-    : options_(options), pool_(std::max(1u, options.num_workers)) {
+    : options_(options),
+      latencies_(kLatencySampleCap, options.reservoir_seed),
+      pool_(std::max(1u, options.num_workers)) {
   options_.num_workers = pool_.size();
 }
 
 QueryScheduler::~QueryScheduler() { Drain(); }
 
 void QueryScheduler::Enqueue(std::shared_ptr<detail::QueryState> state) {
-  std::lock_guard<std::mutex> lock(mu_);
-  state->seq = next_seq_++;
-  ++submitted_;
-  const uint32_t cap = options_.max_inflight_queries;
-  if (cap == 0 || inflight_ < cap) {
-    ++inflight_;
-    LaunchLocked(state);
-  } else {
-    pending_.push_back(std::move(state));
+  bool reject = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->seq = next_seq_++;
+    ++submitted_;
+    TenantBook& book = tenants_[state->tenant];
+    ++book.submitted;
+    book.weight = state->tenant_weight;
+    const uint32_t cap = options_.max_inflight_queries;
+    if (cap == 0 || inflight_ < cap) {
+      ++inflight_;
+      ++book.admitted;
+      LaunchLocked(state);
+      return;
+    }
+    if (options_.max_pending > 0 &&
+        pending_.size() >= options_.max_pending) {
+      reject = true;  // finalize outside mu_ (FinalizeUnlaunched retakes it)
+    } else {
+      pending_.push_back(std::move(state));
+    }
   }
+  if (reject) FinalizeUnlaunched(state, QueryOutcome::kRejected);
 }
 
 void QueryScheduler::LaunchLocked(
@@ -102,7 +106,12 @@ void QueryScheduler::Finish(
   result.run.cycles = state->exec_cycles.Elapsed();
   result.latency_seconds = state->submit_timer.ElapsedSeconds();
   result.run.dispatch_seconds = result.latency_seconds;
+  result.outcome = QueryOutcome::kServed;
+  result.deadline_seconds = state->deadline_seconds;
+  result.deadline_met = state->deadline_seconds == 0 ||
+                        result.latency_seconds <= state->deadline_seconds;
 
+  std::vector<std::shared_ptr<detail::QueryState>> shed;
   {
     // Publish the per-query result and the scheduler-level accounting
     // atomically (a waiter that saw `done` must also see the updated
@@ -112,6 +121,14 @@ void QueryScheduler::Finish(
     AMAC_CHECK(inflight_ > 0);
     --inflight_;
     ++completed_;
+    TenantBook& book = tenants_[state->tenant];
+    ++book.completed;
+    if (result.deadline_met) {
+      ++goodput_queries_;
+      ++book.goodput;
+    } else {
+      ++deadline_missed_;
+    }
     total_morsels_ += result.run.morsels;
     total_engine_.Merge(result.run.engine);
     total_queue_seconds_ += result.queue_seconds;
@@ -125,23 +142,52 @@ void QueryScheduler::Finish(
       ++adaptive_chosen_counts_[StaticExecPolicyIndex(
           result.run.adaptive.chosen_policy)];
     }
-    // Reservoir sampling (Algorithm R, deterministic hash in place of an
-    // RNG): every completed query has a kLatencySampleCap/completed_
-    // chance of being in the sample.
-    if (latencies_.size() < kLatencySampleCap) {
-      latencies_.push_back(result.latency_seconds);
-    } else {
-      const uint64_t j = Mix64(completed_ * 0x9e3779b97f4a7c15ull) %
-                         completed_;
-      if (j < kLatencySampleCap) {
-        latencies_[j] = result.latency_seconds;
-      }
+    latencies_.Add(result.latency_seconds);
+    AdmitPendingLocked(&shed);
+    state->result = result;
+    state->done = true;
+  }
+  state->cv.notify_all();
+  drain_cv_.notify_all();
+  for (const auto& dropped : shed) {
+    FinalizeUnlaunched(dropped, QueryOutcome::kShed);
+  }
+}
+
+void QueryScheduler::AdmitPendingLocked(
+    std::vector<std::shared_ptr<detail::QueryState>>* shed) {
+  const uint32_t cap = options_.max_inflight_queries;
+  while ((cap == 0 || inflight_ < cap) && !pending_.empty()) {
+    std::shared_ptr<detail::QueryState> next = PopPendingLocked();
+    if (options_.shed_expired && next->deadline_seconds > 0 &&
+        next->submit_timer.ElapsedSeconds() > next->deadline_seconds) {
+      // Already past its SLO: launching it would burn workers on a reply
+      // nobody can use.  Shed it and keep admitting.
+      shed->push_back(std::move(next));
+      continue;
     }
-    const uint32_t cap = options_.max_inflight_queries;
-    while ((cap == 0 || inflight_ < cap) && !pending_.empty()) {
-      std::shared_ptr<detail::QueryState> next = PopPendingLocked();
-      ++inflight_;
-      LaunchLocked(next);
+    ++inflight_;
+    ++tenants_[next->tenant].admitted;
+    LaunchLocked(next);
+  }
+}
+
+void QueryScheduler::FinalizeUnlaunched(
+    const std::shared_ptr<detail::QueryState>& state, QueryOutcome outcome) {
+  QueryStats result;  // run stays all-zero: nothing executed
+  result.outcome = outcome;
+  result.deadline_seconds = state->deadline_seconds;
+  result.deadline_met = false;
+  result.latency_seconds = state->submit_timer.ElapsedSeconds();
+  {
+    std::scoped_lock lock(mu_, state->mu);
+    TenantBook& book = tenants_[state->tenant];
+    if (outcome == QueryOutcome::kRejected) {
+      ++rejected_;
+      ++book.rejected;
+    } else {
+      ++shed_;
+      ++book.shed;
     }
     state->result = result;
     state->done = true;
@@ -152,12 +198,75 @@ void QueryScheduler::Finish(
 
 std::shared_ptr<detail::QueryState> QueryScheduler::PopPendingLocked() {
   AMAC_CHECK(!pending_.empty());
+  // Effective priority with aging: queue wait buys points, so starvation
+  // under kPriority / the kFairShare tie-break is bounded.
+  const double aging = options_.priority_aging_per_second;
+  const auto aged_priority = [aging](const detail::QueryState& s) {
+    return static_cast<double>(s.priority) +
+           (aging > 0 ? aging * s.submit_timer.ElapsedSeconds() : 0.0);
+  };
   auto it = pending_.begin();
-  if (options_.order == AdmissionOrder::kPriority) {
-    for (auto cand = pending_.begin(); cand != pending_.end(); ++cand) {
-      if ((*cand)->priority > (*it)->priority) it = cand;
-      // FIFO within a priority level: the deque is in seq order, so the
-      // first element of the best level wins automatically.
+  switch (options_.order) {
+    case AdmissionOrder::kFifo:
+      break;  // deque is in seq order
+    case AdmissionOrder::kPriority: {
+      double best = aged_priority(**it);
+      for (auto cand = std::next(pending_.begin()); cand != pending_.end();
+           ++cand) {
+        const double p = aged_priority(**cand);
+        // Strictly-greater keeps FIFO within a level: the deque is in seq
+        // order, so the first element of the best level wins.
+        if (p > best) {
+          best = p;
+          it = cand;
+        }
+      }
+      break;
+    }
+    case AdmissionOrder::kDeadline: {
+      // EDF over remaining slack; deadline-free queries sort last (FIFO
+      // among themselves via the strict < and seq-ordered deque).
+      const auto remaining = [](const detail::QueryState& s) {
+        return s.deadline_seconds > 0
+                   ? s.deadline_seconds - s.submit_timer.ElapsedSeconds()
+                   : std::numeric_limits<double>::infinity();
+      };
+      double best = remaining(**it);
+      for (auto cand = std::next(pending_.begin()); cand != pending_.end();
+           ++cand) {
+        const double r = remaining(**cand);
+        if (r < best) {
+          best = r;
+          it = cand;
+        }
+      }
+      break;
+    }
+    case AdmissionOrder::kFairShare: {
+      // Least weight-normalized admitted work first; aged priority then
+      // seq (deque order) break ties.
+      const auto share = [this](const detail::QueryState& s) {
+        const auto found = tenants_.find(s.tenant);
+        const double admitted =
+            found == tenants_.end()
+                ? 0.0
+                : static_cast<double>(found->second.admitted);
+        return admitted / s.tenant_weight;
+      };
+      double best_share = share(**it);
+      double best_priority = aged_priority(**it);
+      for (auto cand = std::next(pending_.begin()); cand != pending_.end();
+           ++cand) {
+        const double s = share(**cand);
+        const double p = aged_priority(**cand);
+        if (s < best_share ||
+            (s == best_share && p > best_priority)) {
+          best_share = s;
+          best_priority = p;
+          it = cand;
+        }
+      }
+      break;
     }
   }
   std::shared_ptr<detail::QueryState> state = std::move(*it);
@@ -193,13 +302,12 @@ void QueryScheduler::Drain() {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (completed_ == submitted_) return;
+      if (AllDoneLocked()) return;
     }
     if (pool_.TryRunTask()) continue;
     std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait_for(lock, kWaitPoll,
-                       [&] { return completed_ == submitted_; });
-    if (completed_ == submitted_) return;
+    drain_cv_.wait_for(lock, kWaitPoll, [&] { return AllDoneLocked(); });
+    if (AllDoneLocked()) return;
   }
 }
 
@@ -210,8 +318,14 @@ ServingStats QueryScheduler::serving_stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     stats.submitted = submitted_;
     stats.completed = completed_;
+    stats.rejected = rejected_;
+    stats.shed = shed_;
+    stats.goodput_queries = goodput_queries_;
+    stats.deadline_missed = deadline_missed_;
     stats.morsels = total_morsels_;
     stats.engine = total_engine_;
+    stats.inflight = inflight_;
+    stats.pending = pending_.size();
     stats.total_queue_seconds = total_queue_seconds_;
     stats.total_execute_seconds = total_execute_seconds_;
     stats.max_latency_seconds = max_latency_seconds_;
@@ -219,12 +333,23 @@ ServingStats QueryScheduler::serving_stats() const {
     stats.adaptive_cache_hits = adaptive_cache_hits_;
     stats.adaptive_tuning_switches = adaptive_tuning_switches_;
     stats.adaptive_chosen_counts = adaptive_chosen_counts_;
-    sorted = latencies_;
+    stats.tenants.reserve(tenants_.size());
+    for (const auto& [tenant, book] : tenants_) {
+      TenantServingStats t;
+      t.tenant = tenant;
+      t.weight = book.weight;
+      t.submitted = book.submitted;
+      t.completed = book.completed;
+      t.rejected = book.rejected;
+      t.shed = book.shed;
+      t.goodput_queries = book.goodput;
+      stats.tenants.push_back(t);
+    }
+    sorted = latencies_.Sorted();
   }
-  std::sort(sorted.begin(), sorted.end());
-  stats.p50_latency_seconds = Percentile(sorted, 0.50);
-  stats.p95_latency_seconds = Percentile(sorted, 0.95);
-  stats.p99_latency_seconds = Percentile(sorted, 0.99);
+  stats.p50_latency_seconds = PercentileOfSorted(sorted, 0.50);
+  stats.p95_latency_seconds = PercentileOfSorted(sorted, 0.95);
+  stats.p99_latency_seconds = PercentileOfSorted(sorted, 0.99);
   return stats;
 }
 

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -52,6 +53,7 @@
 #include "adaptive/signature.h"
 #include "common/cycle_timer.h"
 #include "common/macros.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/parallel_driver.h"
 #include "core/run_stats.h"
@@ -63,6 +65,11 @@ namespace amac {
 enum class AdmissionOrder : uint8_t {
   kFifo,      ///< submission order; priorities ignored
   kPriority,  ///< higher QueryOptions::priority first, FIFO within a level
+              ///< (aged by priority_aging_per_second when configured)
+  kDeadline,  ///< earliest absolute deadline first (EDF); no-deadline
+              ///< queries admit last, FIFO among themselves
+  kFairShare, ///< tenant with the least weight-normalized admitted work
+              ///< first; aged priority then FIFO break ties
 };
 
 struct QuerySchedulerOptions {
@@ -73,6 +80,23 @@ struct QuerySchedulerOptions {
   /// admission queue; 0 = unbounded.
   uint32_t max_inflight_queries = 0;
   AdmissionOrder order = AdmissionOrder::kFifo;
+  /// Bound on the admission queue: a submission arriving with this many
+  /// queries already pending is REJECTED immediately (outcome kRejected)
+  /// instead of queueing forever — the load-shedding half of SLO-aware
+  /// serving.  0 = unbounded (the closed-loop default).
+  uint32_t max_pending = 0;
+  /// Shed pending queries whose deadline already expired at the moment
+  /// they would be admitted (outcome kShed): work that cannot possibly
+  /// meet its SLO is dropped instead of wasting workers.  Queries without
+  /// a deadline are never shed.
+  bool shed_expired = false;
+  /// Priority aging: a queued query's effective priority grows by this
+  /// many points per second of admission-queue wait, so low-priority work
+  /// cannot starve under kPriority / kFairShare tie-breaks.  0 disables.
+  double priority_aging_per_second = 0;
+  /// Seed of the latency reservoir's RNG stream (deterministic stats for
+  /// a fixed completion sequence).
+  uint64_t reservoir_seed = 0x5e71e5a7f0e57a75ull;
 };
 
 /// Per-query execution configuration (the Executor's ExecConfig knobs plus
@@ -86,6 +110,16 @@ struct QueryOptions {
   uint64_t morsel_size = 0;
   /// Under AdmissionOrder::kPriority, higher admits first.
   int32_t priority = 0;
+  /// Client-observed latency SLO in seconds, measured submit-to-complete;
+  /// 0 = none.  A deadline never aborts a running query — it drives EDF
+  /// admission (kDeadline), expiry shedding (shed_expired), and the
+  /// goodput/deadline-miss accounting in QueryStats / ServingStats.
+  double deadline_seconds = 0;
+  /// Tenant id for per-tenant accounting and kFairShare admission.
+  uint32_t tenant = 0;
+  /// Fair-share weight of this tenant (kFairShare normalizes admitted
+  /// query counts by it); the last submitted value wins per tenant.
+  double tenant_weight = 1.0;
   /// Cap on this query's concurrent morsels (execution slots); 0 = the
   /// scheduler's num_workers.
   uint32_t max_slots = 0;
@@ -103,10 +137,31 @@ struct QueryOptions {
 /// (execute span); queue_seconds covers submit to first morsel (admission
 /// wait + time behind other queries' morsels); latency_seconds is the
 /// client-observed total (== run.dispatch_seconds).
+/// Rejected/shed queries come back with outcome != kServed, an all-zero
+/// `run`, and latency_seconds = submit-to-decision (so callers can account
+/// the refusal cost); they never appear in ServingStats latency
+/// percentiles or counter sums.
 struct QueryStats {
   RunStats run;
   double queue_seconds = 0;
   double latency_seconds = 0;
+  QueryOutcome outcome = QueryOutcome::kServed;
+  double deadline_seconds = 0;  ///< the query's SLO (0 = none)
+  /// Served within its deadline (always true for deadline-free served
+  /// queries, always false for rejected/shed ones).
+  bool deadline_met = true;
+};
+
+/// Per-tenant slice of the serving accounting (kFairShare bookkeeping and
+/// the multi-tenant bench sections).
+struct TenantServingStats {
+  uint32_t tenant = 0;
+  double weight = 1.0;       ///< last submitted tenant_weight
+  uint64_t submitted = 0;
+  uint64_t completed = 0;    ///< served to completion
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t goodput_queries = 0;  ///< served AND met deadline (or had none)
 };
 
 /// Scheduler-level accounting over completed queries.  Latency
@@ -116,15 +171,32 @@ struct QueryStats {
 /// max_latency_seconds is an exact running maximum, not sampled.
 struct ServingStats {
   uint64_t submitted = 0;
-  uint64_t completed = 0;
+  uint64_t completed = 0;     ///< served to completion
+  uint64_t rejected = 0;      ///< refused at submit (admission queue full)
+  uint64_t shed = 0;          ///< dropped pending (deadline expired)
+  /// Served queries that met their deadline, plus served queries with no
+  /// deadline.  goodput-under-SLO — the headline serving metric — is this
+  /// over the measurement window, NOT completed/window: a reply after its
+  /// deadline is useless work.
+  uint64_t goodput_queries = 0;
+  uint64_t deadline_missed = 0;  ///< served, but past the deadline
   uint64_t morsels = 0;       ///< morsels executed, all completed queries
   EngineStats engine;         ///< merged scheduling counters, ditto
+  /// Racy point-in-time queue depths (observability only).
+  uint64_t inflight = 0;
+  uint64_t pending = 0;
+  // Latency percentiles cover SERVED queries only: a rejected query's
+  // submit-to-refusal time is not a service latency (it is accounted in
+  // `rejected`), and folding refusals in would make shedding look like a
+  // latency win twice over.
   double p50_latency_seconds = 0;
   double p95_latency_seconds = 0;
   double p99_latency_seconds = 0;
   double max_latency_seconds = 0;
   double total_queue_seconds = 0;    ///< sum of per-query queue waits
   double total_execute_seconds = 0;  ///< sum of per-query execute spans
+  /// Per-tenant slices, ascending tenant id (only tenants seen).
+  std::vector<TenantServingStats> tenants;
   // Adaptive-execution accounting (kAdaptive queries only).
   uint64_t adaptive_queries = 0;     ///< completed governed queries
   uint64_t adaptive_cache_hits = 0;  ///< of those, calibration-cache hits
@@ -145,6 +217,9 @@ struct QueryState {
   uint64_t num_morsels = 0;  ///< bounds the pump-task fan-out
   uint32_t slots = 0;
   int32_t priority = 0;
+  double deadline_seconds = 0;  ///< relative to submit; 0 = none
+  uint32_t tenant = 0;
+  double tenant_weight = 1.0;
   uint64_t seq = 0;  ///< submission order, ties under kPriority
   /// Run one morsel on the given slot; false once the cursor is exhausted.
   std::function<bool(uint32_t)> run_one_morsel;
@@ -231,6 +306,10 @@ class QueryScheduler {
     state->num_inputs = num_inputs;
     state->slots = SlotCount(options);
     state->priority = options.priority;
+    state->deadline_seconds = std::max(0.0, options.deadline_seconds);
+    state->tenant = options.tenant;
+    state->tenant_weight =
+        options.tenant_weight > 0 ? options.tenant_weight : 1.0;
     // Governed queries: build the per-query governor (cache-keyed by the
     // op-derived signature unless the caller supplied one) and morselize
     // finer, so the calibration tournament has enough claims to run on.
@@ -327,7 +406,18 @@ class QueryScheduler {
   ServingStats serving_stats() const;
 
  private:
-  /// Queue the query for admission (or admit immediately) under mu_.
+  /// Per-tenant bookkeeping behind ServingStats::tenants (guarded by mu_).
+  struct TenantBook {
+    double weight = 1.0;
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;  ///< launched (the kFairShare deficit counter)
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t goodput = 0;
+  };
+
+  /// Queue the query for admission (admit immediately, queue, or reject).
   void Enqueue(std::shared_ptr<detail::QueryState> state);
   /// Launch the pump tasks of an admitted query.  Called under mu_.
   void LaunchLocked(const std::shared_ptr<detail::QueryState>& state);
@@ -337,6 +427,18 @@ class QueryScheduler {
   void Finish(const std::shared_ptr<detail::QueryState>& state);
   /// Pop the next admissible query per `order`.  Called under mu_.
   std::shared_ptr<detail::QueryState> PopPendingLocked();
+  /// Admit pending queries while inflight slots are free, moving
+  /// expired-deadline queries into `shed` (finalize them after releasing
+  /// mu_).  Called under mu_.
+  void AdmitPendingLocked(
+      std::vector<std::shared_ptr<detail::QueryState>>* shed);
+  /// Publish a never-launched query (rejected or shed): all-zero RunStats,
+  /// outcome set, counted outside the served sums.  Takes mu_ + state mu.
+  void FinalizeUnlaunched(const std::shared_ptr<detail::QueryState>& state,
+                          QueryOutcome outcome);
+  bool AllDoneLocked() const {
+    return completed_ + rejected_ + shed_ == submitted_;
+  }
 
   QuerySchedulerOptions options_;
 
@@ -348,6 +450,10 @@ class QueryScheduler {
   // Serving accounting (guarded by mu_).
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t goodput_queries_ = 0;
+  uint64_t deadline_missed_ = 0;
   uint64_t total_morsels_ = 0;
   EngineStats total_engine_;
   double total_queue_seconds_ = 0;
@@ -357,10 +463,12 @@ class QueryScheduler {
   uint64_t adaptive_cache_hits_ = 0;
   uint64_t adaptive_tuning_switches_ = 0;
   std::array<uint64_t, kNumStaticExecPolicies> adaptive_chosen_counts_{};
-  /// Uniform reservoir sample of per-query latencies (kLatencySampleCap
-  /// slots), so percentile accounting cannot grow with uptime.
+  std::map<uint32_t, TenantBook> tenants_;  ///< guarded by mu_
+  /// Uniform reservoir sample of SERVED per-query latencies
+  /// (kLatencySampleCap slots), so percentile accounting cannot grow with
+  /// uptime; common/stats.h ReservoirSample (seeded Algorithm R).
   static constexpr size_t kLatencySampleCap = 4096;
-  std::vector<double> latencies_;
+  ReservoirSample latencies_{kLatencySampleCap};
 
   /// Calibration cache (internally synchronized, so not under mu_).
   Calibrator calibrator_;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace amac {
 namespace {
@@ -102,6 +106,115 @@ TEST(HistogramTest, ToStringListsNonZeroBuckets) {
   EXPECT_NE(s.find("2: 2"), std::string::npos);
   EXPECT_NE(s.find("5: 1"), std::string::npos);
   EXPECT_EQ(s.find("3:"), std::string::npos);
+}
+
+TEST(PercentileTest, NearestRankDefinition) {
+  // Nearest-rank: the element at rank ceil(q * n), 1-indexed.
+  const std::vector<double> sorted = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(PercentileOfSorted(sorted, 0.50), 5);   // ceil(5) = rank 5
+  EXPECT_EQ(PercentileOfSorted(sorted, 0.95), 10);  // ceil(9.5) = rank 10
+  EXPECT_EQ(PercentileOfSorted(sorted, 0.99), 10);
+  EXPECT_EQ(PercentileOfSorted(sorted, 0.10), 1);
+  EXPECT_EQ(PercentileOfSorted(sorted, 1.00), 10);
+  EXPECT_EQ(PercentileOfSorted({}, 0.5), 0);
+  EXPECT_EQ(PercentileOfSorted({7}, 0.99), 7);
+}
+
+TEST(ReservoirSampleTest, BelowCapacityKeepsEverything) {
+  ReservoirSample res(100, 1);
+  for (int i = 0; i < 50; ++i) res.Add(i);
+  EXPECT_EQ(res.seen(), 50u);
+  EXPECT_EQ(res.sample().size(), 50u);
+  const std::vector<double> sorted = res.Sorted();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ReservoirSampleTest, PercentilesTrackFullSampleOracle) {
+  // The serving-stats scenario: many more completions than reservoir
+  // slots.  Reservoir percentiles must land near the full-sample oracle's
+  // even though the reservoir holds a fraction of the stream.
+  constexpr size_t kCapacity = 512;
+  constexpr int kStream = 20000;  // ~40x capacity
+  ReservoirSample res(kCapacity, 7);
+  std::vector<double> all;
+  Rng rng(99);
+  all.reserve(kStream);
+  for (int i = 0; i < kStream; ++i) {
+    // Lognormal-ish latency shape: a heavy right tail, like real queue
+    // waits.
+    const double u = rng.NextDouble();
+    const double v = 1.0 + 99.0 * u * u * u;
+    res.Add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const std::vector<double> sample = res.Sorted();
+  EXPECT_EQ(res.seen(), static_cast<uint64_t>(kStream));
+  EXPECT_EQ(sample.size(), kCapacity);
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double oracle = PercentileOfSorted(all, q);
+    const double est = PercentileOfSorted(sample, q);
+    // Within 15% relative error at 512 slots (binomial rank noise).
+    EXPECT_NEAR(est, oracle, 0.15 * oracle) << "q=" << q;
+  }
+}
+
+TEST(ReservoirSampleTest, IndexCorrelatedStreamIsUnbiased) {
+  // The regression the RNG-based reservoir fixes: the old deterministic-
+  // hash replacement picked the SAME index subset every run, so a stream
+  // whose values correlate with their index estimated with a fixed bias
+  // no amount of re-running could average out.  With real draws, the mean
+  // of the sampled values over many seeds must approach the stream mean.
+  constexpr size_t kCapacity = 64;
+  constexpr int kStream = 8192;
+  const double stream_mean = (kStream - 1) / 2.0;
+  double mean_of_means = 0;
+  constexpr int kSeeds = 40;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    ReservoirSample res(kCapacity, static_cast<uint64_t>(seed));
+    for (int i = 0; i < kStream; ++i) res.Add(i);  // value == index
+    double sum = 0;
+    for (const double v : res.sample()) sum += v;
+    mean_of_means += sum / static_cast<double>(res.sample().size());
+  }
+  mean_of_means /= kSeeds;
+  // Standard error of the mean-of-means ~ stream_mean / sqrt(12 * cap *
+  // seeds) ~ 57; allow 4 sigma.
+  EXPECT_NEAR(mean_of_means, stream_mean, 230.0);
+}
+
+TEST(ReservoirSampleTest, InclusionIsUniformAcrossPositions) {
+  // Algorithm R's invariant: after n adds, every position of the stream
+  // is in the sample with probability capacity/n — early positions must
+  // not be stickier than late ones (nor vice versa).
+  constexpr size_t kCapacity = 32;
+  constexpr int kStream = 1024;
+  constexpr int kRuns = 300;
+  std::vector<int> included(kStream, 0);
+  for (int run = 0; run < kRuns; ++run) {
+    ReservoirSample res(kCapacity, 1000 + static_cast<uint64_t>(run));
+    for (int i = 0; i < kStream; ++i) res.Add(i);
+    for (const double v : res.sample()) ++included[static_cast<size_t>(v)];
+  }
+  // Expected inclusion count per position: runs * cap / n = 9.375.
+  const double expected =
+      kRuns * static_cast<double>(kCapacity) / kStream;
+  double early = 0, late = 0;
+  for (int i = 0; i < kStream / 2; ++i) early += included[i];
+  for (int i = kStream / 2; i < kStream; ++i) late += included[i];
+  early /= kStream / 2;
+  late /= kStream / 2;
+  EXPECT_NEAR(early, expected, 0.15 * expected);
+  EXPECT_NEAR(late, expected, 0.15 * expected);
+}
+
+TEST(ReservoirSampleTest, DeterministicForSeed) {
+  ReservoirSample a(16, 5), b(16, 5);
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(i * 1.5);
+    b.Add(i * 1.5);
+  }
+  EXPECT_EQ(a.sample(), b.sample());
 }
 
 }  // namespace

@@ -102,6 +102,102 @@ TEST(ExactZipfSamplerTest, MatchesGeneratorShape) {
   EXPECT_NEAR(gen_head / kDraws, exact_head / kDraws, 0.05);
 }
 
+/// Two-sample banded chi-squared statistic between the Gray generator and
+/// the exact inverse-CDF sampler: exact per-rank bands for the head, a
+/// few geometric bands for the tail, so sparse tail cells don't blow up
+/// the statistic.
+double BandedChiSquared(uint64_t n, double theta, int draws,
+                        uint64_t seed_a, uint64_t seed_b, size_t* df_out) {
+  ZipfGenerator gen(n, theta, seed_a);
+  ExactZipfSampler exact(n, theta, seed_b);
+  // Band edges: ranks 1..8 individually, then doubling bands to n.
+  std::vector<uint64_t> edges;  // band b covers (edges[b-1], edges[b]]
+  for (uint64_t r = 1; r <= std::min<uint64_t>(8, n); ++r) {
+    edges.push_back(r);
+  }
+  for (uint64_t hi = 16; hi < n; hi *= 2) edges.push_back(hi);
+  if (edges.back() != n) edges.push_back(n);
+  const auto band_of = [&edges](uint64_t v) {
+    return static_cast<size_t>(
+        std::lower_bound(edges.begin(), edges.end(), v) - edges.begin());
+  };
+  std::vector<double> a(edges.size(), 0), b(edges.size(), 0);
+  for (int i = 0; i < draws; ++i) {
+    ++a[band_of(gen.Next())];
+    ++b[band_of(exact.Next())];
+  }
+  // Two-sample chi2 with equal sample sizes: sum (a-b)^2 / (a+b).
+  double chi2 = 0;
+  size_t df = 0;
+  for (size_t band = 0; band < edges.size(); ++band) {
+    const double total = a[band] + b[band];
+    if (total < 10) continue;  // skip near-empty bands
+    const double d = a[band] - b[band];
+    chi2 += d * d / total;
+    ++df;
+  }
+  *df_out = df > 0 ? df - 1 : 0;
+  return chi2;
+}
+
+/// Gray's method is an approximation whose error grows with theta (probe
+/// measurements on this generator: banded chi2 vs exact at n=1000 rises
+/// from ~19 at theta=0.5 to ~120 near theta=1 at 200k draws) — so the
+/// pinning here is RELATIVE: theta=1.0, where the clamped-constant branch
+/// runs, must look no worse than its unclamped neighbors 0.99/1.01.  The
+/// pre-fix code mixed clamped and unclamped constants at theta==1; this
+/// suite catches any such inconsistency as a chi2 outlier.
+TEST(ZipfTest, GrayMatchesExactSamplerAroundThetaOne) {
+  constexpr uint64_t kN = 1000;
+  constexpr int kDraws = 200000;
+  double chi_099 = 0, chi_100 = 0, chi_101 = 0;
+  size_t df = 0;
+  chi_099 = BandedChiSquared(kN, 0.99, kDraws, 11, 12, &df);
+  chi_100 = BandedChiSquared(kN, 1.00, kDraws, 13, 14, &df);
+  chi_101 = BandedChiSquared(kN, 1.01, kDraws, 15, 16, &df);
+  // Absolute ceiling: far above the inherent-approximation level (~120)
+  // but far below what broken constants produce (a wrong eta shifts whole
+  // bands, chi2 in the thousands).
+  EXPECT_LT(chi_099, 400.0);
+  EXPECT_LT(chi_100, 400.0);
+  EXPECT_LT(chi_101, 400.0);
+  // Relative: the clamped theta==1 branch must sit between (or near) its
+  // neighbors, not spike above them.
+  EXPECT_LT(chi_100, 2.0 * std::max(chi_099, chi_101) + 50.0);
+}
+
+TEST(ZipfTest, ThetaOneConstantsAreFinite) {
+  // theta == 1 makes the naive 1/(1-theta) tail exponent infinite; the
+  // clamped branch must still produce in-range, head-heavy draws.
+  ZipfGenerator zipf(1000, 1.0, 17);
+  int head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    head += (v <= 10);
+  }
+  // Zeta(1000, 1) ~= 7.48; ranks 1..10 hold ~H(10)/H(1000) ~= 39% of mass.
+  EXPECT_GT(head, 50000 * 0.30);
+  EXPECT_LT(head, 50000 * 0.50);
+}
+
+TEST(ZipfTest, ExactRankBranchesUseTrueTheta) {
+  // The rank-1/rank-2 branches run off the exact zetan even at theta==1:
+  // P(1) = 1/zetan, P(2) = 2^-theta/zetan.  Check observed frequencies.
+  constexpr int kDraws = 200000;
+  ZipfGenerator zipf(1000, 1.0, 18);
+  int r1 = 0, r2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t v = zipf.Next();
+    r1 += (v == 1);
+    r2 += (v == 2);
+  }
+  const double zetan = 7.485470860550343;  // H_1000
+  EXPECT_NEAR(r1 / static_cast<double>(kDraws), 1.0 / zetan, 0.01);
+  EXPECT_NEAR(r2 / static_cast<double>(kDraws), 0.5 / zetan, 0.01);
+}
+
 TEST(ExactZipfSamplerTest, RangeAndDeterminism) {
   ExactZipfSampler a(50, 1.0, 9), b(50, 1.0, 9);
   for (int i = 0; i < 1000; ++i) {

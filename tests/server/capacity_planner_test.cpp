@@ -1,0 +1,132 @@
+#include "server/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "adaptive/calibrator.h"
+#include "adaptive/signature.h"
+
+namespace amac {
+namespace {
+
+TEST(CapacityPlannerTest, FromCyclesPerInput) {
+  // 1000 cycles/input * 1e4 inputs at 1 GHz = 10 ms per query; 4 workers
+  // drain 400 queries/s.
+  const CapacityEstimate est = CapacityPlanner::FromCyclesPerInput(
+      ExecPolicy::kAmac, 1000.0, 10000, 4, 1e9);
+  EXPECT_EQ(est.policy, ExecPolicy::kAmac);
+  EXPECT_DOUBLE_EQ(est.cycles_per_input, 1000.0);
+  EXPECT_DOUBLE_EQ(est.service_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(est.capacity_qps, 400.0);
+}
+
+TEST(CapacityPlannerTest, FromServiceSecondsMatchesCyclesRoute) {
+  const CapacityEstimate a = CapacityPlanner::FromCyclesPerInput(
+      ExecPolicy::kSequential, 500.0, 2000, 3, 2e9);
+  const CapacityEstimate b = CapacityPlanner::FromServiceSeconds(
+      ExecPolicy::kSequential, 500.0 * 2000 / 2e9, 3);
+  EXPECT_DOUBLE_EQ(a.service_seconds, b.service_seconds);
+  EXPECT_DOUBLE_EQ(a.capacity_qps, b.capacity_qps);
+}
+
+TEST(CapacityPlannerTest, UtilizationIsOfferedOverCapacity) {
+  // capacity = 2 / 0.01 = 200 qps; offered 100 => rho 0.5.
+  EXPECT_DOUBLE_EQ(CapacityPlanner::Utilization(100, 0.01, 2), 0.5);
+  EXPECT_DOUBLE_EQ(CapacityPlanner::Utilization(200, 0.01, 2), 1.0);
+}
+
+TEST(CapacityPlannerTest, WaitIsZeroAtZeroAndInfiniteAtCapacity) {
+  EXPECT_EQ(CapacityPlanner::ExpectedWaitSeconds(0, 0.01, 2), 0.0);
+  EXPECT_TRUE(std::isinf(
+      CapacityPlanner::ExpectedWaitSeconds(200, 0.01, 2)));
+  EXPECT_TRUE(std::isinf(
+      CapacityPlanner::ExpectedWaitSeconds(300, 0.01, 2)));
+}
+
+TEST(CapacityPlannerTest, SingleServerMatchesMm1Exactly) {
+  // Sakasegawa reduces to the exact M/M/1 queue wait at c=1, ca2=cs2=1:
+  // Wq = rho / (1 - rho) * E[S].
+  const double service = 0.002;
+  for (const double rho : {0.3, 0.5, 0.9}) {
+    const double offered = rho / service;
+    const double expected = rho / (1 - rho) * service;
+    EXPECT_NEAR(
+        CapacityPlanner::ExpectedWaitSeconds(offered, service, 1),
+        expected, 1e-12)
+        << "rho=" << rho;
+  }
+}
+
+TEST(CapacityPlannerTest, WaitIsMonotoneInOfferedLoad) {
+  const double service = 0.005;
+  double prev = 0;
+  for (double offered = 50; offered < 780; offered += 50) {  // cap = 800
+    const double w =
+        CapacityPlanner::ExpectedWaitSeconds(offered, service, 4);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(CapacityPlannerTest, BurstyArrivalsWaitLonger) {
+  // ca2 > 1 (over-dispersed arrivals, e.g. the MMPP generator) scales the
+  // wait up at the same mean rate.
+  const double smooth =
+      CapacityPlanner::ExpectedWaitSeconds(300, 0.01, 4, 1.0, 1.0);
+  const double bursty =
+      CapacityPlanner::ExpectedWaitSeconds(300, 0.01, 4, 5.0, 1.0);
+  EXPECT_GT(bursty, 2.9 * smooth);
+}
+
+TEST(CapacityPlannerTest, MaxQpsForWaitInvertsExpectedWait) {
+  const double service = 0.004;
+  const uint32_t workers = 3;
+  const double budget = 0.02;
+  const double qps =
+      CapacityPlanner::MaxQpsForWait(budget, service, workers);
+  EXPECT_GT(qps, 0);
+  EXPECT_LT(qps, workers / service);  // below raw capacity
+  EXPECT_NEAR(
+      CapacityPlanner::ExpectedWaitSeconds(qps, service, workers), budget,
+      0.01 * budget);
+  // A generous budget approaches capacity; a tiny one stays well below.
+  EXPECT_GT(CapacityPlanner::MaxQpsForWait(10.0, service, workers),
+            0.95 * workers / service);
+  EXPECT_LT(CapacityPlanner::MaxQpsForWait(1e-5, service, workers),
+            0.8 * workers / service);
+}
+
+TEST(CapacityPlannerTest, PlansFromCalibratorEntries) {
+  // The serving-layer flow: calibrations cached per signature feed
+  // per-policy capacity predictions without re-measuring.
+  Calibrator calibrator;
+  const WorkloadSignature sig_a = WorkloadSignature::Make("opA", 1 << 14, 16);
+  const WorkloadSignature sig_b = WorkloadSignature::Make("opB", 1 << 14, 16);
+  CalibrationResult fast;
+  fast.winner = GridPoint{ExecPolicy::kAmac, 16};
+  fast.winner_cycles_per_input = 200.0;
+  CalibrationResult slow;
+  slow.winner = GridPoint{ExecPolicy::kSequential, 1};
+  slow.winner_cycles_per_input = 800.0;
+  calibrator.Store(sig_a, fast);
+  calibrator.Store(sig_b, slow);
+
+  const auto entries = calibrator.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].signature_key, entries[1].signature_key);
+  for (const Calibrator::Entry& entry : entries) {
+    const CapacityEstimate est = CapacityPlanner::FromCyclesPerInput(
+        entry.result.winner.policy, entry.result.winner_cycles_per_input,
+        1 << 14, 4, 1e9);
+    EXPECT_GT(est.capacity_qps, 0);
+    if (entry.result.winner.policy == ExecPolicy::kAmac) {
+      // 200 cyc/in * 16384 / 1e9 = 3.2768 ms; 4 workers ~ 1220 qps.
+      EXPECT_NEAR(est.capacity_qps, 4 / 0.0032768, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amac

@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -244,6 +247,251 @@ TEST(QuerySchedulerTest, PriorityTiesAreFifo) {
   }
 }
 
+QueryTicket SubmitStampedWith(QueryScheduler& sched, const Relation& rel,
+                              std::shared_ptr<TouchOrder> order, int id,
+                              QueryOptions options) {
+  auto stamp = [order, id](const Tuple& t) {
+    if (order->touched[id].load(std::memory_order_relaxed) == -1) {
+      order->touched[id].store(order->next.fetch_add(1));
+    }
+    return t;
+  };
+  return Submit(sched, Scan(rel).Then(Map(stamp)), options);
+}
+
+// ---------------------------------------------------------------------------
+// SLO-aware admission: rejection, shedding, EDF, aging, fair share
+// ---------------------------------------------------------------------------
+
+TEST(QuerySchedulerSloTest, BoundedPendingRejectsOverflow) {
+  // 1-worker scheduler: nothing executes until Drain() pumps, so the
+  // queue states are deterministic.  Cap 1 inflight + 2 pending; the 4th
+  // and 5th submissions must be rejected immediately.
+  const Relation rel = MakeDenseUniqueRelation(512, 430);
+  QuerySchedulerOptions sopts{1, 1, AdmissionOrder::kFifo};
+  sopts.max_pending = 2;
+  QueryScheduler sched(sopts);
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back(Submit(sched, Scan(rel), QueryOptions{}));
+  }
+  // Rejection is decided at submit time: tickets 3 and 4 are already done
+  // before anything has executed.
+  EXPECT_FALSE(sched.Finished(tickets[0]));
+  EXPECT_TRUE(sched.Finished(tickets[3]));
+  EXPECT_TRUE(sched.Finished(tickets[4]));
+  sched.Drain();
+  int served = 0, rejected = 0;
+  for (const QueryTicket& t : tickets) {
+    const QueryStats q = sched.Wait(t);
+    if (q.outcome == QueryOutcome::kRejected) {
+      ++rejected;
+      // A rejected query never executed: all-zero run, latency is the
+      // submit-to-refusal span, and it can never have met a deadline.
+      EXPECT_EQ(q.run.inputs, 0u);
+      EXPECT_EQ(q.run.outputs, 0u);
+      EXPECT_EQ(q.run.morsels, 0u);
+      EXPECT_EQ(q.run.seconds, 0.0);
+      EXPECT_FALSE(q.deadline_met);
+      EXPECT_GE(q.latency_seconds, 0.0);
+    } else {
+      EXPECT_EQ(q.outcome, QueryOutcome::kServed);
+      EXPECT_EQ(q.run.outputs, rel.size());
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, 3);
+  EXPECT_EQ(rejected, 2);
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.submitted, 5u);
+  EXPECT_EQ(serving.completed, 3u);
+  EXPECT_EQ(serving.rejected, 2u);
+  EXPECT_EQ(serving.shed, 0u);
+  EXPECT_EQ(serving.completed + serving.rejected + serving.shed,
+            serving.submitted);
+}
+
+TEST(QuerySchedulerSloTest, ExpiredPendingQueriesAreShed) {
+  const Relation rel = MakeDenseUniqueRelation(2000, 431);
+  QuerySchedulerOptions sopts{1, 1, AdmissionOrder::kDeadline};
+  sopts.shed_expired = true;
+  QueryScheduler sched(sopts);
+  const QueryTicket admitted = Submit(sched, Scan(rel), QueryOptions{});
+  QueryOptions doomed;
+  doomed.deadline_seconds = 1e-9;  // expired before it can be admitted
+  const QueryTicket queued = Submit(sched, Scan(rel), doomed);
+  QueryOptions fine;
+  fine.deadline_seconds = 3600.0;
+  const QueryTicket kept = Submit(sched, Scan(rel), fine);
+  sched.Drain();
+  EXPECT_EQ(sched.Wait(admitted).outcome, QueryOutcome::kServed);
+  const QueryStats shed = sched.Wait(queued);
+  EXPECT_EQ(shed.outcome, QueryOutcome::kShed);
+  EXPECT_EQ(shed.run.outputs, 0u);
+  EXPECT_FALSE(shed.deadline_met);
+  EXPECT_EQ(shed.deadline_seconds, 1e-9);
+  const QueryStats ok = sched.Wait(kept);
+  EXPECT_EQ(ok.outcome, QueryOutcome::kServed);
+  EXPECT_TRUE(ok.deadline_met);
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.submitted, 3u);
+  EXPECT_EQ(serving.completed, 2u);
+  EXPECT_EQ(serving.shed, 1u);
+  EXPECT_EQ(serving.goodput_queries, 2u);
+  EXPECT_EQ(serving.deadline_missed, 0u);
+}
+
+TEST(QuerySchedulerSloTest, DeadlineAdmissionIsEarliestFirst) {
+  const Relation rel = MakeDenseUniqueRelation(512, 432);
+  auto order = std::make_shared<TouchOrder>();
+  QueryScheduler sched(
+      QuerySchedulerOptions{1, 1, AdmissionOrder::kDeadline});
+  // id 0 admits immediately (cap 1); the rest queue: id1 loose deadline,
+  // id2 tight deadline, id3 none.  EDF admits 2, then 1, then 3.
+  QueryOptions loose;
+  loose.deadline_seconds = 3600.0;
+  QueryOptions tight;
+  tight.deadline_seconds = 60.0;
+  SubmitStampedWith(sched, rel, order, 0, QueryOptions{});
+  SubmitStampedWith(sched, rel, order, 1, loose);
+  SubmitStampedWith(sched, rel, order, 2, tight);
+  SubmitStampedWith(sched, rel, order, 3, QueryOptions{});
+  sched.Drain();
+  EXPECT_EQ(order->touched[0].load(), 0);
+  EXPECT_EQ(order->touched[2].load(), 1);
+  EXPECT_EQ(order->touched[1].load(), 2);
+  EXPECT_EQ(order->touched[3].load(), 3);
+}
+
+TEST(QuerySchedulerSloTest, PriorityAgingPromotesLongWaiters) {
+  const Relation rel = MakeDenseUniqueRelation(512, 433);
+  auto order = std::make_shared<TouchOrder>();
+  QuerySchedulerOptions sopts{1, 1, AdmissionOrder::kPriority};
+  sopts.priority_aging_per_second = 1000.0;
+  QueryScheduler sched(sopts);
+  QueryOptions low;
+  low.priority = 0;
+  QueryOptions high;
+  high.priority = 5;
+  SubmitStampedWith(sched, rel, order, 0, QueryOptions{});  // admitted
+  SubmitStampedWith(sched, rel, order, 1, low);
+  // Give the low-priority query a head start in queue wait that aging
+  // converts to > 5 effective points before the high-priority rival
+  // arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  SubmitStampedWith(sched, rel, order, 2, high);
+  sched.Drain();
+  EXPECT_EQ(order->touched[0].load(), 0);
+  EXPECT_EQ(order->touched[1].load(), 1);  // aged past priority 5
+  EXPECT_EQ(order->touched[2].load(), 2);
+}
+
+TEST(QuerySchedulerSloTest, FairShareFavorsUnderservedTenants) {
+  const Relation rel = MakeDenseUniqueRelation(512, 434);
+  auto order = std::make_shared<TouchOrder>();
+  QueryScheduler sched(
+      QuerySchedulerOptions{1, 1, AdmissionOrder::kFairShare});
+  QueryOptions tenant_a;
+  tenant_a.tenant = 1;
+  tenant_a.tenant_weight = 1.0;
+  QueryOptions tenant_b;
+  tenant_b.tenant = 2;
+  tenant_b.tenant_weight = 2.0;
+  // id 0 (tenant A) admits immediately, putting A at 1 admitted / weight
+  // 1.  Then: B at 0/2 beats A's 1/1 -> id2; B at 1/2 still beats 1/1 ->
+  // id3; finally id1.
+  SubmitStampedWith(sched, rel, order, 0, tenant_a);
+  SubmitStampedWith(sched, rel, order, 1, tenant_a);
+  SubmitStampedWith(sched, rel, order, 2, tenant_b);
+  SubmitStampedWith(sched, rel, order, 3, tenant_b);
+  sched.Drain();
+  EXPECT_EQ(order->touched[0].load(), 0);
+  EXPECT_EQ(order->touched[2].load(), 1);
+  EXPECT_EQ(order->touched[3].load(), 2);
+  EXPECT_EQ(order->touched[1].load(), 3);
+  // Per-tenant accounting surfaced in ServingStats.
+  const ServingStats serving = sched.serving_stats();
+  ASSERT_EQ(serving.tenants.size(), 2u);
+  EXPECT_EQ(serving.tenants[0].tenant, 1u);
+  EXPECT_EQ(serving.tenants[0].submitted, 2u);
+  EXPECT_EQ(serving.tenants[0].completed, 2u);
+  EXPECT_EQ(serving.tenants[1].tenant, 2u);
+  EXPECT_EQ(serving.tenants[1].weight, 2.0);
+  EXPECT_EQ(serving.tenants[1].completed, 2u);
+}
+
+TEST(QuerySchedulerSloTest, DeadlineMissAccounting) {
+  // No shedding, no rejection: an impossible deadline is still SERVED,
+  // just counted as a miss, never as goodput.
+  const Relation rel = MakeDenseUniqueRelation(4000, 435);
+  QueryScheduler sched(QuerySchedulerOptions{2, 0, AdmissionOrder::kFifo});
+  QueryOptions impossible;
+  impossible.deadline_seconds = 1e-12;
+  QueryOptions generous;
+  generous.deadline_seconds = 3600.0;
+  const QueryStats missed =
+      sched.Wait(Submit(sched, Scan(rel), impossible));
+  const QueryStats met = sched.Wait(Submit(sched, Scan(rel), generous));
+  const QueryStats no_deadline =
+      sched.Wait(Submit(sched, Scan(rel), QueryOptions{}));
+  EXPECT_EQ(missed.outcome, QueryOutcome::kServed);
+  EXPECT_FALSE(missed.deadline_met);
+  EXPECT_EQ(missed.run.outputs, rel.size());  // still did the work
+  EXPECT_TRUE(met.deadline_met);
+  EXPECT_TRUE(no_deadline.deadline_met);  // deadline-free counts as goodput
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.completed, 3u);
+  EXPECT_EQ(serving.goodput_queries, 2u);
+  EXPECT_EQ(serving.deadline_missed, 1u);
+  EXPECT_EQ(serving.goodput_queries + serving.deadline_missed,
+            serving.completed);
+}
+
+TEST(QuerySchedulerSloTest, RejectedQueriesDoNotLeakIntoServedSums) {
+  // The ServingStats merge invariant: counter sums (morsels, engine) and
+  // latency percentiles must cover SERVED queries only, bitwise equal to
+  // summing the per-query stats of the served subset.
+  const Relation rel = MakeDenseUniqueRelation(2048, 436);
+  QuerySchedulerOptions sopts{1, 1, AdmissionOrder::kFifo};
+  sopts.max_pending = 1;
+  QueryScheduler sched(sopts);
+  QueryOptions options;
+  options.morsel_size = 256;
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(Submit(sched, Scan(rel), options));
+  }
+  sched.Drain();
+  uint64_t served_morsels = 0;
+  EngineStats served_engine;
+  uint64_t served = 0, rejected = 0;
+  double max_served_latency = 0;
+  for (const QueryTicket& t : tickets) {
+    const QueryStats q = sched.Wait(t);
+    if (q.outcome == QueryOutcome::kServed) {
+      ++served;
+      served_morsels += q.run.morsels;
+      served_engine.Merge(q.run.engine);
+      max_served_latency = std::max(max_served_latency, q.latency_seconds);
+    } else {
+      ++rejected;
+      EXPECT_EQ(q.run.morsels, 0u);
+      EXPECT_EQ(q.run.engine.steps, 0u);
+    }
+  }
+  ASSERT_EQ(served, 2u);   // 1 inflight + 1 pending
+  ASSERT_EQ(rejected, 4u);
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.morsels, served_morsels);
+  EXPECT_EQ(serving.engine.steps, served_engine.steps);
+  EXPECT_EQ(serving.engine.lookups, served_engine.lookups);
+  EXPECT_EQ(serving.max_latency_seconds, max_served_latency);
+  // Percentiles over 2 served queries: both within the served latency
+  // range, never the (earlier, smaller) submit-to-refusal spans.
+  EXPECT_GT(serving.p50_latency_seconds, 0.0);
+  EXPECT_LE(serving.p99_latency_seconds, max_served_latency);
+}
+
 // ---------------------------------------------------------------------------
 // Concurrency stress: mixed queries vs solo sequential oracles
 // ---------------------------------------------------------------------------
@@ -451,6 +699,82 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerStressTest,
                          [](const auto& info) {
                            return ExecPolicyName(info.param);
                          });
+
+TEST(QuerySchedulerOpenLoopTest, ConcurrentSubmittersVsSoloOracles) {
+  // Open-loop stress (run under TSan in CI): submitter threads fire
+  // queries WITHOUT waiting for completions while workers serve, racing
+  // submit-side rejection against completion-side admission and
+  // shedding.  Every served query must still match the solo oracle, and
+  // the outcome partition must exactly cover every submission.
+  const StressWorkload w = MakeStressWorkload();
+  QuerySchedulerOptions sopts{4, 3, AdmissionOrder::kDeadline};
+  sopts.max_pending = 4;
+  sopts.shed_expired = true;
+  QueryScheduler sched(sopts);
+  QueryOptions options;
+  options.params = SchedulerParams{8, 2, 0};
+  options.morsel_size = 512;
+  options.deadline_seconds = 0.5;  // generous; shedding stays possible
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 20;
+  std::mutex tickets_mu;
+  std::vector<QueryTicket> tickets;
+  std::vector<std::thread> submitters;
+  for (int thread_id = 0; thread_id < kSubmitters; ++thread_id) {
+    submitters.emplace_back([&, thread_id] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        QueryOptions submit_options = options;
+        submit_options.tenant = static_cast<uint32_t>(thread_id);
+        const QueryTicket ticket = Submit(
+            sched, Scan(w.s).Then(Probe<true>(*w.table)), submit_options);
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        tickets.push_back(ticket);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  sched.Drain();
+
+  uint64_t served = 0, rejected = 0, shed = 0, goodput = 0, divergent = 0;
+  for (const QueryTicket& ticket : tickets) {
+    const QueryStats q = sched.Wait(ticket);
+    switch (q.outcome) {
+      case QueryOutcome::kServed:
+        ++served;
+        if (q.deadline_met) ++goodput;
+        if (q.run.outputs != w.join.outputs ||
+            q.run.checksum != w.join.checksum) {
+          ++divergent;
+        }
+        break;
+      case QueryOutcome::kRejected:
+        ++rejected;
+        EXPECT_EQ(q.run.morsels, 0u);
+        break;
+      case QueryOutcome::kShed:
+        ++shed;
+        EXPECT_EQ(q.run.morsels, 0u);
+        break;
+    }
+  }
+  EXPECT_EQ(divergent, 0u);
+  const ServingStats serving = sched.serving_stats();
+  EXPECT_EQ(serving.submitted,
+            static_cast<uint64_t>(kSubmitters * kPerSubmitter));
+  EXPECT_EQ(serving.completed, served);
+  EXPECT_EQ(serving.rejected, rejected);
+  EXPECT_EQ(serving.shed, shed);
+  EXPECT_EQ(serving.goodput_queries, goodput);
+  EXPECT_EQ(serving.completed + serving.rejected + serving.shed,
+            serving.submitted);
+  EXPECT_GT(served, 0u);
+  uint64_t tenant_total = 0;
+  for (const TenantServingStats& tenant : serving.tenants) {
+    tenant_total += tenant.submitted;
+  }
+  EXPECT_EQ(tenant_total, serving.submitted);
+}
 
 }  // namespace
 }  // namespace amac
