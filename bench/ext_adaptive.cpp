@@ -49,6 +49,7 @@ struct Outcome {
   uint64_t inputs = 0;
   uint64_t outputs = 0;
   uint64_t checksum = 0;
+  uint64_t vec_fallbacks = 0;
   AdaptiveStats adaptive;
 
   double Throughput() const {
@@ -104,6 +105,7 @@ std::vector<AdaptiveWorkload> BuildWorkloads(const Datasets& d) {
     out.inputs = run.inputs;
     out.outputs = run.outputs;
     out.checksum = run.checksum;
+    out.vec_fallbacks = run.engine.vec_fallbacks;
     out.adaptive = run.adaptive;
     return out;
   };
@@ -286,6 +288,7 @@ int Run(int argc, char** argv) {
                       ExecPolicyName(adaptive.adaptive.chosen_policy)));
       json->Field("chosen_inflight", adaptive.adaptive.chosen_inflight);
       json->Field("tuning_switches", adaptive.adaptive.tuning_switches);
+      json->Field("vec_fallbacks", adaptive.vec_fallbacks);
     }
   }
   table.Print();
@@ -310,13 +313,14 @@ int Run(int argc, char** argv) {
     }
   }
   const uint32_t rounds = quick ? 2 : 4;
-  const auto run_serving = [&](ExecPolicy policy) {
+  const auto run_serving = [&](ExecPolicy policy,
+                               uint64_t* vec_fallbacks_out = nullptr) {
     QueryScheduler sched(
         QuerySchedulerOptions{threads, 2 * threads, AdmissionOrder::kFifo});
     QueryOptions options;
     options.policy = policy;
     options.params = static_params;
-    uint64_t queries = 0, divergent = 0;
+    uint64_t queries = 0, divergent = 0, vec_fallbacks = 0;
     WallTimer wall;
     for (uint32_t r = 0; r < rounds; ++r) {
       std::vector<QueryTicket> tickets;
@@ -330,6 +334,7 @@ int Run(int argc, char** argv) {
       queries += tickets.size();
       for (size_t i = 0; i < tickets.size(); ++i) {
         const QueryStats q = sched.Wait(tickets[i]);
+        vec_fallbacks += q.run.engine.vec_fallbacks;
         if (q.run.outputs != serving_oracles[i].outputs ||
             q.run.checksum != serving_oracles[i].checksum) {
           ++divergent;
@@ -351,6 +356,7 @@ int Run(int argc, char** argv) {
                   static_cast<unsigned long long>(divergent));
       ok = false;
     }
+    if (vec_fallbacks_out != nullptr) *vec_fallbacks_out = vec_fallbacks;
     return seconds > 0 ? static_cast<double>(queries) / seconds : 0;
   };
 
@@ -363,7 +369,9 @@ int Run(int argc, char** argv) {
       best_serving_policy = SeriesName(policy);
     }
   }
-  const double adaptive_serving = run_serving(ExecPolicy::kAdaptive);
+  uint64_t serving_vec_fallbacks = 0;
+  const double adaptive_serving =
+      run_serving(ExecPolicy::kAdaptive, &serving_vec_fallbacks);
   const double serving_ratio =
       best_serving > 0 ? adaptive_serving / best_serving : 0;
   std::printf(
@@ -382,6 +390,7 @@ int Run(int argc, char** argv) {
     json->Field("best_static_queries_per_sec", best_serving);
     json->Field("best_static_policy", std::string(best_serving_policy));
     json->Field("adaptive_vs_best", serving_ratio);
+    json->Field("vec_fallbacks", serving_vec_fallbacks);
     ok = json->Close() && ok;
   }
 

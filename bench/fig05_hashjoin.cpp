@@ -132,6 +132,7 @@ bool RunOne(const char* title, uint64_t r_size, uint64_t s_size,
         json->Field("build_cycles_per_output",
                     static_cast<double>(result.build.cycles) / out);
         json->Field("probe_cycles_per_output", probe_cpo);
+        json->Field("probe_vec_fallbacks", result.probe.engine.vec_fallbacks);
         json->Field("perf_valid", result.probe.perf.valid ? 1 : 0);
         json->Field("probe_llc_misses", result.probe.perf.llc_misses);
         json->Field("probe_stalled_cycles",

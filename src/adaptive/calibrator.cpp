@@ -187,6 +187,13 @@ void Calibrator::Store(const WorkloadSignature& sig,
   cache_[sig.Key()] = result;
 }
 
+double Calibrator::PeekCyclesPerInput(const WorkloadSignature& sig) const {
+  if (!sig.valid()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(sig.Key());
+  return it == cache_.end() ? 0 : it->second.winner_cycles_per_input;
+}
+
 uint64_t Calibrator::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;

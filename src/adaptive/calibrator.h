@@ -173,6 +173,12 @@ class Calibrator {
   /// Record (or overwrite, after a re-tune) the calibration for `sig`.
   void Store(const WorkloadSignature& sig, const CalibrationResult& result);
 
+  /// The cached winner's cycles-per-input for `sig`, or 0 when unknown.
+  /// Unlike Lookup this counts neither a hit nor a miss: it exists for
+  /// sizing decisions (the deadline-aware morsel picker) that merely peek
+  /// at the cache without claiming its statistics.
+  double PeekCyclesPerInput(const WorkloadSignature& sig) const;
+
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t entries() const;

@@ -47,3 +47,20 @@ inline constexpr std::size_t kCacheLineSize = 64;
 #else
 #define AMAC_DCHECK(cond) assert(cond)
 #endif
+
+/// True when compiling under ThreadSanitizer.  The race-tolerant read paths
+/// (SIMD gathers over concurrently mutated nodes, whose plain loads are
+/// exact under x86-TSO but are data races in the C++ memory model) are
+/// compiled out under TSan instead of suppressed, so the TSan CI leg keeps
+/// full signal on the paths that must be race-free.
+#if defined(__SANITIZE_THREAD__)
+#define AMAC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AMAC_TSAN 1
+#else
+#define AMAC_TSAN 0
+#endif
+#else
+#define AMAC_TSAN 0
+#endif

@@ -41,9 +41,23 @@ void ThreadPool::WorkerLoop(uint32_t tid) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
+      const auto ready = [&] {
         return stop_ || generation_ != seen || !tasks_.empty();
-      });
+      };
+      // Each time the worker is about to park with nothing to do, run the
+      // idle hook once (outside the lock — it may take other locks), then
+      // block.  The hook runs once per park, not in a spin: the condvar
+      // wait blocks until the next notify.
+      while (!ready()) {
+        if (idle_) {
+          std::function<void()> idle = idle_;
+          lock.unlock();
+          idle();
+          lock.lock();
+          if (ready()) break;
+        }
+        work_cv_.wait(lock);
+      }
       if (stop_) return;
       if (generation_ != seen) {
         // Fork-join generations take precedence: a Run() caller is blocked
@@ -100,6 +114,15 @@ bool ThreadPool::TryRunTask() {
   }
   task();
   return true;
+}
+
+void ThreadPool::SetIdleTask(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_ = std::move(task);
+  }
+  // Wake parked workers so the new hook runs at least once promptly.
+  work_cv_.notify_all();
 }
 
 uint64_t ThreadPool::queued_tasks() const {

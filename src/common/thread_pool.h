@@ -72,6 +72,14 @@ class ThreadPool {
   /// Tasks currently queued (racy snapshot; observability only).
   uint64_t queued_tasks() const;
 
+  /// Install (or clear, with an empty function) a closure every worker runs
+  /// once each time it is about to park with nothing to do.  The epoch
+  /// subsystem hooks EpochManager::AdvanceAndReclaim here so quiescence
+  /// advances and orphaned retirements drain from otherwise-idle workers.
+  /// The closure must be cheap, must not touch the pool, and must tolerate
+  /// concurrent invocation from several workers.
+  void SetIdleTask(std::function<void()> task);
+
  private:
   void WorkerLoop(uint32_t tid);
 
@@ -84,6 +92,7 @@ class ThreadPool {
   uint64_t generation_ = 0;                            ///< guarded by mu_
   uint32_t pending_ = 0;                               ///< guarded by mu_
   std::deque<std::function<void()>> tasks_;            ///< guarded by mu_
+  std::function<void()> idle_;                         ///< guarded by mu_
   bool stop_ = false;                                  ///< guarded by mu_
 };
 

@@ -53,6 +53,11 @@ struct EngineStats {
   uint64_t parks = 0;    ///< steps returning kParked
   uint64_t retries = 0;  ///< steps returning kRetry
   uint64_t noops = 0;    ///< GP/SPP only: stage slots burnt on finished lookups
+  /// Lookups a vectorized policy silently ran scalar because the operation
+  /// exposes no vector interface (Run()'s kVectorized/kVectorizedAmac
+  /// fallback).  Zero on genuinely vectorized runs; lets JSON emitters stop
+  /// implying vector execution where none happened.
+  uint64_t vec_fallbacks = 0;
 
   double StepsPerLookup() const {
     return lookups ? static_cast<double>(steps) / static_cast<double>(lookups)
@@ -66,6 +71,7 @@ struct EngineStats {
     parks += other.parks;
     retries += other.retries;
     noops += other.noops;
+    vec_fallbacks += other.vec_fallbacks;
   }
 };
 

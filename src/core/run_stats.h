@@ -54,6 +54,22 @@ struct AdaptiveStats {
   uint64_t probe_morsels = 0;        ///< epsilon-greedy exploration morsels
 };
 
+/// Write-path accounting for the concurrent structures (hashtable upsert /
+/// erase, skiplist insert / erase).  Read-only runs leave it zeroed.
+struct WriteStats {
+  uint64_t inserts = 0;  ///< upserts that created a new key
+  uint64_t updates = 0;  ///< upserts that overwrote an existing payload
+  uint64_t erases = 0;   ///< deletes that found and removed their key
+
+  uint64_t Total() const { return inserts + updates + erases; }
+
+  void Merge(const WriteStats& other) {
+    inserts += other.inserts;
+    updates += other.updates;
+    erases += other.erases;
+  }
+};
+
 /// The one result type every Executor::Run returns, subsuming the historic
 /// per-operator stats structs (the PR-3 JoinStats / GroupByStats /
 /// SkipListStats shims, now removed).  All rate accessors return 0 (not
@@ -75,6 +91,9 @@ struct RunStats {
   double dispatch_seconds = 0;
   /// Populated when the run executed under ExecPolicy::kAdaptive.
   AdaptiveStats adaptive;
+  /// Populated when the operation mutated a concurrent structure (the
+  /// write ops fold their per-op counts in after the run).
+  WriteStats writes;
   /// Hardware counters over the measured region, sampled on the
   /// single-threaded static-policy path only (counters attach to the
   /// calling thread; pool threads would escape them).  perf.valid is false

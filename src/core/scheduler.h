@@ -201,17 +201,23 @@ EngineStats Run(ExecPolicy policy, const SchedulerParams& params, Op& op,
     case ExecPolicy::kVectorized:
       // Ops without a vector interface run the scheduling-equivalent
       // scalar schedule: batch SIMD with no interleaving degenerates to
-      // the sequential order (identical results, no SIMD speedup).
+      // the sequential order (identical results, no SIMD speedup).  The
+      // fallback is counted so downstream JSON never implies vector
+      // execution that did not happen.
       if constexpr (kHasVectorExec<Op>) {
         return RunVectorized(op, num_inputs);
       } else {
-        return RunSequential(op, num_inputs);
+        EngineStats stats = RunSequential(op, num_inputs);
+        stats.vec_fallbacks = num_inputs;
+        return stats;
       }
     case ExecPolicy::kVectorizedAmac:
       if constexpr (kHasVectorExec<Op>) {
         return RunVectorizedAmac(op, num_inputs, inflight);
       } else {
-        return RunAmac(op, num_inputs, inflight);
+        EngineStats stats = RunAmac(op, num_inputs, inflight);
+        stats.vec_fallbacks = num_inputs;
+        return stats;
       }
     case ExecPolicy::kAdaptive:
       // Adaptive selection needs a morsel stream to measure against

@@ -32,6 +32,7 @@ void QueryScheduler::Enqueue(std::shared_ptr<detail::QueryState> state) {
     if (cap == 0 || inflight_ < cap) {
       ++inflight_;
       ++book.admitted;
+      MaybeDegradeLocked(*state);
       LaunchLocked(state);
       return;
     }
@@ -110,6 +111,16 @@ void QueryScheduler::Finish(
   result.deadline_seconds = state->deadline_seconds;
   result.deadline_met = state->deadline_seconds == 0 ||
                         result.latency_seconds <= state->deadline_seconds;
+  result.policy_degraded = state->degraded.load(std::memory_order_relaxed);
+
+  // Drop the typed execution state NOW, not when the last ticket copy
+  // dies: the per-slot ops behind these closures own real resources
+  // (sinks, and for the concurrent write path an epoch participant slot
+  // each), and a client holding tickets of many completed queries must
+  // not pin them — a few hundred live EpochGuards would exhaust the
+  // EpochManager's participant table and wedge every later query.
+  state->run_one_morsel = nullptr;
+  state->collect = nullptr;
 
   std::vector<std::shared_ptr<detail::QueryState>> shed;
   {
@@ -168,8 +179,37 @@ void QueryScheduler::AdmitPendingLocked(
     }
     ++inflight_;
     ++tenants_[next->tenant].admitted;
+    MaybeDegradeLocked(*next);
     LaunchLocked(next);
   }
+}
+
+void QueryScheduler::MaybeDegradeLocked(detail::QueryState& state) {
+  const uint32_t threshold = options_.degrade_pending_threshold;
+  if (threshold == 0 || !state.degradable) return;
+  if (pending_.size() < threshold) return;
+  if (!state.degraded.exchange(true, std::memory_order_relaxed)) {
+    ++degraded_;
+  }
+}
+
+uint64_t QueryScheduler::DeadlineCappedMorsel(
+    uint64_t derived, const WorkloadSignature& sig,
+    const QueryOptions& options) const {
+  const double fraction = options_.deadline_morsel_fraction;
+  if (fraction <= 0 || options.deadline_seconds <= 0) return derived;
+  const double cpi = calibrator_.PeekCyclesPerInput(sig);
+  if (cpi <= 0) return derived;  // not calibrated yet: keep the default
+  static const double tsc_hz = EstimateTscHz();
+  const double budget_inputs =
+      options.deadline_seconds * fraction * tsc_hz / cpi;
+  // Floor well above the widest in-flight window so the cap cannot turn
+  // every morsel into pure fill/drain ramp.
+  constexpr uint64_t kMinMorsel = 32;
+  if (budget_inputs <= static_cast<double>(kMinMorsel)) {
+    return std::min(derived, kMinMorsel);
+  }
+  return std::min(derived, static_cast<uint64_t>(budget_inputs));
 }
 
 void QueryScheduler::FinalizeUnlaunched(
@@ -179,6 +219,10 @@ void QueryScheduler::FinalizeUnlaunched(
   result.deadline_seconds = state->deadline_seconds;
   result.deadline_met = false;
   result.latency_seconds = state->submit_timer.ElapsedSeconds();
+  // Same early release as Finish: nothing will ever execute, so the typed
+  // state (op factory captures and all) has no reason to outlive this.
+  state->run_one_morsel = nullptr;
+  state->collect = nullptr;
   {
     std::scoped_lock lock(mu_, state->mu);
     TenantBook& book = tenants_[state->tenant];
@@ -322,6 +366,7 @@ ServingStats QueryScheduler::serving_stats() const {
     stats.shed = shed_;
     stats.goodput_queries = goodput_queries_;
     stats.deadline_missed = deadline_missed_;
+    stats.degraded_queries = degraded_;
     stats.morsels = total_morsels_;
     stats.engine = total_engine_;
     stats.inflight = inflight_;

@@ -94,6 +94,23 @@ struct QuerySchedulerOptions {
   /// many points per second of admission-queue wait, so low-priority work
   /// cannot starve under kPriority / kFairShare tie-breaks.  0 disables.
   double priority_aging_per_second = 0;
+  /// Pressure-based policy degrade (the soft tier between serving normally
+  /// and rejecting/shedding): when a query is admitted while at least this
+  /// many queries wait in the admission queue, its static policy is
+  /// swapped for `degrade_policy` — typically a cheaper schedule that
+  /// trades per-query speed for lower scheduling overhead under overload.
+  /// Governed (kAdaptive) queries are never degraded (the governor already
+  /// picks per-morsel).  0 disables.
+  uint32_t degrade_pending_threshold = 0;
+  ExecPolicy degrade_policy = ExecPolicy::kSequential;
+  /// Latency-budget-aware morsel sizing: when a static-policy query has a
+  /// deadline and its workload signature has a calibrated cycles-per-input
+  /// (the shared Calibrator), cap its morsel so one morsel costs at most
+  /// this fraction of the deadline — a query whose SLO is tight gets finer
+  /// interleaving granules, so it cannot be stuck behind its own oversized
+  /// morsel.  The cap only shrinks the derived size, never grows it, and
+  /// explicit QueryOptions::morsel_size wins outright.  0 disables.
+  double deadline_morsel_fraction = 0;
   /// Seed of the latency reservoir's RNG stream (deterministic stats for
   /// a fixed completion sequence).
   uint64_t reservoir_seed = 0x5e71e5a7f0e57a75ull;
@@ -150,6 +167,9 @@ struct QueryStats {
   /// Served within its deadline (always true for deadline-free served
   /// queries, always false for rejected/shed ones).
   bool deadline_met = true;
+  /// This query ran under the scheduler's degrade_policy (admitted while
+  /// the admission queue was past degrade_pending_threshold).
+  bool policy_degraded = false;
 };
 
 /// Per-tenant slice of the serving accounting (kFairShare bookkeeping and
@@ -180,6 +200,9 @@ struct ServingStats {
   /// deadline is useless work.
   uint64_t goodput_queries = 0;
   uint64_t deadline_missed = 0;  ///< served, but past the deadline
+  /// Queries admitted under pressure with their policy downgraded to the
+  /// scheduler's degrade_policy (degrade_pending_threshold crossed).
+  uint64_t degraded_queries = 0;
   uint64_t morsels = 0;       ///< morsels executed, all completed queries
   EngineStats engine;         ///< merged scheduling counters, ditto
   /// Racy point-in-time queue depths (observability only).
@@ -221,6 +244,11 @@ struct QueryState {
   uint32_t tenant = 0;
   double tenant_weight = 1.0;
   uint64_t seq = 0;  ///< submission order, ties under kPriority
+  /// Static non-degrade policy, so pressure degrade applies (immutable).
+  bool degradable = false;
+  /// Set (under the scheduler's mu_) at admission when the queue is past
+  /// degrade_pending_threshold; read by every morsel of the query.
+  std::atomic<bool> degraded{false};
   /// Run one morsel on the given slot; false once the cursor is exhausted.
   std::function<bool(uint32_t)> run_one_morsel;
   /// Fold per-slot sinks/engine counters into the final RunStats.
@@ -310,18 +338,21 @@ class QueryScheduler {
     state->tenant = options.tenant;
     state->tenant_weight =
         options.tenant_weight > 0 ? options.tenant_weight : 1.0;
-    // Governed queries: build the per-query governor (cache-keyed by the
-    // op-derived signature unless the caller supplied one) and morselize
-    // finer, so the calibration tournament has enough claims to run on.
+    // The signature keys the calibration cache for governed queries AND
+    // the deadline-aware morsel cap for static ones (a governed run of the
+    // same query shape leaves the cycles-per-input a later static query's
+    // sizing peeks at).
+    const WorkloadSignature signature =
+        options.signature.valid()
+            ? options.signature
+            : WorkloadSignature::Make(
+                  typeid(OpType).name(), num_inputs,
+                  static_cast<uint32_t>(sizeof(typename OpType::State)));
+    // Governed queries: build the per-query governor and morselize finer,
+    // so the calibration tournament has enough claims to run on.
     std::shared_ptr<QueryGovernor> governor;
     uint64_t morsel_size;
     if (options.policy == ExecPolicy::kAdaptive) {
-      const WorkloadSignature signature =
-          options.signature.valid()
-              ? options.signature
-              : WorkloadSignature::Make(
-                    typeid(OpType).name(), num_inputs,
-                    static_cast<uint32_t>(sizeof(typename OpType::State)));
       governor = std::make_shared<QueryGovernor>(
           options.adaptive, &calibrator_, signature,
           options.params.stages);
@@ -333,6 +364,10 @@ class QueryScheduler {
       morsel_size = ResolveMorselSize(
           num_inputs, state->slots, options.morsel_size,
           std::max(1u, options.params.inflight));
+      if (options.morsel_size == 0) {
+        morsel_size = DeadlineCappedMorsel(morsel_size, signature, options);
+      }
+      state->degradable = options.policy != options_.degrade_policy;
     }
     state->num_morsels = (num_inputs + morsel_size - 1) / morsel_size;
 
@@ -359,7 +394,12 @@ class QueryScheduler {
     auto typed = std::make_shared<Typed>(std::move(make_op), num_inputs,
                                          morsel_size, options, state->slots);
     typed->governor = std::move(governor);
-    state->run_one_morsel = [typed](uint32_t slot_id) {
+    // Raw back-pointer, not the shared_ptr: the closure is stored inside
+    // the state it points at (a shared_ptr capture would be a cycle), and
+    // it only runs while the state is alive.
+    detail::QueryState* const qs = state.get();
+    const ExecPolicy degrade_policy = options_.degrade_policy;
+    state->run_one_morsel = [typed, qs, degrade_policy](uint32_t slot_id) {
       Range morsel;
       if (!typed->cursor.Next(&morsel)) return false;
       Slot& slot = typed->slots[slot_id];
@@ -373,8 +413,11 @@ class QueryScheduler {
             Run(choice.policy, choice.params, rebased, morsel.size()));
         typed->governor->Report(choice, morsel.size(), timer.Elapsed());
       } else {
+        const ExecPolicy policy =
+            qs->degraded.load(std::memory_order_relaxed) ? degrade_policy
+                                                         : typed->policy;
         slot.engine.Merge(
-            Run(typed->policy, typed->params, rebased, morsel.size()));
+            Run(policy, typed->params, rebased, morsel.size()));
       }
       ++slot.morsels;
       return true;
@@ -436,6 +479,16 @@ class QueryScheduler {
   /// outcome set, counted outside the served sums.  Takes mu_ + state mu.
   void FinalizeUnlaunched(const std::shared_ptr<detail::QueryState>& state,
                           QueryOutcome outcome);
+  /// Pressure degrade at admission: with degrade_pending_threshold or more
+  /// queries waiting, a degradable query's morsels run under
+  /// degrade_policy.  Called under mu_ right before LaunchLocked.
+  void MaybeDegradeLocked(detail::QueryState& state);
+  /// Deadline-aware morsel cap (deadline_morsel_fraction): shrink
+  /// `derived` so one morsel of a calibrated workload costs at most the
+  /// configured fraction of the query's deadline.
+  uint64_t DeadlineCappedMorsel(uint64_t derived,
+                                const WorkloadSignature& sig,
+                                const QueryOptions& options) const;
   bool AllDoneLocked() const {
     return completed_ + rejected_ + shed_ == submitted_;
   }
@@ -454,6 +507,7 @@ class QueryScheduler {
   uint64_t shed_ = 0;
   uint64_t goodput_queries_ = 0;
   uint64_t deadline_missed_ = 0;
+  uint64_t degraded_ = 0;
   uint64_t total_morsels_ = 0;
   EngineStats total_engine_;
   double total_queue_seconds_ = 0;

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/hash.h"
+#include "epoch/epoch.h"
 
 namespace amac {
 
@@ -14,7 +15,9 @@ SkipList::SkipList(uint64_t expected_elems) {
   const uint64_t slab_bytes =
       expected_elems * 96 + (kMaxLevel + 2) * kCacheLineSize + (1 << 16);
   slab_ = AlignedBuffer<uint8_t>(slab_bytes);
+  free_by_height_.resize(kMaxLevel + 1);
   head_ = AllocNode(kMaxLevel, std::numeric_limits<int64_t>::min(), 0);
+  ClearSkipNodeLinking(head_);  // the head is never "being inserted"
   num_elems_.store(0, std::memory_order_relaxed);  // head is not an element
 }
 
@@ -26,17 +29,46 @@ uint32_t SkipList::RandomHeight(Rng& rng) {
 
 SkipNode* SkipList::AllocNode(uint32_t height, int64_t key, int64_t payload) {
   AMAC_CHECK(height >= 1 && height <= kMaxLevel);
-  const std::size_t bytes = SkipNode::BytesForHeight(height);
-  const uint64_t offset =
-      slab_used_.fetch_add(bytes, std::memory_order_relaxed);
-  AMAC_CHECK_MSG(offset + bytes <= slab_.size(), "skip list slab exhausted");
-  auto* node = reinterpret_cast<SkipNode*>(slab_.data() + offset);
+  SkipNode* node = nullptr;
+  if (free_count_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    auto& bin = free_by_height_[height];
+    if (!bin.empty()) {
+      node = bin.back();
+      bin.pop_back();
+      free_count_.fetch_sub(1, std::memory_order_relaxed);
+      recycled_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (node == nullptr) {
+    const std::size_t bytes = SkipNode::BytesForHeight(height);
+    const uint64_t offset =
+        slab_used_.fetch_add(bytes, std::memory_order_relaxed);
+    AMAC_CHECK_MSG(offset + bytes <= slab_.size(),
+                   "skip list slab exhausted");
+    node = reinterpret_cast<SkipNode*>(slab_.data() + offset);
+  }
+  // The slab is raw bytes and recycled nodes carry stale contents: every
+  // header field is initialized explicitly, `deleted`/`linking` included.
+  // `linking` starts SET — EraseSync must not unlink a node whose upper
+  // levels are still being spliced — and every insert path clears it after
+  // its last level links.
   node->key = key;
   node->payload = payload;
   new (&node->latch) Latch();
   node->height = static_cast<uint8_t>(height);
+  node->deleted = 0;
+  node->linking = 1;
   for (uint32_t l = 0; l < height; ++l) node->next[l] = nullptr;
   return node;
+}
+
+void SkipList::RecycleNode(void* obj, void* ctx) {
+  auto* list = static_cast<SkipList*>(ctx);
+  auto* node = static_cast<SkipNode*>(obj);
+  std::lock_guard<std::mutex> lock(list->free_mu_);
+  list->free_by_height_[node->height].push_back(node);
+  list->free_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FindPredecessors(SkipList& list, int64_t key,
@@ -65,6 +97,7 @@ bool SkipList::InsertUnsync(int64_t key, int64_t payload, Rng& rng) {
     node->next[l] = succs[l];
     preds[l]->next[l] = node;
   }
+  node->linking = 0;
   num_elems_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -72,17 +105,32 @@ bool SkipList::InsertUnsync(int64_t key, int64_t payload, Rng& rng) {
 bool SkipList::InsertSync(int64_t key, int64_t payload, Rng& rng) {
   SkipNode* preds[kMaxLevel];
   SkipNode* succs[kMaxLevel];
-  FindPredecessors(*this, key, preds, succs);
-  if (succs[0] != nullptr && succs[0]->key == key) return false;
+  for (;;) {
+    FindPredecessors(*this, key, preds, succs);
+    if (succs[0] != nullptr && succs[0]->key == key) {
+      if (!SkipNodeDeleted(succs[0])) return false;
+      // The incumbent is mid-erase: wait for its unlink, then this insert
+      // proceeds (the erase linearizes first).
+      Latch::CpuRelax();
+      continue;
+    }
+    break;
+  }
   const uint32_t height = RandomHeight(rng);
   SkipNode* node = AllocNode(height, key, payload);
   // Pugh splice, bottom-up.  For each level: lock the candidate
   // predecessor, re-validate under the lock (concurrent inserts may have
-  // linked new nodes), advancing rightward as needed.
+  // linked new nodes; concurrent erases may have removed the predecessor),
+  // advancing or re-walking as needed.
   for (uint32_t l = 0; l < height; ++l) {
     SkipNode* pred = preds[l];
     while (true) {
       pred->latch.Acquire();
+      if (pred != head_ && SkipNodeDeleted(pred)) {
+        pred->latch.Release();  // dying node: its next[] is being unlinked
+        pred = FindPredAtLevel(*this, key, l);
+        continue;
+      }
       SkipNode* succ = LoadNextAcquire(pred, l);
       if (succ != nullptr && succ->key < key) {
         pred->latch.Release();  // stale: advance and retry the lock
@@ -90,6 +138,12 @@ bool SkipList::InsertSync(int64_t key, int64_t payload, Rng& rng) {
         continue;
       }
       if (l == 0 && succ != nullptr && succ->key == key) {
+        if (SkipNodeDeleted(succ)) {
+          // Mid-erase duplicate: let the unlink finish, then splice here.
+          pred->latch.Release();
+          Latch::CpuRelax();
+          continue;
+        }
         // Concurrent duplicate won the race; abandon (node stays unlinked).
         pred->latch.Release();
         return false;
@@ -100,7 +154,79 @@ bool SkipList::InsertSync(int64_t key, int64_t payload, Rng& rng) {
       break;
     }
   }
+  ClearSkipNodeLinking(node);
   num_elems_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+SkipNode* FindPredAtLevel(SkipList& list, int64_t key, uint32_t level) {
+  SkipNode* cur = list.head();
+  for (int32_t l = SkipList::kMaxLevel - 1;
+       l >= static_cast<int32_t>(level); --l) {
+    SkipNode* cand = LoadNextAcquire(cur, static_cast<uint32_t>(l));
+    while (cand != nullptr && cand->key < key) {
+      cur = cand;
+      cand = LoadNextAcquire(cur, static_cast<uint32_t>(l));
+    }
+  }
+  return cur;
+}
+
+bool SkipList::EraseSync(int64_t key, EpochGuard& guard) {
+  SkipNode* preds[kMaxLevel];
+  SkipNode* succs[kMaxLevel];
+  FindPredecessors(*this, key, preds, succs);
+  SkipNode* victim = succs[0];
+  if (victim == nullptr || victim->key != key) return false;
+  // Resurrection guard: wait until the inserter has spliced every level of
+  // the victim's tower, so the unlink below covers all of them.  No latch
+  // is held while spinning, and the inserter never waits on this thread,
+  // so the wait is deadlock-free.
+  while (SkipNodeLinking(victim)) Latch::CpuRelax();
+  victim->latch.Acquire();
+  if (SkipNodeDeleted(victim)) {
+    // Another eraser won; it holds (or held) the victim latch through its
+    // whole unlink, so by the time we got the latch the erase completed —
+    // this "absent" answer linearizes after it.
+    victim->latch.Release();
+    return false;
+  }
+  SetSkipNodeDeleted(victim);
+  // Unlink top-down while holding the victim latch.  Deadlock-freedom by
+  // key order: every predecessor latch taken here belongs to a node with
+  // key strictly below the held victim's key (or the head at -inf), and
+  // inserts hold at most one latch at a time, so the wait-for graph over
+  // latches is acyclic.
+  const uint32_t height = victim->height;
+  for (int32_t l = static_cast<int32_t>(height) - 1; l >= 0; --l) {
+    const uint32_t level = static_cast<uint32_t>(l);
+    SkipNode* pred = preds[level];
+    for (;;) {
+      pred->latch.Acquire();
+      if (pred != head_ && SkipNodeDeleted(pred)) {
+        pred->latch.Release();
+        pred = FindPredAtLevel(*this, key, level);
+        continue;
+      }
+      SkipNode* succ = LoadNextAcquire(pred, level);
+      if (succ == victim) {
+        StoreNextRelease(pred, level, LoadNextAcquire(victim, level));
+        pred->latch.Release();
+        break;
+      }
+      pred->latch.Release();
+      if (succ != nullptr && succ->key < key) {
+        pred = succ;  // concurrent inserts advanced this level
+      } else {
+        // Overshoot (our cached predecessor was re-walked past the
+        // victim, or was itself unlinked): retry from a fresh walk.
+        pred = FindPredAtLevel(*this, key, level);
+      }
+    }
+  }
+  victim->latch.Release();
+  num_elems_.fetch_sub(1, std::memory_order_relaxed);
+  guard.Retire(victim, &SkipList::RecycleNode, this);
   return true;
 }
 

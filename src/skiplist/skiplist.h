@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/aligned.h"
@@ -26,12 +27,23 @@
 
 namespace amac {
 
+class EpochGuard;
+
 struct SkipNode {
   int64_t key;
   int64_t payload;
   Latch latch;      ///< guards this node's next[] entries
   uint8_t height;   ///< tower height, 1..kMaxLevel
-  uint8_t pad[6] = {};
+  /// Erase marker: set (under this node's latch) before the tower is
+  /// unlinked, cleared never.  Splices that latched a predecessor must
+  /// re-walk when they find it deleted — its next[] entries are dying.
+  uint8_t deleted;
+  /// Insert-in-progress marker: set at allocation, cleared after the last
+  /// level is spliced.  EraseSync waits for it so an unlink covers every
+  /// level the insert will touch — otherwise a slow insert could re-link a
+  /// removed node through its upper levels ("resurrection").
+  uint8_t linking;
+  uint8_t pad[4] = {};
   SkipNode* next[1];  ///< flexible tail: `height` forward pointers
 
   static constexpr std::size_t HeaderBytes() { return 24; }
@@ -55,6 +67,23 @@ inline SkipNode* LoadNextAcquire(const SkipNode* n, uint32_t level) {
       .load(std::memory_order_acquire);
 }
 
+// The erase-phase flags are written under latches but read latch-free
+// (predecessor checks, the linking wait), so they go through atomic_ref.
+inline bool SkipNodeDeleted(const SkipNode* n) {
+  return std::atomic_ref<const uint8_t>(n->deleted)
+             .load(std::memory_order_acquire) != 0;
+}
+inline void SetSkipNodeDeleted(SkipNode* n) {
+  std::atomic_ref<uint8_t>(n->deleted).store(1, std::memory_order_release);
+}
+inline bool SkipNodeLinking(const SkipNode* n) {
+  return std::atomic_ref<const uint8_t>(n->linking)
+             .load(std::memory_order_acquire) != 0;
+}
+inline void ClearSkipNodeLinking(SkipNode* n) {
+  std::atomic_ref<uint8_t>(n->linking).store(0, std::memory_order_release);
+}
+
 class SkipList {
  public:
   static constexpr uint32_t kMaxLevel = 20;
@@ -75,8 +104,28 @@ class SkipList {
   bool InsertUnsync(int64_t key, int64_t payload, Rng& rng);
 
   /// Reference concurrent insert (Pugh latched splice, spinning).
-  /// Returns false on duplicate key.
+  /// Returns false on duplicate key.  Safe against concurrent InsertSync
+  /// AND EraseSync: deleted predecessors are re-walked, and an insert that
+  /// finds its key mid-erase waits for the unlink and then proceeds (the
+  /// erase linearizes first).
   bool InsertSync(int64_t key, int64_t payload, Rng& rng);
+
+  /// Concurrent erase (latched, spinning): mark deleted under the victim's
+  /// latch, unlink every level top-down (predecessor latches are only ever
+  /// taken for keys strictly below the held victim's key, so the wait-for
+  /// graph is acyclic), then epoch-retire the node through `guard` — it
+  /// recycles onto the height-bucketed free list after the grace period.
+  /// The caller must hold `guard` pinned for the whole call.  Returns
+  /// false when the key is absent (or already being erased).
+  bool EraseSync(int64_t key, EpochGuard& guard);
+
+  /// Epoch deleter: pushes the node back onto the free list (`ctx` is the
+  /// SkipList).  Exposed for tests.
+  static void RecycleNode(void* obj, void* ctx);
+
+  uint64_t recycled_nodes() const {
+    return recycled_.load(std::memory_order_relaxed);
+  }
 
   /// Reference search.
   const SkipNode* Find(int64_t key) const;
@@ -111,6 +160,13 @@ class SkipList {
   std::atomic<uint64_t> slab_used_{0};
   std::atomic<uint64_t> num_elems_{0};
   SkipNode* head_ = nullptr;
+
+  // Height-bucketed free lists fed by epoch reclamation; AllocNode prefers
+  // them over fresh slab bytes (a node's tower height is fixed at birth).
+  std::mutex free_mu_;
+  std::vector<std::vector<SkipNode*>> free_by_height_;  ///< by free_mu_
+  std::atomic<uint64_t> free_count_{0};
+  std::atomic<uint64_t> recycled_{0};
 };
 
 /// Fill preds/succs for `key` (search-phase of an insert): preds[l] is the
@@ -118,5 +174,10 @@ class SkipList {
 void FindPredecessors(SkipList& list, int64_t key,
                       SkipNode* preds[SkipList::kMaxLevel],
                       SkipNode* succs[SkipList::kMaxLevel]);
+
+/// Latch-free re-walk for one level: the rightmost node at `level` with
+/// key < `key`.  Splice/unlink loops fall back to this when a cached
+/// predecessor turns out deleted.
+SkipNode* FindPredAtLevel(SkipList& list, int64_t key, uint32_t level);
 
 }  // namespace amac

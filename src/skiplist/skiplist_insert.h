@@ -82,7 +82,11 @@ inline InsertStep SkipInsertSearchStep(InsertSearch& s, int64_t key) {
       }
       continue;
     }
-    if (cand != nullptr && cand->key == key) return InsertStep::kDup;
+    if (cand != nullptr && cand->key == key && !SkipNodeDeleted(cand)) {
+      return InsertStep::kDup;
+    }
+    // A deleted equal-key candidate is mid-unlink: record preds/succs as
+    // usual and let the splice's level-0 re-validation wait it out.
     s.preds[s.level] = s.cur;
     s.succs[s.level] = cand;
     if (s.level == 0) return InsertStep::kReady;
@@ -110,6 +114,12 @@ bool SpliceSpin(SkipList& list, InsertSearch& s, uint32_t height,
       } else {
         (void)detail::SkipTryLatch<false>(pred);
       }
+      if (SkipNodeDeleted(pred)) {
+        // Dying predecessor (its next[] is being unlinked): re-walk.
+        detail::SkipUnlatch<kSync>(pred);
+        pred = FindPredAtLevel(list, key, l);
+        continue;
+      }
       SkipNode* succ = LoadNextAcquire(pred, l);
       if (succ != nullptr && succ->key < key) {
         detail::SkipUnlatch<kSync>(pred);
@@ -117,6 +127,13 @@ bool SpliceSpin(SkipList& list, InsertSearch& s, uint32_t height,
         continue;
       }
       if (l == 0 && succ != nullptr && succ->key == key) {
+        if (SkipNodeDeleted(succ)) {
+          // Mid-erase duplicate: wait for the unlink, then splice here
+          // (the erase linearizes before this insert).
+          detail::SkipUnlatch<kSync>(pred);
+          Latch::CpuRelax();
+          continue;
+        }
         detail::SkipUnlatch<kSync>(pred);
         return false;
       }
@@ -126,6 +143,7 @@ bool SpliceSpin(SkipList& list, InsertSearch& s, uint32_t height,
       break;
     }
   }
+  ClearSkipNodeLinking(node);
   return true;
 }
 
@@ -324,6 +342,14 @@ uint64_t SkipInsertAmac(SkipList& list, const Relation& input, uint64_t begin,
             parked = true;  // §3.2: move on, retry when the slot comes round
             break;
           }
+          if (SkipNodeDeleted(pred)) {
+            // Dying predecessor: re-walk this level, then park (the
+            // re-walk already paid the memory stalls; stay asynchronous).
+            detail::SkipUnlatch<kSync>(pred);
+            st.pred = FindPredAtLevel(list, st.key, l);
+            parked = true;
+            break;
+          }
           SkipNode* succ = LoadNextAcquire(pred, l);
           if (succ != nullptr && succ->key < st.key) {
             // A concurrent insert advanced this level; chase the new
@@ -335,6 +361,13 @@ uint64_t SkipInsertAmac(SkipList& list, const Relation& input, uint64_t begin,
             break;
           }
           if (l == 0 && succ != nullptr && succ->key == st.key) {
+            if (SkipNodeDeleted(succ)) {
+              // Mid-erase duplicate: park and retry this level later; the
+              // unlink will finish and this insert then proceeds.
+              detail::SkipUnlatch<kSync>(pred);
+              parked = true;
+              break;
+            }
             detail::SkipUnlatch<kSync>(pred);
             dup = true;  // lost the race; abandon the allocated node
             break;
@@ -348,7 +381,10 @@ uint64_t SkipInsertAmac(SkipList& list, const Relation& input, uint64_t begin,
           }
         }
         if (parked) break;
-        if (!dup) ++inserted;
+        if (!dup) {
+          ClearSkipNodeLinking(st.node);
+          ++inserted;
+        }
         if (!start(st)) --num_active;
         break;
       }

@@ -1,0 +1,84 @@
+// EngineStats::vec_fallbacks: a vectorized policy handed an op without a
+// vector interface silently runs the scalar schedule — the counter makes
+// that visible (every input counted once), and stays zero both for scalar
+// policies and for ops that do vectorize.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "epoch/epoch.h"
+#include "hashtable/concurrent_table.h"
+#include "hashtable/concurrent_ops.h"
+
+namespace amac {
+namespace {
+
+/// Scalar-only op: no StartVec/StepVec, so kVectorized/kVectorizedAmac
+/// must fall back.
+class ScalarOnlyOp {
+ public:
+  struct State {
+    uint64_t rid;
+  };
+
+  explicit ScalarOnlyOp(std::atomic<uint64_t>* count) : count_(count) {}
+  void Start(State& st, uint64_t idx) { st.rid = idx; }
+  StepStatus Step(State&) {
+    count_->fetch_add(1, std::memory_order_relaxed);
+    return StepStatus::kDone;
+  }
+
+ private:
+  std::atomic<uint64_t>* count_;
+};
+
+TEST(VecFallbackTest, ScalarOnlyOpCountsFallbacksUnderVectorPolicies) {
+  const uint64_t n = 777;
+  for (const ExecPolicy policy : kAllExecPolicies) {
+    std::atomic<uint64_t> count{0};
+    ScalarOnlyOp op(&count);
+    const EngineStats stats =
+        ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, n);
+    EXPECT_EQ(count.load(), n) << ExecPolicyName(policy);
+    const bool vector_policy = policy == ExecPolicy::kVectorized ||
+                               policy == ExecPolicy::kVectorizedAmac;
+    EXPECT_EQ(stats.vec_fallbacks, vector_policy ? n : 0u)
+        << ExecPolicyName(policy);
+  }
+}
+
+#if AMAC_SIMD_X86 && !AMAC_TSAN
+TEST(VecFallbackTest, VectorCapableOpDoesNotCountFallbacks) {
+  EpochManager epochs;
+  ConcurrentChainedTable table(256, &epochs);
+  {
+    EpochGuard guard(&epochs);
+    for (int64_t k = 1; k <= 256; ++k) table.Upsert(k, k, guard);
+  }
+  const uint64_t n = 512;
+  std::vector<int64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i);
+  struct CountSink {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    void Emit(uint64_t, int64_t) { ++hits; }
+    void Miss(uint64_t) { ++misses; }
+  };
+  for (const ExecPolicy policy :
+       {ExecPolicy::kVectorized, ExecPolicy::kVectorizedAmac}) {
+    CountSink sink;
+    ConcurrentFindOp<CountSink> op(table, keys.data(), sink);
+    const EngineStats stats =
+        ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, n);
+    EXPECT_EQ(stats.vec_fallbacks, 0u) << ExecPolicyName(policy);
+    EXPECT_EQ(sink.hits + sink.misses, n) << ExecPolicyName(policy);
+  }
+  epochs.ReclaimAll();
+}
+#endif  // AMAC_SIMD_X86 && !AMAC_TSAN
+
+}  // namespace
+}  // namespace amac

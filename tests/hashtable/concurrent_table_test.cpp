@@ -1,0 +1,333 @@
+// ConcurrentChainedTable tests: sequential read-write semantics, the
+// claim-once slot-sentinel invariant, vectorized-probe parity on a
+// mutated-then-quiesced table, compaction + epoch reclaim + node reuse,
+// multi-threaded churn with a full structural audit, latch-free reads
+// racing writers, and the UpsertOp/EraseOp stage machines under every
+// ExecPolicy.
+#include "hashtable/concurrent_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "epoch/epoch.h"
+#include "hashtable/concurrent_ops.h"
+
+namespace amac {
+namespace {
+
+/// Sink collecting (rid, payload) hits and misses for ConcurrentFindOp.
+struct ProbeSink {
+  std::vector<int64_t> payload_by_rid;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  explicit ProbeSink(uint64_t n) : payload_by_rid(n, -1) {}
+  void Emit(uint64_t rid, int64_t payload) {
+    payload_by_rid[rid] = payload;
+    ++hits;
+  }
+  void Miss(uint64_t rid) {
+    payload_by_rid[rid] = -2;
+    ++misses;
+  }
+};
+
+TEST(ConcurrentTableTest, UpsertFindEraseSequential) {
+  EpochManager epochs;
+  ConcurrentChainedTable table(64, &epochs);
+  {
+    EpochGuard guard(&epochs);
+    EXPECT_TRUE(table.Upsert(1, 10, guard));
+    EXPECT_TRUE(table.Upsert(2, 20, guard));
+    EXPECT_FALSE(table.Upsert(1, 11, guard));  // update, not insert
+    int64_t payload = 0;
+    EXPECT_TRUE(table.Find(1, &payload));
+    EXPECT_EQ(payload, 11);
+    EXPECT_TRUE(table.Find(2, &payload));
+    EXPECT_EQ(payload, 20);
+    EXPECT_FALSE(table.Find(3, &payload));
+    EXPECT_TRUE(table.Erase(1, guard));
+    EXPECT_FALSE(table.Erase(1, guard));  // already gone
+    EXPECT_FALSE(table.Find(1, &payload));
+    EXPECT_EQ(table.live_keys(), 1u);
+    // Claim-once: re-inserting an erased key claims a NEW slot.
+    EXPECT_TRUE(table.Upsert(1, 12, guard));
+    EXPECT_TRUE(table.Find(1, &payload));
+    EXPECT_EQ(payload, 12);
+  }
+  const auto audit = table.AuditQuiesced();
+  EXPECT_TRUE(audit.ok);
+  EXPECT_EQ(audit.live_tuples, 2u);
+  epochs.ReclaimAll();
+}
+
+TEST(ConcurrentTableTest, AuditCatchesSlotSentinelInvariant) {
+  // Small table forces chains; a mixed insert/erase history must leave
+  // every unclaimed or tombstoned slot holding the sentinel.
+  EpochManager epochs;
+  ConcurrentChainedTable::Options options;
+  options.target_tuples_per_slot = 8.0;  // few buckets, long chains
+  options.compact_tombstones = 0;        // keep tombstones visible
+  EpochManager* ep = &epochs;
+  ConcurrentChainedTable table(256, ep, options);
+  {
+    EpochGuard guard(&epochs);
+    for (int64_t k = 1; k <= 256; ++k) table.Upsert(k, k * 7, guard);
+    for (int64_t k = 1; k <= 256; k += 3) table.Erase(k, guard);
+  }
+  const auto audit = table.AuditQuiesced();
+  EXPECT_TRUE(audit.ok);
+  EXPECT_GT(audit.dead_slots, 0u);
+  EXPECT_GT(audit.chain_nodes, 0u);
+  EXPECT_EQ(audit.live_tuples, table.live_keys());
+  epochs.ReclaimAll();
+}
+
+TEST(ConcurrentTableTest, FindOpParityAcrossPoliciesAfterChurn) {
+  // Mutate (inserts, updates, erases), quiesce, then probe the same keys
+  // under every ExecPolicy: identical hits, misses, and payloads — the
+  // vectorized gathers must agree with the scalar walk on a table with
+  // tombstones and overflow chains.
+  EpochManager epochs;
+  ConcurrentChainedTable::Options options;
+  options.target_tuples_per_slot = 4.0;
+  ConcurrentChainedTable table(1024, &epochs, options);
+  {
+    EpochGuard guard(&epochs);
+    for (int64_t k = 1; k <= 1024; ++k) table.Upsert(k, k, guard);
+    for (int64_t k = 1; k <= 1024; k += 2) table.Upsert(k, -k, guard);
+    for (int64_t k = 3; k <= 1024; k += 4) table.Erase(k, guard);
+  }
+  const uint64_t n = 2048;
+  std::vector<int64_t> keys(n);
+  Rng rng(99);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int64_t>(rng.NextBounded(1500));  // some miss
+  }
+  ProbeSink expected(n);
+  {
+    ConcurrentFindOp<ProbeSink> op(table, keys.data(), expected);
+    RunSequential(op, n);
+  }
+  for (const ExecPolicy policy : kAllExecPolicies) {
+    ProbeSink sink(n);
+    ConcurrentFindOp<ProbeSink> op(table, keys.data(), sink);
+    ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, n);
+    EXPECT_EQ(sink.hits, expected.hits) << ExecPolicyName(policy);
+    EXPECT_EQ(sink.misses, expected.misses) << ExecPolicyName(policy);
+    EXPECT_EQ(sink.payload_by_rid, expected.payload_by_rid)
+        << ExecPolicyName(policy);
+  }
+  epochs.ReclaimAll();
+}
+
+TEST(ConcurrentTableTest, SentinelKeyProbesMissAndWritesAreRejected) {
+  EpochManager epochs;
+  ConcurrentChainedTable table(64, &epochs);
+  {
+    EpochGuard guard(&epochs);
+    table.Upsert(7, 70, guard);
+    EXPECT_FALSE(table.Erase(BucketNode::kEmptySlotKey, guard));
+  }
+  int64_t payload = 0;
+  EXPECT_FALSE(table.Find(BucketNode::kEmptySlotKey, &payload));
+  // Through the op (kNullBucket path), under scalar and vector schedules.
+  std::vector<int64_t> keys = {7, BucketNode::kEmptySlotKey, 7,
+                               BucketNode::kEmptySlotKey};
+  for (const ExecPolicy policy :
+       {ExecPolicy::kSequential, ExecPolicy::kAmac,
+        ExecPolicy::kVectorizedAmac}) {
+    ProbeSink sink(keys.size());
+    ConcurrentFindOp<ProbeSink> op(table, keys.data(), sink);
+    ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, keys.size());
+    EXPECT_EQ(sink.hits, 2u) << ExecPolicyName(policy);
+    EXPECT_EQ(sink.misses, 2u) << ExecPolicyName(policy);
+  }
+  epochs.ReclaimAll();
+}
+
+TEST(ConcurrentTableTest, CompactionRetiresDeadNodesAndRecyclesThem) {
+  EpochManager::Options eopt;
+  eopt.retire_batch = 4;
+  EpochManager epochs(eopt);
+  ConcurrentChainedTable::Options options;
+  options.target_tuples_per_slot = 32.0;  // tiny bucket array, deep chains
+  options.compact_tombstones = 4;
+  ConcurrentChainedTable table(512, &epochs, options);
+  {
+    EpochGuard guard(&epochs);
+    for (int64_t k = 1; k <= 512; ++k) table.Upsert(k, k, guard);
+    // Erase everything: whole overflow nodes die and compaction unlinks
+    // them (header slots tombstone in place).
+    for (int64_t k = 1; k <= 512; ++k) {
+      table.Erase(k, guard);
+      guard.Refresh();
+      epochs.AdvanceAndReclaim();
+    }
+  }
+  EXPECT_GT(table.compactions(), 0u);
+  EXPECT_GT(table.retired_nodes(), 0u);
+  const auto audit = table.AuditQuiesced();
+  EXPECT_TRUE(audit.ok);
+  EXPECT_EQ(audit.live_tuples, 0u);
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+  // Refill: recycled nodes come off the free list the reclaim populated.
+  {
+    EpochGuard guard(&epochs);
+    for (int64_t k = 1000; k < 1512; ++k) table.Upsert(k, k, guard);
+  }
+  EXPECT_GT(table.recycled_nodes(), 0u);
+  EXPECT_TRUE(table.AuditQuiesced().ok);
+  epochs.ReclaimAll();
+}
+
+TEST(ConcurrentTableTest, MultiThreadedChurnKeepsStructureConsistent) {
+  EpochManager epochs;
+  ConcurrentChainedTable::Options options;
+  options.target_tuples_per_slot = 2.0;
+  options.compact_tombstones = 8;
+  ConcurrentChainedTable table(4096, &epochs, options);
+  constexpr int kThreads = 4;
+  constexpr int64_t kStripe = 1024;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &epochs, t] {
+      // Disjoint stripes: [base, base + kStripe).
+      const int64_t base = 1 + t * kStripe;
+      EpochGuard guard(&epochs);
+      Rng rng(7 + static_cast<uint64_t>(t));
+      for (int64_t k = base; k < base + kStripe; ++k) {
+        table.Upsert(k, k * 2, guard);
+      }
+      for (int round = 0; round < 3; ++round) {
+        for (int64_t k = base; k < base + kStripe; ++k) {
+          const uint64_t dice = rng.Next() & 3u;
+          if (dice == 0) {
+            table.Erase(k, guard);
+          } else if (dice == 1) {
+            table.Upsert(k, k * 2 + round + 1, guard);
+          }
+          if ((rng.Next() & 63u) == 0) guard.Refresh();
+        }
+      }
+      // Settle the stripe to a known final state: key present iff even.
+      for (int64_t k = base; k < base + kStripe; ++k) {
+        if (k % 2 == 0) {
+          table.Upsert(k, k * 3, guard);
+        } else {
+          table.Erase(k, guard);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto audit = table.AuditQuiesced();
+  EXPECT_TRUE(audit.ok);
+  EXPECT_EQ(audit.live_tuples, static_cast<uint64_t>(kThreads) * kStripe / 2);
+  std::vector<Tuple> live;
+  table.CollectLive(&live);
+  ASSERT_EQ(live.size(), audit.live_tuples);
+  for (const Tuple& t : live) {
+    EXPECT_EQ(t.key % 2, 0) << t.key;
+    EXPECT_EQ(t.payload, t.key * 3);
+  }
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+}
+
+TEST(ConcurrentTableTest, LatchFreeReadsRaceWritersSafely) {
+  // Readers (scalar Find + ConcurrentFindOp) run against live writers.
+  // Every observed payload must be one of the values ever written for that
+  // key — the claim-once discipline forbids stitching key A to payload B.
+  EpochManager epochs;
+  ConcurrentChainedTable table(2048, &epochs);
+  constexpr int64_t kKeys = 512;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    EpochGuard guard(&epochs);
+    Rng rng(1234);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t k = 1 + static_cast<int64_t>(rng.NextBounded(kKeys));
+      const uint64_t dice = rng.Next() & 3u;
+      if (dice == 0) {
+        table.Erase(k, guard);
+      } else {
+        table.Upsert(k, k * 10 + static_cast<int64_t>(dice), guard);
+      }
+      guard.Refresh();
+      epochs.AdvanceAndReclaim();
+    }
+  });
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> violations{0};
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      EpochGuard guard(&epochs);
+      Rng rng(55 + static_cast<uint64_t>(t));
+      for (int iter = 0; iter < 20000; ++iter) {
+        const int64_t k = 1 + static_cast<int64_t>(rng.NextBounded(kKeys));
+        int64_t payload = 0;
+        if (table.Find(k, &payload)) {
+          if (payload / 10 != k || payload % 10 == 0 || payload % 10 > 3) {
+            violations.fetch_add(1);
+          }
+        }
+        if ((iter & 255) == 0) guard.Refresh();
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_TRUE(table.AuditQuiesced().ok);
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+}
+
+TEST(ConcurrentTableTest, UpsertAndEraseOpsUnderEveryPolicy) {
+  for (const ExecPolicy policy : kAllExecPolicies) {
+    EpochManager epochs;
+    ConcurrentChainedTable table(512, &epochs);
+    const uint64_t n = 512;
+    std::vector<int64_t> keys(n);
+    std::vector<int64_t> payloads(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<int64_t>(i % 400) + 1;  // some keys repeat
+      payloads[i] = static_cast<int64_t>(i);
+    }
+    {
+      UpsertOp op(table, keys.data(), payloads.data());
+      const EngineStats stats =
+          ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, n);
+      EXPECT_EQ(stats.lookups, n) << ExecPolicyName(policy);
+      EXPECT_EQ(op.writes().inserts, 400u) << ExecPolicyName(policy);
+      EXPECT_EQ(op.writes().updates, n - 400u) << ExecPolicyName(policy);
+    }
+    EXPECT_EQ(table.live_keys(), 400u);
+    EXPECT_TRUE(table.AuditQuiesced().ok);
+    {
+      std::vector<int64_t> erase_keys;
+      for (int64_t k = 1; k <= 400; k += 2) erase_keys.push_back(k);
+      EraseOp op(table, erase_keys.data());
+      ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, erase_keys.size());
+      EXPECT_EQ(op.writes().erases, erase_keys.size())
+          << ExecPolicyName(policy);
+    }
+    EXPECT_EQ(table.live_keys(), 200u);
+    EXPECT_TRUE(table.AuditQuiesced().ok);
+    epochs.ReclaimAll();
+    EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+  }
+}
+
+}  // namespace
+}  // namespace amac

@@ -1,0 +1,212 @@
+// Serving-tier pressure controls: policy degrade at admission
+// (degrade_pending_threshold / degrade_policy) and the latency-budget
+// morsel cap (deadline_morsel_fraction peeking the calibration cache).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/calibrator.h"
+#include "adaptive/signature.h"
+#include "core/engine.h"
+#include "server/query_scheduler.h"
+
+namespace amac {
+namespace {
+
+/// Lookup-shaped op that burns ~`spin` dependent-add iterations per input
+/// and counts its processed rids — slow enough to hold an inflight slot
+/// while later submissions queue, and cheaply verifiable afterwards.
+class SpinCountOp {
+ public:
+  struct State {
+    uint64_t rid;
+  };
+
+  SpinCountOp(uint64_t spin, std::atomic<uint64_t>* processed)
+      : spin_(spin), processed_(processed) {}
+
+  void Start(State& st, uint64_t idx) { st.rid = idx; }
+
+  StepStatus Step(State& st) {
+    volatile uint64_t acc = st.rid;
+    for (uint64_t i = 0; i < spin_; ++i) acc = acc + i;
+    processed_->fetch_add(1, std::memory_order_relaxed);
+    return StepStatus::kDone;
+  }
+
+ private:
+  uint64_t spin_;
+  std::atomic<uint64_t>* processed_;
+};
+
+QueryTicket SubmitSpin(QueryScheduler& sched, uint64_t n, uint64_t spin,
+                       std::atomic<uint64_t>* processed,
+                       const QueryOptions& options) {
+  return sched.SubmitOp(
+      n, [spin, processed](uint32_t) { return SpinCountOp(spin, processed); },
+      options);
+}
+
+TEST(DegradeTest, AdmissionUnderPressureDegradesQueuedQueries) {
+  QuerySchedulerOptions sopt;
+  sopt.num_workers = 2;
+  sopt.max_inflight_queries = 1;
+  sopt.degrade_pending_threshold = 1;
+  sopt.degrade_policy = ExecPolicy::kSequential;
+  QueryScheduler sched(sopt);
+
+  QueryOptions options;
+  options.policy = ExecPolicy::kAmac;
+  options.morsel_size = 256;
+  std::atomic<uint64_t> processed{0};
+  // A holds the single inflight slot long enough for B and C to queue.
+  const QueryTicket a = SubmitSpin(sched, 4096, 20000, &processed, options);
+  const QueryTicket b = SubmitSpin(sched, 1024, 100, &processed, options);
+  const QueryTicket c = SubmitSpin(sched, 1024, 100, &processed, options);
+  const QueryStats sa = sched.Wait(a);
+  const QueryStats sb = sched.Wait(b);
+  const QueryStats sc = sched.Wait(c);
+
+  // A was admitted with an empty queue: never degraded.  B was admitted
+  // (when A finished) with C still pending — pressure — so B degraded.  C
+  // was admitted last with nothing behind it.
+  EXPECT_FALSE(sa.policy_degraded);
+  EXPECT_TRUE(sb.policy_degraded);
+  EXPECT_FALSE(sc.policy_degraded);
+  EXPECT_EQ(sched.serving_stats().degraded_queries, 1u);
+  // Degrading swaps the schedule, not the semantics: every input of every
+  // query was processed exactly once.
+  EXPECT_EQ(processed.load(), 4096u + 1024u + 1024u);
+  EXPECT_EQ(sb.run.engine.lookups, 1024u);
+  EXPECT_EQ(sb.outcome, QueryOutcome::kServed);
+}
+
+TEST(DegradeTest, NoDegradeBelowThresholdOrWhenDisabled) {
+  for (const uint32_t threshold : {0u, 8u}) {
+    QuerySchedulerOptions sopt;
+    sopt.num_workers = 2;
+    sopt.max_inflight_queries = 1;
+    sopt.degrade_pending_threshold = threshold;  // 0 = off, 8 = never hit
+    QueryScheduler sched(sopt);
+    QueryOptions options;
+    options.policy = ExecPolicy::kAmac;
+    options.morsel_size = 256;
+    std::atomic<uint64_t> processed{0};
+    const QueryTicket a = SubmitSpin(sched, 4096, 20000, &processed, options);
+    const QueryTicket b = SubmitSpin(sched, 1024, 100, &processed, options);
+    EXPECT_FALSE(sched.Wait(a).policy_degraded);
+    EXPECT_FALSE(sched.Wait(b).policy_degraded);
+    EXPECT_EQ(sched.serving_stats().degraded_queries, 0u);
+  }
+}
+
+TEST(DegradeTest, DegradePolicyQueriesAndGovernedQueriesAreExempt) {
+  QuerySchedulerOptions sopt;
+  sopt.num_workers = 2;
+  sopt.max_inflight_queries = 1;
+  sopt.degrade_pending_threshold = 1;
+  sopt.degrade_policy = ExecPolicy::kSequential;
+  QueryScheduler sched(sopt);
+  std::atomic<uint64_t> processed{0};
+  QueryOptions slow;
+  slow.policy = ExecPolicy::kAmac;
+  slow.morsel_size = 256;
+  // Already running the degrade policy: nothing cheaper to swap to.
+  QueryOptions already_cheap;
+  already_cheap.policy = ExecPolicy::kSequential;
+  // Governed: the governor picks per-morsel; admission must not pin it.
+  QueryOptions governed;
+  governed.policy = ExecPolicy::kAdaptive;
+  const QueryTicket a = SubmitSpin(sched, 4096, 20000, &processed, slow);
+  const QueryTicket b =
+      SubmitSpin(sched, 1024, 100, &processed, already_cheap);
+  const QueryTicket c = SubmitSpin(sched, 4096, 100, &processed, governed);
+  sched.Wait(a);
+  EXPECT_FALSE(sched.Wait(b).policy_degraded);
+  EXPECT_FALSE(sched.Wait(c).policy_degraded);
+  EXPECT_EQ(sched.serving_stats().degraded_queries, 0u);
+}
+
+TEST(DeadlineMorselTest, CalibratedDeadlineShrinksMorsels) {
+  // Seed the calibration cache with an absurdly expensive cycles-per-input
+  // under an explicit signature: the budget then affords only a handful of
+  // inputs per morsel and the cap clamps to the floor (32), so the query
+  // runs in many more, finer morsels than the uncapped default.
+  const WorkloadSignature sig = WorkloadSignature::Make("deadline-test", 1, 8);
+  CalibrationResult expensive;
+  expensive.winner = GridPoint{ExecPolicy::kSequential, 1};
+  expensive.winner_cycles_per_input = 1e12;  // budget << floor on any clock
+  const uint64_t n = 10000;
+  std::atomic<uint64_t> processed{0};
+
+  uint64_t morsels_uncapped = 0;
+  uint64_t morsels_capped = 0;
+  for (const double fraction : {0.0, 0.25}) {
+    QuerySchedulerOptions sopt;
+    sopt.num_workers = 2;
+    sopt.deadline_morsel_fraction = fraction;
+    QueryScheduler sched(sopt);
+    sched.calibrator().Store(sig, expensive);
+    QueryOptions options;
+    options.policy = ExecPolicy::kAmac;
+    options.morsel_size = 0;  // derived — explicit sizes must win the cap
+    options.deadline_seconds = 60;  // generous SLO: no shed/miss noise
+    options.signature = sig;
+    const QueryStats stats =
+        sched.Wait(SubmitSpin(sched, n, 1, &processed, options));
+    EXPECT_EQ(stats.outcome, QueryOutcome::kServed);
+    (fraction == 0.0 ? morsels_uncapped : morsels_capped) =
+        stats.run.morsels;
+  }
+  // Floor-clamped cap: ceil(10000 / 32) morsels.
+  EXPECT_EQ(morsels_capped, (n + 31) / 32);
+  EXPECT_GT(morsels_capped, morsels_uncapped * 4);
+}
+
+TEST(DeadlineMorselTest, CapNeedsDeadlineSignatureAndDerivedSize) {
+  const WorkloadSignature sig =
+      WorkloadSignature::Make("deadline-test-2", 1, 8);
+  CalibrationResult expensive;
+  expensive.winner = GridPoint{ExecPolicy::kSequential, 1};
+  expensive.winner_cycles_per_input = 1e9;
+  const uint64_t n = 10000;
+  std::atomic<uint64_t> processed{0};
+
+  QuerySchedulerOptions sopt;
+  sopt.num_workers = 2;
+  sopt.deadline_morsel_fraction = 0.25;
+  QueryScheduler sched(sopt);
+  sched.calibrator().Store(sig, expensive);
+
+  // No deadline: the cap never engages.
+  QueryOptions no_deadline;
+  no_deadline.policy = ExecPolicy::kAmac;
+  no_deadline.signature = sig;
+  const QueryStats s1 =
+      sched.Wait(SubmitSpin(sched, n, 1, &processed, no_deadline));
+  EXPECT_LT(s1.run.morsels, (n + 31) / 32);
+
+  // Uncalibrated signature: no cycles-per-input to budget against.
+  QueryOptions uncalibrated;
+  uncalibrated.policy = ExecPolicy::kAmac;
+  uncalibrated.deadline_seconds = 60;
+  uncalibrated.signature = WorkloadSignature::Make("never-calibrated", 1, 8);
+  const QueryStats s2 =
+      sched.Wait(SubmitSpin(sched, n, 1, &processed, uncalibrated));
+  EXPECT_LT(s2.run.morsels, (n + 31) / 32);
+
+  // Explicit morsel_size: the caller's choice wins outright.
+  QueryOptions explicit_size;
+  explicit_size.policy = ExecPolicy::kAmac;
+  explicit_size.deadline_seconds = 60;
+  explicit_size.signature = sig;
+  explicit_size.morsel_size = 5000;
+  const QueryStats s3 =
+      sched.Wait(SubmitSpin(sched, n, 1, &processed, explicit_size));
+  EXPECT_EQ(s3.run.morsels, 2u);
+}
+
+}  // namespace
+}  // namespace amac

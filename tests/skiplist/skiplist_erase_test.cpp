@@ -1,0 +1,228 @@
+// Skip list erase / write-path tests: EraseSync semantics and reinsert,
+// epoch-deferred node recycling, single-winner erase races, mixed
+// concurrent insert/erase churn with structural verification, and the
+// SkipInsertOp / SkipEraseOp stage machines under every ExecPolicy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "epoch/epoch.h"
+#include "skiplist/skiplist.h"
+#include "skiplist/skiplist_write_ops.h"
+
+namespace amac {
+namespace {
+
+/// The list's keys in iteration order (must come out strictly ascending).
+std::vector<int64_t> Keys(const SkipList& list) {
+  std::vector<int64_t> keys;
+  list.ForEach([&keys](const SkipNode& n) { keys.push_back(n.key); });
+  return keys;
+}
+
+TEST(SkipListEraseTest, EraseSyncBasicSemantics) {
+  EpochManager epochs;
+  SkipList list(64);
+  Rng rng(7);
+  for (int64_t k = 1; k <= 32; ++k) {
+    ASSERT_TRUE(list.InsertSync(k * 2, k, rng));
+  }
+  {
+    EpochGuard guard(&epochs);
+    EXPECT_TRUE(list.EraseSync(10, guard));
+    EXPECT_FALSE(list.EraseSync(10, guard));  // already gone
+    EXPECT_FALSE(list.EraseSync(11, guard));  // never existed
+  }
+  EXPECT_EQ(list.size(), 31u);
+  EXPECT_EQ(list.Find(10), nullptr);
+  EXPECT_NE(list.Find(12), nullptr);
+  // Reinsert after erase: a fresh node takes the key's place.
+  EXPECT_TRUE(list.InsertSync(10, 99, rng));
+  ASSERT_NE(list.Find(10), nullptr);
+  EXPECT_EQ(list.Find(10)->payload, 99);
+  const std::vector<int64_t> keys = Keys(list);
+  EXPECT_EQ(keys.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  epochs.ReclaimAll();
+}
+
+TEST(SkipListEraseTest, ErasedNodesRecycleThroughTheEpochFreeList) {
+  EpochManager::Options options;
+  options.retire_batch = 1;
+  EpochManager epochs(options);
+  SkipList list(64);
+  Rng rng(11);
+  for (int64_t k = 1; k <= 32; ++k) ASSERT_TRUE(list.InsertSync(k, k, rng));
+  {
+    EpochGuard guard(&epochs);
+    for (int64_t k = 1; k <= 32; ++k) {
+      ASSERT_TRUE(list.EraseSync(k, guard));
+      guard.Refresh();
+      epochs.AdvanceAndReclaim();
+    }
+  }
+  EXPECT_EQ(list.size(), 0u);
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), 32u);
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+  // Reclaimed nodes landed on the height-bucketed free list; reinserting
+  // must pop at least some of them instead of bump-allocating.
+  for (int64_t k = 100; k < 132; ++k) ASSERT_TRUE(list.InsertSync(k, k, rng));
+  EXPECT_GT(list.recycled_nodes(), 0u);
+  EXPECT_EQ(list.size(), 32u);
+}
+
+TEST(SkipListEraseTest, ConcurrentErasersSingleWinnerPerKey) {
+  EpochManager epochs;
+  SkipList list(2048);
+  Rng rng(23);
+  constexpr int64_t kKeys = 1024;
+  for (int64_t k = 1; k <= kKeys; ++k) ASSERT_TRUE(list.InsertSync(k, k, rng));
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&list, &epochs, &successes] {
+      EpochGuard guard(&epochs);
+      uint64_t won = 0;
+      for (int64_t k = 1; k <= kKeys; ++k) {
+        if (list.EraseSync(k, guard)) ++won;
+        if ((k & 127) == 0) guard.Refresh();
+      }
+      successes.fetch_add(won);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every key erased exactly once across all racing threads.
+  EXPECT_EQ(successes.load(), static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(Keys(list).empty());
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+}
+
+TEST(SkipListEraseTest, ConcurrentInsertEraseChurnStaysOrdered) {
+  EpochManager epochs;
+  SkipList list(8192);
+  constexpr int kThreads = 4;
+  constexpr int64_t kStripe = 1024;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&list, &epochs, t] {
+      // Disjoint stripes; inside a stripe this thread is the only writer.
+      const int64_t base = 1 + t * kStripe;
+      EpochGuard guard(&epochs);
+      Rng rng(0xc0ffee + static_cast<uint64_t>(t));
+      for (int64_t k = base; k < base + kStripe; ++k) {
+        list.InsertSync(k, k, rng);
+      }
+      for (int round = 0; round < 2; ++round) {
+        for (int64_t k = base; k < base + kStripe; ++k) {
+          const uint64_t dice = rng.Next() & 3u;
+          if (dice == 0) {
+            list.EraseSync(k, guard);
+          } else if (dice == 1) {
+            list.InsertSync(k, k + round, rng);
+          }
+          if ((rng.Next() & 63u) == 0) guard.Refresh();
+        }
+      }
+      // Settle: key present iff odd.
+      for (int64_t k = base; k < base + kStripe; ++k) {
+        if (k % 2 == 1) {
+          list.InsertSync(k, k * 5, rng);
+        } else {
+          list.EraseSync(k, guard);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<int64_t> keys = Keys(list);
+  EXPECT_EQ(keys.size(), static_cast<size_t>(kThreads) * kStripe / 2);
+  EXPECT_EQ(list.size(), keys.size());
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (const int64_t k : keys) EXPECT_EQ(k % 2, 1) << k;
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+}
+
+TEST(SkipListEraseTest, EraseRaceWithMixedHammeringKeepsInvariants) {
+  // All threads hammer the SAME small key range with inserts and erases:
+  // max contention on predecessor latches, mid-erase duplicate waits, and
+  // deleted-predecessor re-walks. The list must stay strictly ordered with
+  // size() matching the walk.
+  EpochManager epochs;
+  SkipList list(4096);
+  constexpr int64_t kRange = 64;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&list, &epochs, t] {
+      EpochGuard guard(&epochs);
+      Rng rng(31 + static_cast<uint64_t>(t));
+      for (int iter = 0; iter < 4000; ++iter) {
+        const int64_t k = 1 + static_cast<int64_t>(rng.NextBounded(kRange));
+        if (rng.NextBool()) {
+          list.InsertSync(k, k, rng);
+        } else {
+          list.EraseSync(k, guard);
+        }
+        if ((iter & 255) == 0) guard.Refresh();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<int64_t> keys = Keys(list);
+  EXPECT_EQ(list.size(), keys.size());
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  epochs.ReclaimAll();
+  EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+}
+
+TEST(SkipListEraseTest, WriteOpsUnderEveryPolicy) {
+  for (const ExecPolicy policy : kAllExecPolicies) {
+    EpochManager epochs;
+    SkipList list(2048);
+    const uint64_t n = 1024;
+    std::vector<int64_t> keys(n);
+    std::vector<int64_t> payloads(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<int64_t>(i % 700) + 1;  // some duplicates
+      payloads[i] = static_cast<int64_t>(i);
+    }
+    {
+      SkipInsertOp op(list, &epochs, keys.data(), payloads.data(),
+                      /*seed=*/42);
+      const EngineStats stats =
+          ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, n);
+      EXPECT_EQ(stats.lookups, n) << ExecPolicyName(policy);
+      EXPECT_EQ(op.writes().inserts, 700u) << ExecPolicyName(policy);
+    }
+    EXPECT_EQ(list.size(), 700u);
+    {
+      std::vector<int64_t> erase_keys;
+      for (int64_t k = 1; k <= 700; k += 2) erase_keys.push_back(k);
+      SkipEraseOp op(list, &epochs, erase_keys.data());
+      ::amac::Run(policy, SchedulerParams{8, 2, 0}, op, erase_keys.size());
+      EXPECT_EQ(op.writes().erases, erase_keys.size())
+          << ExecPolicyName(policy);
+    }
+    EXPECT_EQ(list.size(), 350u);
+    const std::vector<int64_t> left = Keys(list);
+    EXPECT_EQ(left.size(), 350u);
+    EXPECT_TRUE(std::is_sorted(left.begin(), left.end()));
+    for (const int64_t k : left) EXPECT_EQ(k % 2, 0) << k;
+    epochs.ReclaimAll();
+    EXPECT_EQ(epochs.retired(), epochs.reclaimed());
+  }
+}
+
+}  // namespace
+}  // namespace amac
