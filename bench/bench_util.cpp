@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/rng.h"
+
 namespace amac::bench {
 
 void BenchArgs::Define(int default_scale_log2) {
@@ -65,6 +67,51 @@ JoinResult MeasureJoin(Executor& exec, const PreparedJoin& prepared,
     }
   }
   return best;
+}
+
+PlanResult MeasurePlan(Executor& exec, const Plan& plan,
+                       const PlanOptions& options, uint32_t reps) {
+  PlanResult best;
+  for (uint32_t rep = 0; rep < std::max(1u, reps); ++rep) {
+    PlanResult result = RunPlan(exec, plan, options);
+    if (rep == 0 || result.TotalCycles() < best.TotalCycles()) {
+      best = std::move(result);
+    }
+  }
+  return best;
+}
+
+RunStats SoloRun(const Plan& plan, const PlanOptions& options) {
+  Executor solo(
+      ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
+  return RunPlan(solo, plan, options).run;
+}
+
+std::unique_ptr<SkipList> BuildSkipList(const Relation& rel, uint64_t seed) {
+  auto slist = std::make_unique<SkipList>(rel.size());
+  Rng rng(seed);
+  for (const Tuple& t : rel) slist->InsertUnsync(t.key, t.payload, rng);
+  return slist;
+}
+
+std::unique_ptr<CsrGraph> MakeWalkGraph(uint64_t scale, uint64_t seed) {
+  CsrGraph::Options options;
+  options.num_vertices = std::max<uint64_t>(64, scale / 4);
+  options.out_degree = 8;
+  options.seed = seed;
+  return std::make_unique<CsrGraph>(options);
+}
+
+void PlanJsonFields(JsonWriter* json, const PlanStats& plan) {
+  json->Field("plan_shape", std::string(PlanShapeName(plan.shape)));
+  json->Field("plan_build_side",
+              std::string(PlanBuildSideName(plan.build_side)));
+  json->Field("plan_build_mode",
+              std::string(PlanBuildModeName(plan.build_mode)));
+  json->Field("plan_candidates", plan.candidates_considered);
+  json->Field("plan_from_priors", uint64_t{plan.from_priors ? 1u : 0u});
+  json->Field("plan_estimated_cost_cycles", plan.estimated_cost_cycles);
+  json->Field("plan_measured_cost_cycles", plan.measured_cost_cycles);
 }
 
 std::string SkewLabel(double zr, double zs) {

@@ -19,9 +19,12 @@
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "core/scheduler.h"
+#include "graph/csr.h"
 #include "hashtable/chained_table.h"
 #include "join/hash_join.h"
+#include "plan/plan.h"
 #include "relation/relation.h"
+#include "skiplist/skiplist.h"
 
 namespace amac::bench {
 
@@ -75,6 +78,30 @@ RunStats MeasureProbe(Executor& exec, const PreparedJoin& prepared,
 /// returns the repetition with the fewest total cycles.
 JoinResult MeasureJoin(Executor& exec, const PreparedJoin& prepared,
                        const JoinOptions& options, uint32_t reps);
+
+/// Run `plan` on `exec` `reps` times; returns the repetition with the
+/// fewest total (build + run) cycles.  Plan-owned group tables are
+/// allocated fresh inside each RunPlan call, so per-rep state reset — the
+/// AggregateTable/MaterializeSink boilerplate the benches used to
+/// hand-roll — is the plan layer's problem now.  Later repetitions ride
+/// the priors the first one stored (run.plan.from_priors), which is the
+/// steady state a serving system would measure.
+PlanResult MeasurePlan(Executor& exec, const Plan& plan,
+                       const PlanOptions& options, uint32_t reps);
+
+/// Run `plan` once on a throwaway solo sequential executor (1 thread,
+/// M=1): the schedule-independent oracle result every other schedule and
+/// shape must reproduce.
+RunStats SoloRun(const Plan& plan, const PlanOptions& options = {});
+
+/// A skip list holding every (key, payload) of `rel`, inserted unsynced
+/// with a deterministic level RNG — the index the serving/adaptive benches
+/// probe.
+std::unique_ptr<SkipList> BuildSkipList(const Relation& rel, uint64_t seed);
+
+/// The benches' standard random-walk graph: scale/4 vertices (min 64),
+/// out-degree 8.
+std::unique_ptr<CsrGraph> MakeWalkGraph(uint64_t scale, uint64_t seed);
 
 /// "[ZR, ZS]" labels used by Figs. 5/7/8.
 std::string SkewLabel(double zr, double zs);
@@ -135,5 +162,10 @@ class JsonWriter {
   bool in_point_ = false;
   bool first_in_scope_ = true;
 };
+
+/// Emit a run's optimizer decision (RunStats::plan) as flat JSON fields —
+/// shape/build-side/build-mode names, candidate count, and the cost-model
+/// provenance — under the current JsonWriter point.
+void PlanJsonFields(JsonWriter* json, const PlanStats& plan);
 
 }  // namespace amac::bench

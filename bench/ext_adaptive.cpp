@@ -29,16 +29,9 @@
 
 #include "bench_util.h"
 #include "common/cycle_timer.h"
-#include "common/rng.h"
 #include "common/table_printer.h"
 #include "core/pipeline.h"
-#include "graph/csr.h"
-#include "graph/graph_ops.h"
-#include "groupby/groupby_ops.h"
-#include "join/join_ops.h"
 #include "server/query_scheduler.h"
-#include "skiplist/skiplist.h"
-#include "skiplist/skiplist_ops.h"
 
 namespace amac::bench {
 namespace {
@@ -82,17 +75,8 @@ Datasets PrepareDatasets(uint64_t scale) {
   d.zipf = PrepareJoin(scale, scale, 0.75, 0.75, 1302);
   d.gb_input = MakeZipfRelation(scale, scale / 8 + 1, 0.6, 1303);
   d.idx_probe = MakeZipfRelation(scale, 2 * scale, 0.3, 1304);
-  d.slist = std::make_unique<SkipList>(scale);
-  {
-    Rng rng(1305);
-    const Relation keys = MakeDenseUniqueRelation(scale, 1306);
-    for (const Tuple& t : keys) d.slist->InsertUnsync(t.key, t.payload, rng);
-  }
-  CsrGraph::Options graph_options;
-  graph_options.num_vertices = std::max<uint64_t>(64, scale / 4);
-  graph_options.out_degree = 8;
-  graph_options.seed = 1307;
-  d.graph = std::make_unique<CsrGraph>(graph_options);
+  d.slist = BuildSkipList(MakeDenseUniqueRelation(scale, 1306), 1305);
+  d.graph = MakeWalkGraph(scale, 1307);
   d.walkers = scale;
   d.group_capacity = scale + 1;
   return d;
@@ -109,38 +93,41 @@ std::vector<AdaptiveWorkload> BuildWorkloads(const Datasets& d) {
     out.adaptive = run.adaptive;
     return out;
   };
+  // Every family is a declarative Plan; Executor::Run(Plan) fills the
+  // group-by outputs/checksum itself, so no per-family accounting remains.
   std::vector<AdaptiveWorkload> workloads;
   workloads.push_back({"probe-uniform", [&d, sink_outcome](Executor& exec) {
     return sink_outcome(
-        exec.Run(Scan(d.uniform.s).Then(Probe<true>(*d.uniform.table))));
+        exec.Run(Plan::Scan(d.uniform.s).Lookup(*d.uniform.table)));
   }});
   workloads.push_back({"probe-zipf", [&d, sink_outcome](Executor& exec) {
     return sink_outcome(
-        exec.Run(Scan(d.zipf.s).Then(Probe<true>(*d.zipf.table))));
+        exec.Run(Plan::Scan(d.zipf.s).Lookup(*d.zipf.table)));
   }});
   workloads.push_back({"group-by", [&d, sink_outcome](Executor& exec) {
     AggregateTable agg(d.group_capacity, AggregateTable::Options{});
-    Outcome out =
-        sink_outcome(exec.Run(Scan(d.gb_input).Then(Aggregate(agg))));
-    out.outputs = agg.CountGroups();
-    out.checksum = agg.Checksum();
-    return out;
+    return sink_outcome(exec.Run(Plan::Scan(d.gb_input).GroupByInto(&agg)));
   }});
   workloads.push_back({"skiplist", [&d, sink_outcome](Executor& exec) {
     return sink_outcome(
-        exec.Run(Scan(d.idx_probe).Then(LookupSkipList(*d.slist))));
+        exec.Run(Plan::Scan(d.idx_probe).LookupSkipList(*d.slist)));
   }});
   workloads.push_back({"walks", [&d, sink_outcome](Executor& exec) {
-    return sink_outcome(exec.Run(Walks(*d.graph, d.walkers, 8, 1308)));
+    return sink_outcome(exec.Run(Plan::Walks(*d.graph, d.walkers, 8, 1308)));
   }});
   workloads.push_back({"fused-join-gb", [&d, sink_outcome](Executor& exec) {
+    // The shape is pinned fused here: this grid compares SCHEDULES on a
+    // fixed plan shape (the structural section below lets the optimizer
+    // pick the shape itself).
     AggregateTable agg(d.group_capacity, AggregateTable::Options{});
-    Outcome out = sink_outcome(exec.Run(Scan(d.uniform.s)
-                                            .Then(Probe<true>(*d.uniform.table))
-                                            .Then(Aggregate(agg))));
-    out.outputs = agg.CountGroups();
-    out.checksum = agg.Checksum();
-    return out;
+    PlanOptions pin;
+    pin.shape = PlanShape::kFused;
+    return sink_outcome(RunPlan(exec,
+                                Plan::Scan(d.uniform.s)
+                                    .Lookup(*d.uniform.table)
+                                    .GroupByInto(&agg),
+                                pin)
+                            .run);
   }});
   return workloads;
 }
@@ -302,15 +289,11 @@ int Run(int argc, char** argv) {
     uint64_t checksum;
   };
   std::vector<ServingOracle> serving_oracles;
-  {
-    Executor solo(
-        ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
-    for (const RunStats& run :
-         {solo.Run(Scan(d.uniform.s).Then(Probe<true>(*d.uniform.table))),
-          solo.Run(Scan(d.idx_probe).Then(LookupSkipList(*d.slist))),
-          solo.Run(Walks(*d.graph, d.walkers, 8, 1308))}) {
-      serving_oracles.push_back({run.outputs, run.checksum});
-    }
+  for (const RunStats& run :
+       {SoloRun(Plan::Scan(d.uniform.s).Lookup(*d.uniform.table)),
+        SoloRun(Plan::Scan(d.idx_probe).LookupSkipList(*d.slist)),
+        SoloRun(Plan::Walks(*d.graph, d.walkers, 8, 1308))}) {
+    serving_oracles.push_back({run.outputs, run.checksum});
   }
   const uint32_t rounds = quick ? 2 : 4;
   const auto run_serving = [&](ExecPolicy policy,
@@ -325,12 +308,11 @@ int Run(int argc, char** argv) {
     for (uint32_t r = 0; r < rounds; ++r) {
       std::vector<QueryTicket> tickets;
       tickets.push_back(Submit(
-          sched, Scan(d.uniform.s).Then(Probe<true>(*d.uniform.table)),
-          options));
+          sched, Plan::Scan(d.uniform.s).Lookup(*d.uniform.table), options));
       tickets.push_back(Submit(
-          sched, Scan(d.idx_probe).Then(LookupSkipList(*d.slist)), options));
+          sched, Plan::Scan(d.idx_probe).LookupSkipList(*d.slist), options));
       tickets.push_back(
-          Submit(sched, Walks(*d.graph, d.walkers, 8, 1308), options));
+          Submit(sched, Plan::Walks(*d.graph, d.walkers, 8, 1308), options));
       queries += tickets.size();
       for (size_t i = 0; i < tickets.size(); ++i) {
         const QueryStats q = sched.Wait(tickets[i]);
@@ -391,8 +373,115 @@ int Run(int argc, char** argv) {
     json->Field("best_static_policy", std::string(best_serving_policy));
     json->Field("adaptive_vs_best", serving_ratio);
     json->Field("vec_fallbacks", serving_vec_fallbacks);
-    ok = json->Close() && ok;
   }
+
+  // ---- Structural adaptivity: the plan optimizer across the fig12
+  // crossover ----
+  // The schedule grid above holds the plan SHAPE fixed and varies the
+  // schedule; this section holds the schedule fixed (AMAC) and lets the
+  // plan optimizer pick the shape.  One declarative plan
+  // (Scan -> Lookup -> GroupBy) runs on both sides of the join's
+  // selectivity crossover: a full-hit probe, where fusing the aggregate
+  // into the probe avoids materializing every row, and a 1/16-hit probe,
+  // where the join filters hard and two-phase aggregates a tiny
+  // intermediate.  The optimizer must reproduce the sequential oracle's
+  // aggregate bit for bit and land within 0.9x of the better pinned shape
+  // — the structural analogue of the 0.5x schedule floor above.
+  {
+    Relation sparse(d.uniform.s.size());
+    for (uint64_t i = 0; i < sparse.size(); ++i) {
+      sparse[i] = d.uniform.s[i];
+      if (i % 16 != 0) {
+        // Dense unique R holds keys [1, |R|]; anything above misses.
+        sparse[i].key = static_cast<int64_t>(d.uniform.r.size() + 1 + i);
+      }
+    }
+    const struct {
+      const char* name;
+      const Relation* probe;
+    } ends[] = {{"structural-dense", &d.uniform.s},
+                {"structural-sparse", &sparse}};
+    TablePrinter structural_table(
+        "structural adaptivity: plan optimizer vs pinned shapes "
+        "(Minputs/s, AMAC, " + std::to_string(threads) + " thread(s))",
+        {"probe", "fused", "two-phase", "optimizer", "chosen", "vs best"});
+    PlanOptions fused_pin;
+    fused_pin.shape = PlanShape::kFused;
+    PlanOptions two_phase_pin;
+    two_phase_pin.shape = PlanShape::kTwoPhase;
+    for (const auto& end : ends) {
+      const Plan plan = Plan::Scan(*end.probe)
+                            .Lookup(*d.uniform.table)
+                            .GroupBy(d.group_capacity);
+      const RunStats oracle = SoloRun(plan, fused_pin);
+      Executor exec(
+          ExecConfig{ExecPolicy::kAmac, static_params, threads, 0});
+      // One untimed run pays the prefix measurement and stores the priors
+      // (the same warmup discipline as the schedule grid above); the
+      // measured reps then ride — and keep self-correcting — the priors.
+      (void)RunPlan(exec, plan, PlanOptions{});
+      // Interleave the three arms rep by rep and take minima: comparing
+      // minima of disjoint time windows lets one load burst on a shared
+      // runner sink a single arm, which is what made the 0.9x gate flaky.
+      const uint32_t reps = std::max(7u, args.reps);
+      PlanResult fused, two_phase, chosen;
+      for (uint32_t rep = 0; rep < reps; ++rep) {
+        PlanResult f = RunPlan(exec, plan, fused_pin);
+        if (rep == 0 || f.TotalCycles() < fused.TotalCycles()) {
+          fused = std::move(f);
+        }
+        PlanResult t = RunPlan(exec, plan, two_phase_pin);
+        if (rep == 0 || t.TotalCycles() < two_phase.TotalCycles()) {
+          two_phase = std::move(t);
+        }
+        PlanResult c = RunPlan(exec, plan, PlanOptions{});
+        if (rep == 0 || c.TotalCycles() < chosen.TotalCycles()) {
+          chosen = std::move(c);
+        }
+      }
+      const double best_pinned =
+          std::max(fused.run.Throughput(), two_phase.run.Throughput());
+      const double chosen_tput = chosen.run.Throughput();
+      const double ratio =
+          best_pinned > 0 ? chosen_tput / best_pinned : 0;
+      for (const PlanResult* r : {&fused, &two_phase, &chosen}) {
+        if (r->run.outputs != oracle.outputs ||
+            r->run.checksum != oracle.checksum) {
+          std::printf("ERROR: %s shape diverges from the sequential "
+                      "oracle\n", end.name);
+          ok = false;
+        }
+      }
+      if (!chosen.run.plan.active ||
+          chosen.run.plan.candidates_considered != 2) {
+        std::printf("ERROR: %s optimizer saw %u shapes (want 2)\n",
+                    end.name, chosen.run.plan.candidates_considered);
+        ok = false;
+      }
+      if (chosen_tput <= 0 || ratio < 0.9) {
+        std::printf("ERROR: %s optimizer is %.2fx the best pinned shape "
+                    "(< 0.9x)\n", end.name, ratio);
+        ok = false;
+      }
+      structural_table.AddRow(
+          {end.name, TablePrinter::Fmt(fused.run.Throughput() / 1e6, 2),
+           TablePrinter::Fmt(two_phase.run.Throughput() / 1e6, 2),
+           TablePrinter::Fmt(chosen_tput / 1e6, 2),
+           PlanShapeName(chosen.run.plan.shape),
+           TablePrinter::Fmt(ratio, 2)});
+      if (json) {
+        json->BeginPoint();
+        json->Field("workload", std::string(end.name));
+        json->Field("fused_inputs_per_sec", fused.run.Throughput());
+        json->Field("two_phase_inputs_per_sec", two_phase.run.Throughput());
+        json->Field("optimizer_inputs_per_sec", chosen_tput);
+        json->Field("optimizer_vs_best_pinned", ratio);
+        PlanJsonFields(json.get(), chosen.run.plan);
+      }
+    }
+    structural_table.Print();
+  }
+  if (json) ok = json->Close() && ok;
 
   if (!quick) {
     std::printf(

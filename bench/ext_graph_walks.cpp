@@ -46,11 +46,12 @@ int Run(int argc, char** argv) {
 
   TablePrinter table("graph random walks: cycles per hop (1 thread)",
                      {"target skew", "Sequential", "GP", "SPP", "AMAC",
-                      "Coroutine"});
+                      "Coroutine", "Vectorized", "VecAMAC"});
   TablePrinter par_table(
       "graph random walks: cycles per hop (" + std::to_string(threads) +
           " threads, morsel-driven Executor)",
-      {"target skew", "Sequential", "GP", "SPP", "AMAC", "Coroutine"});
+      {"target skew", "Sequential", "GP", "SPP", "AMAC", "Coroutine",
+       "Vectorized", "VecAMAC"});
   Executor par_exec(
       ExecConfig{ExecPolicy::kAmac, params, threads, 0});
   for (double theta : {0.0, 0.99}) {

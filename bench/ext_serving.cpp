@@ -96,16 +96,8 @@ Workload PrepareWorkload(uint64_t scale) {
   BuildTableUnsync(w.r, w.table.get());
   w.btree = std::make_unique<BTree>(w.r);
   w.bst = std::make_unique<BinarySearchTree>(BuildBst(w.r));
-  w.slist = std::make_unique<SkipList>(scale);
-  {
-    Rng rng(905);
-    for (const Tuple& t : w.r) w.slist->InsertUnsync(t.key, t.payload, rng);
-  }
-  CsrGraph::Options graph_options;
-  graph_options.num_vertices = std::max<uint64_t>(64, scale / 4);
-  graph_options.out_degree = 8;
-  graph_options.seed = 906;
-  w.graph = std::make_unique<CsrGraph>(graph_options);
+  w.slist = BuildSkipList(w.r, 905);
+  w.graph = MakeWalkGraph(scale, 906);
   w.walkers = scale / 4;
   w.group_capacity = scale + 1;
   return w;
@@ -119,6 +111,23 @@ struct PendingQuery {
   std::function<bool(const QueryStats&)> verify;
 };
 
+/// The declarative plan for query `kind`.  Aggregating kinds (group-by and
+/// fused, indexes 1 and 6) write into `agg`, which must outlive execution;
+/// the other kinds ignore it.
+Plan KindPlan(const Workload& w, int kind, AggregateTable* agg) {
+  switch (kind) {
+    case 0: return Plan::Scan(w.s).Lookup(*w.table);
+    case 1: return Plan::Scan(w.gb_input).GroupByInto(agg);
+    case 2: return Plan::Scan(w.idx_probe).LookupBTree(*w.btree);
+    case 3: return Plan::Scan(w.idx_probe).LookupBst(*w.bst);
+    case 4: return Plan::Scan(w.idx_probe).LookupSkipList(*w.slist);
+    case 5: return Plan::Walks(*w.graph, w.walkers, w.hops, 907);
+    default: return Plan::Scan(w.s).Lookup(*w.table).GroupByInto(agg);
+  }
+}
+
+bool KindAggregates(int kind) { return kind == 1 || kind >= 6; }
+
 /// Submit one query of `kind` to the scheduler.  Aggregating kinds carry a
 /// per-query AggregateTable kept alive by the verify closure.
 PendingQuery SubmitKind(QueryScheduler& sched, const Workload& w, int kind,
@@ -126,90 +135,34 @@ PendingQuery SubmitKind(QueryScheduler& sched, const Workload& w, int kind,
   PendingQuery pending;
   pending.kind = kind;
   const Workload::Oracle& oracle = w.oracles[static_cast<size_t>(kind)];
-  const auto verify_sink = [oracle](const QueryStats& q) {
-    return q.run.outputs == oracle.outputs &&
-           q.run.checksum == oracle.checksum;
-  };
-  switch (kind) {
-    case 0:
-      pending.ticket =
-          Submit(sched, Scan(w.s).Then(Probe<true>(*w.table)), options);
-      pending.verify = verify_sink;
-      break;
-    case 1: {
-      auto agg = std::make_shared<AggregateTable>(w.group_capacity,
-                                                  AggregateTable::Options{});
-      pending.ticket =
-          Submit(sched, Scan(w.gb_input).Then(Aggregate(*agg)), options);
-      pending.verify = [agg, oracle](const QueryStats&) {
-        return agg->CountGroups() == oracle.outputs &&
-               agg->Checksum() == oracle.checksum;
-      };
-      break;
-    }
-    case 2:
-      pending.ticket = Submit(
-          sched, Scan(w.idx_probe).Then(LookupBTree(*w.btree)), options);
-      pending.verify = verify_sink;
-      break;
-    case 3:
-      pending.ticket =
-          Submit(sched, Scan(w.idx_probe).Then(LookupBst(*w.bst)), options);
-      pending.verify = verify_sink;
-      break;
-    case 4:
-      pending.ticket = Submit(
-          sched, Scan(w.idx_probe).Then(LookupSkipList(*w.slist)), options);
-      pending.verify = verify_sink;
-      break;
-    case 5:
-      pending.ticket =
-          Submit(sched, Walks(*w.graph, w.walkers, w.hops, 907), options);
-      pending.verify = verify_sink;
-      break;
-    default: {
-      auto agg = std::make_shared<AggregateTable>(w.group_capacity,
-                                                  AggregateTable::Options{});
-      pending.ticket = Submit(
-          sched,
-          Scan(w.s).Then(Probe<true>(*w.table)).Then(Aggregate(*agg)),
-          options);
-      pending.verify = [agg, oracle](const QueryStats&) {
-        return agg->CountGroups() == oracle.outputs &&
-               agg->Checksum() == oracle.checksum;
-      };
-      break;
-    }
+  if (KindAggregates(kind)) {
+    auto agg = std::make_shared<AggregateTable>(w.group_capacity,
+                                                AggregateTable::Options{});
+    pending.ticket = Submit(sched, KindPlan(w, kind, agg.get()), options);
+    pending.verify = [agg, oracle](const QueryStats&) {
+      return agg->CountGroups() == oracle.outputs &&
+             agg->Checksum() == oracle.checksum;
+    };
+  } else {
+    pending.ticket = Submit(sched, KindPlan(w, kind, nullptr), options);
+    pending.verify = [oracle](const QueryStats& q) {
+      return q.run.outputs == oracle.outputs &&
+             q.run.checksum == oracle.checksum;
+    };
   }
   return pending;
 }
 
-/// Record every kind's solo sequential run (1 worker, kSequential): the
-/// schedule-independent result the concurrent runs must reproduce.
+/// Record every kind's solo sequential run: the schedule-independent
+/// result the concurrent runs must reproduce.  Aggregating plans report
+/// their table's groups/checksum through RunStats, so one loop covers all
+/// seven kinds.
 void ComputeOracles(Workload* w) {
-  QueryScheduler solo(QuerySchedulerOptions{1, 1, AdmissionOrder::kFifo});
-  QueryOptions options;
-  options.policy = ExecPolicy::kSequential;
-  options.params = SchedulerParams{1, 1, 0};
   w->oracles.assign(kNumKinds, {});
-  for (int kind : {0, 2, 3, 4, 5}) {
-    PendingQuery pending = SubmitKind(solo, *w, kind, options);
-    const QueryStats q = solo.Wait(pending.ticket);
-    w->oracles[static_cast<size_t>(kind)] = {q.run.outputs, q.run.checksum};
-  }
-  // Aggregating kinds (1, 6) leave the result in their table; record the
-  // table-derived oracle from a direct solo Executor run.
-  Executor exec(
-      ExecConfig{ExecPolicy::kSequential, SchedulerParams{1, 1, 0}, 1, 0});
-  {
+  for (int kind = 0; kind < kNumKinds; ++kind) {
     AggregateTable agg(w->group_capacity, AggregateTable::Options{});
-    exec.Run(Scan(w->gb_input).Then(Aggregate(agg)));
-    w->oracles[1] = {agg.CountGroups(), agg.Checksum()};
-  }
-  {
-    AggregateTable agg(w->group_capacity, AggregateTable::Options{});
-    exec.Run(Scan(w->s).Then(Probe<true>(*w->table)).Then(Aggregate(agg)));
-    w->oracles[6] = {agg.CountGroups(), agg.Checksum()};
+    const RunStats run = SoloRun(KindPlan(*w, kind, &agg));
+    w->oracles[static_cast<size_t>(kind)] = {run.outputs, run.checksum};
   }
 }
 
@@ -328,19 +281,18 @@ QueryTicket SubmitOpenLoopKind(QueryScheduler& sched,
                                uint32_t window, const QueryOptions& options) {
   switch (kOpenLoopKinds[kind_index]) {
     case 0:
-      return Submit(sched, Scan(w.s[window]).Then(Probe<true>(*w.table)),
+      return Submit(sched, Plan::Scan(w.s[window]).Lookup(*w.table),
                     options);
     case 2:
       return Submit(
-          sched, Scan(w.idx_probe[window]).Then(LookupBTree(*w.btree)),
+          sched, Plan::Scan(w.idx_probe[window]).LookupBTree(*w.btree),
           options);
     case 3:
-      return Submit(sched,
-                    Scan(w.idx_probe[window]).Then(LookupBst(*w.bst)),
+      return Submit(sched, Plan::Scan(w.idx_probe[window]).LookupBst(*w.bst),
                     options);
     default:
       return Submit(
-          sched, Scan(w.idx_probe[window]).Then(LookupSkipList(*w.slist)),
+          sched, Plan::Scan(w.idx_probe[window]).LookupSkipList(*w.slist),
           options);
   }
 }
@@ -367,11 +319,7 @@ OpenLoopWorkload PrepareOpenLoopWorkload(uint64_t scale) {
   BuildTableUnsync(w.r, w.table.get());
   w.btree = std::make_unique<BTree>(w.r);
   w.bst = std::make_unique<BinarySearchTree>(BuildBst(w.r));
-  w.slist = std::make_unique<SkipList>(scale);
-  {
-    Rng rng(905);
-    for (const Tuple& t : w.r) w.slist->InsertUnsync(t.key, t.payload, rng);
-  }
+  w.slist = BuildSkipList(w.r, 905);
   for (uint32_t win = 0; win < kNumWindows; ++win) {
     w.s.push_back(MakeForeignKeyRelation(scale, scale, 910 + win));
     w.idx_probe.push_back(MakeZipfRelation(scale, 2 * scale, 0.3, 930 + win));

@@ -49,11 +49,8 @@ int Run(int argc, char** argv) {
     const Relation probe = MakeForeignKeyRelation(n, n, 30);
 
     // Search: one pre-built list probed by every engine.
-    SkipList list(n);
-    {
-      Rng rng(31);
-      for (const Tuple& t : rel) list.InsertUnsync(t.key, t.payload, rng);
-    }
+    const auto list_owner = BuildSkipList(rel, 31);
+    SkipList& list = *list_owner;
     std::vector<std::string> search_row{std::to_string(log2)};
     std::vector<std::string> insert_row{std::to_string(log2)};
     Executor exec(ExecConfig{ExecPolicy::kAmac,

@@ -4,25 +4,22 @@
 // walk-length traces from the real x86-built data structures.  See
 // DESIGN.md substitution #4.
 //
-// MEASURED addition (ISSUE 3): the same join+group-by pair run on THIS
-// machine as one fused Pipeline (Scan -> Probe -> Aggregate through one
-// Executor) vs the two-phase plan with a materialized intermediate, under
-// all five ExecPolicies.  The binary self-checks that both plans produce
-// the identical aggregate table and exits nonzero on mismatch or zero
-// throughput, so CI's bench-smoke job (--quick) keeps the fused path
-// honest.
+// MEASURED addition (ISSUE 3, re-based on the plan layer in ISSUE 9): the
+// same join+group-by pair run on THIS machine as one declarative plan
+// (Scan -> Lookup -> GroupBy) with the shape dimension pinned fused vs
+// two-phase (materialized intermediate), under all five ExecPolicies,
+// plus one unpinned run where the cost-driven optimizer makes the call.
+// The binary self-checks that every shape produces the identical
+// aggregate table and exits nonzero on mismatch or zero throughput, so
+// CI's bench-smoke job (--quick) keeps the plan layer honest.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
-#include "common/cycle_timer.h"
 #include "common/table_printer.h"
 #include "core/pipeline.h"
 #include "groupby/groupby.h"
-#include "groupby/groupby_ops.h"
-#include "join/join_ops.h"
-#include "join/sink.h"
 #include "memsim/memsim.h"
 #include "memsim/workload.h"
 
@@ -36,16 +33,26 @@ struct FusedPoint {
   double two_phase_tps = 0;
 };
 
-/// Fused vs two-phase join+group-by, measured on this machine.  Returns
-/// false when the plans disagree or the fused plan reports zero
-/// throughput.  Fills `points` (one per policy) when non-null.
+/// Fused vs two-phase join+group-by, measured on this machine.  Both
+/// columns are the SAME declarative plan (Scan -> Lookup -> GroupBy) with
+/// the shape dimension pinned each way, so the comparison exercises
+/// exactly the structural alternative the plan optimizer chooses between;
+/// a final unpinned run checks that the optimizer lands on one of the two
+/// shapes and reproduces the identical aggregate.  Returns false on any
+/// divergence or zero throughput.  Fills `points` (one per policy) and
+/// `chosen` (the optimizer's decision) when non-null.
 bool FusedSection(const BenchArgs& args, uint32_t threads,
-                  std::vector<FusedPoint>* points) {
+                  std::vector<FusedPoint>* points, PlanStats* chosen) {
   const PreparedJoin prepared =
       PrepareJoin(args.scale, args.scale, 0, 0, 67);
   const Relation& s = prepared.s;
-  const ChainedHashTable& table = *prepared.table;
   const uint64_t group_capacity = prepared.r.size() + 1;
+  const Plan plan =
+      Plan::Scan(s).Lookup(*prepared.table).GroupBy(group_capacity);
+  PlanOptions fused_pin;
+  fused_pin.shape = PlanShape::kFused;
+  PlanOptions two_phase_pin;
+  two_phase_pin.shape = PlanShape::kTwoPhase;
 
   TablePrinter fused_table(
       "Fig 12 MEASURED on this machine: fused join->group-by (one "
@@ -54,67 +61,19 @@ bool FusedSection(const BenchArgs& args, uint32_t threads,
       {"policy", "fused", "two-phase", "fused speedup"});
 
   bool ok = true;
+  uint64_t checksum = 0;
   Executor exec(ExecConfig{ExecPolicy::kAmac,
                            SchedulerParams{args.inflight, 1, 0}, threads,
                            0});
   for (ExecPolicy policy : kAllExecPolicies) {
     exec.set_policy(policy);
+    const PlanResult fused = MeasurePlan(exec, plan, fused_pin, args.reps);
+    const PlanResult two_phase =
+        MeasurePlan(exec, plan, two_phase_pin, args.reps);
+    const double fused_tps = fused.run.Throughput();
+    const double two_phase_tps = two_phase.run.Throughput();
+    checksum = fused.run.checksum;
 
-    // Fused: probe hits flow straight into the aggregation insert.
-    double fused_seconds = 1e18;
-    uint64_t fused_checksum = 0, fused_groups = 0;
-    for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
-      AggregateTable agg(group_capacity, AggregateTable::Options{});
-      const RunStats run =
-          exec.Run(Scan(s).Then(Probe<true>(table)).Then(Aggregate(agg)));
-      if (run.seconds < fused_seconds) fused_seconds = run.seconds;
-      fused_checksum = agg.Checksum();
-      fused_groups = agg.CountGroups();
-    }
-
-    // Two-phase: probe materializing (rid, build payload), rebuild the
-    // intermediate relation, then a separate group-by — the pre-Pipeline
-    // plan, timed end to end on the same executor.
-    double two_phase_seconds = 1e18;
-    uint64_t two_phase_checksum = 0, two_phase_groups = 0;
-    for (uint32_t rep = 0; rep < std::max(1u, args.reps); ++rep) {
-      WallTimer wall;
-      // Early-exit probe: at most one emission per probe tuple, so
-      // s.size() bounds each thread's materialization.
-      std::vector<MaterializeSink> sinks;
-      sinks.reserve(exec.num_threads());
-      for (uint32_t t = 0; t < exec.num_threads(); ++t) {
-        sinks.emplace_back(s.size());
-      }
-      exec.Run(FromOp(s.size(), [&](uint32_t tid) {
-        return ProbeOp<true, MaterializeSink>(table, s, sinks[tid]);
-      }));
-      uint64_t total = 0;
-      for (const auto& sink : sinks) total += sink.size();
-      Relation mid(total);
-      uint64_t at = 0;
-      for (const auto& sink : sinks) {
-        for (uint64_t i = 0; i < sink.size(); ++i) {
-          const Tuple& row = sink.data()[i];
-          mid[at++] = Tuple{row.payload,
-                            s[static_cast<uint64_t>(row.key)].payload};
-        }
-      }
-      AggregateTable agg(group_capacity, AggregateTable::Options{});
-      RunGroupBy(exec, mid, &agg);
-      const double seconds = wall.ElapsedSeconds();
-      if (seconds < two_phase_seconds) two_phase_seconds = seconds;
-      two_phase_checksum = agg.Checksum();
-      two_phase_groups = agg.CountGroups();
-    }
-
-    const double fused_tps =
-        fused_seconds > 0 ? static_cast<double>(s.size()) / fused_seconds
-                          : 0;
-    const double two_phase_tps =
-        two_phase_seconds > 0
-            ? static_cast<double>(s.size()) / two_phase_seconds
-            : 0;
     fused_table.AddRow(
         {SeriesName(policy), TablePrinter::Fmt(fused_tps / 1e6, 2),
          TablePrinter::Fmt(two_phase_tps / 1e6, 2),
@@ -124,13 +83,13 @@ bool FusedSection(const BenchArgs& args, uint32_t threads,
       points->push_back({SeriesName(policy), fused_tps, two_phase_tps});
     }
 
-    if (fused_checksum != two_phase_checksum ||
-        fused_groups != two_phase_groups) {
+    if (fused.run.checksum != two_phase.run.checksum ||
+        fused.run.outputs != two_phase.run.outputs) {
       std::printf("ERROR: %s fused aggregate diverges from two-phase "
                   "(groups %llu vs %llu)\n",
                   ExecPolicyName(policy),
-                  static_cast<unsigned long long>(fused_groups),
-                  static_cast<unsigned long long>(two_phase_groups));
+                  static_cast<unsigned long long>(fused.run.outputs),
+                  static_cast<unsigned long long>(two_phase.run.outputs));
       ok = false;
     }
     if (fused_tps <= 0) {
@@ -140,6 +99,26 @@ bool FusedSection(const BenchArgs& args, uint32_t threads,
     }
   }
   fused_table.Print();
+
+  // Unpinned: the optimizer must consider both shapes (measure fallback on
+  // the first repetition, priors after) and reproduce the same aggregate.
+  exec.set_policy(ExecPolicy::kAmac);
+  const PlanResult auto_run =
+      MeasurePlan(exec, plan, PlanOptions{}, std::max(2u, args.reps));
+  if (!auto_run.run.plan.active ||
+      auto_run.run.plan.candidates_considered != 2 ||
+      auto_run.run.checksum != checksum) {
+    std::printf("ERROR: optimizer run diverged (active=%d candidates=%u)\n",
+                auto_run.run.plan.active ? 1 : 0,
+                auto_run.run.plan.candidates_considered);
+    ok = false;
+  }
+  std::printf("plan optimizer (AMAC): chose %s of 2 shapes, %.2f "
+              "Mtuples/s%s\n",
+              PlanShapeName(auto_run.run.plan.shape),
+              auto_run.run.Throughput() / 1e6,
+              auto_run.run.plan.from_priors ? " (from priors)" : "");
+  if (chosen != nullptr) *chosen = auto_run.run.plan;
   return ok;
 }
 
@@ -166,10 +145,12 @@ void SimRow(TablePrinter* table, const std::string& label,
 /// Write the measured fused-section series as a machine-readable JSON
 /// artifact (CI's perf trajectory: BENCH_fig12.json).
 bool WriteJson(const std::string& path, uint64_t scale, uint32_t threads,
-               const std::vector<FusedPoint>& points) {
+               const std::vector<FusedPoint>& points,
+               const PlanStats& chosen) {
   JsonWriter json(path, "fig12_fused_join_groupby");
   json.Field("scale", scale);
   json.Field("threads", threads);
+  PlanJsonFields(&json, chosen);
   json.BeginSeries();
   for (const FusedPoint& point : points) {
     json.BeginPoint();
@@ -208,10 +189,12 @@ int Run(int argc, char** argv) {
                           std::to_string(args.flags.GetInt("scale_log2")));
 
   std::vector<FusedPoint> points;
-  bool fused_ok = FusedSection(args, threads, &points);
+  PlanStats chosen;
+  bool fused_ok = FusedSection(args, threads, &points, &chosen);
   const std::string json_path = args.flags.GetString("json");
   if (!json_path.empty()) {
-    fused_ok = WriteJson(json_path, args.scale, threads, points) && fused_ok;
+    fused_ok =
+        WriteJson(json_path, args.scale, threads, points, chosen) && fused_ok;
   }
   if (quick) return fused_ok ? 0 : 1;
 

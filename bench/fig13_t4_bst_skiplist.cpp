@@ -61,12 +61,10 @@ int Run(int argc, char** argv) {
   }
   {  // Skip list search trace.
     const uint64_t n = args.scale >> 2;
-    SkipList list(n);
-    Rng rng(45);
     const Relation rel = MakeDenseUniqueRelation(n, 46);
-    for (const Tuple& t : rel) list.InsertUnsync(t.key, t.payload, rng);
+    const auto list = BuildSkipList(rel, 45);
     const Relation probe = MakeForeignKeyRelation(n, n, 47);
-    const auto lengths = memsim::CollectSkipWalkLengths(list, probe);
+    const auto lengths = memsim::CollectSkipWalkLengths(*list, probe);
     SimRow(&table, "Skip list search (2^" + std::to_string(log2 - 2) + ")",
            lengths, args.inflight, 8);
   }

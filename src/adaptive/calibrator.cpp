@@ -166,14 +166,29 @@ std::vector<GridPoint> Calibrator::Grid(const AdaptiveConfig& config) {
   return grid;
 }
 
+bool Calibrator::Fresh(const CachedEntry& entry,
+                       uint64_t submitted_inputs) const {
+  if (entry.epoch != epoch_) return false;
+  if (submitted_inputs != 0 &&
+      entry.sig.cardinality_log2 !=
+          WorkloadSignature::CardinalityBucket(submitted_inputs)) {
+    return false;
+  }
+  return true;
+}
+
 std::optional<CalibrationResult> Calibrator::Lookup(
-    const WorkloadSignature& sig) {
+    const WorkloadSignature& sig, uint64_t submitted_inputs) {
   std::lock_guard<std::mutex> lock(mu_);
   if (sig.valid()) {
     const auto it = cache_.find(sig.Key());
     if (it != cache_.end()) {
-      ++hits_;
-      return it->second;
+      if (Fresh(it->second, submitted_inputs)) {
+        ++hits_;
+        return it->second.result;
+      }
+      cache_.erase(it);
+      ++stale_evictions_;
     }
   }
   ++misses_;
@@ -184,14 +199,36 @@ void Calibrator::Store(const WorkloadSignature& sig,
                        const CalibrationResult& result) {
   if (!sig.valid()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  cache_[sig.Key()] = result;
+  cache_[sig.Key()] = CachedEntry{sig, result, epoch_};
 }
 
-double Calibrator::PeekCyclesPerInput(const WorkloadSignature& sig) const {
+double Calibrator::PeekCyclesPerInput(const WorkloadSignature& sig,
+                                      uint64_t submitted_inputs) const {
   if (!sig.valid()) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_.find(sig.Key());
-  return it == cache_.end() ? 0 : it->second.winner_cycles_per_input;
+  if (it == cache_.end()) return 0;
+  if (!Fresh(it->second, submitted_inputs)) {
+    cache_.erase(it);
+    ++stale_evictions_;
+    return 0;
+  }
+  return it->second.result.winner_cycles_per_input;
+}
+
+void Calibrator::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+}
+
+uint64_t Calibrator::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t Calibrator::stale_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_evictions_;
 }
 
 uint64_t Calibrator::hits() const {
@@ -213,8 +250,9 @@ std::vector<Calibrator::Entry> Calibrator::Entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> entries;
   entries.reserve(cache_.size());
-  for (const auto& [key, result] : cache_) {
-    entries.push_back(Entry{key, result});
+  for (const auto& [key, cached] : cache_) {
+    if (cached.epoch != epoch_) continue;  // stale epoch: not planner input
+    entries.push_back(Entry{key, cached.result});
   }
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) {

@@ -167,37 +167,69 @@ class Calibrator {
   static std::vector<GridPoint> Grid(const AdaptiveConfig& config);
 
   /// Cached result for `sig`, counting a hit or miss; invalid signatures
-  /// always miss (and are never stored).
-  std::optional<CalibrationResult> Lookup(const WorkloadSignature& sig);
+  /// always miss (and are never stored).  When `submitted_inputs` is
+  /// non-zero the entry is validated against the relation actually being
+  /// submitted: a caller-pinned signature reused across relation sizes
+  /// (the stale-prior hazard — the stored signature equals the passed one,
+  /// so the key alone cannot catch it) is evicted and counted as a miss
+  /// when its stored cardinality bucket no longer matches.
+  std::optional<CalibrationResult> Lookup(const WorkloadSignature& sig,
+                                          uint64_t submitted_inputs = 0);
 
   /// Record (or overwrite, after a re-tune) the calibration for `sig`.
+  /// The entry is stamped with the current staleness epoch.
   void Store(const WorkloadSignature& sig, const CalibrationResult& result);
 
   /// The cached winner's cycles-per-input for `sig`, or 0 when unknown.
   /// Unlike Lookup this counts neither a hit nor a miss: it exists for
-  /// sizing decisions (the deadline-aware morsel picker) that merely peek
-  /// at the cache without claiming its statistics.
-  double PeekCyclesPerInput(const WorkloadSignature& sig) const;
+  /// sizing decisions (the deadline-aware morsel picker, the plan cost
+  /// model) that merely peek at the cache without claiming its statistics.
+  /// Non-zero `submitted_inputs` applies the same cardinality-bucket
+  /// staleness validation as Lookup (evicting on mismatch).
+  double PeekCyclesPerInput(const WorkloadSignature& sig,
+                            uint64_t submitted_inputs = 0) const;
+
+  /// Begin a new staleness epoch: every entry stored before this call is
+  /// treated as stale — lazily evicted on its next Lookup/Peek and skipped
+  /// by Entries().  The affordance for "the data changed under the priors"
+  /// (bulk load, compaction, tenant swap).
+  void AdvanceEpoch();
+  uint64_t epoch() const;
 
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t entries() const;
+  /// Entries dropped by staleness validation (epoch advance or a
+  /// cardinality-bucket mismatch against the submitted relation).
+  uint64_t stale_evictions() const;
 
   /// One cached calibration, keyed by its WorkloadSignature::Key().
   struct Entry {
     uint64_t signature_key = 0;
     CalibrationResult result;
   };
-  /// Snapshot of the cache, ascending by key — what the serving layer's
-  /// capacity planner consumes (winner cycles-per-input -> E[S] ->
-  /// sustainable QPS) without holding the calibrator lock.
+  /// Snapshot of the current-epoch cache, ascending by key — what the
+  /// serving layer's capacity planner consumes (winner cycles-per-input ->
+  /// E[S] -> sustainable QPS) without holding the calibrator lock.
   std::vector<Entry> Entries() const;
 
  private:
+  struct CachedEntry {
+    WorkloadSignature sig;  ///< as stored — bucket validated on reuse
+    CalibrationResult result;
+    uint64_t epoch = 0;  ///< epoch_ at Store time
+  };
+
+  /// True when the entry is still trustworthy for a run over
+  /// `submitted_inputs` rows (0 skips the cardinality check).  Lock held.
+  bool Fresh(const CachedEntry& entry, uint64_t submitted_inputs) const;
+
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, CalibrationResult> cache_;  ///< by sig.Key()
+  mutable std::unordered_map<uint64_t, CachedEntry> cache_;  ///< by sig.Key()
+  uint64_t epoch_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  mutable uint64_t stale_evictions_ = 0;
 };
 
 }  // namespace amac

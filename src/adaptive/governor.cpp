@@ -9,14 +9,14 @@ namespace amac {
 QueryGovernor::QueryGovernor(const AdaptiveConfig& config,
                              Calibrator* calibrator,
                              const WorkloadSignature& signature,
-                             uint32_t stages)
+                             uint32_t stages, uint64_t num_inputs)
     : config_(config),
       calibrator_(calibrator),
       signature_(signature),
       stages_(std::max(1u, stages)),
       rng_(config.seed) {
   if (calibrator_ != nullptr) {
-    if (const auto cached = calibrator_->Lookup(signature_)) {
+    if (const auto cached = calibrator_->Lookup(signature_, num_inputs)) {
       cache_hit_ = true;
       AdoptWinnerLocked(cached->winner, cached->winner_cycles_per_input,
                         cached->survivors);

@@ -59,6 +59,8 @@
 
 namespace amac {
 
+class Plan;  // plan/plan.h — the declarative layer above this one
+
 /// Terminal sink for fused pipelines: counts emitted rows and folds them
 /// into an order-independent checksum (the same mixing discipline as
 /// join/sink.h's CountChecksumSink, over (key, payload)).
@@ -441,6 +443,11 @@ class Executor {
   RunStats Run(const OpPipeline<OpFactory>& pipeline) {
     return RunOp(pipeline.size(), pipeline.factory());
   }
+
+  /// Run a declarative plan (plan/plan.h): enumerate its physical shapes,
+  /// choose one by cost, execute it.  Defined in plan/plan.cpp; equivalent
+  /// to RunPlan(*this, plan).run.
+  RunStats Run(const Plan& plan);
 
   /// Low-level entry: run `make_op(tid)` instances over [0, num_inputs).
   /// Single-threaded executors run ONE engine over the whole range (no

@@ -54,6 +54,75 @@ struct AdaptiveStats {
   uint64_t probe_morsels = 0;        ///< epsilon-greedy exploration morsels
 };
 
+/// Pipeline dimension of a physical plan shape: run the whole chain fused
+/// through one stage machine, or split at the join into probe-materialize +
+/// aggregate phases (fig12's two columns).
+enum class PlanShape : uint8_t {
+  kAuto,      ///< not pinned — the optimizer chooses
+  kFused,     ///< single fused pipeline, no intermediate materialization
+  kTwoPhase,  ///< materialize the join output, then aggregate it
+};
+
+/// Which input a join builds its hash table from.
+enum class PlanBuildSide : uint8_t {
+  kAuto,     ///< not pinned — the optimizer chooses
+  kJoinRel,  ///< build on the relation named by the join node (legacy)
+  kInput,    ///< build on the scanned input, probe with the join relation
+};
+
+/// How a parallel table build partitions work.
+enum class PlanBuildMode : uint8_t {
+  kAuto,         ///< not pinned — the optimizer chooses
+  kChained,      ///< latched chained inserts, any thread any bucket
+  kPartitioned,  ///< bucket-range pre-partitioned build (race-free)
+};
+
+inline const char* PlanShapeName(PlanShape s) {
+  switch (s) {
+    case PlanShape::kAuto: return "auto";
+    case PlanShape::kFused: return "fused";
+    case PlanShape::kTwoPhase: return "two-phase";
+  }
+  return "?";
+}
+
+inline const char* PlanBuildSideName(PlanBuildSide s) {
+  switch (s) {
+    case PlanBuildSide::kAuto: return "auto";
+    case PlanBuildSide::kJoinRel: return "join-rel";
+    case PlanBuildSide::kInput: return "input";
+  }
+  return "?";
+}
+
+inline const char* PlanBuildModeName(PlanBuildMode m) {
+  switch (m) {
+    case PlanBuildMode::kAuto: return "auto";
+    case PlanBuildMode::kChained: return "chained";
+    case PlanBuildMode::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+/// What the plan optimizer (src/plan/) decided for this run; inert
+/// (active == false) when the run was submitted below the plan layer.
+struct PlanStats {
+  bool active = false;  ///< the run went through PlanOptimizer
+  PlanShape shape = PlanShape::kAuto;
+  PlanBuildSide build_side = PlanBuildSide::kAuto;
+  PlanBuildMode build_mode = PlanBuildMode::kAuto;
+  /// Physical alternatives the compiler enumerated for this plan.
+  uint32_t candidates_considered = 0;
+  /// The choice came from calibrator priors (true) or from measuring a
+  /// prefix of every candidate (false, the successive-halving-style
+  /// fallback).
+  bool from_priors = false;
+  /// The cost model's prediction for the chosen shape over the full input.
+  double estimated_cost_cycles = 0;
+  /// What the chosen shape actually cost end to end (build + run).
+  double measured_cost_cycles = 0;
+};
+
 /// Write-path accounting for the concurrent structures (hashtable upsert /
 /// erase, skiplist insert / erase).  Read-only runs leave it zeroed.
 struct WriteStats {
@@ -91,6 +160,8 @@ struct RunStats {
   double dispatch_seconds = 0;
   /// Populated when the run executed under ExecPolicy::kAdaptive.
   AdaptiveStats adaptive;
+  /// Populated when the run was submitted as a Plan (src/plan/).
+  PlanStats plan;
   /// Populated when the operation mutated a concurrent structure (the
   /// write ops fold their per-op counts in after the run).
   WriteStats writes;

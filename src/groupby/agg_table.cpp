@@ -20,6 +20,7 @@ GroupNode* AggregateTable::AllocNode() {
   AMAC_CHECK_MSG(idx < pool_.size(), "group node pool exhausted");
   GroupNode* node = &pool_[idx];
   node->used = 0;
+  node->key = GroupNode::kEmptyGroupKey;
   node->count = 0;
   node->sum = 0;
   node->sumsq = 0;
@@ -30,6 +31,7 @@ GroupNode* AggregateTable::AllocNode() {
 void AggregateTable::Clear() {
   for (GroupNode& b : buckets_) {
     b.used = 0;
+    b.key = GroupNode::kEmptyGroupKey;
     b.count = 0;
     b.sum = 0;
     b.sumsq = 0;

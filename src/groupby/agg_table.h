@@ -24,10 +24,19 @@
 namespace amac {
 
 struct AMAC_CACHE_ALIGNED GroupNode {
+  /// Key an unused node holds.  The invariant (maintained by the table's
+  /// constructor, Clear() and AllocNode()) lets the gathered group-by walk
+  /// (vec_groupby.h) test membership with a key compare alone: a used node
+  /// never stores the sentinel unless the caller aggregates the sentinel
+  /// key itself, which the vectorized path detects per lane and routes
+  /// through the exact scalar step.
+  static constexpr int64_t kEmptyGroupKey =
+      std::numeric_limits<int64_t>::min();
+
   Latch latch;        ///< bucket-level latch (meaningful on headers)
   uint8_t used = 0;   ///< 0 = empty header slot
   uint8_t pad[6] = {};
-  int64_t key = 0;
+  int64_t key = kEmptyGroupKey;
   int64_t count = 0;
   int64_t sum = 0;
   int64_t min = 0;
@@ -80,6 +89,8 @@ class AggregateTable {
   uint64_t num_buckets() const { return buckets_.size(); }
   GroupNode* buckets() { return buckets_.data(); }
   const GroupNode* buckets() const { return buckets_.data(); }
+  uint64_t bucket_mask() const { return bucket_mask_; }
+  HashKind hash_kind() const { return hash_kind_; }
 
   void Clear();
 

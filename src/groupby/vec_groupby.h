@@ -1,0 +1,162 @@
+// 8-wide gather-based group-chain walk step.
+//
+// One call advances up to 8 latched group-by chain walks (a lane-masked
+// vector) by one node each — the exact stage boundary of GroupByOp::Step's
+// walk stage (groupby_ops.h) — using masked gathers over the GroupNode
+// layout: the group key and the `next` pointer are fetched in-register
+// instead of through scalar dependent loads.  `used` is never gathered:
+// the table's sentinel invariant (agg_table.h — unused nodes hold
+// GroupNode::kEmptyGroupKey, and an unused header always has a null
+// `next`) makes the key compare alone exact for any non-sentinel probe
+// key.  Lanes probing the sentinel key itself must not enter this kernel;
+// GroupByOp routes them through the exact scalar step.
+//
+// Every lane entering the kernel HOLDS its bucket latch, so the gathered
+// loads race with nothing: all writers of the chain serialize on that
+// latch.  The kernel only classifies; all mutation (Accumulate, insert)
+// stays scalar in GroupByOp, on nodes whose lines the gathers just pulled.
+//
+// The ISA split follows common/simd.h: intrinsics live in non-template
+// AMAC_TARGET_* functions returning plain masks; the wrapper falls back to
+// a scalar per-lane visit below AVX2 (same results, no gathers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/prefetch.h"
+#include "common/simd.h"
+#include "groupby/agg_table.h"
+
+namespace amac {
+
+// The gather offsets below hard-code the documented GroupNode layout.
+static_assert(offsetof(GroupNode, key) == 8);
+static_assert(offsetof(GroupNode, next) == 56);
+
+/// Per-step masks of the gathered walk: which lanes found their group at
+/// the current node, and which lanes advanced to a next node (their ptrs
+/// already updated).  Lanes in neither mask are at their chain end — the
+/// caller runs the scalar insert there.  Two words, so the
+/// target-attributed kernels return in registers.
+struct VecGroupMasks {
+  uint32_t match = 0;
+  uint32_t advanced = 0;
+};
+
+#if AMAC_SIMD_X86
+namespace simd_detail {
+
+AMAC_TARGET_AVX2 inline VecGroupMasks VecGroupStepAvx2(GroupNode** ptrs,
+                                                       const int64_t* keys,
+                                                       uint32_t active) {
+  VecGroupMasks r;
+  for (uint32_t half = 0; half < 2; ++half) {
+    const uint32_t nibble = (active >> (4 * half)) & 0xf;
+    if (nibble == 0) continue;
+    const __m256i lanes = LaneMask4(nibble);
+    const __m256i ptrv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ptrs + 4 * half));
+    const __m256i keyv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + 4 * half));
+    // The key compare is unconditional on `used`: unused nodes hold the
+    // sentinel (agg_table.h invariant) and sentinel-probing lanes never
+    // enter this kernel, so a key match implies a used, equal-keyed node.
+    const __m256i k = MaskGather64(
+        _mm256_add_epi64(ptrv, _mm256_set1_epi64x(8)), lanes);
+    const __m256i m = _mm256_and_si256(_mm256_cmpeq_epi64(k, keyv), lanes);
+    r.match |= static_cast<uint32_t>(
+                   _mm256_movemask_pd(_mm256_castsi256_pd(m)))
+               << (4 * half);
+    const __m256i walk = _mm256_andnot_si256(m, lanes);
+    if (!_mm256_testz_si256(walk, walk)) {
+      const __m256i nextv = MaskGather64(
+          _mm256_add_epi64(ptrv, _mm256_set1_epi64x(56)), walk);
+      const __m256i cont = _mm256_andnot_si256(
+          _mm256_cmpeq_epi64(nextv, _mm256_setzero_si256()), walk);
+      // Blend + full-width store (not a masked store): the next step
+      // reloads these pointers immediately and masked stores defeat
+      // store-to-load forwarding.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ptrs + 4 * half),
+                          _mm256_blendv_epi8(ptrv, nextv, cont));
+      r.advanced |= static_cast<uint32_t>(
+                        _mm256_movemask_pd(_mm256_castsi256_pd(cont)))
+                    << (4 * half);
+    }
+  }
+  return r;
+}
+
+/// AVX-512 variant: all 8 lanes in one zmm register, lane masks as native
+/// kmasks; bit-level semantics identical to the AVX2 kernel.
+AMAC_TARGET_AVX512 inline VecGroupMasks VecGroupStepAvx512(
+    GroupNode** ptrs, const int64_t* keys, uint32_t active) {
+  VecGroupMasks r;
+  const __mmask8 lanes = static_cast<__mmask8>(active);
+  const __m512i ptrv = _mm512_loadu_si512(ptrs);
+  const __m512i keyv = _mm512_loadu_si512(keys);
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i k = _mm512_mask_i64gather_epi64(
+      zero, lanes, _mm512_add_epi64(ptrv, _mm512_set1_epi64(8)), nullptr, 1);
+  const __mmask8 m = _mm512_mask_cmpeq_epi64_mask(lanes, k, keyv);
+  const __mmask8 walk = static_cast<__mmask8>(lanes & ~m);
+  if (walk != 0) {
+    const __m512i nextv = _mm512_mask_i64gather_epi64(
+        zero, walk, _mm512_add_epi64(ptrv, _mm512_set1_epi64(56)), nullptr,
+        1);
+    const __mmask8 cont = _mm512_mask_cmpneq_epi64_mask(walk, nextv, zero);
+    _mm512_storeu_si512(ptrs, _mm512_mask_blend_epi64(cont, ptrv, nextv));
+    r.advanced = cont;
+  }
+  r.match = m;
+  return r;
+}
+
+}  // namespace simd_detail
+#endif  // AMAC_SIMD_X86
+
+/// Advance every active lane's latched chain walk by one node.
+/// `ptrs[lane]` / `keys[lane]` are the walk positions and group keys; all
+/// lanes in `active` must hold their bucket latch and probe a key that is
+/// not GroupNode::kEmptyGroupKey.  Advanced lanes have ptrs moved to their
+/// next node and prefetched; match lanes stay on the matched node (the
+/// caller accumulates there); lanes in neither mask sit at their chain end
+/// (the caller inserts there).
+inline VecGroupMasks VecGroupWalkStep(GroupNode** ptrs, const int64_t* keys,
+                                      uint32_t active) {
+#if AMAC_SIMD_X86
+  // Nearly-empty vectors drain cheaper through the scalar visit below.
+  const SimdLevel level = CurrentSimdLevel();
+  if (level >= SimdLevel::kAvx2 && __builtin_popcount(active) > 2) {
+    const VecGroupMasks r =
+        level >= SimdLevel::kAvx512
+            ? simd_detail::VecGroupStepAvx512(ptrs, keys, active)
+            : simd_detail::VecGroupStepAvx2(ptrs, keys, active);
+    uint32_t walking = r.advanced;
+    while (walking != 0) {
+      const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(walking));
+      walking &= walking - 1;
+      PrefetchWrite(ptrs[lane]);
+    }
+    return r;
+  }
+#endif
+  VecGroupMasks r;
+  uint32_t pending = active;
+  while (pending != 0) {
+    const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(pending));
+    pending &= pending - 1;
+    const GroupNode* node = ptrs[lane];
+    const uint32_t bit = 1u << lane;
+    if (node->used && node->key == keys[lane]) {
+      r.match |= bit;
+    } else if (node->used && node->next != nullptr) {
+      ptrs[lane] = node->next;
+      PrefetchWrite(node->next);
+      r.advanced |= bit;
+    }
+  }
+  return r;
+}
+
+}  // namespace amac

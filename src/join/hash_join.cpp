@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/parallel_driver.h"
 #include "join/join_ops.h"
+#include "plan/plan.h"
 
 namespace amac {
 
@@ -89,11 +90,16 @@ RunStats BuildParallel(Executor& exec, const Relation& r, uint32_t threads,
 }  // namespace
 
 RunStats BuildPhase(Executor& exec, const Relation& r,
-                    ChainedHashTable* table) {
+                    ChainedHashTable* table, PlanBuildMode mode) {
   const uint32_t threads = exec.num_threads();
   if (threads == 1) {
     return exec.Run(FromOp(r.size(), [&](uint32_t) {
       return BuildOp<false>(*table, r);
+    }));
+  }
+  if (mode == PlanBuildMode::kChained) {
+    return exec.Run(FromOp(r.size(), [&](uint32_t) {
+      return BuildOp<true>(*table, r);
     }));
   }
   return BuildParallel(exec, r, threads, table);
@@ -122,13 +128,16 @@ RunStats ProbePhase(Executor& exec, const ChainedHashTable& table,
 
 JoinResult RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
                        const JoinOptions& options) {
-  ChainedHashTable::Options table_options;
-  table_options.target_nodes_per_bucket = options.target_nodes_per_bucket;
-  table_options.hash_kind = options.hash_kind;
-  ChainedHashTable table(std::max<uint64_t>(1, r.size()), table_options);
+  // Legacy shape, expressed as a plan: fused, build on R, partitioned
+  // parallel build, ProbePhase's (rid, payload) accounting.  kMatches pins
+  // the enumeration to this single shape, so no optimizer measurement ever
+  // runs here and phase behavior is byte-for-byte the historic path.
+  PlanOptions popts;
+  popts.terminal = PlanTerminal::kMatches;
+  PlanResult res = RunPlan(exec, Plan::Scan(s).HashJoin(r, options), popts);
   JoinResult result;
-  result.build = BuildPhase(exec, r, &table);
-  result.probe = ProbePhase(exec, table, s, options.early_exit);
+  result.build = res.build;
+  result.probe = res.run;
   return result;
 }
 

@@ -55,13 +55,24 @@ struct JoinResult {
 };
 
 /// Build `table` from R under the executor's policy; returns the phase's
-/// RunStats.  The table must be empty and sized for R.  With a
-/// multi-threaded executor the build is partitioned by bucket range:
-/// tuples are scattered to the thread that owns their bucket, so insertion
-/// is race-free (no latches) and every bucket's chain is bit-identical to
-/// a 1-thread build's.
+/// RunStats.  The table must be empty and sized for R.  `mode` selects the
+/// parallel-build strategy (a plan-layer structural dimension):
+///
+///   * kPartitioned (and kAuto, the historic default) partitions by bucket
+///     range — tuples are scattered to the thread that owns their bucket,
+///     so insertion is race-free (no latches) and every bucket's chain is
+///     bit-identical to a 1-thread build's;
+///   * kChained inserts under the table's bucket latches, any thread any
+///     bucket.  Chain ORDER then depends on thread interleaving, but chain
+///     CONTENTS do not — probes over unique build keys (and any
+///     full-enumeration probe checksum) are order-independent, which is
+///     why the plan layer may offer it as an equivalent shape.
+///
+/// Single-threaded builds ignore `mode` (both degenerate to the
+/// sequential unlatched build).
 RunStats BuildPhase(Executor& exec, const Relation& r,
-                    ChainedHashTable* table);
+                    ChainedHashTable* table,
+                    PlanBuildMode mode = PlanBuildMode::kAuto);
 
 /// Probe `table` with S under the executor's policy; returns the phase's
 /// RunStats with outputs = matches and the order-independent match
@@ -71,7 +82,11 @@ RunStats BuildPhase(Executor& exec, const Relation& r,
 RunStats ProbePhase(Executor& exec, const ChainedHashTable& table,
                     const Relation& s, bool early_exit);
 
-/// Convenience: build + probe with checksum sink on one executor.
+/// Convenience: build + probe with checksum sink on one executor.  Now a
+/// thin adapter over the plan layer — Plan::Scan(s).HashJoin(r) executed
+/// with the legacy shape pinned (fused, build on R, kMatches accounting) —
+/// so the historic perf/counter behavior is exactly preserved while every
+/// call site sits above plan/plan.h.
 JoinResult RunHashJoin(Executor& exec, const Relation& r, const Relation& s,
                        const JoinOptions& options = {});
 

@@ -1,0 +1,943 @@
+// Plan compilation, cost-driven shape selection, and execution.
+//
+// Layering: this file compiles logical plans down onto the EXISTING
+// physical layer — Pipeline/FusedOp for fused chains, BuildPhase /
+// ProbePhase (join/hash_join.h) for plan-built tables and the legacy
+// match accounting, RunGroupBy (groupby/groupby.h) for aggregation phases
+// (which keeps the fig09 sequential baseline anchor and the vectorized
+// GroupByOp path engaged underneath plans).  hash_join.cpp's RunHashJoin
+// conversely adapts onto RunPlan, so the dependency points one way:
+// plan.cpp -> drivers -> ops.
+//
+// Type-erasure keeps the template surface bounded: all filters/maps of a
+// plan collapse into ONE DynScanSource (folded into the scan, zero extra
+// stages) or ONE DynRowStage (post-join), whatever their count, so the
+// enumerable pipeline shapes stay a fixed, small set of FusedOp
+// instantiations.
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adaptive/calibrator.h"
+#include "adaptive/signature.h"
+#include "btree/btree_ops.h"
+#include "common/cycle_timer.h"
+#include "common/macros.h"
+#include "common/prefetch.h"
+#include "core/ops.h"
+#include "graph/graph_ops.h"
+#include "groupby/groupby.h"
+#include "groupby/groupby_ops.h"
+#include "join/join_ops.h"
+#include "join/sink.h"
+#include "skiplist/skiplist_ops.h"
+
+namespace amac {
+
+const char* PlanNodeKindName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kScan: return "scan";
+    case PlanNodeKind::kWalks: return "walks";
+    case PlanNodeKind::kCustom: return "custom";
+    case PlanNodeKind::kFilter: return "filter";
+    case PlanNodeKind::kMap: return "map";
+    case PlanNodeKind::kHashJoin: return "hash-join";
+    case PlanNodeKind::kLookup: return "lookup";
+    case PlanNodeKind::kLookupBTree: return "btree";
+    case PlanNodeKind::kLookupBst: return "bst";
+    case PlanNodeKind::kLookupSkip: return "skiplist";
+    case PlanNodeKind::kGroupBy: return "group-by";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Plan builders
+// ---------------------------------------------------------------------------
+
+Plan Plan::Scan(const Relation& rel) {
+  Plan plan;
+  PlanNode node;
+  node.kind = PlanNodeKind::kScan;
+  node.rel = &rel;
+  plan.nodes_.push_back(std::move(node));
+  return plan;
+}
+
+Plan Plan::Walks(const CsrGraph& graph, uint64_t num_walkers, uint32_t hops,
+                 uint64_t seed) {
+  Plan plan;
+  PlanNode node;
+  node.kind = PlanNodeKind::kWalks;
+  node.graph = &graph;
+  node.walkers = num_walkers;
+  node.hops = hops;
+  node.seed = seed;
+  plan.nodes_.push_back(std::move(node));
+  return plan;
+}
+
+Plan Plan::Append(PlanNode node) const {
+  AMAC_CHECK_MSG(!nodes_.empty(), "plan: add a source first");
+  AMAC_CHECK_MSG(!is_custom(), "plan: custom-op plans take no stages");
+  AMAC_CHECK_MSG(nodes_.back().kind != PlanNodeKind::kGroupBy,
+                 "plan: GroupBy is terminal");
+  Plan out = *this;
+  out.nodes_.push_back(std::move(node));
+  return out;
+}
+
+Plan Plan::Filter(std::function<bool(const Tuple&)> pred) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kFilter;
+  node.pred = std::move(pred);
+  return Append(std::move(node));
+}
+
+Plan Plan::Map(std::function<Tuple(const Tuple&)> fn) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kMap;
+  node.map = std::move(fn);
+  return Append(std::move(node));
+}
+
+Plan Plan::HashJoin(const Relation& rel, const JoinOptions& options) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kHashJoin;
+  node.rel = &rel;
+  node.join = options;
+  return Append(std::move(node));
+}
+
+Plan Plan::Lookup(const ChainedHashTable& table, bool early_exit) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kLookup;
+  node.table = &table;
+  node.early_exit = early_exit;
+  return Append(std::move(node));
+}
+
+Plan Plan::LookupBTree(const BTree& tree) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kLookupBTree;
+  node.btree = &tree;
+  return Append(std::move(node));
+}
+
+Plan Plan::LookupBst(const BinarySearchTree& tree) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kLookupBst;
+  node.bst = &tree;
+  return Append(std::move(node));
+}
+
+Plan Plan::LookupSkipList(const SkipList& list) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kLookupSkip;
+  node.skiplist = &list;
+  return Append(std::move(node));
+}
+
+Plan Plan::GroupBy(uint64_t expected_groups,
+                   AggregateTable::Options options) const {
+  PlanNode node;
+  node.kind = PlanNodeKind::kGroupBy;
+  node.expected_groups = expected_groups;
+  node.group_options = options;
+  return Append(std::move(node));
+}
+
+Plan Plan::GroupByInto(AggregateTable* table) const {
+  AMAC_CHECK(table != nullptr);
+  PlanNode node;
+  node.kind = PlanNodeKind::kGroupBy;
+  node.group_into = table;
+  return Append(std::move(node));
+}
+
+std::string PhysicalShape::Name() const {
+  std::string name = PlanShapeName(pipeline);
+  name += '/';
+  name += PlanBuildSideName(build_side);
+  name += '/';
+  name += PlanBuildModeName(build_mode);
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Plan analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The supported grammar, extracted and validated:
+///   (scan | walks) [filter|map]* [hash-join | lookup | index]?
+///                  [filter|map]* [group-by]?
+/// Joins and index lookups require a scan source; walks chains carry
+/// filters/maps and an optional terminal group-by.
+struct Profile {
+  const PlanNode* source = nullptr;
+  std::vector<const PlanNode*> pre;   ///< fns before the join/index
+  const PlanNode* join = nullptr;     ///< kHashJoin or kLookup
+  const PlanNode* index = nullptr;    ///< kLookupBTree/Bst/Skip
+  std::vector<const PlanNode*> post;  ///< fns after the join/index
+  const PlanNode* groupby = nullptr;
+
+  bool lean() const { return pre.empty() && post.empty(); }
+  /// The join declared unique build keys (early-exit) — the precondition
+  /// for result-identical structural alternatives.
+  bool unique_build() const {
+    if (join == nullptr) return false;
+    return join->kind == PlanNodeKind::kHashJoin ? join->join.early_exit
+                                                 : join->early_exit;
+  }
+};
+
+Profile Analyze(const Plan& plan) {
+  AMAC_CHECK_MSG(!plan.nodes().empty(), "plan: empty");
+  AMAC_CHECK(!plan.is_custom());
+  Profile p;
+  for (const PlanNode& node : plan.nodes()) {
+    AMAC_CHECK_MSG(p.groupby == nullptr, "plan: GroupBy is terminal");
+    switch (node.kind) {
+      case PlanNodeKind::kScan:
+      case PlanNodeKind::kWalks:
+        AMAC_CHECK_MSG(p.source == nullptr, "plan: one source only");
+        p.source = &node;
+        break;
+      case PlanNodeKind::kFilter:
+      case PlanNodeKind::kMap:
+        AMAC_CHECK_MSG(p.source != nullptr, "plan: add a source first");
+        (p.join != nullptr || p.index != nullptr ? p.post : p.pre)
+            .push_back(&node);
+        break;
+      case PlanNodeKind::kHashJoin:
+      case PlanNodeKind::kLookup:
+        AMAC_CHECK_MSG(
+            p.source != nullptr && p.source->kind == PlanNodeKind::kScan,
+            "plan: joins need a Scan source");
+        AMAC_CHECK_MSG(p.join == nullptr && p.index == nullptr,
+                       "plan: one join/lookup per plan");
+        p.join = &node;
+        break;
+      case PlanNodeKind::kLookupBTree:
+      case PlanNodeKind::kLookupBst:
+      case PlanNodeKind::kLookupSkip:
+        AMAC_CHECK_MSG(
+            p.source != nullptr && p.source->kind == PlanNodeKind::kScan,
+            "plan: index lookups need a Scan source");
+        AMAC_CHECK_MSG(p.join == nullptr && p.index == nullptr,
+                       "plan: one join/lookup per plan");
+        p.index = &node;
+        break;
+      case PlanNodeKind::kGroupBy:
+        AMAC_CHECK_MSG(p.source != nullptr, "plan: add a source first");
+        p.groupby = &node;
+        break;
+      case PlanNodeKind::kCustom:
+        AMAC_CHECK_MSG(false, "plan: custom nodes cannot chain");
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased row functions: the instantiation bound
+// ---------------------------------------------------------------------------
+
+/// In-place row transform: mutate `row`, return false to drop it.  One
+/// vector of these represents ANY number of logical Filter/Map nodes.
+using RowFn = std::function<bool(Tuple&)>;
+
+std::vector<RowFn> CollectFns(const std::vector<const PlanNode*>& nodes) {
+  std::vector<RowFn> fns;
+  fns.reserve(nodes.size());
+  for (const PlanNode* node : nodes) {
+    if (node->kind == PlanNodeKind::kFilter) {
+      auto pred = node->pred;
+      fns.push_back([pred](Tuple& row) { return pred(row); });
+    } else {
+      auto map = node->map;
+      fns.push_back([map](Tuple& row) {
+        row = map(row);
+        return true;
+      });
+    }
+  }
+  return fns;
+}
+
+/// Re-canonicalizes a flipped-build-side probe emission: the probe carries
+/// (input payload, join-rel payload) when the table is built on the input,
+/// so swapping restores the canonical (join-rel payload, input payload)
+/// row every other shape emits.
+RowFn SwapFn() {
+  return [](Tuple& row) {
+    row = Tuple{row.payload, row.key};
+    return true;
+  };
+}
+
+/// ScanSource with the plan's pre-join filters/maps folded into the scan
+/// step itself — surviving rows cost no extra pipeline stage, and one
+/// source type covers any fn count (see the header comment on bounding
+/// instantiations).  With no fns this is ScanSource exactly (same
+/// prefetch, same one-step emission).
+class DynScanSource {
+ public:
+  struct State {
+    uint64_t idx;
+  };
+
+  DynScanSource(const Relation& rel, std::vector<RowFn> fns)
+      : rel_(&rel), fns_(std::move(fns)) {}
+
+  uint64_t size() const { return rel_->size(); }
+
+  void Start(State& st, uint64_t idx) {
+    st.idx = idx;
+    Prefetch(rel_->data() + idx);
+  }
+
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
+    Tuple row = (*rel_)[st.idx];
+    for (const RowFn& fn : fns_) {
+      if (!fn(row)) return StepStatus::kDone;
+    }
+    emit(row);
+    return StepStatus::kDone;
+  }
+
+ private:
+  const Relation* rel_;
+  std::vector<RowFn> fns_;
+};
+
+/// One pipeline stage applying a chain of RowFns to each row (post-join
+/// filters/maps, and the flipped-build-side swap).
+class DynRowStage {
+ public:
+  struct State {
+    Tuple row;
+  };
+
+  explicit DynRowStage(std::vector<RowFn> fns) : fns_(std::move(fns)) {}
+
+  void Start(State& st, const Tuple& in) { st.row = in; }
+
+  template <typename Emit>
+  StepStatus Step(State& st, Emit&& emit) {
+    Tuple row = st.row;
+    for (const RowFn& fn : fns_) {
+      if (!fn(row)) return StepStatus::kDone;
+    }
+    emit(row);
+    return StepStatus::kDone;
+  }
+
+ private:
+  std::vector<RowFn> fns_;
+};
+
+// ---------------------------------------------------------------------------
+// Shape execution
+// ---------------------------------------------------------------------------
+
+RunStats FillGroupStats(RunStats run, const AggregateTable& table) {
+  run.outputs = table.CountGroups();
+  run.checksum = table.Checksum();
+  return run;
+}
+
+template <typename PipelineT>
+RunStats RunMaybeAgg(Executor& exec, const PipelineT& pipeline,
+                     AggregateTable* groups) {
+  if (groups != nullptr) {
+    return FillGroupStats(exec.Run(pipeline.Then(Aggregate<true>(*groups))),
+                          *groups);
+  }
+  return exec.Run(pipeline);
+}
+
+template <typename PipelineT>
+RunStats RunTail(Executor& exec, const PipelineT& pipeline,
+                 const std::vector<RowFn>& fns, AggregateTable* groups) {
+  if (!fns.empty()) {
+    return RunMaybeAgg(exec, pipeline.Then(DynRowStage(fns)), groups);
+  }
+  return RunMaybeAgg(exec, pipeline, groups);
+}
+
+/// Execute the fused form of a shape.  `probe` is the scanned relation for
+/// join-rel shapes (or a measurement prefix of it), the JOIN relation for
+/// flipped build sides, and unused for walks plans.
+RunStats RunFused(Executor& exec, const Profile& p,
+                  const PhysicalShape& shape, const Relation* probe,
+                  const ChainedHashTable* table, AggregateTable* groups) {
+  std::vector<RowFn> pre = CollectFns(p.pre);
+  std::vector<RowFn> post = CollectFns(p.post);
+  if (p.source->kind == PlanNodeKind::kWalks) {
+    const PlanNode& w = *p.source;
+    return RunTail(exec, Walks(*w.graph, w.walkers, w.hops, w.seed), pre,
+                   groups);
+  }
+  AMAC_DCHECK(probe != nullptr);
+  if (p.join != nullptr) {
+    bool early = p.unique_build();
+    if (shape.build_side == PlanBuildSide::kInput) {
+      // Probing the non-unique scanned side: every match must be
+      // enumerated to reproduce the join-rel side's pair set, and the
+      // emission order of (payloads) is swapped back to canonical.
+      AMAC_DCHECK(pre.empty());
+      post.insert(post.begin(), SwapFn());
+      early = false;
+    } else if (p.join->kind == PlanNodeKind::kHashJoin) {
+      early = p.join->join.early_exit;
+    } else {
+      early = p.join->early_exit;
+    }
+    auto base = From(DynScanSource(*probe, std::move(pre)));
+    if (early) {
+      return RunTail(exec, base.Then(Probe<true>(*table)), post, groups);
+    }
+    return RunTail(exec, base.Then(Probe<false>(*table)), post, groups);
+  }
+  if (p.index != nullptr) {
+    auto base = From(DynScanSource(*probe, std::move(pre)));
+    switch (p.index->kind) {
+      case PlanNodeKind::kLookupBTree:
+        return RunTail(exec, base.Then(LookupBTree(*p.index->btree)), post,
+                       groups);
+      case PlanNodeKind::kLookupBst:
+        return RunTail(exec, base.Then(LookupBst(*p.index->bst)), post,
+                       groups);
+      default:
+        return RunTail(exec, base.Then(LookupSkipList(*p.index->skiplist)),
+                       post, groups);
+    }
+  }
+  if (groups != nullptr && pre.empty()) {
+    // Pure scan -> group-by: drive the group-by driver directly, keeping
+    // the fig09 sequential baseline anchor and the vectorized GroupByOp
+    // path underneath plans.
+    return RunGroupBy(exec, *probe, groups);
+  }
+  return RunTail(exec, From(DynScanSource(*probe, std::move(pre))), {},
+                 groups);
+}
+
+/// Execute the two-phase form: probe-materialize (MaterializeSink per
+/// slot), rebuild the canonical intermediate relation, then a separate
+/// group-by phase — fig12's materialized plan, per shape.  Returns the
+/// phases merged into one RunStats (inputs = probe rows, outputs/checksum
+/// = the aggregation's).
+RunStats RunTwoPhase(Executor& exec, const Profile& p, const Relation& probe,
+                     const ChainedHashTable& table, AggregateTable* groups) {
+  const uint32_t slots = exec.num_threads();
+  // Early-exit probe (two-phase is only enumerated for unique build keys):
+  // at most one emission per probe tuple bounds each slot's sink.
+  std::vector<MaterializeSink> sinks;
+  sinks.reserve(slots);
+  for (uint32_t t = 0; t < slots; ++t) sinks.emplace_back(probe.size());
+  RunStats phase1 = exec.Run(FromOp(probe.size(), [&](uint32_t tid) {
+    return ProbeOp<true, MaterializeSink>(table, probe, sinks[tid]);
+  }));
+  CycleTimer mid_cycles;
+  WallTimer mid_wall;
+  uint64_t total = 0;
+  for (const MaterializeSink& sink : sinks) total += sink.size();
+  Relation mid(total);
+  uint64_t at = 0;
+  for (const MaterializeSink& sink : sinks) {
+    for (uint64_t i = 0; i < sink.size(); ++i) {
+      const Tuple& row = sink.data()[i];
+      mid[at++] = Tuple{row.payload,
+                        probe[static_cast<uint64_t>(row.key)].payload};
+    }
+  }
+  const uint64_t mid_elapsed = mid_cycles.Elapsed();
+  const double mid_seconds = mid_wall.ElapsedSeconds();
+  RunStats phase2 = RunGroupBy(exec, mid, groups);
+  RunStats run = phase1;
+  run.engine.Merge(phase2.engine);
+  run.morsels += phase2.morsels;
+  run.cycles += mid_elapsed + phase2.cycles;
+  run.seconds += mid_seconds + phase2.seconds;
+  run.dispatch_seconds += mid_seconds + phase2.dispatch_seconds;
+  run.inputs = probe.size();
+  run.outputs = phase2.outputs;
+  run.checksum = phase2.checksum;
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+/// Rows entering the probe/scan phase of a shape (the cost model's n).
+uint64_t ProbeInputs(const Profile& p, const PhysicalShape& shape) {
+  if (p.source->kind == PlanNodeKind::kWalks) return p.source->walkers;
+  if (shape.build_side == PlanBuildSide::kInput) return p.join->rel->size();
+  return p.source->rel->size();
+}
+
+const Relation& FullProbe(const Profile& p, const PhysicalShape& shape) {
+  return shape.build_side == PlanBuildSide::kInput ? *p.join->rel
+                                                   : *p.source->rel;
+}
+
+/// Calibration key of one (plan, shape) pair: the node-kind chain, the
+/// shape name, and the build side's cardinality bucket, bucketed by the
+/// probe cardinality like every other signature.  Distinct from op-type
+/// signatures by construction (the "plan:" prefix), so plan priors and
+/// governor priors never collide.
+WorkloadSignature ShapeSignature(const Plan& plan, const Profile& p,
+                                 const PhysicalShape& shape) {
+  std::string name = "plan:";
+  for (const PlanNode& node : plan.nodes()) {
+    name += PlanNodeKindName(node.kind);
+    name += ',';
+  }
+  name += shape.Name();
+  if (p.join != nullptr && p.join->kind == PlanNodeKind::kHashJoin) {
+    name += ":b";
+    name += std::to_string(
+        WorkloadSignature::CardinalityBucket(p.join->rel->size()));
+  }
+  return WorkloadSignature::Make(name, ProbeInputs(p, shape),
+                                 static_cast<uint32_t>(sizeof(Tuple)));
+}
+
+/// Record a plan-shape prior: total cycles over n probe rows, stored as
+/// cycles-per-input under the shape signature (current epoch).
+void StorePrior(Calibrator& calibrator, const WorkloadSignature& sig,
+                double total_cycles, uint64_t n) {
+  if (n == 0) return;
+  CalibrationResult result;
+  result.winner_cycles_per_input = total_cycles / static_cast<double>(n);
+  result.survivors = {result.winner};
+  calibrator.Store(sig, result);
+}
+
+/// A plan-built hash table for one (build side, build mode) pair, shared
+/// by every candidate shape that needs it (and by the final run when the
+/// winner was measured).
+struct ShapeBuild {
+  std::shared_ptr<ChainedHashTable> table;
+  RunStats build;
+};
+
+using BuildKey = std::pair<int, int>;  ///< (build_side, build_mode)
+
+BuildKey KeyOf(const PhysicalShape& shape) {
+  return {static_cast<int>(shape.build_side),
+          static_cast<int>(shape.build_mode)};
+}
+
+std::shared_ptr<ChainedHashTable> MakeTable(const Profile& p,
+                                            const Relation& build_rel) {
+  ChainedHashTable::Options options;
+  options.target_nodes_per_bucket = p.join->join.target_nodes_per_bucket;
+  options.hash_kind = p.join->join.hash_kind;
+  return std::make_shared<ChainedHashTable>(
+      std::max<uint64_t>(1, build_rel.size()), options);
+}
+
+ShapeBuild& EnsureBuilt(Executor& exec, const Profile& p,
+                        const PhysicalShape& shape,
+                        std::map<BuildKey, ShapeBuild>* built) {
+  auto [it, inserted] = built->try_emplace(KeyOf(shape));
+  if (inserted && p.join->kind == PlanNodeKind::kHashJoin) {
+    const Relation& build_rel = shape.build_side == PlanBuildSide::kInput
+                                    ? *p.source->rel
+                                    : *p.join->rel;
+    it->second.table = MakeTable(p, build_rel);
+    it->second.build =
+        BuildPhase(exec, build_rel, it->second.table.get(), shape.build_mode);
+  }
+  return it->second;
+}
+
+const ChainedHashTable* TableOf(const Profile& p, const ShapeBuild& sb) {
+  return p.join->kind == PlanNodeKind::kLookup ? p.join->table
+                                               : sb.table.get();
+}
+
+AggregateTable::Options ScratchGroupOptions(const Profile& p) {
+  if (p.groupby->group_into != nullptr) {
+    AggregateTable::Options options;
+    options.hash_kind = p.groupby->group_into->hash_kind();
+    return options;
+  }
+  return p.groupby->group_options;
+}
+
+/// The measure fallback: build each needed table once at full size,
+/// execute every candidate over a probe prefix into scratch aggregation
+/// state, and extrapolate total cost = build + probe_cpi * n.  Estimates
+/// are stored as priors for every candidate (so the NEXT run of this plan
+/// chooses from priors); the measurement runs themselves are discarded —
+/// only the winner's full table is reused by the final run.
+size_t MeasureCandidates(Executor& exec, const Plan& plan, const Profile& p,
+                         const PlanOptions& options,
+                         const std::vector<PhysicalShape>& shapes,
+                         std::map<BuildKey, ShapeBuild>* built,
+                         double* chosen_cost) {
+  Calibrator& calibrator = exec.calibrator();
+  size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::map<int, Relation> prefixes;  ///< by build side
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const PhysicalShape& shape = shapes[i];
+    const Relation& full = FullProbe(p, shape);
+    const uint64_t n = full.size();
+    const uint64_t prefix_n =
+        options.measure_prefix > 0
+            ? std::min(n, options.measure_prefix)
+            : std::min(n, std::max<uint64_t>(4096, n / 16));
+    ShapeBuild& sb = EnsureBuilt(exec, p, shape, built);
+    double cost = static_cast<double>(sb.build.cycles);
+    if (prefix_n > 0) {
+      auto [pit, fresh] =
+          prefixes.try_emplace(static_cast<int>(shape.build_side));
+      if (fresh) {
+        Relation prefix(prefix_n);
+        for (uint64_t j = 0; j < prefix_n; ++j) prefix[j] = full[j];
+        pit->second = std::move(prefix);
+      }
+      const Relation& prefix = pit->second;
+      std::optional<AggregateTable> scratch;
+      AggregateTable* groups = nullptr;
+      if (p.groupby != nullptr) {
+        // Groups are bounded by the prefix rows plus (for non-unique
+        // joins) the distinct join-rel payloads.
+        uint64_t expected = prefix_n;
+        if (p.join != nullptr &&
+            p.join->kind == PlanNodeKind::kHashJoin) {
+          expected += p.join->rel->size();
+        }
+        scratch.emplace(std::max<uint64_t>(1, expected),
+                        ScratchGroupOptions(p));
+        groups = &*scratch;
+      }
+      const RunStats m =
+          shape.pipeline == PlanShape::kTwoPhase
+              ? RunTwoPhase(exec, p, prefix, *TableOf(p, sb), groups)
+              : RunFused(exec, p, shape, &prefix, TableOf(p, sb), groups);
+      cost += static_cast<double>(m.cycles) /
+              static_cast<double>(prefix_n) * static_cast<double>(n);
+    }
+    StorePrior(calibrator, ShapeSignature(plan, p, shape), cost, n);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  *chosen_cost = best_cost;
+  return best;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shape enumeration
+// ---------------------------------------------------------------------------
+
+std::vector<PhysicalShape> PlanCompiler::Enumerate(const Plan& plan,
+                                                   const PlanOptions& options,
+                                                   uint32_t num_threads) {
+  if (plan.is_custom()) return {PhysicalShape{}};
+  const Profile p = Analyze(plan);
+  if (options.terminal == PlanTerminal::kMatches) {
+    // Legacy (rid, payload) accounting is probe-order-specific: exactly
+    // the historic shape, nothing to optimize.
+    AMAC_CHECK_MSG(p.join != nullptr && p.lean() && p.groupby == nullptr,
+                   "plan: kMatches needs a lean scan->join plan");
+    AMAC_CHECK(options.shape != PlanShape::kTwoPhase);
+    AMAC_CHECK(options.build_side != PlanBuildSide::kInput);
+    PhysicalShape shape;
+    shape.build_mode = options.build_mode;
+    return {shape};
+  }
+  const bool plan_built =
+      p.join != nullptr && p.join->kind == PlanNodeKind::kHashJoin;
+  std::vector<PlanBuildMode> modes{PlanBuildMode::kAuto};
+  if (plan_built) {
+    modes = num_threads > 1 ? std::vector<PlanBuildMode>{
+                                  PlanBuildMode::kPartitioned,
+                                  PlanBuildMode::kChained}
+                            : std::vector<PlanBuildMode>{
+                                  PlanBuildMode::kChained};
+  }
+  // Two-phase stays on the join-rel build side: its early-exit
+  // materialization bound (one emission per probe row) is what keeps the
+  // intermediate no larger than the probe input.
+  const bool two_phase =
+      p.join != nullptr && p.groupby != nullptr && p.lean() &&
+      p.unique_build();
+  const bool flip = plan_built && p.lean() && p.unique_build();
+  std::vector<PhysicalShape> shapes;
+  for (PlanBuildMode mode : modes) {
+    shapes.push_back({PlanShape::kFused, PlanBuildSide::kJoinRel, mode});
+  }
+  if (two_phase) {
+    for (PlanBuildMode mode : modes) {
+      shapes.push_back(
+          {PlanShape::kTwoPhase, PlanBuildSide::kJoinRel, mode});
+    }
+  }
+  if (flip) {
+    for (PlanBuildMode mode : modes) {
+      shapes.push_back({PlanShape::kFused, PlanBuildSide::kInput, mode});
+    }
+  }
+  // Apply pins.
+  std::vector<PhysicalShape> pinned;
+  for (const PhysicalShape& shape : shapes) {
+    if (options.shape != PlanShape::kAuto &&
+        shape.pipeline != options.shape) {
+      continue;
+    }
+    if (options.build_side != PlanBuildSide::kAuto &&
+        shape.build_side != options.build_side) {
+      continue;
+    }
+    if (options.build_mode != PlanBuildMode::kAuto &&
+        shape.build_mode != options.build_mode) {
+      continue;
+    }
+    pinned.push_back(shape);
+  }
+  AMAC_CHECK_MSG(!pinned.empty(), "plan: pinned shape not applicable");
+  return pinned;
+}
+
+// ---------------------------------------------------------------------------
+// RunPlan
+// ---------------------------------------------------------------------------
+
+PlanResult RunPlan(Executor& exec, const Plan& plan,
+                   const PlanOptions& options) {
+  PlanResult result;
+  if (plan.is_custom()) {
+    result.run = plan.run_custom()(exec);
+    result.run.plan.active = true;
+    result.run.plan.shape = PlanShape::kFused;
+    result.run.plan.candidates_considered = 1;
+    result.run.plan.measured_cost_cycles =
+        static_cast<double>(result.run.cycles);
+    return result;
+  }
+  const Profile p = Analyze(plan);
+  const std::vector<PhysicalShape> shapes =
+      PlanCompiler::Enumerate(plan, options, exec.num_threads());
+  PlanStats pstats;
+  pstats.active = true;
+  pstats.candidates_considered = static_cast<uint32_t>(shapes.size());
+
+  size_t chosen = 0;
+  double estimated = 0;
+  std::map<BuildKey, ShapeBuild> built;
+  if (shapes.size() > 1) {
+    Calibrator& calibrator = exec.calibrator();
+    double best_cost = std::numeric_limits<double>::infinity();
+    bool all_priors = true;
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      const uint64_t n = ProbeInputs(p, shapes[i]);
+      const double cpi = calibrator.PeekCyclesPerInput(
+          ShapeSignature(plan, p, shapes[i]), n);
+      if (cpi <= 0) {
+        all_priors = false;
+        break;
+      }
+      const double cost = cpi * static_cast<double>(n);
+      if (cost < best_cost) {
+        best_cost = cost;
+        chosen = i;
+      }
+    }
+    if (all_priors) {
+      pstats.from_priors = true;
+      estimated = best_cost;
+    } else if (options.allow_measure) {
+      chosen = MeasureCandidates(exec, plan, p, options, shapes, &built,
+                                 &estimated);
+    } else {
+      chosen = 0;
+      estimated = 0;
+    }
+  }
+  const PhysicalShape shape = shapes[chosen];
+  pstats.shape = shape.pipeline;
+  pstats.build_side = shape.build_side;
+  pstats.build_mode = shape.build_mode;
+  pstats.estimated_cost_cycles = estimated;
+
+  AggregateTable* groups = nullptr;
+  if (p.groupby != nullptr) {
+    if (p.groupby->group_into != nullptr) {
+      groups = p.groupby->group_into;
+    } else {
+      result.groups = std::make_shared<AggregateTable>(
+          std::max<uint64_t>(1, p.groupby->expected_groups),
+          p.groupby->group_options);
+      groups = result.groups.get();
+    }
+  }
+  const ChainedHashTable* table = nullptr;
+  if (p.join != nullptr) {
+    if (p.join->kind == PlanNodeKind::kLookup) {
+      table = p.join->table;
+    } else {
+      auto it = built.find(KeyOf(shape));
+      if (it != built.end()) {
+        result.table = it->second.table;
+        result.build = it->second.build;
+      } else {
+        const Relation& build_rel =
+            shape.build_side == PlanBuildSide::kInput ? *p.source->rel
+                                                      : *p.join->rel;
+        result.table = MakeTable(p, build_rel);
+        result.build =
+            BuildPhase(exec, build_rel, result.table.get(), shape.build_mode);
+      }
+      table = result.table.get();
+    }
+  }
+
+  if (options.terminal == PlanTerminal::kMatches) {
+    result.run = ProbePhase(exec, *table, *p.source->rel, p.unique_build());
+  } else if (shape.pipeline == PlanShape::kTwoPhase) {
+    result.run = RunTwoPhase(exec, p, *p.source->rel, *table, groups);
+  } else {
+    const Relation* probe =
+        p.source->kind == PlanNodeKind::kWalks ? nullptr
+        : shape.build_side == PlanBuildSide::kInput ? p.join->rel
+                                                    : p.source->rel;
+    result.run = RunFused(exec, p, shape, probe, table, groups);
+  }
+  pstats.measured_cost_cycles =
+      static_cast<double>(result.build.cycles + result.run.cycles);
+  // Refresh the chosen shape's prior with the full-run cost, so steady
+  // state tracks reality rather than the first extrapolation forever.
+  if (shapes.size() > 1) {
+    StorePrior(exec.calibrator(), ShapeSignature(plan, p, shape),
+               pstats.measured_cost_cycles, ProbeInputs(p, shape));
+  }
+  result.run.plan = pstats;
+  return result;
+}
+
+RunStats Executor::Run(const Plan& plan) { return RunPlan(*this, plan).run; }
+
+// ---------------------------------------------------------------------------
+// Scheduler submission
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename PipelineT>
+QueryTicket SubmitCompiled(QueryScheduler& scheduler,
+                           const PipelineT& pipeline,
+                           const QueryOptions& options,
+                           AggregateTable* group_into) {
+  auto sinks =
+      std::make_shared<std::vector<RowSink>>(scheduler.SlotCount(options));
+  return scheduler.SubmitOp(
+      pipeline.size(),
+      [sinks, pipeline](uint32_t slot) {
+        return pipeline.Compile((*sinks)[slot]);
+      },
+      options, [sinks, group_into](RunStats* run) {
+        if (group_into != nullptr) {
+          run->outputs = group_into->CountGroups();
+          run->checksum = group_into->Checksum();
+        } else {
+          RowSink total;
+          for (const RowSink& sink : *sinks) total.Merge(sink);
+          run->outputs = total.rows();
+          run->checksum = total.checksum();
+        }
+        run->plan.active = true;
+        run->plan.shape = PlanShape::kFused;
+        run->plan.candidates_considered = 1;
+      });
+}
+
+template <typename PipelineT>
+QueryTicket SubmitTail(QueryScheduler& scheduler, const PipelineT& pipeline,
+                       const std::vector<RowFn>& fns,
+                       const QueryOptions& options,
+                       AggregateTable* group_into) {
+  if (group_into != nullptr) {
+    if (!fns.empty()) {
+      return SubmitCompiled(
+          scheduler,
+          pipeline.Then(DynRowStage(fns)).Then(Aggregate<true>(*group_into)),
+          options, group_into);
+    }
+    return SubmitCompiled(scheduler,
+                          pipeline.Then(Aggregate<true>(*group_into)),
+                          options, group_into);
+  }
+  if (!fns.empty()) {
+    return SubmitCompiled(scheduler, pipeline.Then(DynRowStage(fns)),
+                          options, nullptr);
+  }
+  return SubmitCompiled(scheduler, pipeline, options, nullptr);
+}
+
+}  // namespace
+
+QueryTicket Submit(QueryScheduler& scheduler, const Plan& plan,
+                   const QueryOptions& options) {
+  if (plan.is_custom()) return plan.submit_custom()(scheduler, options);
+  const Profile p = Analyze(plan);
+  AMAC_CHECK_MSG(p.join == nullptr || p.join->kind == PlanNodeKind::kLookup,
+                 "Submit(Plan): hash-join plans build state; use RunPlan");
+  AMAC_CHECK_MSG(p.groupby == nullptr || p.groupby->group_into != nullptr,
+                 "Submit(Plan): scheduler group-bys aggregate into a "
+                 "caller-owned table (GroupByInto)");
+  AggregateTable* groups =
+      p.groupby != nullptr ? p.groupby->group_into : nullptr;
+  std::vector<RowFn> pre = CollectFns(p.pre);
+  std::vector<RowFn> post = CollectFns(p.post);
+  if (p.source->kind == PlanNodeKind::kWalks) {
+    const PlanNode& w = *p.source;
+    return SubmitTail(scheduler, Walks(*w.graph, w.walkers, w.hops, w.seed),
+                      pre, options, groups);
+  }
+  auto base = From(DynScanSource(*p.source->rel, std::move(pre)));
+  if (p.join != nullptr) {
+    if (p.join->early_exit) {
+      return SubmitTail(scheduler, base.Then(Probe<true>(*p.join->table)),
+                        post, options, groups);
+    }
+    return SubmitTail(scheduler, base.Then(Probe<false>(*p.join->table)),
+                      post, options, groups);
+  }
+  if (p.index != nullptr) {
+    switch (p.index->kind) {
+      case PlanNodeKind::kLookupBTree:
+        return SubmitTail(scheduler, base.Then(LookupBTree(*p.index->btree)),
+                          post, options, groups);
+      case PlanNodeKind::kLookupBst:
+        return SubmitTail(scheduler, base.Then(LookupBst(*p.index->bst)),
+                          post, options, groups);
+      default:
+        return SubmitTail(scheduler,
+                          base.Then(LookupSkipList(*p.index->skiplist)),
+                          post, options, groups);
+    }
+  }
+  return SubmitTail(scheduler, base, post, options, groups);
+}
+
+}  // namespace amac

@@ -194,11 +194,14 @@ void QueryScheduler::MaybeDegradeLocked(detail::QueryState& state) {
 }
 
 uint64_t QueryScheduler::DeadlineCappedMorsel(
-    uint64_t derived, const WorkloadSignature& sig,
+    uint64_t derived, const WorkloadSignature& sig, uint64_t num_inputs,
     const QueryOptions& options) const {
   const double fraction = options_.deadline_morsel_fraction;
   if (fraction <= 0 || options.deadline_seconds <= 0) return derived;
-  const double cpi = calibrator_.PeekCyclesPerInput(sig);
+  // Validate the prior against the relation actually submitted: a pinned
+  // signature reused across relation sizes must not size morsels off a
+  // calibration taken at a different cardinality.
+  const double cpi = calibrator_.PeekCyclesPerInput(sig, num_inputs);
   if (cpi <= 0) return derived;  // not calibrated yet: keep the default
   static const double tsc_hz = EstimateTscHz();
   const double budget_inputs =

@@ -355,7 +355,7 @@ class QueryScheduler {
     if (options.policy == ExecPolicy::kAdaptive) {
       governor = std::make_shared<QueryGovernor>(
           options.adaptive, &calibrator_, signature,
-          options.params.stages);
+          options.params.stages, num_inputs);
       morsel_size = options.morsel_size > 0
                         ? options.morsel_size
                         : AdaptiveMorselSize(num_inputs, state->slots,
@@ -365,7 +365,8 @@ class QueryScheduler {
           num_inputs, state->slots, options.morsel_size,
           std::max(1u, options.params.inflight));
       if (options.morsel_size == 0) {
-        morsel_size = DeadlineCappedMorsel(morsel_size, signature, options);
+        morsel_size =
+            DeadlineCappedMorsel(morsel_size, signature, num_inputs, options);
       }
       state->degradable = options.policy != options_.degrade_policy;
     }
@@ -488,6 +489,7 @@ class QueryScheduler {
   /// configured fraction of the query's deadline.
   uint64_t DeadlineCappedMorsel(uint64_t derived,
                                 const WorkloadSignature& sig,
+                                uint64_t num_inputs,
                                 const QueryOptions& options) const;
   bool AllDoneLocked() const {
     return completed_ + rejected_ + shed_ == submitted_;

@@ -1,0 +1,373 @@
+// Plan-layer tests (src/plan/).
+//
+// The load-bearing property: every physical shape PlanCompiler::Enumerate
+// produces for a plan is RESULT-IDENTICAL — same outputs, same
+// order-independent checksum — across every execution policy and thread
+// count, pinned bitwise against the sequential single-threaded oracle.
+// That equivalence is what makes the optimizer's choice purely a
+// performance decision.  Plus: cost-model unit tests (planted priors
+// steer the choice; the measure fallback stores priors), the RunHashJoin
+// adapter's exactness, scheduler submission, and calibrator staleness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaptive/calibrator.h"
+#include "btree/btree.h"
+#include "btree/btree_ops.h"
+#include "core/pipeline.h"
+#include "graph/csr.h"
+#include "graph/graph_ops.h"
+#include "groupby/groupby.h"
+#include "join/hash_join.h"
+#include "join/join_ops.h"
+#include "plan/plan.h"
+#include "relation/relation.h"
+
+namespace amac {
+namespace {
+
+Executor MakeExec(ExecPolicy policy, uint32_t inflight = 10,
+                  uint32_t threads = 1) {
+  return Executor(ExecConfig{policy, SchedulerParams{inflight, 2, 0},
+                             threads, 0});
+}
+
+/// The canonical join + group-by fixture: unique-keyed R, FK-distributed S
+/// with a controllable match rate via key range shift.
+struct JoinFixture {
+  Relation r;
+  Relation s;
+
+  JoinFixture(uint64_t r_size, uint64_t s_size, double hit_rate) {
+    r = MakeDenseUniqueRelation(r_size, 7);  // keys: permutation of [1, n]
+    s = MakeForeignKeyRelation(s_size, r_size, 8);
+    // Redirect a suffix of the probes to keys above R's range to set the
+    // match rate.
+    const uint64_t misses =
+        static_cast<uint64_t>(static_cast<double>(s_size) * (1 - hit_rate));
+    for (uint64_t i = s_size - misses; i < s_size; ++i) {
+      s[i] = Tuple{static_cast<int64_t>(r_size + 1 + i), s[i].payload};
+    }
+  }
+};
+
+Plan JoinGroupByPlan(const JoinFixture& fx, uint64_t groups) {
+  return Plan::Scan(fx.s).HashJoin(fx.r).GroupBy(groups);
+}
+
+// ---------------------------------------------------------------- shapes --
+
+TEST(PlanCompilerTest, EnumeratesAllJoinGroupByShapes) {
+  const JoinFixture fx(512, 2048, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  const auto one = PlanCompiler::Enumerate(plan, PlanOptions{}, 1);
+  // 1 thread: no build-mode dimension -> fused + two-phase + flipped.
+  ASSERT_EQ(one.size(), 3u);
+  EXPECT_EQ(one[0].pipeline, PlanShape::kFused);
+  EXPECT_EQ(one[0].build_side, PlanBuildSide::kJoinRel);
+  const auto four = PlanCompiler::Enumerate(plan, PlanOptions{}, 4);
+  // 4 threads: x {partitioned, chained} builds.
+  EXPECT_EQ(four.size(), 6u);
+}
+
+TEST(PlanCompilerTest, AlternativesNeedLeanUniqueJoins) {
+  const JoinFixture fx(512, 2048, 0.5);
+  // Non-early-exit join: no flip, no two-phase.
+  JoinOptions dup;
+  dup.early_exit = false;
+  const Plan nonunique = Plan::Scan(fx.s).HashJoin(fx.r, dup).GroupBy(2048);
+  EXPECT_EQ(PlanCompiler::Enumerate(nonunique, PlanOptions{}, 1).size(), 1u);
+  // A filter between scan and join: structure pinned too.
+  const Plan filtered = Plan::Scan(fx.s)
+                            .Filter([](const Tuple& t) { return t.key >= 0; })
+                            .HashJoin(fx.r)
+                            .GroupBy(1024);
+  EXPECT_EQ(PlanCompiler::Enumerate(filtered, PlanOptions{}, 1).size(), 1u);
+  // No group-by: the flip is still available (checksums are
+  // order-independent), two-phase is not.
+  const Plan nogroup = Plan::Scan(fx.s).HashJoin(fx.r);
+  const auto shapes = PlanCompiler::Enumerate(nogroup, PlanOptions{}, 1);
+  ASSERT_EQ(shapes.size(), 2u);
+  EXPECT_EQ(shapes[1].build_side, PlanBuildSide::kInput);
+}
+
+TEST(PlanCompilerTest, PinsFilterTheList) {
+  const JoinFixture fx(512, 2048, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  PlanOptions pin;
+  pin.shape = PlanShape::kTwoPhase;
+  const auto shapes = PlanCompiler::Enumerate(plan, pin, 4);
+  ASSERT_EQ(shapes.size(), 2u);
+  for (const auto& s : shapes) EXPECT_EQ(s.pipeline, PlanShape::kTwoPhase);
+}
+
+// The core differential: every enumerated shape x policy x threads agrees
+// bitwise with the sequential single-threaded oracle.
+TEST(PlanDifferentialTest, AllShapesMatchSequentialOracle) {
+  for (const double hit_rate : {1.0, 0.1}) {
+    const JoinFixture fx(1024, 8192, hit_rate);
+    const Plan plan = JoinGroupByPlan(fx, 2048);
+    Executor oracle_exec = MakeExec(ExecPolicy::kSequential);
+    PlanOptions pin;  // oracle: the default fused shape
+    pin.shape = PlanShape::kFused;
+    pin.build_side = PlanBuildSide::kJoinRel;
+    const PlanResult oracle = RunPlan(oracle_exec, plan, pin);
+    ASSERT_GT(oracle.run.outputs, 0u);
+    for (const ExecPolicy policy :
+         {ExecPolicy::kSequential, ExecPolicy::kAmac,
+          ExecPolicy::kVectorizedAmac}) {
+      for (const uint32_t threads : {1u, 4u}) {
+        Executor exec = MakeExec(policy, 10, threads);
+        for (const PhysicalShape& shape :
+             PlanCompiler::Enumerate(plan, PlanOptions{}, threads)) {
+          PlanOptions opt;
+          opt.shape = shape.pipeline;
+          opt.build_side = shape.build_side;
+          opt.build_mode = shape.build_mode;
+          const PlanResult got = RunPlan(exec, plan, opt);
+          const std::string label = shape.Name() + " " +
+                                    ExecPolicyName(policy) + " t=" +
+                                    std::to_string(threads) + " hit=" +
+                                    std::to_string(hit_rate);
+          EXPECT_EQ(got.run.outputs, oracle.run.outputs) << label;
+          EXPECT_EQ(got.run.checksum, oracle.run.checksum) << label;
+          EXPECT_EQ(got.run.plan.shape, shape.pipeline) << label;
+          EXPECT_EQ(got.run.plan.build_side, shape.build_side) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanDifferentialTest, FilterMapPlansMatchHandLoop) {
+  const JoinFixture fx(512, 4096, 0.8);
+  ChainedHashTable table(fx.r.size(), ChainedHashTable::Options{});
+  {
+    Executor build_exec = MakeExec(ExecPolicy::kAmac);
+    BuildPhase(build_exec, fx.r, &table);
+  }
+  const Plan plan = Plan::Scan(fx.s)
+                        .Filter([](const Tuple& t) { return t.key % 3 != 0; })
+                        .Lookup(table)
+                        .Map([](const Tuple& t) {
+                          return Tuple{t.key + 1, t.payload * 2};
+                        });
+  // Hand loop oracle over the same semantics (early-exit unique join;
+  // dense build keys are [1, r_size] with payload PayloadForKey(k)).
+  RowSink expect;
+  for (uint64_t i = 0; i < fx.s.size(); ++i) {
+    const Tuple& probe = fx.s[i];
+    if (probe.key % 3 == 0) continue;
+    if (probe.key >= 1 &&
+        probe.key <= static_cast<int64_t>(fx.r.size())) {
+      const Tuple row{PayloadForKey(probe.key), probe.payload};
+      expect.Emit(Tuple{row.key + 1, row.payload * 2});
+    }
+  }
+  for (const uint32_t threads : {1u, 4u}) {
+    Executor exec = MakeExec(ExecPolicy::kAmac, 10, threads);
+    const RunStats got = exec.Run(plan);
+    EXPECT_EQ(got.outputs, expect.rows()) << threads;
+    EXPECT_EQ(got.checksum, expect.checksum()) << threads;
+  }
+}
+
+TEST(PlanDifferentialTest, IndexAndWalkPlansMatchPipelineRuns) {
+  const uint64_t n = 2000;
+  const Relation keys = MakeDenseUniqueRelation(n, 19);
+  const BTree tree(keys);
+  const Relation probes = MakeForeignKeyRelation(3000, n, 31);
+  Executor exec = MakeExec(ExecPolicy::kAmac, 10, 2);
+  const RunStats direct = exec.Run(Scan(probes).Then(LookupBTree(tree)));
+  const RunStats planned = exec.Run(Plan::Scan(probes).LookupBTree(tree));
+  EXPECT_GT(planned.outputs, 0u);
+  EXPECT_EQ(planned.outputs, direct.outputs);
+  EXPECT_EQ(planned.checksum, direct.checksum);
+
+  CsrGraph::Options gopt;
+  gopt.num_vertices = 512;
+  gopt.out_degree = 8;
+  gopt.seed = 17;
+  const CsrGraph graph(gopt);
+  const RunStats walk_direct = exec.Run(Walks(graph, 64, 10, 5));
+  const RunStats walk_planned = exec.Run(Plan::Walks(graph, 64, 10, 5));
+  EXPECT_GT(walk_planned.outputs, 0u);
+  EXPECT_EQ(walk_planned.outputs, walk_direct.outputs);
+  EXPECT_EQ(walk_planned.checksum, walk_direct.checksum);
+}
+
+TEST(PlanTest, GroupByIntoUsesCallerTable) {
+  const Relation input = MakeGroupByInput(800, 5, 23);
+  AggregateTable mine(800, AggregateTable::Options{});
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const PlanResult res = RunPlan(exec, Plan::Scan(input).GroupByInto(&mine));
+  EXPECT_EQ(res.groups, nullptr);
+  EXPECT_EQ(res.run.outputs, mine.CountGroups());
+  EXPECT_EQ(res.run.checksum, mine.Checksum());
+
+  AggregateTable owned_oracle(800, AggregateTable::Options{});
+  RunGroupBy(exec, input, &owned_oracle);
+  EXPECT_EQ(mine.Checksum(), owned_oracle.Checksum());
+}
+
+// ------------------------------------------------------------ cost model --
+
+TEST(PlanOptimizerTest, PlantedPriorsSteerTheChoice) {
+  const JoinFixture fx(512, 4096, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const auto shapes = PlanCompiler::Enumerate(plan, PlanOptions{}, 1);
+  ASSERT_GT(shapes.size(), 1u);
+  // First run: no priors -> the measure fallback decides and stores
+  // priors for every candidate.
+  const PlanResult first = RunPlan(exec, plan);
+  EXPECT_FALSE(first.run.plan.from_priors);
+  EXPECT_EQ(first.run.plan.candidates_considered, shapes.size());
+  EXPECT_GT(first.run.plan.measured_cost_cycles, 0.0);
+  // Second run: priors now exist for every shape.
+  const PlanResult second = RunPlan(exec, plan);
+  EXPECT_TRUE(second.run.plan.from_priors);
+  EXPECT_GT(second.run.plan.estimated_cost_cycles, 0.0);
+  EXPECT_EQ(second.run.checksum, first.run.checksum);
+}
+
+TEST(PlanOptimizerTest, EpochAdvanceReturnsToMeasurement) {
+  // AdvanceEpoch invalidates plan-shape priors like any other calibration:
+  // the next RunPlan must fall back to measuring again instead of trusting
+  // pre-change priors.
+  const JoinFixture fx(512, 4096, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  RunPlan(exec, plan);
+  const PlanResult cached = RunPlan(exec, plan);
+  EXPECT_TRUE(cached.run.plan.from_priors);
+  exec.calibrator().AdvanceEpoch();
+  const PlanResult after = RunPlan(exec, plan);
+  EXPECT_FALSE(after.run.plan.from_priors);
+  EXPECT_EQ(after.run.checksum, cached.run.checksum);
+}
+
+TEST(PlanOptimizerTest, MeasureDisabledFallsBackToDefaultShape) {
+  const JoinFixture fx(512, 4096, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  PlanOptions opt;
+  opt.allow_measure = false;
+  const PlanResult res = RunPlan(exec, plan, opt);
+  EXPECT_FALSE(res.run.plan.from_priors);
+  EXPECT_EQ(res.run.plan.shape, PlanShape::kFused);
+  EXPECT_EQ(res.run.plan.build_side, PlanBuildSide::kJoinRel);
+}
+
+// -------------------------------------------------------------- adapters --
+
+TEST(PlanAdapterTest, RunHashJoinMatchesManualPhases) {
+  const JoinFixture fx(1024, 8192, 0.7);
+  Executor manual_exec = MakeExec(ExecPolicy::kAmac, 10, 2);
+  ChainedHashTable table(fx.r.size(), ChainedHashTable::Options{});
+  const RunStats build = BuildPhase(manual_exec, fx.r, &table);
+  const RunStats probe = ProbePhase(manual_exec, table, fx.s, true);
+
+  Executor exec = MakeExec(ExecPolicy::kAmac, 10, 2);
+  const JoinResult join = RunHashJoin(exec, fx.r, fx.s);
+  EXPECT_EQ(join.matches(), probe.outputs);
+  EXPECT_EQ(join.checksum(), probe.checksum);
+  EXPECT_EQ(join.build.inputs, build.inputs);
+  EXPECT_TRUE(join.probe.plan.active);
+  EXPECT_EQ(join.probe.plan.candidates_considered, 1u);
+}
+
+TEST(PlanAdapterTest, CustomOpPlanMatchesRunOp) {
+  const JoinFixture fx(512, 4096, 1.0);
+  ChainedHashTable table(fx.r.size(), ChainedHashTable::Options{});
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  BuildPhase(exec, fx.r, &table);
+  std::vector<CountChecksumSink> sinks(1);
+  const RunStats direct = exec.Run(FromOp(fx.s.size(), [&](uint32_t tid) {
+    return ProbeOp<true, CountChecksumSink>(table, fx.s, sinks[tid]);
+  }));
+  std::vector<CountChecksumSink> plan_sinks(1);
+  const RunStats planned =
+      exec.Run(Plan::FromOp(fx.s.size(), [&](uint32_t tid) {
+        return ProbeOp<true, CountChecksumSink>(table, fx.s,
+                                                plan_sinks[tid]);
+      }));
+  EXPECT_EQ(planned.engine.lookups, direct.engine.lookups);
+  EXPECT_EQ(planned.engine.steps, direct.engine.steps);
+  EXPECT_EQ(plan_sinks[0].checksum(), sinks[0].checksum());
+  EXPECT_TRUE(planned.plan.active);
+}
+
+TEST(PlanSubmitTest, SchedulerPlansMatchExecutorPlans) {
+  const JoinFixture fx(512, 4096, 0.6);
+  ChainedHashTable table(fx.r.size(), ChainedHashTable::Options{});
+  Executor exec = MakeExec(ExecPolicy::kAmac, 10, 2);
+  BuildPhase(exec, fx.r, &table);
+  const Plan plan = Plan::Scan(fx.s)
+                        .Filter([](const Tuple& t) { return t.key % 2 == 0; })
+                        .Lookup(table);
+  const RunStats via_exec = exec.Run(plan);
+
+  QuerySchedulerOptions sopt;
+  sopt.num_workers = 2;
+  QueryScheduler sched(sopt);
+  QueryOptions qopt;
+  qopt.policy = ExecPolicy::kAmac;
+  const QueryStats via_sched = sched.Wait(Submit(sched, plan, qopt));
+  EXPECT_EQ(via_sched.run.outputs, via_exec.outputs);
+  EXPECT_EQ(via_sched.run.checksum, via_exec.checksum);
+  EXPECT_TRUE(via_sched.run.plan.active);
+}
+
+// ---------------------------------------------------- calibrator staleness --
+
+TEST(CalibratorStalenessTest, AdvanceEpochEvictsLazily) {
+  Calibrator cal;
+  const WorkloadSignature sig = WorkloadSignature::Make("stale-test", 4096, 8);
+  CalibrationResult result;
+  result.winner_cycles_per_input = 5.0;
+  cal.Store(sig, result);
+  EXPECT_TRUE(cal.Lookup(sig).has_value());
+  EXPECT_EQ(cal.entries(), 1u);
+  cal.AdvanceEpoch();
+  EXPECT_EQ(cal.epoch(), 1u);
+  // Stale entry: Lookup misses and evicts.
+  EXPECT_FALSE(cal.Lookup(sig).has_value());
+  EXPECT_EQ(cal.stale_evictions(), 1u);
+  // Restored entries live in the new epoch.
+  cal.Store(sig, result);
+  EXPECT_TRUE(cal.Lookup(sig).has_value());
+}
+
+TEST(CalibratorStalenessTest, CardinalityBucketMismatchEvicts) {
+  Calibrator cal;
+  const WorkloadSignature sig = WorkloadSignature::Make("bucket-test", 1, 8);
+  CalibrationResult result;
+  result.winner_cycles_per_input = 5.0;
+  cal.Store(sig, result);
+  // Same signature, consistent size: fine (bucket(1) == bucket(1)).
+  EXPECT_GT(cal.PeekCyclesPerInput(sig, 1), 0.0);
+  // Reused across a much larger relation: stale, evicted.
+  EXPECT_EQ(cal.PeekCyclesPerInput(sig, 1 << 20), 0.0);
+  EXPECT_EQ(cal.stale_evictions(), 1u);
+  EXPECT_FALSE(cal.Lookup(sig).has_value());
+}
+
+TEST(CalibratorStalenessTest, EntriesSkipsStaleRows) {
+  Calibrator cal;
+  CalibrationResult result;
+  result.winner_cycles_per_input = 5.0;
+  cal.Store(WorkloadSignature::Make("a", 4096, 8), result);
+  cal.AdvanceEpoch();
+  cal.Store(WorkloadSignature::Make("b", 4096, 8), result);
+  const auto entries = cal.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].signature_key,
+            WorkloadSignature::Make("b", 4096, 8).Key());
+}
+
+}  // namespace
+}  // namespace amac

@@ -133,12 +133,14 @@ TEST(DeadlineMorselTest, CalibratedDeadlineShrinksMorsels) {
   // Seed the calibration cache with an absurdly expensive cycles-per-input
   // under an explicit signature: the budget then affords only a handful of
   // inputs per morsel and the cap clamps to the floor (32), so the query
-  // runs in many more, finer morsels than the uncapped default.
-  const WorkloadSignature sig = WorkloadSignature::Make("deadline-test", 1, 8);
+  // runs in many more, finer morsels than the uncapped default.  The
+  // signature's cardinality must match the submitted size, or the
+  // calibrator's bucket validation (rightly) evicts the prior as stale.
+  const uint64_t n = 10000;
+  const WorkloadSignature sig = WorkloadSignature::Make("deadline-test", n, 8);
   CalibrationResult expensive;
   expensive.winner = GridPoint{ExecPolicy::kSequential, 1};
   expensive.winner_cycles_per_input = 1e12;  // budget << floor on any clock
-  const uint64_t n = 10000;
   std::atomic<uint64_t> processed{0};
 
   uint64_t morsels_uncapped = 0;

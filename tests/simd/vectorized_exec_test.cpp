@@ -177,10 +177,11 @@ TEST(VectorJoinEdgeTest, EmptySlotSentinelKeys) {
 }
 
 // ------------------------------------------------------------- groupby --
-// GroupByOp has no vector interface; the vector policies must transparently
-// take the scalar-schedule fallback and still aggregate correctly.
+// GroupByOp's vector interface (groupby/vec_groupby.h) gathers the chain
+// walk 8-wide under the bucket latches; every vector policy x thread count
+// must produce the sequential oracle's exact table.
 
-TEST(VectorGroupByTest, FallbackMatchesSequentialOracle) {
+TEST(VectorGroupByTest, GatheredWalkMatchesSequentialOracle) {
   const Relation input = MakeZipfRelation(20000, 600, 0.9, 49);
   AggregateTable oracle_table(1200, AggregateTable::Options{});
   Executor oracle_exec = MakeExec(ExecPolicy::kSequential);
@@ -188,6 +189,32 @@ TEST(VectorGroupByTest, FallbackMatchesSequentialOracle) {
   for (ExecPolicy policy : kVectorPolicies) {
     for (uint32_t threads : {1u, 4u}) {
       AggregateTable table(1200, AggregateTable::Options{});
+      Executor exec = MakeExec(policy, 16, threads);
+      const RunStats got = RunGroupBy(exec, input, &table);
+      EXPECT_EQ(got.outputs, oracle.outputs) << ExecPolicyName(policy);
+      EXPECT_EQ(got.checksum, oracle.checksum) << ExecPolicyName(policy);
+    }
+  }
+}
+
+TEST(VectorGroupByTest, SentinelGroupKeyTakesScalarLanes) {
+  // Group keys equal to GroupNode::kEmptyGroupKey cannot use the gathered
+  // key-compare (it would match unused nodes); those lanes must classify
+  // scalar and still aggregate exactly.  Mix sentinel rows among normal
+  // keys, including chain collisions.
+  Relation input(4096);
+  for (uint64_t i = 0; i < input.size(); ++i) {
+    const int64_t key = (i % 3 == 0) ? GroupNode::kEmptyGroupKey
+                                     : static_cast<int64_t>(i % 37);
+    input[i] = Tuple{key, static_cast<int64_t>(i)};
+  }
+  AggregateTable oracle_table(128, AggregateTable::Options{});
+  Executor oracle_exec = MakeExec(ExecPolicy::kSequential);
+  const RunStats oracle = RunGroupBy(oracle_exec, input, &oracle_table);
+  EXPECT_EQ(oracle.outputs, 38u);  // 37 normal groups + the sentinel group
+  for (ExecPolicy policy : kVectorPolicies) {
+    for (uint32_t threads : {1u, 4u}) {
+      AggregateTable table(128, AggregateTable::Options{});
       Executor exec = MakeExec(policy, 16, threads);
       const RunStats got = RunGroupBy(exec, input, &table);
       EXPECT_EQ(got.outputs, oracle.outputs) << ExecPolicyName(policy);
