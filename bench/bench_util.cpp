@@ -112,6 +112,14 @@ void PlanJsonFields(JsonWriter* json, const PlanStats& plan) {
   json->Field("plan_from_priors", uint64_t{plan.from_priors ? 1u : 0u});
   json->Field("plan_estimated_cost_cycles", plan.estimated_cost_cycles);
   json->Field("plan_measured_cost_cycles", plan.measured_cost_cycles);
+  json->Field("plan_observed_selectivity", plan.observed_selectivity);
+}
+
+void PerfJsonFields(JsonWriter* json, const PerfCounters::Sample& perf) {
+  json->Field("perf_valid", uint64_t{perf.valid ? 1u : 0u});
+  json->Field("llc_misses", perf.llc_misses);
+  json->Field("stalled_cycles", perf.stalled_cycles);
+  json->Field("instructions", perf.instructions);
 }
 
 std::string SkewLabel(double zr, double zs) {

@@ -22,6 +22,7 @@
 #include "graph/csr.h"
 #include "hashtable/chained_table.h"
 #include "join/hash_join.h"
+#include "metrics/perf_counters.h"
 #include "plan/plan.h"
 #include "relation/relation.h"
 #include "skiplist/skiplist.h"
@@ -167,5 +168,12 @@ class JsonWriter {
 /// shape/build-side/build-mode names, candidate count, and the cost-model
 /// provenance — under the current JsonWriter point.
 void PlanJsonFields(JsonWriter* json, const PlanStats& plan);
+
+/// Emit a run's hardware counters (RunStats::perf) as flat JSON fields
+/// with the fig05/fig06 names — perf_valid, llc_misses, stalled_cycles,
+/// instructions — so every bench artifact carries the same counter
+/// vocabulary for the nightly trajectory.  Zeroes with perf_valid=0 when
+/// the kernel forbade sampling.
+void PerfJsonFields(JsonWriter* json, const PerfCounters::Sample& perf);
 
 }  // namespace amac::bench

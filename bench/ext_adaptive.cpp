@@ -44,6 +44,7 @@ struct Outcome {
   uint64_t checksum = 0;
   uint64_t vec_fallbacks = 0;
   AdaptiveStats adaptive;
+  PerfCounters::Sample perf;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(inputs) / seconds : 0;
@@ -91,6 +92,7 @@ std::vector<AdaptiveWorkload> BuildWorkloads(const Datasets& d) {
     out.checksum = run.checksum;
     out.vec_fallbacks = run.engine.vec_fallbacks;
     out.adaptive = run.adaptive;
+    out.perf = run.perf;
     return out;
   };
   // Every family is a declarative Plan; Executor::Run(Plan) fills the
@@ -276,6 +278,7 @@ int Run(int argc, char** argv) {
       json->Field("chosen_inflight", adaptive.adaptive.chosen_inflight);
       json->Field("tuning_switches", adaptive.adaptive.tuning_switches);
       json->Field("vec_fallbacks", adaptive.vec_fallbacks);
+      PerfJsonFields(json.get(), adaptive.perf);
     }
   }
   table.Print();
@@ -297,7 +300,8 @@ int Run(int argc, char** argv) {
   }
   const uint32_t rounds = quick ? 2 : 4;
   const auto run_serving = [&](ExecPolicy policy,
-                               uint64_t* vec_fallbacks_out = nullptr) {
+                               uint64_t* vec_fallbacks_out = nullptr,
+                               PerfCounters::Sample* perf_out = nullptr) {
     QueryScheduler sched(
         QuerySchedulerOptions{threads, 2 * threads, AdmissionOrder::kFifo});
     QueryOptions options;
@@ -317,6 +321,7 @@ int Run(int argc, char** argv) {
       for (size_t i = 0; i < tickets.size(); ++i) {
         const QueryStats q = sched.Wait(tickets[i]);
         vec_fallbacks += q.run.engine.vec_fallbacks;
+        if (perf_out != nullptr) perf_out->Merge(q.run.perf);
         if (q.run.outputs != serving_oracles[i].outputs ||
             q.run.checksum != serving_oracles[i].checksum) {
           ++divergent;
@@ -352,8 +357,9 @@ int Run(int argc, char** argv) {
     }
   }
   uint64_t serving_vec_fallbacks = 0;
-  const double adaptive_serving =
-      run_serving(ExecPolicy::kAdaptive, &serving_vec_fallbacks);
+  PerfCounters::Sample serving_perf;
+  const double adaptive_serving = run_serving(
+      ExecPolicy::kAdaptive, &serving_vec_fallbacks, &serving_perf);
   const double serving_ratio =
       best_serving > 0 ? adaptive_serving / best_serving : 0;
   std::printf(
@@ -373,6 +379,7 @@ int Run(int argc, char** argv) {
     json->Field("best_static_policy", std::string(best_serving_policy));
     json->Field("adaptive_vs_best", serving_ratio);
     json->Field("vec_fallbacks", serving_vec_fallbacks);
+    PerfJsonFields(json.get(), serving_perf);
   }
 
   // ---- Structural adaptivity: the plan optimizer across the fig12
@@ -477,6 +484,7 @@ int Run(int argc, char** argv) {
         json->Field("optimizer_inputs_per_sec", chosen_tput);
         json->Field("optimizer_vs_best_pinned", ratio);
         PlanJsonFields(json.get(), chosen.run.plan);
+        PerfJsonFields(json.get(), chosen.run.perf);
       }
     }
     structural_table.Print();

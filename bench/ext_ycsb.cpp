@@ -188,6 +188,7 @@ struct CellResult {
   uint64_t vec_fallbacks = 0;
   uint64_t morsels = 0;
   uint64_t reclaimed = 0;
+  PerfCounters::Sample perf;  ///< merged across the cell's queries
 };
 
 /// One grid cell: fresh table, load, serve the trace as 8 concurrent
@@ -242,6 +243,7 @@ CellResult RunMixCell(const std::vector<TraceOp>& trace,
       if (stats.outcome != QueryOutcome::kServed) return result;
       vec_fallbacks += stats.run.engine.vec_fallbacks;
       morsels += stats.run.morsels;
+      result.perf.Merge(stats.run.perf);
     }
     wall = timer.ElapsedSeconds();
     tickets.clear();
@@ -594,6 +596,7 @@ int Main(int argc, char** argv) {
           json->Field("vec_fallbacks", cell.vec_fallbacks);
           json->Field("morsels", cell.morsels);
           json->Field("reclaimed", cell.reclaimed);
+          PerfJsonFields(json.get(), cell.perf);
         }
         if (workers == max_workers) {
           printer.AddRow({mix.name, ExecPolicyName(policy),

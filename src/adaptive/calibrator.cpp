@@ -199,21 +199,48 @@ void Calibrator::Store(const WorkloadSignature& sig,
                        const CalibrationResult& result) {
   if (!sig.valid()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  cache_[sig.Key()] = CachedEntry{sig, result, epoch_};
+  CachedEntry entry{sig, result, epoch_};
+  entry.result.from_sim = false;  // measurement is ground truth
+  cache_[sig.Key()] = entry;
+}
+
+bool Calibrator::StoreSeed(const WorkloadSignature& sig,
+                           const CalibrationResult& result) {
+  if (!sig.valid()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(sig.Key());
+  if (it != cache_.end() && !it->second.result.from_sim &&
+      Fresh(it->second, 0)) {
+    // Source priority: measured > simulated at equal staleness.  The
+    // fresh measured entry stands; the prior is refused.
+    ++seed_refusals_;
+    return false;
+  }
+  CachedEntry entry{sig, result, epoch_};
+  entry.result.from_sim = true;
+  cache_[sig.Key()] = entry;
+  return true;
 }
 
 double Calibrator::PeekCyclesPerInput(const WorkloadSignature& sig,
                                       uint64_t submitted_inputs) const {
-  if (!sig.valid()) return 0;
+  const std::optional<CalibrationResult> result =
+      PeekResult(sig, submitted_inputs);
+  return result ? result->winner_cycles_per_input : 0;
+}
+
+std::optional<CalibrationResult> Calibrator::PeekResult(
+    const WorkloadSignature& sig, uint64_t submitted_inputs) const {
+  if (!sig.valid()) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_.find(sig.Key());
-  if (it == cache_.end()) return 0;
+  if (it == cache_.end()) return std::nullopt;
   if (!Fresh(it->second, submitted_inputs)) {
     cache_.erase(it);
     ++stale_evictions_;
-    return 0;
+    return std::nullopt;
   }
-  return it->second.result.winner_cycles_per_input;
+  return it->second.result;
 }
 
 void Calibrator::AdvanceEpoch() {
@@ -244,6 +271,20 @@ uint64_t Calibrator::misses() const {
 uint64_t Calibrator::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+uint64_t Calibrator::seeded_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [key, cached] : cache_) {
+    if (cached.result.from_sim && cached.epoch == epoch_) ++n;
+  }
+  return n;
+}
+
+uint64_t Calibrator::seed_refusals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_refusals_;
 }
 
 std::vector<Calibrator::Entry> Calibrator::Entries() const {

@@ -76,6 +76,17 @@ struct AdaptiveConfig {
   /// An exploration probe must beat the winner by this cycles-per-input
   /// factor (probe_cpi < margin * winner_cpi) to usurp it.
   double switch_margin = 0.9;
+  /// Weight of the hardware stall-fraction evidence in the governor's
+  /// objective: a morsel reported with a valid PerfCounters sample costs
+  /// cpi * (1 + hw_stall_weight * stall_fraction), so two schedules with
+  /// equal throughput rank by how memory-bound they ran (the stalled
+  /// schedule has no headroom when contention rises).  Inert when the
+  /// kernel forbids perf_event_open (samples invalid).  0 disables.
+  double hw_stall_weight = 0.5;
+  /// Winner morsels observed before a simulation-seeded prior is
+  /// re-stored as a measured entry (and its model-cycle baseline replaced
+  /// by the measured one).
+  uint32_t seed_confirm_morsels = 3;
   /// Seed of the governor's private common/rng.h stream; a fixed seed makes
   /// the decision sequence deterministic for a given report sequence.
   uint64_t seed = 0xada9711feed5eedull;
@@ -89,6 +100,16 @@ struct CalibrationResult {
   /// First-halving survivors (best half of the grid), winner included —
   /// the candidate set of later exploration and re-tuning.
   std::vector<GridPoint> survivors;
+  /// The entry came from the offline hierarchy simulator (memsim
+  /// SeedCalibrator), not from measuring real morsels.  Simulated entries
+  /// are PRIORS: they skip cold-start measurement but must never shadow a
+  /// fresh measured entry (Store always wins over StoreSeed) and are
+  /// re-stored as measured once the governor has observed real morsels.
+  bool from_sim = false;
+  /// Rows the downstream pipeline kept per input row, observed on the
+  /// measure prefix (plan costing, satellite of PR 10); negative when the
+  /// run had no filtering stage or nothing was observed.
+  double observed_selectivity = -1;
 };
 
 /// Successive-halving tournament state machine, fed morsels by the caller.
@@ -177,8 +198,18 @@ class Calibrator {
                                           uint64_t submitted_inputs = 0);
 
   /// Record (or overwrite, after a re-tune) the calibration for `sig`.
-  /// The entry is stamped with the current staleness epoch.
+  /// The entry is stamped with the current staleness epoch and marked
+  /// measured (from_sim cleared): real morsel measurements are the ground
+  /// truth and always overwrite, including simulation-seeded entries.
   void Store(const WorkloadSignature& sig, const CalibrationResult& result);
+
+  /// Seed a simulation-derived prior for `sig` (marked from_sim, stamped
+  /// with the current epoch).  Source-priority rule: a fresh MEASURED
+  /// entry is never shadowed — the seed is refused and false returned.
+  /// Stale entries (older epoch or cardinality-bucket mismatch) and other
+  /// simulated entries are replaced.
+  bool StoreSeed(const WorkloadSignature& sig,
+                 const CalibrationResult& result);
 
   /// The cached winner's cycles-per-input for `sig`, or 0 when unknown.
   /// Unlike Lookup this counts neither a hit nor a miss: it exists for
@@ -188,6 +219,12 @@ class Calibrator {
   /// staleness validation as Lookup (evicting on mismatch).
   double PeekCyclesPerInput(const WorkloadSignature& sig,
                             uint64_t submitted_inputs = 0) const;
+
+  /// Full-entry variant of PeekCyclesPerInput (same non-counting, same
+  /// staleness validation): the plan cost model reads the stored
+  /// observed_selectivity alongside the cycles-per-input.
+  std::optional<CalibrationResult> PeekResult(
+      const WorkloadSignature& sig, uint64_t submitted_inputs = 0) const;
 
   /// Begin a new staleness epoch: every entry stored before this call is
   /// treated as stale — lazily evicted on its next Lookup/Peek and skipped
@@ -199,6 +236,11 @@ class Calibrator {
   uint64_t hits() const;
   uint64_t misses() const;
   uint64_t entries() const;
+  /// Simulation-seeded entries currently cached (observability: how much
+  /// of the cache is prior vs measurement).
+  uint64_t seeded_entries() const;
+  /// StoreSeed calls refused because a fresh measured entry held the key.
+  uint64_t seed_refusals() const;
   /// Entries dropped by staleness validation (epoch advance or a
   /// cardinality-bucket mismatch against the submitted relation).
   uint64_t stale_evictions() const;
@@ -230,6 +272,7 @@ class Calibrator {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   mutable uint64_t stale_evictions_ = 0;
+  uint64_t seed_refusals_ = 0;
 };
 
 }  // namespace amac

@@ -18,8 +18,19 @@ QueryGovernor::QueryGovernor(const AdaptiveConfig& config,
   if (calibrator_ != nullptr) {
     if (const auto cached = calibrator_->Lookup(signature_, num_inputs)) {
       cache_hit_ = true;
-      AdoptWinnerLocked(cached->winner, cached->winner_cycles_per_input,
-                        cached->survivors);
+      if (cached->from_sim) {
+        // A simulated prior ranks the grid but its cycles are MODEL
+        // cycles: adopting them as the drift baseline would compare TSC
+        // apples to simulator oranges.  Adopt the ranking with no
+        // baseline; the first measured winner morsels establish it and
+        // convert the entry to a measured one.
+        adopted_sim_prior_ = true;
+        seed_unconfirmed_ = true;
+        AdoptWinnerLocked(cached->winner, 0, cached->survivors);
+      } else {
+        AdoptWinnerLocked(cached->winner, cached->winner_cycles_per_input,
+                          cached->survivors);
+      }
       return;
     }
   }
@@ -64,7 +75,8 @@ QueryGovernor::Choice QueryGovernor::Acquire() {
 }
 
 void QueryGovernor::Report(const Choice& choice, uint64_t inputs,
-                           uint64_t cycles) {
+                           uint64_t cycles,
+                           const PerfCounters::Sample* hw) {
   if (inputs == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   if ((choice.token >> kEpochShift) != (epoch_ & kEpochMask)) {
@@ -82,13 +94,49 @@ void QueryGovernor::Report(const Choice& choice, uint64_t inputs,
     return;
   }
   if (index >= survivors_.size()) return;
-  const double cpi =
-      static_cast<double>(cycles) / static_cast<double>(inputs);
+  double cpi = static_cast<double>(cycles) / static_cast<double>(inputs);
+  if (hw != nullptr && hw->valid && hw->cycles > 0) {
+    // Hardware evidence: weight the morsel's cost by how memory-bound it
+    // ran.  Equal-throughput schedules then rank by stall headroom, and a
+    // prior whose predicted schedule stalls on real hardware loses to its
+    // survivors even before wall-clock drift would notice.
+    if (config_.hw_stall_weight > 0) {
+      cpi *= 1 + config_.hw_stall_weight * hw->StallFraction();
+    }
+    if (index == winner_) {
+      hw_observed_ = true;
+      const double stall = hw->StallFraction();
+      const double llc_per_input =
+          static_cast<double>(hw->llc_misses) / static_cast<double>(inputs);
+      hw_stall_ewma_ =
+          hw_stall_ewma_ <= 0
+              ? stall
+              : config_.ewma_alpha * stall +
+                    (1 - config_.ewma_alpha) * hw_stall_ewma_;
+      hw_llc_per_input_ewma_ =
+          hw_llc_per_input_ewma_ <= 0
+              ? llc_per_input
+              : config_.ewma_alpha * llc_per_input +
+                    (1 - config_.ewma_alpha) * hw_llc_per_input_ewma_;
+    }
+  }
   double& ewma = survivor_ewma_[index];
   ewma = ewma <= 0 ? cpi
                    : config_.ewma_alpha * cpi +
                          (1 - config_.ewma_alpha) * ewma;
   if (index == winner_) {
+    if (seed_unconfirmed_) {
+      // Simulated prior: establish the measured baseline, then promote
+      // the cache entry to a measured one (source priority lets later
+      // seeds refresh it only once it goes stale).
+      if (++seed_winner_reports_ >=
+          std::max(1u, config_.seed_confirm_morsels)) {
+        seed_unconfirmed_ = false;
+        baseline_cpi_ = ewma;
+        StoreResultLocked();
+      }
+      return;  // no drift checks against a not-yet-measured baseline
+    }
     // Drift: observed throughput fell below drift_ratio of the calibrated
     // baseline — the winner no longer fits the data it is seeing.  A
     // patience streak filters one-off noise (a preempted morsel balloons
@@ -137,10 +185,14 @@ void QueryGovernor::AdoptWinnerLocked(const GridPoint& winner, double cpi,
 
 void QueryGovernor::StoreResultLocked() {
   if (calibrator_ != nullptr) {
-    calibrator_->Store(signature_,
-                       CalibrationResult{survivors_[winner_], baseline_cpi_,
-                                         survivors_});
+    CalibrationResult result;
+    result.winner = survivors_[winner_];
+    result.winner_cycles_per_input = baseline_cpi_;
+    result.survivors = survivors_;
+    calibrator_->Store(signature_, result);
   }
+  // Whatever is stored now is measured: a pending sim prior is superseded.
+  seed_unconfirmed_ = false;
 }
 
 void QueryGovernor::FinishCalibrationLocked() {
@@ -211,6 +263,10 @@ void QueryGovernor::Finalize(AdaptiveStats* out) {
   out->tuning_switches = tuning_switches_;
   out->calibration_morsels = calibration_morsels_;
   out->probe_morsels = probe_morsels_;
+  out->seeded_from_sim = adopted_sim_prior_;
+  out->hw_observed = hw_observed_;
+  out->hw_stall_fraction = hw_stall_ewma_;
+  out->hw_llc_misses_per_input = hw_llc_per_input_ewma_;
 }
 
 }  // namespace amac

@@ -34,6 +34,7 @@
 #include "adaptive/signature.h"
 #include "common/rng.h"
 #include "core/run_stats.h"
+#include "metrics/perf_counters.h"
 
 namespace amac {
 
@@ -58,8 +59,14 @@ class QueryGovernor {
   };
   Choice Acquire();
 
-  /// Fold one executed morsel's cost back into the decision state.
-  void Report(const Choice& choice, uint64_t inputs, uint64_t cycles);
+  /// Fold one executed morsel's cost back into the decision state.  `hw`
+  /// (nullable) carries the morsel's hardware counters when the runner
+  /// could sample them: a valid sample folds the stall fraction into the
+  /// morsel's effective cost (AdaptiveConfig::hw_stall_weight), so
+  /// mis-predicted priors self-correct from hardware evidence rather than
+  /// wall-clock noise alone.
+  void Report(const Choice& choice, uint64_t inputs, uint64_t cycles,
+              const PerfCounters::Sample* hw = nullptr);
 
   /// Final accounting (RunStats::adaptive); called once when the query's
   /// last morsel drained.  A query that drained mid-calibration banks its
@@ -122,6 +129,19 @@ class QueryGovernor {
   uint32_t tuning_switches_ = 0;
   uint64_t calibration_morsels_ = 0;
   uint64_t probe_morsels_ = 0;
+
+  /// Simulation-seeded prior handling: a cache hit on a from_sim entry
+  /// adopts the simulated ranking but NOT its model-cycle baseline for
+  /// drift purposes (the scales differ); after seed_confirm_morsels real
+  /// winner morsels the entry is re-stored as measured.
+  bool adopted_sim_prior_ = false;  ///< sticky, for Finalize accounting
+  bool seed_unconfirmed_ = false;   ///< prior not yet re-stored as measured
+  uint32_t seed_winner_reports_ = 0;
+  /// Hardware-evidence EWMAs of the winner's morsels (observability and
+  /// the AdaptiveStats hw fields); only updated on valid samples.
+  bool hw_observed_ = false;
+  double hw_stall_ewma_ = 0;
+  double hw_llc_per_input_ewma_ = 0;
 };
 
 }  // namespace amac

@@ -52,6 +52,14 @@ struct AdaptiveStats {
   uint32_t tuning_switches = 0;
   uint64_t calibration_morsels = 0;  ///< morsels spent measuring grid points
   uint64_t probe_morsels = 0;        ///< epsilon-greedy exploration morsels
+  /// The run started from a simulation-seeded prior (memsim
+  /// SeedCalibrator) instead of a measured entry or a fresh calibration.
+  bool seeded_from_sim = false;
+  /// Hardware-counter evidence the governor consumed (per-morsel
+  /// PerfCounters samples); false when the kernel forbids sampling.
+  bool hw_observed = false;
+  double hw_stall_fraction = 0;       ///< winner stall-fraction EWMA
+  double hw_llc_misses_per_input = 0; ///< winner LLC-misses/input EWMA
 };
 
 /// Pipeline dimension of a physical plan shape: run the whole chain fused
@@ -121,6 +129,11 @@ struct PlanStats {
   double estimated_cost_cycles = 0;
   /// What the chosen shape actually cost end to end (build + run).
   double measured_cost_cycles = 0;
+  /// Rows the pipeline kept per input row on this run (terminal rows /
+  /// probe inputs), fed back into the shape priors so the fused-vs-two-
+  /// phase costing tracks the match-rate regime; negative when the run
+  /// could not observe it.
+  double observed_selectivity = -1;
 };
 
 /// Write-path accounting for the concurrent structures (hashtable upsert /

@@ -55,6 +55,14 @@ uint64_t AggregateTable::CountGroups() const {
   return groups;
 }
 
+uint64_t AggregateTable::TotalRows() const {
+  uint64_t rows = 0;
+  ForEachGroup([&](const GroupNode& g) {
+    rows += static_cast<uint64_t>(g.count);
+  });
+  return rows;
+}
+
 uint64_t AggregateTable::Checksum() const {
   uint64_t sum = 0;
   ForEachGroup([&](const GroupNode& g) {

@@ -100,6 +100,12 @@ class AggregateTable {
   /// Number of distinct groups currently stored.
   uint64_t CountGroups() const;
 
+  /// Total rows folded in (sum of the per-group count aggregate) — the
+  /// row count that reached the aggregation, which the plan layer reads
+  /// off after a run to observe pipeline selectivity without any per-row
+  /// instrumentation.  Walks groups; not a hot path.
+  uint64_t TotalRows() const;
+
   /// Order-independent checksum over the full aggregate state of every
   /// group; engines that compute the same aggregation agree on this value.
   uint64_t Checksum() const;

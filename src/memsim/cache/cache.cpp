@@ -1,0 +1,314 @@
+#include "memsim/cache/cache.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace amac::memsim {
+
+namespace {
+constexpr uint64_t kLineBytes = 64;
+uint64_t BlockOf(uint64_t addr) { return addr / kLineBytes; }
+}  // namespace
+
+HierarchyConfig HierarchyConfig::XeonX5670() {
+  HierarchyConfig h;
+  h.l1d = CacheLevelConfig{64, 8, 4, 10};       // 32 KB, MSHRs = paper's 10
+  h.l2 = CacheLevelConfig{512, 8, 10, 16};      // 256 KB
+  h.llc = CacheLevelConfig{12288, 16, 40, 32};  // 12 MB shared
+  h.dram = DramConfig{8, 8192, 100, 160};       // 40 + 160 = flat 200
+  return h;
+}
+
+HierarchyConfig HierarchyConfig::SparcT4() {
+  HierarchyConfig h;
+  h.l1d = CacheLevelConfig{64, 4, 4, 10};      // 16 KB
+  h.l2 = CacheLevelConfig{256, 8, 12, 16};     // 128 KB
+  h.llc = CacheLevelConfig{4096, 16, 50, 128}; // 4 MB shared L3
+  h.dram = DramConfig{8, 8192, 130, 190};      // 50 + 190 = flat 240
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// CacheLevel
+
+CacheLevel::CacheLevel(uint32_t sets, uint32_t ways)
+    : sets_(sets), ways_(ways), lines_(size_t{sets} * ways) {
+  AMAC_CHECK(sets >= 1 && ways >= 1);
+}
+
+CacheLevel::Line* CacheLevel::Find(uint64_t addr) {
+  const uint64_t block = BlockOf(addr);
+  const uint64_t tag = block / sets_;
+  Line* set = &lines_[(block % sets_) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == tag) return &set[w];
+  }
+  return nullptr;
+}
+
+const CacheLevel::Line* CacheLevel::Find(uint64_t addr) const {
+  return const_cast<CacheLevel*>(this)->Find(addr);
+}
+
+bool CacheLevel::Probe(uint64_t addr) const { return Find(addr) != nullptr; }
+
+bool CacheLevel::Touch(uint64_t addr, bool is_write) {
+  Line* line = Find(addr);
+  if (line == nullptr) return false;
+  line->lru = ++clock_;
+  line->dirty = line->dirty || is_write;
+  return true;
+}
+
+bool CacheLevel::ConsumePrefetchedFlag(uint64_t addr) {
+  Line* line = Find(addr);
+  if (line == nullptr || !line->prefetched) return false;
+  line->prefetched = false;
+  return true;
+}
+
+CacheLevel::Victim CacheLevel::Fill(uint64_t addr, bool is_write,
+                                    bool prefetched) {
+  AMAC_DCHECK(Find(addr) == nullptr);
+  const uint64_t block = BlockOf(addr);
+  const uint64_t tag = block / sets_;
+  Line* set = &lines_[(block % sets_) * ways_];
+  Line* victim = &set[0];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru < victim->lru) victim = &set[w];
+  }
+  Victim out;
+  if (victim->valid) {
+    ++evictions;
+    out.valid = true;
+    out.addr = victim->tag * sets_ * kLineBytes +
+               (block % sets_) * kLineBytes;
+    out.dirty = victim->dirty;
+    if (victim->dirty) ++writebacks;
+  }
+  *victim = Line{tag, ++clock_, true, is_write, prefetched};
+  return out;
+}
+
+CacheLevel::Invalidated CacheLevel::Invalidate(uint64_t addr) {
+  Line* line = Find(addr);
+  if (line == nullptr) return Invalidated{};
+  Invalidated out{true, line->dirty};
+  *line = Line{};
+  return out;
+}
+
+void CacheLevel::MarkDirty(uint64_t addr) {
+  Line* line = Find(addr);
+  if (line != nullptr) line->dirty = true;
+}
+
+std::vector<uint64_t> CacheLevel::ResidentLines() const {
+  std::vector<uint64_t> out;
+  for (uint32_t set = 0; set < sets_; ++set) {
+    for (uint32_t w = 0; w < ways_; ++w) {
+      const Line& line = lines_[size_t{set} * ways_ + w];
+      if (line.valid) {
+        out.push_back((line.tag * sets_ + set) * kLineBytes);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CacheHierarchy
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config,
+                               uint32_t num_cores, uint32_t cores_per_socket,
+                               PrefetcherKind prefetcher)
+    : cfg_(config), cores_per_socket_(std::max(1u, cores_per_socket)) {
+  const uint32_t sockets =
+      (num_cores + cores_per_socket_ - 1) / cores_per_socket_;
+  for (uint32_t c = 0; c < num_cores; ++c) {
+    l1_.emplace_back(cfg_.l1d.sets, cfg_.l1d.ways);
+    l2_.emplace_back(cfg_.l2.sets, cfg_.l2.ways);
+    prefetchers_.push_back(MakePrefetcher(prefetcher));
+  }
+  for (uint32_t s = 0; s < sockets; ++s) {
+    llc_.emplace_back(cfg_.llc.sets, cfg_.llc.ways);
+    dram_.push_back(
+        DramChannel{std::vector<uint64_t>(cfg_.dram.banks, UINT64_MAX)});
+  }
+}
+
+MemLevel CacheHierarchy::Classify(uint32_t core, uint64_t addr) const {
+  if (l1_[core].Probe(addr)) return MemLevel::kL1;
+  if (l2_[core].Probe(addr)) return MemLevel::kL2;
+  if (llc_[SocketOf(core)].Probe(addr)) return MemLevel::kLLC;
+  return MemLevel::kDram;
+}
+
+uint32_t CacheHierarchy::DramLatency(uint32_t socket, uint64_t addr,
+                                     bool* row_hit) {
+  DramChannel& ch = dram_[socket];
+  const uint32_t bank =
+      static_cast<uint32_t>((addr / cfg_.dram.row_bytes) % cfg_.dram.banks);
+  const uint64_t row = addr / (uint64_t{cfg_.dram.row_bytes} *
+                               cfg_.dram.banks);
+  *row_hit = ch.open_row[bank] == row;
+  ch.open_row[bank] = row;
+  if (*row_hit) {
+    ++stats_.dram_row_hits;
+    return cfg_.dram.row_hit_latency;
+  }
+  return cfg_.dram.row_miss_latency;
+}
+
+void CacheHierarchy::FillLevel(MemLevel level, uint32_t core, uint64_t addr,
+                               bool is_write, bool prefetched) {
+  const uint32_t socket = SocketOf(core);
+  switch (level) {
+    case MemLevel::kL1: {
+      const CacheLevel::Victim v = l1_[core].Fill(addr, is_write, false);
+      if (v.valid && v.dirty) {
+        // Write-back into L2 (inclusion guarantees the line is there).
+        l2_[core].MarkDirty(v.addr);
+        ++stats_.writebacks;
+      }
+      break;
+    }
+    case MemLevel::kL2: {
+      const CacheLevel::Victim v = l2_[core].Fill(addr, false, prefetched);
+      if (v.valid) {
+        // L1 <= L2 inclusion: the victim leaves the core entirely.
+        const CacheLevel::Invalidated inv = l1_[core].Invalidate(v.addr);
+        if (v.dirty || inv.dirty) {
+          llc_[socket].MarkDirty(v.addr);
+          ++stats_.writebacks;
+        }
+      }
+      break;
+    }
+    case MemLevel::kLLC: {
+      const CacheLevel::Victim v =
+          llc_[socket].Fill(addr, false, prefetched);
+      if (v.valid) {
+        // Inclusive LLC: back-invalidate the socket's private levels.
+        bool dirty = v.dirty;
+        const uint32_t first = socket * cores_per_socket_;
+        for (uint32_t c = first;
+             c < first + cores_per_socket_ && c < l1_.size(); ++c) {
+          dirty = l2_[c].Invalidate(v.addr).dirty || dirty;
+          dirty = l1_[c].Invalidate(v.addr).dirty || dirty;
+        }
+        if (dirty) ++stats_.writebacks;  // posted DRAM write
+      }
+      break;
+    }
+    case MemLevel::kDram: break;
+  }
+}
+
+CacheHierarchy::AccessOutcome CacheHierarchy::Access(uint32_t core,
+                                                     uint64_t addr,
+                                                     uint32_t pc,
+                                                     bool is_write,
+                                                     uint64_t now) {
+  AccessOutcome out;
+  if (l1_[core].Touch(addr, is_write)) {
+    ++stats_.l1_hits;
+    out.level = MemLevel::kL1;
+    out.latency = cfg_.l1d.latency;
+    return out;  // L1 hits are invisible to L2 and the prefetcher
+  }
+  ++stats_.l1_misses;
+  const uint32_t socket = SocketOf(core);
+  const bool l2_hit = l2_[core].Touch(addr, false);
+  if (l2_hit) {
+    ++stats_.l2_hits;
+    out.level = MemLevel::kL2;
+    out.latency = cfg_.l2.latency;
+  } else {
+    ++stats_.l2_misses;
+    if (llc_[socket].Touch(addr, false)) {
+      ++stats_.llc_hits;
+      out.level = MemLevel::kLLC;
+      out.latency = cfg_.llc.latency;
+    } else {
+      ++stats_.llc_misses;
+      ++stats_.dram_accesses;
+      out.level = MemLevel::kDram;
+      out.latency =
+          cfg_.llc.latency + DramLatency(socket, addr, &out.dram_row_hit);
+      FillLevel(MemLevel::kLLC, core, addr, false, false);
+    }
+    FillLevel(MemLevel::kL2, core, addr, false, false);
+  }
+  FillLevel(MemLevel::kL1, core, addr, is_write, false);
+  if (out.level == MemLevel::kDram) {
+    // The line was not cached: drop any stale in-flight record (a
+    // prefetched line can be evicted before its demand arrives).
+    fill_ready_.erase(BlockOf(addr));
+  } else {
+    // Prefetch accounting: first demand touch of a prefetched line is the
+    // "useful" credit; a fill still in flight makes it useful-but-late and
+    // the demand waits out the remainder.
+    const bool was_prefetched = l2_[core].ConsumePrefetchedFlag(addr) |
+                                llc_[socket].ConsumePrefetchedFlag(addr);
+    if (was_prefetched) ++stats_.prefetches_useful;
+    const auto it = fill_ready_.find(BlockOf(addr));
+    if (it != fill_ready_.end()) {
+      if (it->second > now) {
+        ++stats_.prefetches_late;
+        out.latency = std::max<uint64_t>(out.latency, it->second - now);
+      }
+      fill_ready_.erase(it);
+    }
+  }
+  prefetchers_[core]->Train(addr, pc, l2_hit, &out.prefetch_candidates);
+  return out;
+}
+
+CacheHierarchy::PrefetchPlan CacheHierarchy::PlanPrefetch(
+    uint32_t core, uint64_t addr) const {
+  PrefetchPlan plan;
+  if (l2_[core].Probe(addr) ||
+      fill_ready_.find(BlockOf(addr)) != fill_ready_.end()) {
+    plan.filtered = true;
+    return plan;
+  }
+  plan.dram = !llc_[SocketOf(core)].Probe(addr);
+  return plan;
+}
+
+uint32_t CacheHierarchy::CommitPrefetch(uint32_t core, uint64_t addr,
+                                        bool dram, uint64_t now) {
+  const uint32_t socket = SocketOf(core);
+  uint32_t latency = cfg_.llc.latency;
+  if (dram) {
+    bool row_hit = false;
+    ++stats_.dram_accesses;
+    latency += DramLatency(socket, addr, &row_hit);
+    FillLevel(MemLevel::kLLC, core, addr, false, true);
+  }
+  FillLevel(MemLevel::kL2, core, addr, false, true);
+  fill_ready_[BlockOf(addr)] = now + latency;
+  ++stats_.prefetches_issued;
+  return latency;
+}
+
+bool CacheHierarchy::CheckInclusive() const {
+  for (uint32_t c = 0; c < l1_.size(); ++c) {
+    const CacheLevel& llc = llc_[SocketOf(c)];
+    for (const uint64_t addr : l1_[c].ResidentLines()) {
+      if (!l2_[c].Probe(addr) || !llc.Probe(addr)) return false;
+    }
+    for (const uint64_t addr : l2_[c].ResidentLines()) {
+      if (!llc.Probe(addr)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace amac::memsim

@@ -1,0 +1,227 @@
+// Multi-level cache hierarchy + DRAM model layered UNDER the MSHR/GQ
+// scheduling model (memsim.h).
+//
+// The flat model answers "how do MSHRs and the LLC Global Queue throttle a
+// schedule"; it cannot answer "why does this workload miss at all" — every
+// access costs mem_latency regardless of locality.  This layer replays the
+// real ADDRESSES (cache/trace.h) through an L1-D/L2/LLC hierarchy with
+// true-LRU sets x ways, write-back/write-allocate, inclusive levels with
+// back-invalidation, a row-buffer-aware DRAM model, and a pluggable
+// hardware prefetcher (cache/prefetcher.h), so the simulator can report
+// per-level miss rates and prefetch accuracy/coverage/timeliness for the
+// same walks the measured kernels perform.
+//
+// Modeling conventions (documented in DESIGN.md):
+//   * Tag/replacement state mutates atomically at issue time while the
+//     DATA latency is paid through the event queue — the standard
+//     trace-driven simplification; it keeps the model deterministic.
+//   * Level latencies are TOTAL cycles from issue to data: an L2 hit costs
+//     l2.latency (not l1 + l2), a DRAM access costs llc.latency plus the
+//     row-buffer-dependent DRAM latency.  Presets are chosen so a DRAM
+//     row miss equals the flat model's mem_latency.
+//   * The hierarchy is inclusive: every L1/L2 line is also in the LLC; an
+//     LLC eviction back-invalidates the socket's L1s/L2s (CheckInclusive
+//     is the test hook for the invariant).
+//   * Hardware prefetches fill L2 + LLC (not L1), train on the L2 demand
+//     stream, and compete with demand misses for real LLC-queue slots —
+//     the interference channel the scheduling model arbitrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "memsim/cache/prefetcher.h"
+
+namespace amac::memsim {
+
+/// One cache level's geometry.  `mshrs` bounds outstanding misses AT this
+/// level (enforced by the scheduling model: the L1 value is the paper's
+/// per-core L1-D MSHRs; the L2 value caps per-core L2 miss registers; the
+/// LLC's miss queue is the machine's shared gq_entries).
+struct CacheLevelConfig {
+  uint32_t sets = 64;
+  uint32_t ways = 8;
+  uint32_t latency = 4;  ///< total cycles, issue -> data, on a hit here
+  uint32_t mshrs = 16;
+};
+
+/// Open-row DRAM: each bank remembers its open row; a hit in the row
+/// buffer is materially cheaper than precharge + activate + read.
+struct DramConfig {
+  uint32_t banks = 8;
+  uint32_t row_bytes = 8192;
+  uint32_t row_hit_latency = 100;   ///< beyond the LLC lookup
+  uint32_t row_miss_latency = 160;  ///< beyond the LLC lookup
+};
+
+struct HierarchyConfig {
+  CacheLevelConfig l1d;
+  CacheLevelConfig l2;
+  CacheLevelConfig llc;
+  DramConfig dram;
+
+  /// 32 KB/8w L1-D, 256 KB/8w L2, 12 MB/16w shared LLC; DRAM timed so an
+  /// LLC row miss totals the flat model's 200 cycles.
+  static HierarchyConfig XeonX5670();
+  /// 16 KB/4w L1-D, 128 KB/8w L2, 4 MB/16w shared L3; totals 240 cycles.
+  static HierarchyConfig SparcT4();
+};
+
+/// Where an access found its data.
+enum class MemLevel : uint8_t { kL1 = 0, kL2, kLLC, kDram };
+
+inline const char* MemLevelName(MemLevel l) {
+  switch (l) {
+    case MemLevel::kL1: return "L1";
+    case MemLevel::kL2: return "L2";
+    case MemLevel::kLLC: return "LLC";
+    case MemLevel::kDram: return "DRAM";
+  }
+  return "?";
+}
+
+/// One set-associative level with true LRU.  Pure tag store — data never
+/// exists, only placement/replacement/dirtiness metadata.
+class CacheLevel {
+ public:
+  CacheLevel(uint32_t sets, uint32_t ways);
+
+  /// Hit check without touching replacement state (classification peeks).
+  bool Probe(uint64_t addr) const;
+  /// Hit path: refresh LRU, fold in dirtiness.  False on miss (no fill).
+  bool Touch(uint64_t addr, bool is_write);
+  /// Was the hit line installed by a prefetch and not yet demanded?
+  /// Clears the flag (first demand touch consumes the "useful" credit).
+  bool ConsumePrefetchedFlag(uint64_t addr);
+
+  struct Victim {
+    bool valid = false;
+    uint64_t addr = 0;
+    bool dirty = false;
+  };
+  /// Allocate `addr` (must currently miss), evicting the set's LRU line.
+  Victim Fill(uint64_t addr, bool is_write, bool prefetched);
+  /// Back-invalidation; returns the line's dirtiness if it was present.
+  struct Invalidated {
+    bool present = false;
+    bool dirty = false;
+  };
+  Invalidated Invalidate(uint64_t addr);
+  /// Mark an already-present line dirty (write-back arriving from above).
+  void MarkDirty(uint64_t addr);
+
+  uint64_t hits = 0;        ///< demand hits (prefetch fills excluded)
+  uint64_t misses = 0;      ///< demand misses
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;  ///< dirty victims pushed down
+
+  uint32_t sets() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+  /// Every valid line's address (inclusion checking).
+  std::vector<uint64_t> ResidentLines() const;
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    uint64_t lru = 0;  ///< larger = more recent
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;  ///< installed by prefetch, not yet demanded
+  };
+
+  Line* Find(uint64_t addr);
+  const Line* Find(uint64_t addr) const;
+
+  uint32_t sets_;
+  uint32_t ways_;
+  uint64_t clock_ = 0;  ///< LRU stamp source
+  std::vector<Line> lines_;
+};
+
+/// Snapshot of everything the hierarchy counted.
+struct HierarchyStats {
+  uint64_t l1_hits = 0, l1_misses = 0;
+  uint64_t l2_hits = 0, l2_misses = 0;
+  uint64_t llc_hits = 0, llc_misses = 0;  ///< llc_misses = demand DRAM trips
+  uint64_t writebacks = 0;                ///< dirty evictions, all levels
+  uint64_t dram_accesses = 0;             ///< demand + prefetch DRAM trips
+  uint64_t dram_row_hits = 0;
+  uint64_t prefetches_issued = 0;    ///< candidates that actually filled
+  uint64_t prefetches_filtered = 0;  ///< already cached or in flight
+  uint64_t prefetches_useful = 0;    ///< prefetched line later demanded
+  uint64_t prefetches_late = 0;      ///< demanded before the fill arrived
+};
+
+/// The full hierarchy for one modeled machine: per-core L1-D + L2 +
+/// prefetcher, per-socket shared LLC + DRAM channel.  NOT thread-safe
+/// (driven by the single-threaded event loop).
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const HierarchyConfig& config, uint32_t num_cores,
+                 uint32_t cores_per_socket, PrefetcherKind prefetcher);
+
+  /// Non-mutating classification of where `addr` would hit for `core` —
+  /// what the scheduling model consults BEFORE committing MSHR/GQ
+  /// resources (a retry after backpressure must not re-train anything).
+  MemLevel Classify(uint32_t core, uint64_t addr) const;
+
+  struct AccessOutcome {
+    MemLevel level = MemLevel::kDram;
+    uint32_t latency = 0;  ///< total cycles, issue -> data
+    bool dram_row_hit = false;
+    /// Prefetch candidates the core's engine emitted while training on
+    /// this access; the caller arbitrates queue slots and commits fills.
+    std::vector<uint64_t> prefetch_candidates;
+  };
+  /// Commit a demand access: updates every level's tags/LRU (inclusive
+  /// fills + back-invalidation), DRAM row buffers, prefetch-useful
+  /// accounting, and trains the core's prefetcher.  `now` is the issue
+  /// cycle (late-prefetch latency accounting).
+  AccessOutcome Access(uint32_t core, uint64_t addr, uint32_t pc,
+                       bool is_write, uint64_t now);
+
+  struct PrefetchPlan {
+    bool filtered = false;  ///< already in L2/LLC or already in flight
+    bool dram = false;      ///< would miss the LLC: needs a queue slot
+  };
+  /// Peek-only arbitration input for one candidate.
+  PrefetchPlan PlanPrefetch(uint32_t core, uint64_t addr) const;
+  /// Commit one candidate (fills L2 + LLC, marks the in-flight window
+  /// until `now + latency`).  Returns the fill latency.
+  uint32_t CommitPrefetch(uint32_t core, uint64_t addr, bool dram,
+                          uint64_t now);
+
+  /// Filtered-candidate accounting (the caller runs the arbitration loop).
+  void CountFilteredPrefetch() { ++stats_.prefetches_filtered; }
+
+  const HierarchyStats& stats() const { return stats_; }
+  /// Inclusion invariant: every valid L1/L2 line is resident in its
+  /// socket's LLC.  Test hook; O(total lines).
+  bool CheckInclusive() const;
+
+ private:
+  uint32_t SocketOf(uint32_t core) const { return core / cores_per_socket_; }
+  uint32_t DramLatency(uint32_t socket, uint64_t addr, bool* row_hit);
+  /// Install `addr` at `level` for `core`, handling victim write-back and
+  /// (for the LLC) back-invalidation of the socket's upper levels.
+  void FillLevel(MemLevel level, uint32_t core, uint64_t addr, bool is_write,
+                 bool prefetched);
+
+  const HierarchyConfig cfg_;
+  const uint32_t cores_per_socket_;
+  std::vector<CacheLevel> l1_;   ///< per core
+  std::vector<CacheLevel> l2_;   ///< per core
+  std::vector<CacheLevel> llc_;  ///< per socket
+  struct DramChannel {
+    std::vector<uint64_t> open_row;  ///< per bank; UINT64_MAX = closed
+  };
+  std::vector<DramChannel> dram_;  ///< per socket
+  std::vector<std::unique_ptr<HwPrefetcher>> prefetchers_;  ///< per core
+  /// Blocks with a prefetch fill in flight: block -> data-ready cycle.
+  std::unordered_map<uint64_t, uint64_t> fill_ready_;
+  HierarchyStats stats_;
+};
+
+}  // namespace amac::memsim

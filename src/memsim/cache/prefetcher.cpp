@@ -1,0 +1,61 @@
+#include "memsim/cache/prefetcher.h"
+
+#include "memsim/cache/spp.h"
+
+namespace amac::memsim {
+
+namespace {
+
+class NoPrefetcher final : public HwPrefetcher {
+ public:
+  void Train(uint64_t, uint32_t, bool, std::vector<uint64_t>*) override {}
+  const char* name() const override { return "none"; }
+};
+
+}  // namespace
+
+void NextLinePrefetcher::Train(uint64_t addr, uint32_t /*pc*/,
+                               bool /*l2_hit*/,
+                               std::vector<uint64_t>* out) {
+  out->push_back((addr & ~63ull) + 64);
+}
+
+void IpStridePrefetcher::Train(uint64_t addr, uint32_t pc, bool /*l2_hit*/,
+                               std::vector<uint64_t>* out) {
+  Entry& e = table_[pc % kEntries];
+  const uint64_t line = addr & ~63ull;
+  if (!e.valid || e.pc != pc) {
+    e = Entry{true, pc, line, 0, 0};
+    return;
+  }
+  const int64_t delta = static_cast<int64_t>(line) -
+                        static_cast<int64_t>(e.last_addr);
+  e.last_addr = line;
+  if (delta == 0) return;
+  if (delta == e.stride) {
+    if (e.confidence < 4) ++e.confidence;
+  } else {
+    e.stride = delta;
+    e.confidence = 0;
+    return;
+  }
+  if (e.confidence < 2) return;  // needs two confirmations to arm
+  for (uint32_t k = 1; k <= degree_; ++k) {
+    out->push_back(static_cast<uint64_t>(
+        static_cast<int64_t>(line) + delta * static_cast<int64_t>(k)));
+  }
+}
+
+std::unique_ptr<HwPrefetcher> MakePrefetcher(PrefetcherKind kind) {
+  switch (kind) {
+    case PrefetcherKind::kNone: return std::make_unique<NoPrefetcher>();
+    case PrefetcherKind::kNextLine:
+      return std::make_unique<NextLinePrefetcher>();
+    case PrefetcherKind::kStride:
+      return std::make_unique<IpStridePrefetcher>();
+    case PrefetcherKind::kSpp: return std::make_unique<SppPrefetcher>();
+  }
+  return std::make_unique<NoPrefetcher>();
+}
+
+}  // namespace amac::memsim

@@ -1,0 +1,91 @@
+// Pluggable hardware-prefetcher models for the cache hierarchy.
+//
+// The paper's software schedules (GP/SPP/AMAC) exist because the HARDWARE
+// prefetcher cannot learn dependent pointer chains — its pattern tables
+// key on program counters and address deltas, and a hash-probe's next
+// address is data-dependent noise.  Modeling the hardware side makes that
+// argument quantitative: the same hierarchy run under a stride prefetcher
+// shows near-perfect coverage on a sequential scan and near-zero on the
+// probe trace, and every useless prefetch costs a real LLC-queue slot.
+//
+// Prefetchers train on the L2 access stream (demand L1 misses), the
+// conventional placement: the L1 stream is too hot to snoop and the LLC
+// stream too filtered to learn from.  Emitted candidates are line
+// addresses; the simulator decides fills, queue occupancy, and drops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace amac::memsim {
+
+enum class PrefetcherKind : uint8_t {
+  kNone,      ///< no hardware prefetching
+  kNextLine,  ///< fetch addr + 64 on every training access
+  kStride,    ///< per-pc stride table with confidence (IP-stride)
+  kSpp,       ///< signature-path prefetcher (spp.h)
+};
+
+inline const char* PrefetcherKindName(PrefetcherKind k) {
+  switch (k) {
+    case PrefetcherKind::kNone: return "none";
+    case PrefetcherKind::kNextLine: return "next-line";
+    case PrefetcherKind::kStride: return "ip-stride";
+    case PrefetcherKind::kSpp: return "spp";
+  }
+  return "?";
+}
+
+/// One hardware prefetch engine (per core, like the real ones).  Train()
+/// observes a demand access and appends any prefetch candidates (line-
+/// aligned byte addresses) to `out`.  Implementations are deterministic:
+/// identical access sequences produce identical candidate sequences.
+class HwPrefetcher {
+ public:
+  virtual ~HwPrefetcher() = default;
+  /// `addr` is the demanded byte address, `pc` the synthetic load tag from
+  /// the trace, `l2_hit` whether the access hit in L2 (prefetchers throttle
+  /// on hits to avoid runaway streams).
+  virtual void Train(uint64_t addr, uint32_t pc, bool l2_hit,
+                     std::vector<uint64_t>* out) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Factory over PrefetcherKind; kNone returns an engine that never emits.
+std::unique_ptr<HwPrefetcher> MakePrefetcher(PrefetcherKind kind);
+
+/// Degree-1 next-line: the simplest real prefetcher, fetches the
+/// successor line of every training access.  High coverage on sequential
+/// streams, pure pollution on pointer chases.
+class NextLinePrefetcher final : public HwPrefetcher {
+ public:
+  void Train(uint64_t addr, uint32_t pc, bool l2_hit,
+             std::vector<uint64_t>* out) override;
+  const char* name() const override { return "next-line"; }
+};
+
+/// IP-stride: a small direct-mapped table keyed by pc holding the last
+/// address and a confirmed stride; two consecutive matching deltas arm the
+/// entry, after which it runs `degree` strides ahead.
+class IpStridePrefetcher final : public HwPrefetcher {
+ public:
+  explicit IpStridePrefetcher(uint32_t degree = 4) : degree_(degree) {}
+  void Train(uint64_t addr, uint32_t pc, bool l2_hit,
+             std::vector<uint64_t>* out) override;
+  const char* name() const override { return "ip-stride"; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    uint32_t pc = 0;
+    uint64_t last_addr = 0;
+    int64_t stride = 0;
+    uint32_t confidence = 0;  ///< consecutive confirmations, saturating
+  };
+  static constexpr size_t kEntries = 64;
+  const uint32_t degree_;
+  Entry table_[kEntries];
+};
+
+}  // namespace amac::memsim

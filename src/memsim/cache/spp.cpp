@@ -1,0 +1,88 @@
+#include "memsim/cache/spp.h"
+
+namespace amac::memsim {
+
+void SppPrefetcher::Learn(uint32_t signature, int32_t delta) {
+  PatternEntry& row = pattern_table_[signature & kSigMask];
+  if (row.total >= kMaxCount * 4) {
+    // Decay: halve everything so new behavior can displace old patterns.
+    row.total = 0;
+    for (auto& slot : row.deltas) {
+      slot.count /= 2;
+      row.total += slot.count;
+    }
+  }
+  ++row.total;
+  PatternEntry::DeltaSlot* victim = &row.deltas[0];
+  for (auto& slot : row.deltas) {
+    if (slot.count != 0 && slot.delta == delta) {
+      if (slot.count < kMaxCount * 4) ++slot.count;
+      return;
+    }
+    if (slot.count < victim->count) victim = &slot;
+  }
+  victim->delta = delta;
+  victim->count = 1;
+}
+
+const SppPrefetcher::PatternEntry::DeltaSlot* SppPrefetcher::BestDelta(
+    uint32_t signature, double* confidence) const {
+  const PatternEntry& row = pattern_table_[signature & kSigMask];
+  if (row.total == 0) return nullptr;
+  const PatternEntry::DeltaSlot* best = nullptr;
+  for (const auto& slot : row.deltas) {
+    if (slot.count == 0) continue;
+    if (best == nullptr || slot.count > best->count) best = &slot;
+  }
+  if (best == nullptr) return nullptr;
+  *confidence =
+      static_cast<double>(best->count) / static_cast<double>(row.total);
+  return best;
+}
+
+void SppPrefetcher::Train(uint64_t addr, uint32_t /*pc*/, bool /*l2_hit*/,
+                          std::vector<uint64_t>* out) {
+  const uint64_t page = addr >> kPageBits;
+  const uint32_t offset =
+      static_cast<uint32_t>((addr >> kBlockBits) & (kBlocksPerPage - 1));
+  SigEntry& entry = sig_table_[page % kSigEntries];
+  if (!entry.valid || entry.page != page) {
+    // New page (or a conflict evicting an old one): start tracking; no
+    // delta to learn from yet, so no prefetches either.  Real SPP
+    // bootstraps cross-page signatures through a global history register;
+    // this model accepts the one-access warmup per page.
+    entry = SigEntry{true, page, offset, 0};
+    return;
+  }
+  const int32_t delta =
+      static_cast<int32_t>(offset) - static_cast<int32_t>(entry.last_offset);
+  if (delta == 0) return;  // same line again: nothing to learn or fetch
+  Learn(entry.signature, delta);
+  entry.signature = FoldDelta(entry.signature, delta);
+  entry.last_offset = offset;
+
+  // Lookahead walk: follow the most confident delta path, compounding the
+  // per-step confidence, until the product drops below the threshold, the
+  // walk leaves the page, or the depth budget runs out.
+  uint32_t spec_sig = entry.signature;
+  int64_t spec_offset = offset;
+  double path_confidence = 1.0;
+  for (uint32_t depth = 0; depth < options_.max_depth; ++depth) {
+    double step_confidence = 0;
+    const PatternEntry::DeltaSlot* best = BestDelta(spec_sig,
+                                                    &step_confidence);
+    if (best == nullptr) return;
+    path_confidence *= step_confidence;
+    if (path_confidence < options_.confidence_threshold) return;
+    spec_offset += best->delta;
+    if (spec_offset < 0 ||
+        spec_offset >= static_cast<int64_t>(kBlocksPerPage)) {
+      return;  // page boundary: hardware prefetchers stop here
+    }
+    out->push_back((page << kPageBits) |
+                   (static_cast<uint64_t>(spec_offset) << kBlockBits));
+    spec_sig = FoldDelta(spec_sig, best->delta);
+  }
+}
+
+}  // namespace amac::memsim

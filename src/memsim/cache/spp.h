@@ -1,0 +1,95 @@
+// Signature-path prefetcher (SPP) model, after Kim et al., MICRO'16 — the
+// lookahead signature prefetcher ROADMAP item 4 names via ChampSim's
+// spp_dev.
+//
+// SPP compresses a page's recent block-offset deltas into a 12-bit
+// signature, learns "signature -> likely next delta" in a pattern table,
+// and then speculatively WALKS that table: from the current signature it
+// takes the most confident delta, prefetches it, folds the delta into a
+// speculative signature, and repeats — going several dependent steps ahead
+// of the demand stream.  A multiplicative path confidence (product of each
+// step's delta confidence) throttles the walk: lookahead stops as soon as
+// the compound probability drops below a threshold, which is what keeps
+// SPP polite on irregular streams where no delta ever becomes confident.
+//
+// This is exactly the structural reason hardware prefetching loses on the
+// paper's workloads: a hash probe's per-page delta sequence is noise, so
+// pattern-table confidences stay near-uniform and the lookahead throttles
+// after zero or one step, while a sequential scan saturates one delta and
+// walks the full depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/cache/prefetcher.h"
+
+namespace amac::memsim {
+
+struct SppOptions {
+  /// Minimum compound path confidence to keep prefetching along the
+  /// signature walk.
+  double confidence_threshold = 0.25;
+  /// Maximum lookahead steps per training access.
+  uint32_t max_depth = 8;
+};
+
+class SppPrefetcher final : public HwPrefetcher {
+ public:
+  explicit SppPrefetcher(const SppOptions& options = {})
+      : options_(options) {}
+
+  void Train(uint64_t addr, uint32_t pc, bool l2_hit,
+             std::vector<uint64_t>* out) override;
+  const char* name() const override { return "spp"; }
+
+ private:
+  static constexpr uint32_t kSigBits = 12;
+  static constexpr uint32_t kSigMask = (1u << kSigBits) - 1;
+  static constexpr uint32_t kBlockBits = 6;   ///< 64 B lines
+  static constexpr uint32_t kPageBits = 12;   ///< 4 KB pages
+  static constexpr uint32_t kBlocksPerPage = 1u << (kPageBits - kBlockBits);
+
+  /// Per-page tracking: the last block offset seen and the running delta
+  /// signature.  Direct-mapped with page tags, like the hardware table.
+  struct SigEntry {
+    bool valid = false;
+    uint64_t page = 0;
+    uint32_t last_offset = 0;
+    uint32_t signature = 0;
+  };
+  /// Pattern-table row: up to 4 candidate deltas with per-delta counters
+  /// plus a row counter; confidence(delta) = c_delta / c_sig.
+  struct PatternEntry {
+    struct DeltaSlot {
+      int32_t delta = 0;
+      uint32_t count = 0;
+    };
+    DeltaSlot deltas[4];
+    uint32_t total = 0;
+  };
+
+  static uint32_t FoldDelta(uint32_t signature, int32_t delta) {
+    // The MICRO'16 compression: shift-in the signed delta's low bits.
+    return ((signature << 3) ^ static_cast<uint32_t>(delta)) & kSigMask;
+  }
+
+  /// Record `delta` as an outcome of `signature`; saturates and decays so
+  /// stale patterns age out.
+  void Learn(uint32_t signature, int32_t delta);
+  /// Most confident delta of `signature`, or nullptr when the row has no
+  /// data.  `confidence` gets c_delta / c_sig.
+  const PatternEntry::DeltaSlot* BestDelta(uint32_t signature,
+                                           double* confidence) const;
+
+  static constexpr size_t kSigEntries = 256;
+  static constexpr size_t kPatternEntries = 1u << kSigBits;
+  static constexpr uint32_t kMaxCount = 15;  ///< 4-bit saturating counters
+
+  const SppOptions options_;
+  SigEntry sig_table_[kSigEntries];
+  std::vector<PatternEntry> pattern_table_ =
+      std::vector<PatternEntry>(kPatternEntries);
+};
+
+}  // namespace amac::memsim

@@ -1,0 +1,167 @@
+#include "memsim/cache/trace.h"
+
+#include "bst/bst.h"
+#include "common/macros.h"
+#include "skiplist/skiplist.h"
+
+namespace amac::memsim {
+
+namespace {
+
+/// SplitMix64 step: the deterministic scatter behind the pointer-chase
+/// trace (same generator family as common/rng.h, inlined to keep the trace
+/// layer dependency-free).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void BeginLookup(AccessTrace* trace) {
+  if (trace->offsets.empty()) trace->offsets.push_back(0);
+}
+
+void EndLookup(AccessTrace* trace) {
+  trace->offsets.push_back(static_cast<uint32_t>(trace->addrs.size()));
+}
+
+void Record(AccessTrace* trace, const void* node, uint32_t pc) {
+  trace->addrs.push_back(reinterpret_cast<uint64_t>(node));
+  trace->pcs.push_back(pc);
+}
+
+}  // namespace
+
+std::vector<uint32_t> AccessTrace::ChainLengths() const {
+  std::vector<uint32_t> lengths;
+  lengths.reserve(lookups());
+  for (uint64_t i = 0; i < lookups(); ++i) {
+    lengths.push_back(std::max<uint32_t>(1, ChainLength(i)));
+  }
+  return lengths;
+}
+
+AccessTrace CollectAccessTrace(const ChainedHashTable& table,
+                               const Relation& probe, bool early_exit) {
+  AccessTrace trace;
+  trace.addrs.reserve(probe.size() * 2);
+  trace.offsets.reserve(probe.size() + 1);
+  for (const Tuple& t : probe) {
+    BeginLookup(&trace);
+    const BucketNode* head = table.BucketForKey(t.key);
+    for (const BucketNode* n = head; n != nullptr; n = n->next) {
+      // pc 0 is the bucket-array load, pc 1 the overflow-chain load — the
+      // two distinct load instructions of the real probe kernel.
+      Record(&trace, n, n == head ? 0 : 1);
+      if (early_exit) {
+        bool matched = false;
+        for (uint32_t i = 0; i < n->count; ++i) {
+          if (n->tuples[i].key == t.key) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) break;
+      }
+    }
+    if (trace.addrs.size() == trace.offsets.back()) {
+      // Empty bucket: the probe still touched the bucket array slot.
+      Record(&trace, head != nullptr ? static_cast<const void*>(head)
+                                     : static_cast<const void*>(&table),
+             0);
+    }
+    EndLookup(&trace);
+  }
+  return trace;
+}
+
+AccessTrace CollectBstAccessTrace(const BinarySearchTree& tree,
+                                  const Relation& probe) {
+  AccessTrace trace;
+  trace.offsets.reserve(probe.size() + 1);
+  for (const Tuple& t : probe) {
+    BeginLookup(&trace);
+    const BstNode* node = tree.root();
+    while (node != nullptr) {
+      Record(&trace, node, 0);
+      if (node->key == t.key) break;
+      node = t.key < node->key ? node->left : node->right;
+    }
+    if (trace.addrs.size() == trace.offsets.back()) {
+      Record(&trace, &tree, 0);
+    }
+    EndLookup(&trace);
+  }
+  return trace;
+}
+
+AccessTrace CollectSkipAccessTrace(const SkipList& list,
+                                   const Relation& probe) {
+  AccessTrace trace;
+  trace.offsets.reserve(probe.size() + 1);
+  for (const Tuple& t : probe) {
+    BeginLookup(&trace);
+    const SkipNode* cur = list.head();
+    for (int32_t level = SkipList::kMaxLevel - 1; level >= 0; --level) {
+      const SkipNode* cand = cur->next[level];
+      while (cand != nullptr && cand->key < t.key) {
+        // The search level is the closest analogue of "which load" here:
+        // each level's traversal is a distinct access stream.
+        Record(&trace, cand, static_cast<uint32_t>(level));
+        cur = cand;
+        cand = cur->next[level];
+      }
+      if (cand != nullptr && cand->key == t.key) {
+        Record(&trace, cand, static_cast<uint32_t>(level));
+        break;
+      }
+    }
+    if (trace.addrs.size() == trace.offsets.back()) {
+      Record(&trace, list.head(), 0);
+    }
+    EndLookup(&trace);
+  }
+  return trace;
+}
+
+AccessTrace StrideAccessTrace(uint64_t lookups, uint32_t chain_length,
+                              uint64_t stride_bytes, uint64_t base) {
+  AMAC_CHECK(chain_length >= 1 && stride_bytes >= 1);
+  AccessTrace trace;
+  trace.addrs.reserve(lookups * chain_length);
+  trace.offsets.reserve(lookups + 1);
+  uint64_t addr = base;
+  for (uint64_t i = 0; i < lookups; ++i) {
+    BeginLookup(&trace);
+    for (uint32_t k = 0; k < chain_length; ++k) {
+      trace.addrs.push_back(addr);
+      trace.pcs.push_back(0);
+      addr += stride_bytes;
+    }
+    EndLookup(&trace);
+  }
+  return trace;
+}
+
+AccessTrace PointerChaseAccessTrace(uint64_t lookups, uint32_t chain_length,
+                                    uint64_t region_bytes, uint64_t seed) {
+  AMAC_CHECK(chain_length >= 1 && region_bytes >= 64);
+  const uint64_t lines = region_bytes / 64;
+  AccessTrace trace;
+  trace.addrs.reserve(lookups * chain_length);
+  trace.offsets.reserve(lookups + 1);
+  uint64_t state = seed;
+  for (uint64_t i = 0; i < lookups; ++i) {
+    BeginLookup(&trace);
+    for (uint32_t k = 0; k < chain_length; ++k) {
+      state = Mix64(state);
+      trace.addrs.push_back(0x4000'0000ull + (state % lines) * 64);
+      trace.pcs.push_back(0);
+    }
+    EndLookup(&trace);
+  }
+  return trace;
+}
+
+}  // namespace amac::memsim

@@ -1,0 +1,85 @@
+// Address-trace extraction for the cache-hierarchy model.
+//
+// workload.h reduces a lookup to its dependent-access COUNT, which is all
+// the flat-latency model needs.  The hierarchy model (cache.h) needs the
+// actual ADDRESSES: whether two probes share a cache line, whether a chain
+// walks sequential pool slots or scattered heap nodes, and whether a
+// hardware prefetcher can learn the stream all depend on them.  The
+// collectors here replay the same walks as CollectWalkLengths and friends
+// but record the real node addresses, so the simulated hierarchy sees the
+// exact locality the measured kernels see.
+//
+// A trace is replayable and position-indexed, so the simulator stays
+// deterministic for a fixed trace even though the addresses themselves came
+// from one particular heap layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hashtable/chained_table.h"
+#include "relation/relation.h"
+
+namespace amac {
+class BinarySearchTree;
+class SkipList;
+}  // namespace amac
+
+namespace amac::memsim {
+
+/// One address stream, sliced per lookup.  Lookup i covers
+/// addrs[offsets[i] .. offsets[i + 1]) in dependent order (each access
+/// waits on the previous one's data, like the node walks that produced it).
+struct AccessTrace {
+  std::vector<uint64_t> addrs;
+  /// Per-access synthetic "pc" tag (which load instruction issued it) —
+  /// what an IP-indexed hardware prefetcher keys its stride table on.
+  /// Parallel to `addrs`; empty means every access carries pc 0.
+  std::vector<uint32_t> pcs;
+  /// Lookup boundaries: size = lookups() + 1, offsets.front() == 0,
+  /// offsets.back() == addrs.size().
+  std::vector<uint32_t> offsets;
+
+  uint64_t lookups() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  uint32_t ChainLength(uint64_t lookup) const {
+    return offsets[lookup + 1] - offsets[lookup];
+  }
+  uint32_t pc(uint64_t pos) const {
+    return pcs.empty() ? 0 : pcs[pos];
+  }
+  /// The chain-length view of this trace (what the flat model consumes) —
+  /// keeps hierarchy and flat runs comparable on identical work.
+  std::vector<uint32_t> ChainLengths() const;
+};
+
+/// Replay every probe against the real table, recording each visited
+/// bucket/overflow node's address (early_exit stops at the first match,
+/// mirroring CollectWalkLengths).
+AccessTrace CollectAccessTrace(const ChainedHashTable& table,
+                               const Relation& probe, bool early_exit);
+
+/// BST search paths: root-to-match/leaf node addresses per probe key.
+AccessTrace CollectBstAccessTrace(const BinarySearchTree& tree,
+                                  const Relation& probe);
+
+/// Skip list search paths: candidate node addresses per probe key.
+AccessTrace CollectSkipAccessTrace(const SkipList& list,
+                                   const Relation& probe);
+
+/// Synthetic sequential-stride trace (the hardware prefetcher's best case):
+/// lookup i's chain walks `stride_bytes`-spaced addresses continuing from
+/// where the previous lookup stopped.
+AccessTrace StrideAccessTrace(uint64_t lookups, uint32_t chain_length,
+                              uint64_t stride_bytes,
+                              uint64_t base = 0x4000'0000ull);
+
+/// Synthetic pointer-chase trace (the paper's irregularity premise): every
+/// access lands on a pseudo-random cache line inside `region_bytes`,
+/// deterministically derived from `seed` — no learnable stride or
+/// signature survives.
+AccessTrace PointerChaseAccessTrace(uint64_t lookups, uint32_t chain_length,
+                                    uint64_t region_bytes, uint64_t seed);
+
+}  // namespace amac::memsim

@@ -22,6 +22,30 @@ class PerfCounters {
     uint64_t l1d_misses = 0;
     uint64_t llc_misses = 0;      ///< off-chip accesses (the paper's currency)
     uint64_t stalled_cycles = 0;  ///< backend stalls (memory-bound signal)
+
+    /// Fraction of cycles the backend was stalled — the governor's
+    /// hardware-evidence signal (0 when invalid/empty).
+    double StallFraction() const {
+      return cycles ? static_cast<double>(stalled_cycles) /
+                          static_cast<double>(cycles)
+                    : 0;
+    }
+    /// Off-chip misses per kilo-instruction (Table 4's currency).
+    double LlcMissesPerKiloInstr() const {
+      return instructions ? static_cast<double>(llc_misses) * 1000.0 /
+                                static_cast<double>(instructions)
+                          : 0;
+    }
+    /// Accumulate another sample (per-morsel samples folded into a
+    /// per-run total); the union is valid when either side was.
+    void Merge(const Sample& other) {
+      valid = valid || other.valid;
+      instructions += other.instructions;
+      cycles += other.cycles;
+      l1d_misses += other.l1d_misses;
+      llc_misses += other.llc_misses;
+      stalled_cycles += other.stalled_cycles;
+    }
   };
 
   PerfCounters();

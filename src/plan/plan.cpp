@@ -438,8 +438,9 @@ RunStats RunFused(Executor& exec, const Profile& p,
 /// group-by phase — fig12's materialized plan, per shape.  Returns the
 /// phases merged into one RunStats (inputs = probe rows, outputs/checksum
 /// = the aggregation's).
-RunStats RunTwoPhase(Executor& exec, const Profile& p, const Relation& probe,
-                     const ChainedHashTable& table, AggregateTable* groups) {
+RunStats RunTwoPhase(Executor& exec, const Profile& /*p*/,
+                     const Relation& probe, const ChainedHashTable& table,
+                     AggregateTable* groups, uint64_t* survivors = nullptr) {
   const uint32_t slots = exec.num_threads();
   // Early-exit probe (two-phase is only enumerated for unique build keys):
   // at most one emission per probe tuple bounds each slot's sink.
@@ -453,6 +454,7 @@ RunStats RunTwoPhase(Executor& exec, const Profile& p, const Relation& probe,
   WallTimer mid_wall;
   uint64_t total = 0;
   for (const MaterializeSink& sink : sinks) total += sink.size();
+  if (survivors != nullptr) *survivors = total;
   Relation mid(total);
   uint64_t at = 0;
   for (const MaterializeSink& sink : sinks) {
@@ -515,14 +517,36 @@ WorkloadSignature ShapeSignature(const Plan& plan, const Profile& p,
                                  static_cast<uint32_t>(sizeof(Tuple)));
 }
 
+/// Fraction of a two-phase shape's measured per-input cost treated as
+/// selectivity-independent (the probe phase); the remainder (materialize +
+/// aggregate) scales with the rows that survive the join.  First-order
+/// split used to transfer a two-phase prior measured under one match-rate
+/// regime to the regime the latest run observed (fig12's crossover is
+/// exactly this: two-phase wins when the join filters hard).
+constexpr double kTwoPhaseFixedFraction = 0.5;
+
+/// Terminal rows per probe input observed on a finished run.  When the
+/// plan aggregates, run.outputs counts groups, not rows — the aggregate
+/// table's folded row count (TotalRows) recovers the rows that reached the
+/// terminal without any per-row instrumentation.  Negative when the run
+/// could not observe it.
+double ObservedSelectivity(const RunStats& run, const AggregateTable* groups,
+                           uint64_t inputs) {
+  if (inputs == 0) return -1;
+  const uint64_t rows = groups != nullptr ? groups->TotalRows() : run.outputs;
+  return static_cast<double>(rows) / static_cast<double>(inputs);
+}
+
 /// Record a plan-shape prior: total cycles over n probe rows, stored as
-/// cycles-per-input under the shape signature (current epoch).
+/// cycles-per-input under the shape signature (current epoch), together
+/// with the selectivity the measurement observed (negative = unobserved).
 void StorePrior(Calibrator& calibrator, const WorkloadSignature& sig,
-                double total_cycles, uint64_t n) {
+                double total_cycles, uint64_t n, double selectivity) {
   if (n == 0) return;
   CalibrationResult result;
   result.winner_cycles_per_input = total_cycles / static_cast<double>(n);
   result.survivors = {result.winner};
+  result.observed_selectivity = selectivity;
   calibrator.Store(sig, result);
 }
 
@@ -604,6 +628,7 @@ size_t MeasureCandidates(Executor& exec, const Plan& plan, const Profile& p,
             : std::min(n, std::max<uint64_t>(4096, n / 16));
     ShapeBuild& sb = EnsureBuilt(exec, p, shape, built);
     double cost = static_cast<double>(sb.build.cycles);
+    double selectivity = -1;
     if (prefix_n > 0) {
       auto [pit, fresh] =
           prefixes.try_emplace(static_cast<int>(shape.build_side));
@@ -633,8 +658,10 @@ size_t MeasureCandidates(Executor& exec, const Plan& plan, const Profile& p,
               : RunFused(exec, p, shape, &prefix, TableOf(p, sb), groups);
       cost += static_cast<double>(m.cycles) /
               static_cast<double>(prefix_n) * static_cast<double>(n);
+      selectivity = ObservedSelectivity(m, groups, prefix_n);
     }
-    StorePrior(calibrator, ShapeSignature(plan, p, shape), cost, n);
+    StorePrior(calibrator, ShapeSignature(plan, p, shape), cost, n,
+               selectivity);
     if (cost < best_cost) {
       best_cost = cost;
       best = i;
@@ -645,6 +672,12 @@ size_t MeasureCandidates(Executor& exec, const Plan& plan, const Profile& p,
 }
 
 }  // namespace
+
+WorkloadSignature PlanShapeSignature(const Plan& plan,
+                                     const PhysicalShape& shape) {
+  const Profile p = Analyze(plan);
+  return ShapeSignature(plan, p, shape);
+}
 
 // ---------------------------------------------------------------------------
 // Shape enumeration
@@ -749,21 +782,43 @@ PlanResult RunPlan(Executor& exec, const Plan& plan,
     Calibrator& calibrator = exec.calibrator();
     double best_cost = std::numeric_limits<double>::infinity();
     bool all_priors = true;
+    std::vector<CalibrationResult> priors(shapes.size());
     for (size_t i = 0; i < shapes.size(); ++i) {
       const uint64_t n = ProbeInputs(p, shapes[i]);
-      const double cpi = calibrator.PeekCyclesPerInput(
-          ShapeSignature(plan, p, shapes[i]), n);
-      if (cpi <= 0) {
+      const auto prior =
+          calibrator.PeekResult(ShapeSignature(plan, p, shapes[i]), n);
+      if (!prior || prior->winner_cycles_per_input <= 0) {
         all_priors = false;
         break;
       }
-      const double cost = cpi * static_cast<double>(n);
-      if (cost < best_cost) {
-        best_cost = cost;
-        chosen = i;
-      }
+      priors[i] = *prior;
     }
     if (all_priors) {
+      // Current-regime selectivity estimate: the default shape's entry —
+      // index 0 of the enumeration — is the one the post-run refresh
+      // updates most often, so its observed selectivity is the freshest
+      // evidence of the match-rate the data is actually producing.
+      const double s_est = priors[0].observed_selectivity;
+      for (size_t i = 0; i < shapes.size(); ++i) {
+        const uint64_t n = ProbeInputs(p, shapes[i]);
+        double cost =
+            priors[i].winner_cycles_per_input * static_cast<double>(n);
+        if (shapes[i].pipeline == PlanShape::kTwoPhase) {
+          // A two-phase prior is regime-specific: its materialize +
+          // aggregate phases scale with the join's survivors.  Rescale
+          // the per-survivor half from the selectivity the prior was
+          // measured under to the selectivity the data shows now.
+          const double s_stored = priors[i].observed_selectivity;
+          if (s_est >= 0 && s_stored > 0) {
+            cost *= kTwoPhaseFixedFraction +
+                    (1 - kTwoPhaseFixedFraction) * (s_est / s_stored);
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          chosen = i;
+        }
+      }
       pstats.from_priors = true;
       estimated = best_cost;
     } else if (options.allow_measure) {
@@ -825,11 +880,15 @@ PlanResult RunPlan(Executor& exec, const Plan& plan,
   }
   pstats.measured_cost_cycles =
       static_cast<double>(result.build.cycles + result.run.cycles);
-  // Refresh the chosen shape's prior with the full-run cost, so steady
-  // state tracks reality rather than the first extrapolation forever.
+  pstats.observed_selectivity =
+      ObservedSelectivity(result.run, groups, ProbeInputs(p, shape));
+  // Refresh the chosen shape's prior with the full-run cost and the
+  // full-run selectivity, so steady state tracks reality (including the
+  // match-rate regime) rather than the first extrapolation forever.
   if (shapes.size() > 1) {
     StorePrior(exec.calibrator(), ShapeSignature(plan, p, shape),
-               pstats.measured_cost_cycles, ProbeInputs(p, shape));
+               pstats.measured_cost_cycles, ProbeInputs(p, shape),
+               pstats.observed_selectivity);
   }
   result.run.plan = pstats;
   return result;

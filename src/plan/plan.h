@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/signature.h"
 #include "core/pipeline.h"
 #include "groupby/agg_table.h"
 #include "hashtable/chained_table.h"
@@ -223,6 +224,13 @@ class PlanCompiler {
                                               const PlanOptions& options,
                                               uint32_t num_threads);
 };
+
+/// The calibration-cache key of one (plan, shape) pair — the signature
+/// RunPlan stores shape priors under.  Exposed so tests and offline
+/// tooling can seed or inspect plan-level priors without re-deriving the
+/// naming scheme.
+WorkloadSignature PlanShapeSignature(const Plan& plan,
+                                     const PhysicalShape& shape);
 
 /// Everything a plan execution produced.  `run` is the main phase
 /// (probe/scan/aggregate) with run.plan filled in; `build` is the

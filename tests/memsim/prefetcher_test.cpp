@@ -1,0 +1,149 @@
+// Hardware-prefetcher model tests: exact candidate oracles for the
+// next-line and IP-stride engines, end-to-end accuracy/coverage oracles on
+// synthetic stride and pointer-chase traces, and the determinism contract
+// (identical trace -> identical prefetch statistics).
+#include "memsim/cache/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/cache/spp.h"
+#include "memsim/cache/trace.h"
+#include "memsim/memsim.h"
+
+namespace amac::memsim {
+namespace {
+
+TEST(NextLineTest, EmitsSuccessorLine) {
+  NextLinePrefetcher p;
+  std::vector<uint64_t> out;
+  p.Train(0x1004, 9, false, &out);  // mid-line address
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0x1040u);  // line-aligned successor
+}
+
+TEST(IpStrideTest, ArmsAfterTwoConfirmationsThenRunsAhead) {
+  IpStridePrefetcher p(/*degree=*/4);
+  std::vector<uint64_t> out;
+  p.Train(0x1000, 7, false, &out);  // allocate
+  p.Train(0x1080, 7, false, &out);  // learn stride 0x80
+  p.Train(0x1100, 7, false, &out);  // first confirmation
+  EXPECT_TRUE(out.empty());         // not yet armed
+  p.Train(0x1180, 7, false, &out);  // second confirmation: armed
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0x1200u);
+  EXPECT_EQ(out[1], 0x1280u);
+  EXPECT_EQ(out[2], 0x1300u);
+  EXPECT_EQ(out[3], 0x1380u);
+}
+
+TEST(IpStrideTest, StrideChangeResetsConfidence) {
+  IpStridePrefetcher p(4);
+  std::vector<uint64_t> out;
+  p.Train(0x1000, 7, false, &out);
+  p.Train(0x1080, 7, false, &out);
+  p.Train(0x1100, 7, false, &out);
+  p.Train(0x5000, 7, false, &out);  // break the pattern
+  p.Train(0x5040, 7, false, &out);  // new stride, must re-confirm
+  p.Train(0x5080, 7, false, &out);
+  EXPECT_TRUE(out.empty());
+  p.Train(0x50c0, 7, false, &out);
+  EXPECT_FALSE(out.empty());  // re-armed on the new stride
+}
+
+TEST(IpStrideTest, DistinctPcsTrackIndependentStreams) {
+  IpStridePrefetcher p(1);
+  std::vector<uint64_t> out;
+  // Interleaved pc 1 (stride 64) and pc 2 (stride 128): both arm.
+  const uint64_t base1 = 0x10000, base2 = 0x80000;
+  for (uint32_t i = 0; i < 4; ++i) {
+    p.Train(base1 + i * 64, 1, false, &out);
+    p.Train(base2 + i * 128, 2, false, &out);
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], base1 + 4 * 64);
+  EXPECT_EQ(out[1], base2 + 4 * 128);
+}
+
+TEST(SppTest, LearnsStrideStreamDeterministically) {
+  SppPrefetcher a, b;
+  std::vector<uint64_t> out_a, out_b;
+  for (uint32_t i = 0; i < 64; ++i) {
+    a.Train(0x100000 + i * 64, 3, false, &out_a);
+    b.Train(0x100000 + i * 64, 3, false, &out_b);
+  }
+  EXPECT_FALSE(out_a.empty());  // a pure stride stream must be learned
+  EXPECT_EQ(out_a, out_b);      // deterministic: identical sequences
+}
+
+// ------------------------------------------------- end-to-end via Simulate --
+
+SimResult RunTrace(const AccessTrace& trace, PrefetcherKind kind) {
+  SimConfig c;
+  c.policy = ExecPolicy::kSequential;
+  c.inflight = 1;
+  c.num_threads = 1;
+  c.lookups_per_thread = trace.lookups();
+  c.trace = &trace;
+  c.prefetcher = kind;
+  return Simulate(MachineConfig::XeonX5670(), c);
+}
+
+TEST(PrefetchOracleTest, StrideTraceIsCoveredByStrideAndSpp) {
+  const AccessTrace trace = StrideAccessTrace(4096, 4, 64);
+  for (const PrefetcherKind kind :
+       {PrefetcherKind::kStride, PrefetcherKind::kSpp}) {
+    const SimResult r = RunTrace(trace, kind);
+    EXPECT_GT(r.cache.prefetches_issued, 0u) << PrefetcherKindName(kind);
+    EXPECT_GE(r.PrefetchCoverage(), 0.9) << PrefetcherKindName(kind);
+    EXPECT_GE(r.PrefetchAccuracy(), 0.5) << PrefetcherKindName(kind);
+  }
+}
+
+TEST(PrefetchOracleTest, PointerChaseDefeatsEveryEngine) {
+  const AccessTrace chase =
+      PointerChaseAccessTrace(4096, 4, 256ull << 20, 5);
+  const double stride_cov =
+      RunTrace(StrideAccessTrace(4096, 4, 64), PrefetcherKind::kSpp)
+          .PrefetchCoverage();
+  for (const PrefetcherKind kind :
+       {PrefetcherKind::kNextLine, PrefetcherKind::kStride,
+        PrefetcherKind::kSpp}) {
+    const SimResult r = RunTrace(chase, kind);
+    EXPECT_LE(r.PrefetchCoverage(), 0.5 * stride_cov)
+        << PrefetcherKindName(kind);
+  }
+}
+
+TEST(PrefetchOracleTest, PrefetchingNeverSlowsTheStrideScan) {
+  const AccessTrace trace = StrideAccessTrace(4096, 4, 64);
+  const SimResult off = RunTrace(trace, PrefetcherKind::kNone);
+  const SimResult on = RunTrace(trace, PrefetcherKind::kStride);
+  EXPECT_LT(on.CyclesPerLookup(), off.CyclesPerLookup());
+  // Covered misses are DRAM trips the demand stream no longer pays.
+  EXPECT_LT(on.cache.llc_misses, off.cache.llc_misses);
+}
+
+TEST(PrefetchOracleTest, NonePrefetcherIssuesNothing) {
+  const SimResult r =
+      RunTrace(StrideAccessTrace(1024, 4, 64), PrefetcherKind::kNone);
+  EXPECT_EQ(r.cache.prefetches_issued, 0u);
+  EXPECT_EQ(r.cache.prefetches_useful, 0u);
+  EXPECT_EQ(r.prefetch_drops, 0u);
+}
+
+TEST(PrefetchOracleTest, StatsAreDeterministicAcrossRuns) {
+  const AccessTrace trace =
+      PointerChaseAccessTrace(2048, 3, 32ull << 20, 77);
+  const SimResult a = RunTrace(trace, PrefetcherKind::kSpp);
+  const SimResult b = RunTrace(trace, PrefetcherKind::kSpp);
+  EXPECT_EQ(a.cache.prefetches_issued, b.cache.prefetches_issued);
+  EXPECT_EQ(a.cache.prefetches_useful, b.cache.prefetches_useful);
+  EXPECT_EQ(a.cache.prefetches_late, b.cache.prefetches_late);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+}  // namespace
+}  // namespace amac::memsim

@@ -356,6 +356,88 @@ TEST(CalibratorStalenessTest, CardinalityBucketMismatchEvicts) {
   EXPECT_FALSE(cal.Lookup(sig).has_value());
 }
 
+// ------------------------------------------------- selectivity costing --
+
+TEST(PlanSelectivityTest, MeasurePrefixObservesSelectivity) {
+  const JoinFixture fx(512, 4096, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  // Pin the join-rel build side so every candidate probes S: the observed
+  // ratio is then the fixture's planted match rate for whichever shape
+  // the measure fallback picks.
+  PlanOptions opt;
+  opt.build_side = PlanBuildSide::kJoinRel;
+  const PlanResult first = RunPlan(exec, plan, opt);
+  // Terminal rows per probe row: the fixture's planted 0.5 match rate.
+  EXPECT_NEAR(first.run.plan.observed_selectivity, 0.5, 0.1);
+  // The measure fallback banked the observation with its priors.
+  bool stored_selectivity = false;
+  for (const auto& e : exec.calibrator().Entries()) {
+    if (e.result.observed_selectivity >= 0) stored_selectivity = true;
+  }
+  EXPECT_TRUE(stored_selectivity);
+}
+
+TEST(PlanSelectivityTest, RegimeDropFlipsChoiceToTwoPhase) {
+  const JoinFixture fx(512, 4096, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const auto shapes = PlanCompiler::Enumerate(plan, PlanOptions{}, 1);
+  ASSERT_EQ(shapes.size(), 3u);
+  ASSERT_EQ(shapes[1].pipeline, PlanShape::kTwoPhase);
+  Calibrator& cal = exec.calibrator();
+  const auto plant = [&](const PhysicalShape& shape, double cpi,
+                         double sel) {
+    CalibrationResult r;
+    r.winner_cycles_per_input = cpi;
+    r.observed_selectivity = sel;
+    cal.Store(PlanShapeSignature(plan, shape), r);
+  };
+  // Same-regime priors: fused (10 c/row) beats two-phase (12 c/row).
+  plant(shapes[0], 10, 0.5);
+  plant(shapes[1], 12, 0.5);
+  plant(shapes[2], 1000, 0.5);  // flipped build: out of the running
+  const PlanResult same = RunPlan(exec, plan);
+  EXPECT_TRUE(same.run.plan.from_priors);
+  EXPECT_EQ(same.run.plan.shape, PlanShape::kFused);
+
+  // The data's match rate collapses 10x below the regime the two-phase
+  // prior was measured under: its per-survivor half rescales to
+  // 12 * (0.5 + 0.5 * 0.1) = 6.6 c/row < 10, so the choice flips —
+  // without re-measuring anything.
+  plant(shapes[0], 10, 0.05);
+  plant(shapes[1], 12, 0.5);
+  plant(shapes[2], 1000, 0.5);
+  const PlanResult flipped = RunPlan(exec, plan);
+  EXPECT_TRUE(flipped.run.plan.from_priors);
+  EXPECT_EQ(flipped.run.plan.shape, PlanShape::kTwoPhase);
+  // Same answer either way: the flip is purely a performance decision.
+  EXPECT_EQ(flipped.run.checksum, same.run.checksum);
+  EXPECT_EQ(flipped.run.outputs, same.run.outputs);
+}
+
+TEST(PlanSelectivityTest, MissingSelectivityLeavesCostUnscaled) {
+  const JoinFixture fx(512, 4096, 0.5);
+  const Plan plan = JoinGroupByPlan(fx, 1024);
+  Executor exec = MakeExec(ExecPolicy::kAmac);
+  const auto shapes = PlanCompiler::Enumerate(plan, PlanOptions{}, 1);
+  ASSERT_EQ(shapes.size(), 3u);
+  Calibrator& cal = exec.calibrator();
+  const auto plant = [&](const PhysicalShape& shape, double cpi) {
+    CalibrationResult r;  // observed_selectivity stays -1 (unobserved)
+    r.winner_cycles_per_input = cpi;
+    cal.Store(PlanShapeSignature(plan, shape), r);
+  };
+  plant(shapes[0], 10);
+  plant(shapes[1], 8);
+  plant(shapes[2], 1000);
+  const PlanResult res = RunPlan(exec, plan);
+  EXPECT_TRUE(res.run.plan.from_priors);
+  // No stored selectivity: pure cpi * n comparison, two-phase's 8 wins.
+  EXPECT_EQ(res.run.plan.shape, PlanShape::kTwoPhase);
+  EXPECT_DOUBLE_EQ(res.run.plan.estimated_cost_cycles, 8.0 * 4096);
+}
+
 TEST(CalibratorStalenessTest, EntriesSkipsStaleRows) {
   Calibrator cal;
   CalibrationResult result;
